@@ -1,0 +1,52 @@
+// Command gravel-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gravel-bench -exp=fig12 [-scale=1.0]
+//	gravel-bench -exp=all
+//
+// Experiments: table2, table5, fig6, fig8, fig12, fig13, fig14, fig15,
+// sec82, hier, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gravel/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table2, table5, fig6, fig8, fig12, fig13, fig14, fig15, sec82, hier, ablations, all)")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = default reduced inputs)")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+
+	run := func(name string, f func() *bench.Table) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		t := f()
+		if *format == "csv" {
+			t.Fcsv(os.Stdout)
+			return
+		}
+		t.Fprint(os.Stdout)
+		fmt.Printf("  [%s ran in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig6", func() *bench.Table { return bench.Fig6() })
+	run("fig8", func() *bench.Table { return bench.Fig8() })
+	run("table2", func() *bench.Table { return bench.Table2() })
+	run("table5", func() *bench.Table { return bench.Table5(*scale, nil) })
+	run("fig12", func() *bench.Table { return bench.Fig12(*scale, nil) })
+	run("fig13", func() *bench.Table { return bench.Fig13(*scale, nil) })
+	run("fig14", func() *bench.Table { return bench.Fig14(*scale, nil) })
+	run("fig15", func() *bench.Table { return bench.Fig15(*scale, nil) })
+	run("sec82", func() *bench.Table { return bench.Sec82(*scale, nil) })
+	run("hier", func() *bench.Table { return bench.Hier(*scale, nil) })
+	run("ablations", func() *bench.Table { return bench.Ablations(*scale, nil) })
+}

@@ -1,0 +1,95 @@
+// Command gravel-queue exercises Gravel's producer/consumer queue in
+// isolation: a configurable number of producer goroutines (each acting
+// as one work-group stream) against consumer goroutines, reporting
+// measured throughput and the protocol's atomic cost per message.
+//
+// Usage:
+//
+//	gravel-queue [-msgs N] [-bytes B] [-wg LANES] [-producers P] [-consumers C] [-slots S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gravel/internal/queue"
+)
+
+func main() {
+	msgs := flag.Int("msgs", 1<<20, "total messages to move")
+	msgBytes := flag.Int("bytes", 32, "message size in bytes (multiple of 8)")
+	wg := flag.Int("wg", 256, "work-group size (messages per reservation)")
+	producers := flag.Int("producers", 2, "producer goroutines")
+	consumers := flag.Int("consumers", 1, "consumer goroutines")
+	slots := flag.Int("slots", 128, "queue slots")
+	flag.Parse()
+
+	rows := (*msgBytes + 7) / 8
+	q := queue.NewGravel(*slots, rows, *wg)
+	fmt.Printf("queue: %d slots x (%d rows x %d cols), %d B/msg, GOMAXPROCS=%d\n",
+		q.NumSlots(), q.Rows, q.Cols, q.BytesPerMessage(), runtime.GOMAXPROCS(0))
+
+	perProd := *msgs / *producers / *wg * *wg
+	var pwg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < *producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for sent := 0; sent < perProd; sent += *wg {
+				s := q.Reserve(*wg)
+				for r := 0; r < rows; r++ {
+					row := s.Row(r)
+					for m := range row {
+						row[m] = uint64(p<<32 + sent + m)
+					}
+				}
+				s.Commit()
+			}
+		}(p)
+	}
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	var sum [64]uint64
+	for c := 0; c < *consumers; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			var acc uint64
+			for {
+				if !q.TryConsume(func(p []uint64, rows, cols, count int) {
+					for r := 0; r < rows; r++ {
+						for m := 0; m < count; m++ {
+							acc += p[r*cols+m]
+						}
+					}
+				}) {
+					select {
+					case <-done:
+						if q.Empty() {
+							sum[c%len(sum)] = acc
+							return
+						}
+					default:
+					}
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	pwg.Wait()
+	close(done)
+	cwg.Wait()
+	elapsed := time.Since(start)
+
+	moved := perProd * *producers
+	bytes := float64(moved) * float64(rows*8)
+	fmt.Printf("moved %d messages (%.1f MB) in %v\n", moved, bytes/1e6, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.3f GB/s, %.1f Mmsg/s\n",
+		bytes/elapsed.Seconds()/1e9, float64(moved)/elapsed.Seconds()/1e6)
+	atomics := float64(queue.ProducerAtomicsPerReserve+queue.ConsumerAtomicsPerClaim) / float64(*wg)
+	fmt.Printf("protocol atomics per message: %.4f\n", atomics)
+}

@@ -1,0 +1,3 @@
+module gravel
+
+go 1.24

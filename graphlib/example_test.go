@@ -1,0 +1,21 @@
+package graphlib_test
+
+import (
+	"fmt"
+
+	"gravel"
+	"gravel/graphlib"
+)
+
+// Connected components by min-label propagation: each round, active
+// vertices push their label along every edge as a Gravel fine-grain PUT.
+func ExampleEngine_Run() {
+	g := graphlib.Path(10) // one component
+	sys := gravel.New(gravel.Config{Nodes: 2})
+	defer sys.Close()
+
+	eng := graphlib.NewEngine(sys, g)
+	eng.Run(graphlib.ConnectedComponents{}, 0)
+	fmt.Println(eng.State(0), eng.State(9))
+	// Output: 0 0
+}

@@ -1,0 +1,194 @@
+// Package graphlib is a vertex-centric graph-processing layer over the
+// gravel runtime, in the style of GasCL [32] — the single-node system
+// the paper's PR, SSSP and color workloads were derived from — extended
+// to a distributed cluster.
+//
+// A Program defines per-vertex behaviour (scatter a value along
+// out-edges, gather incoming values, apply the result); the Engine runs
+// it in bulk-synchronous rounds. Scattered values travel as Gravel
+// fine-grain PUT messages into a dedicated slot per directed edge,
+// co-located with the target vertex, so gathers are purely local — the
+// same communication structure as the paper's PR workload (§6, §7.1).
+//
+// Slots persist between rounds: a vertex that does not scatter leaves
+// its previous value visible to neighbors. Monotone programs (label
+// propagation, min/max fixpoints) and always-active programs (PageRank)
+// are both correct under this semantic; see Engine.Run.
+package graphlib
+
+import (
+	"gravel/internal/graph"
+	"gravel/internal/pgas"
+	"gravel/internal/rt"
+)
+
+// Graph is a symmetric directed graph in CSR form.
+type Graph = graph.Graph
+
+// Generators and helpers, re-exported from the internal substrate.
+var (
+	// Bubbles generates the hugebubbles-like mesh input.
+	Bubbles = graph.Bubbles
+	// Cage generates the cage15-like clustered input.
+	Cage = graph.Cage
+	// Random generates an Erdős–Rényi-style test graph.
+	Random = graph.Random
+	// Path generates a path graph.
+	Path = graph.Path
+	// Hash64 is a deterministic 64-bit mixer.
+	Hash64 = graph.Hash64
+)
+
+// Program defines one vertex-centric computation.
+type Program interface {
+	// Init returns vertex v's initial state; every vertex starts active.
+	Init(v int) uint64
+	// Scatter returns the value v pushes along each out-edge this round,
+	// or ok=false to push nothing (leaving the previous value in place).
+	Scatter(v int, state uint64) (msg uint64, ok bool)
+	// GatherInit is the fold identity for v.
+	GatherInit(v int) uint64
+	// Gather folds one incoming edge value into the accumulator.
+	Gather(acc, msg uint64) uint64
+	// Apply consumes the gathered accumulator and returns the new state
+	// and whether v stays active for the next round.
+	Apply(v int, state, acc uint64) (uint64, bool)
+	// NoMessage is the non-interfering value edge slots hold before any
+	// scatter reaches them (0 for sums, MaxUint64 for minima) — the same
+	// notion the paper's diverged WG-level operations use (§5.2).
+	NoMessage() uint64
+}
+
+// Engine executes Programs over one graph on one system. It may be
+// reused for several consecutive Runs.
+type Engine struct {
+	sys rt.System
+	g   *Graph
+
+	inOff  []int64
+	slotOf []int64
+	vb     []int // vertex partition bounds
+	grid   []int
+
+	state *pgas.Array
+	slots *pgas.Array
+
+	active []bool // per vertex; host-managed between rounds
+}
+
+// NewEngine allocates the engine's distributed state for g on sys.
+func NewEngine(sys rt.System, g *Graph) *Engine {
+	nodes := sys.Nodes()
+	e := &Engine{sys: sys, g: g}
+	e.inOff, e.slotOf = g.InSlots()
+
+	part := (g.N + nodes - 1) / nodes
+	e.vb = make([]int, nodes+1)
+	sb := make([]int, nodes+1)
+	for i := 1; i <= nodes; i++ {
+		v := i * part
+		if v > g.N {
+			v = g.N
+		}
+		e.vb[i] = v
+		sb[i] = int(e.inOff[v])
+	}
+	e.grid = make([]int, nodes)
+	for i := 0; i < nodes; i++ {
+		e.grid[i] = e.vb[i+1] - e.vb[i]
+	}
+
+	e.state = sys.Space().AllocRanges(e.vb)
+	e.slots = sys.Space().AllocRanges(sb)
+	e.active = make([]bool, g.N)
+	return e
+}
+
+// State returns vertex v's current state.
+func (e *Engine) State(v int) uint64 { return e.state.Load(uint64(v)) }
+
+// Run executes p until no vertex is active or maxRounds is reached
+// (0 = unlimited); it returns the number of rounds executed.
+func (e *Engine) Run(p Program, maxRounds int) int {
+	g := e.g
+	// Initialize state and slots (host, at quiescence).
+	for v := 0; v < g.N; v++ {
+		e.state.Store(uint64(v), p.Init(v))
+		e.active[v] = true
+	}
+	noMsg := p.NoMessage()
+	for s := int64(0); s < int64(g.E()); s++ {
+		e.slots.Store(uint64(s), noMsg)
+	}
+
+	rounds := 0
+	for maxRounds == 0 || rounds < maxRounds {
+		rounds++
+
+		// Scatter: active vertices PUT their message into each
+		// out-neighbor's in-slot (remote for cut edges).
+		e.sys.Step("gas-scatter", e.grid, 0, func(c rt.Ctx) {
+			wg := c.Group()
+			lo := e.vb[c.Node()]
+			counts := make([]int, wg.Size)
+			msg := make([]uint64, wg.Size)
+			idx := make([]uint64, wg.Size)
+			val := make([]uint64, wg.Size)
+			wg.VectorN(3, func(l int) {
+				v := lo + wg.GlobalID(l)
+				counts[l] = 0
+				if !e.active[v] {
+					return
+				}
+				if m, ok := p.Scatter(v, e.state.Load(uint64(v))); ok {
+					msg[l] = m
+					counts[l] = g.Deg(v)
+				}
+			})
+			wg.PredicatedLoop(counts, 2, func(i int, active []bool) {
+				wg.VectorMasked(2, active, func(l int) {
+					v := lo + wg.GlobalID(l)
+					eIdx := g.Off[v] + int64(i)
+					idx[l] = uint64(e.slotOf[eIdx])
+					val[l] = msg[l]
+				})
+				wg.ChargeMemDivergence(wg.ActiveLaneCount())
+				c.Put(e.slots, idx, val, active)
+			})
+		})
+
+		// Gather + apply: fold in-slots locally and update state; the
+		// next round's activity flags are written by each vertex's own
+		// lane.
+		next := make([]bool, g.N)
+		e.sys.Step("gas-apply", e.grid, 0, func(c rt.Ctx) {
+			wg := c.Group()
+			lo := e.vb[c.Node()]
+			wg.VectorN(4, func(l int) {
+				v := lo + wg.GlobalID(l)
+				acc := p.GatherInit(v)
+				for s := e.inOff[v]; s < e.inOff[v+1]; s++ {
+					acc = p.Gather(acc, e.slots.Load(uint64(s)))
+				}
+				wg.ChargeMemDivergence(1)
+				st, act := p.Apply(v, e.state.Load(uint64(v)), acc)
+				e.state.Store(uint64(v), st)
+				next[v] = act
+			})
+		})
+		e.sys.ChargeHost(1000)
+
+		e.active = next
+		anyActive := false
+		for _, a := range e.active {
+			if a {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive {
+			break
+		}
+	}
+	return rounds
+}

@@ -1,0 +1,142 @@
+package graphlib_test
+
+import (
+	"testing"
+
+	"gravel"
+	"gravel/graphlib"
+	"gravel/internal/apps/pagerank"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	// Two disjoint path graphs glued into one vertex set: build a graph
+	// with two components by generating a path and removing nothing —
+	// use two Random graphs offset? Simplest: a path has one component;
+	// check labels are all 0. Then check a multi-component random graph
+	// against a union-find reference.
+	g := graphlib.Random(500, 3, 77) // sparse: likely several components
+	sys := gravel.New(gravel.Config{Nodes: 4})
+	defer sys.Close()
+	eng := graphlib.NewEngine(sys, g)
+	rounds := eng.Run(graphlib.ConnectedComponents{}, 0)
+	if rounds == 0 {
+		t.Fatal("no rounds executed")
+	}
+
+	// Union-find reference.
+	parent := make([]int, g.N)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Out(u) {
+			ru, rv := find(u), find(int(v))
+			if ru != rv {
+				if ru < rv {
+					parent[rv] = ru
+				} else {
+					parent[ru] = rv
+				}
+			}
+		}
+	}
+	// Min vertex per component.
+	minOf := make(map[int]uint64)
+	for v := 0; v < g.N; v++ {
+		r := find(v)
+		if m, ok := minOf[r]; !ok || uint64(v) < m {
+			minOf[r] = uint64(v)
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		if got, want := eng.State(v), minOf[find(v)]; got != want {
+			t.Fatalf("vertex %d: label %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestConnectedComponentsPath(t *testing.T) {
+	g := graphlib.Path(100)
+	sys := gravel.New(gravel.Config{Nodes: 2})
+	defer sys.Close()
+	eng := graphlib.NewEngine(sys, g)
+	rounds := eng.Run(graphlib.ConnectedComponents{}, 0)
+	for v := 0; v < g.N; v++ {
+		if eng.State(v) != 0 {
+			t.Fatalf("vertex %d not labeled 0", v)
+		}
+	}
+	// Label 0 needs ~99 rounds to reach the far end of the path.
+	if rounds < 99 {
+		t.Fatalf("rounds = %d, want >= 99", rounds)
+	}
+}
+
+// TestPageRankMatchesWorkload: the graphlib PageRank program reproduces
+// the paper-workload implementation bit for bit.
+func TestPageRankMatchesWorkload(t *testing.T) {
+	g := graphlib.Random(400, 6, 5)
+	const iters = 4
+	want := pagerank.Reference(g, iters)
+
+	sys := gravel.New(gravel.Config{Nodes: 3})
+	defer sys.Close()
+	eng := graphlib.NewEngine(sys, g)
+	eng.Run(graphlib.NewPageRank(g, iters), iters)
+	for v := 0; v < g.N; v++ {
+		if got := eng.State(v); got != want[v] {
+			t.Fatalf("vertex %d: rank %d, want %d", v, got, want[v])
+		}
+	}
+}
+
+// TestEngineReuse: consecutive Runs on one engine must reinitialize.
+func TestEngineReuse(t *testing.T) {
+	g := graphlib.Path(50)
+	sys := gravel.New(gravel.Config{Nodes: 2})
+	defer sys.Close()
+	eng := graphlib.NewEngine(sys, g)
+	eng.Run(graphlib.ConnectedComponents{}, 0)
+	first := eng.State(49)
+	eng.Run(graphlib.ConnectedComponents{}, 0)
+	if eng.State(49) != first {
+		t.Fatal("second run diverged")
+	}
+}
+
+func TestMaxRoundsBound(t *testing.T) {
+	g := graphlib.Path(1000)
+	sys := gravel.New(gravel.Config{Nodes: 2})
+	defer sys.Close()
+	eng := graphlib.NewEngine(sys, g)
+	if rounds := eng.Run(graphlib.ConnectedComponents{}, 5); rounds != 5 {
+		t.Fatalf("rounds = %d, want 5", rounds)
+	}
+}
+
+// TestPageRankMassProperty: rank mass stays ~N on any graph without
+// dangling vertices (symmetric graphs never dangle).
+func TestPageRankMassProperty(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := graphlib.Random(300, 6, seed)
+		sys := gravel.New(gravel.Config{Nodes: 2})
+		eng := graphlib.NewEngine(sys, g)
+		eng.Run(graphlib.NewPageRank(g, 8), 8)
+		var mass float64
+		for v := 0; v < g.N; v++ {
+			mass += float64(eng.State(v)) / graphlib.PageRankScale
+		}
+		sys.Close()
+		if mass < float64(g.N)*0.99 || mass > float64(g.N)*1.01 {
+			t.Errorf("seed %d: rank mass %.2f, want ≈ %d", seed, mass, g.N)
+		}
+	}
+}

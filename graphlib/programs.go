@@ -1,0 +1,90 @@
+package graphlib
+
+import "math"
+
+// ConnectedComponents labels every vertex with the smallest vertex ID
+// in its (weakly) connected component, by min-label propagation: a
+// monotone fixpoint, so the persist-slots semantic is safe.
+type ConnectedComponents struct{}
+
+// Init implements Program.
+func (ConnectedComponents) Init(v int) uint64 { return uint64(v) }
+
+// Scatter implements Program.
+func (ConnectedComponents) Scatter(v int, state uint64) (uint64, bool) { return state, true }
+
+// GatherInit implements Program.
+func (ConnectedComponents) GatherInit(int) uint64 { return math.MaxUint64 }
+
+// Gather implements Program.
+func (ConnectedComponents) Gather(acc, msg uint64) uint64 {
+	if msg < acc {
+		return msg
+	}
+	return acc
+}
+
+// Apply implements Program.
+func (ConnectedComponents) Apply(v int, state, acc uint64) (uint64, bool) {
+	if acc < state {
+		return acc, true
+	}
+	return state, false
+}
+
+// NoMessage implements Program.
+func (ConnectedComponents) NoMessage() uint64 { return math.MaxUint64 }
+
+// PageRank runs a fixed number of damped PageRank iterations in Q.32
+// fixed point (identical arithmetic to the paper-workload implementation
+// in internal/apps/pagerank). Every vertex stays active for Rounds
+// rounds; pass Rounds as maxRounds to Engine.Run.
+type PageRank struct {
+	// Rounds is the iteration count.
+	Rounds int
+	// deg is captured at engine setup via NewPageRank.
+	deg func(v int) int
+}
+
+// PageRankScale is the fixed-point unit (1.0).
+const PageRankScale = 1 << 32
+
+// pageRankDamping is 0.85 in fixed point.
+const pageRankDamping = PageRankScale * 85 / 100
+
+// NewPageRank builds the program for a particular graph (Scatter needs
+// out-degrees).
+func NewPageRank(g *Graph, rounds int) *PageRank {
+	return &PageRank{Rounds: rounds, deg: g.Deg}
+}
+
+// Init implements Program.
+func (p *PageRank) Init(int) uint64 { return PageRankScale }
+
+// Scatter implements Program.
+func (p *PageRank) Scatter(v int, state uint64) (uint64, bool) {
+	d := p.deg(v)
+	if d == 0 {
+		return 0, false
+	}
+	return mulQ32(state, pageRankDamping) / uint64(d), true
+}
+
+// GatherInit implements Program.
+func (p *PageRank) GatherInit(int) uint64 { return PageRankScale - pageRankDamping }
+
+// Gather implements Program.
+func (p *PageRank) Gather(acc, msg uint64) uint64 { return acc + msg }
+
+// Apply implements Program.
+func (p *PageRank) Apply(v int, state, acc uint64) (uint64, bool) { return acc, true }
+
+// NoMessage implements Program.
+func (p *PageRank) NoMessage() uint64 { return 0 }
+
+// mulQ32 multiplies two Q.32 fixed-point numbers.
+func mulQ32(a, b uint64) uint64 {
+	hiA, loA := a>>32, a&0xffffffff
+	hiB, loB := b>>32, b&0xffffffff
+	return hiA*hiB<<32 + hiA*loB + loA*hiB + loA*loB>>32
+}

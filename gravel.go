@@ -1,0 +1,151 @@
+// Package gravel is a Go reproduction of "Gravel: Fine-Grain
+// GPU-Initiated Network Messages" (Orr et al., SC'17): a runtime that
+// lets the threads of a (simulated) GPU initiate small PGAS-style
+// network messages, which are offloaded at work-group granularity
+// through a GPU-efficient producer/consumer queue to a CPU aggregator
+// that combines them into large per-node queues.
+//
+// Because no GPU or InfiniBand cluster is involved, the GPU is a
+// faithful SIMT simulator (work-items, 64-wide wavefronts, work-groups,
+// divergence, WG-level operations) and the cluster is simulated
+// in-process; message delivery is functionally real while time is
+// virtual, calibrated to the paper's hardware. See DESIGN.md.
+//
+// # Quick start
+//
+//	sys := gravel.New(gravel.Config{Nodes: 8})
+//	defer sys.Close()
+//	table := sys.Space().Alloc(1 << 20)
+//	grid := []int{n, n, n, n, n, n, n, n}
+//	sys.Step("updates", grid, 0, func(c gravel.Ctx) {
+//		g := c.Group()
+//		idx := make([]uint64, g.Size)
+//		one := make([]uint64, g.Size)
+//		g.Vector(func(l int) {
+//			idx[l] = myRandomOffset(c.Node(), g.GlobalID(l))
+//			one[l] = 1
+//		})
+//		c.Inc(table, idx, one, nil) // fine-grain atomic increments
+//	})
+//	fmt.Println(table.Sum(), sys.VirtualTimeNs())
+//
+// Kernels run once per work-group; per-lane work is expressed through
+// the Group's vector operations, and the Ctx methods (Put, Inc, AM)
+// offload the active lanes' messages with a single work-group-level
+// reservation — the paper's core mechanism.
+//
+// The rival GPU networking models evaluated in the paper (coprocessor,
+// message-per-lane, coalesced APIs, and a CPU-only distributed baseline)
+// are available through NewModel, so any application written against
+// this API can be compared across models as in the paper's Figure 15.
+package gravel
+
+import (
+	"gravel/internal/core"
+	"gravel/internal/models"
+	"gravel/internal/pgas"
+	"gravel/internal/rt"
+	"gravel/internal/simt"
+	"gravel/internal/timemodel"
+)
+
+// System is a running cluster: kernels are launched with Step and every
+// initiated message is applied by the time Step returns.
+type System = rt.System
+
+// Ctx is the per-work-group kernel context (lane-indexed PGAS
+// operations with diverged work-group-level semantics).
+type Ctx = rt.Ctx
+
+// Kernel is GPU code, invoked once per work-group.
+type Kernel = rt.Kernel
+
+// AMHandler is an active-message handler, executed serialized on the
+// destination node's network thread.
+type AMHandler = rt.AMHandler
+
+// NetStats summarizes communication behaviour (remote-access frequency,
+// wire packet sizes, aggregator utilization).
+type NetStats = rt.NetStats
+
+// Array is a symmetric distributed array in the global address space.
+type Array = pgas.Array
+
+// Space is a cluster's global address space.
+type Space = pgas.Space
+
+// Group is a SIMT work-group executing a kernel.
+type Group = simt.Group
+
+// Params is the virtual-time cost model (calibrated to the paper's
+// Table 3 node architecture by DefaultParams).
+type Params = timemodel.Params
+
+// DivergenceMode selects how WG-level operations behave in diverged
+// control flow (§5 of the paper).
+type DivergenceMode = simt.DivergenceMode
+
+// Divergence modes.
+const (
+	// SoftwarePredication is what current GPUs require (§5.1).
+	SoftwarePredication = simt.SoftwarePredication
+	// WGReconvergence models WG-granularity control flow (§5.3).
+	WGReconvergence = simt.WGReconvergence
+	// FineGrainBarrier models HSA-style fbars over arbitrary WI sets.
+	FineGrainBarrier = simt.FineGrainBarrier
+)
+
+// DefaultParams returns the cost model calibrated to the paper's
+// hardware (Table 3).
+func DefaultParams() *Params { return timemodel.Default() }
+
+// Config configures a Gravel cluster.
+type Config struct {
+	// Nodes is the cluster size (the paper evaluates 1-8).
+	Nodes int
+	// Params overrides the cost model; nil means DefaultParams.
+	Params *Params
+	// WGSize is the work-group size in lanes (default 256 = 4
+	// wavefronts, the paper's best configuration).
+	WGSize int
+	// DivMode selects diverged WG-level operation behaviour.
+	DivMode DivergenceMode
+	// GroupSize > 1 enables two-level hierarchical aggregation over
+	// groups of this many nodes (the paper's §10 scaling proposal).
+	GroupSize int
+}
+
+// New creates a Gravel cluster. Callers must Close it.
+func New(cfg Config) System {
+	return core.New(core.Config{
+		Nodes:     cfg.Nodes,
+		Params:    cfg.Params,
+		WGSize:    cfg.WGSize,
+		DivMode:   cfg.DivMode,
+		GroupSize: cfg.GroupSize,
+	})
+}
+
+// Model names accepted by NewModel, in the paper's Figure 15 order plus
+// the Figure 13 CPU-only baseline.
+const (
+	ModelGravel         = "gravel"
+	ModelCoprocessor    = "coprocessor"
+	ModelCoprocessorBuf = "coprocessor+buf"
+	ModelMsgPerLane     = "msg-per-lane"
+	ModelCoalesced      = "coalesced"
+	ModelCoalescedAgg   = "coalesced+agg"
+	ModelCPUOnly        = "cpu-only"
+)
+
+// Models lists every available networking model.
+func Models() []string {
+	return append(models.Names(), ModelCPUOnly)
+}
+
+// NewModel creates a cluster running one of the paper's GPU networking
+// models; applications written against this package run unmodified
+// under any of them. A nil params means DefaultParams.
+func NewModel(name string, nodes int, params *Params) System {
+	return models.New(name, nodes, params)
+}

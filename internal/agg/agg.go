@@ -1,0 +1,326 @@
+// Package agg implements Gravel's aggregator (§3.4, §6): CPU threads
+// that drain the GPU's producer/consumer queue and repack messages into
+// per-node queues, which are handed to the NIC when full or at a flush
+// point.
+//
+// The paper flushes on a 125 µs timeout as well; in this bulk-
+// synchronous reproduction the end-of-superstep flush subsumes the
+// timeout (see DESIGN.md). Poll time is accounted separately so the
+// §8.1 observation (the aggregator core spends most of its time
+// polling) can be reproduced.
+package agg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gravel/internal/fabric"
+	"gravel/internal/queue"
+	"gravel/internal/timemodel"
+	"gravel/internal/wire"
+)
+
+// readyPkt is a flushed per-node (or per-group) queue waiting to be put
+// on the wire. Flush decisions happen under the aggregator mutex, but
+// transmission — which can block on receiver backpressure — happens
+// outside it (see pump), so network threads can always stage follow-up
+// messages without risking a send/receive deadlock.
+type readyPkt struct {
+	dest   int
+	buf    []byte
+	msgs   int
+	routed bool
+}
+
+// Aggregator drains one node's producer/consumer queue.
+type Aggregator struct {
+	node   int
+	params *timemodel.Params
+	q      *queue.Gravel
+	fab    *fabric.Fabric
+	clock  *timemodel.Clocks
+
+	// PerMessage, when set before Start, disables message combining:
+	// every message becomes its own wire packet (the message-per-lane
+	// baseline, §3.2). Set at construction time only.
+	PerMessage bool
+
+	// groupSize > 1 enables two-level hierarchical aggregation (§10):
+	// messages to a node outside the sender's group travel in per-GROUP
+	// queues to a gateway member of the destination group, which
+	// re-aggregates them into per-node queues for its group.
+	groupSize int
+
+	mu       sync.Mutex      // guards builders and ready; never held across Send
+	builders []*wire.Builder // per in-group destination (or all, when flat)
+	grouped  []*wire.Builder // per remote group, routed records
+	ready    []readyPkt      // flushed queues awaiting transmission
+	inFlight atomic.Int64    // drain attempts in progress (quiescence)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates an aggregator for the given node. The thread count is
+// taken from params.AggregatorThreads (the paper found one thread
+// performs best on its 4-thread CPU). With perMessage set, combining is
+// disabled and every message becomes its own packet (the
+// message-per-lane baseline).
+func New(node int, params *timemodel.Params, q *queue.Gravel, fab *fabric.Fabric, clock *timemodel.Clocks, perMessage bool) *Aggregator {
+	return NewHierarchical(node, params, q, fab, clock, perMessage, 0)
+}
+
+// NewHierarchical is New with two-level aggregation over groups of
+// groupSize nodes (§10); groupSize <= 1 means flat.
+func NewHierarchical(node int, params *timemodel.Params, q *queue.Gravel, fab *fabric.Fabric, clock *timemodel.Clocks, perMessage bool, groupSize int) *Aggregator {
+	n := fab.Nodes()
+	if groupSize <= 1 || groupSize >= n {
+		groupSize = 0
+	}
+	a := &Aggregator{
+		node:       node,
+		params:     params,
+		q:          q,
+		fab:        fab,
+		clock:      clock,
+		PerMessage: perMessage,
+		groupSize:  groupSize,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	capBytes := params.PerNodeQueueBytes
+	if perMessage {
+		capBytes = wire.MsgWireBytes
+	}
+	a.builders = make([]*wire.Builder, n)
+	for d := 0; d < n; d++ {
+		a.builders[d] = wire.NewBuilder(d, capBytes)
+	}
+	if groupSize > 0 {
+		groups := (n + groupSize - 1) / groupSize
+		a.grouped = make([]*wire.Builder, groups)
+		for g := 0; g < groups; g++ {
+			gw := a.gatewayOf(g)
+			a.grouped[g] = wire.NewRoutedBuilder(gw, capBytes)
+		}
+	}
+	return a
+}
+
+// gatewayOf picks this node's gateway member within remote group g,
+// spreading gateway load across the group's members.
+func (a *Aggregator) gatewayOf(g int) int {
+	n := a.fab.Nodes()
+	gw := g*a.groupSize + a.node%a.groupSize
+	if gw >= n {
+		gw = g * a.groupSize
+	}
+	return gw
+}
+
+// GroupSize returns the hierarchical group size (0 = flat).
+func (a *Aggregator) GroupSize() int { return a.groupSize }
+
+// Start launches the aggregator thread(s).
+func (a *Aggregator) Start() {
+	threads := a.params.AggregatorThreads
+	if threads < 1 {
+		threads = 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func() {
+			defer wg.Done()
+			a.run()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(a.done)
+	}()
+}
+
+// Stop terminates the aggregator after the queue is fully drained.
+func (a *Aggregator) Stop() {
+	close(a.stop)
+	<-a.done
+}
+
+func (a *Aggregator) run() {
+	idlePollNs := 40.0 // cost of one empty poll of the queue head
+	for {
+		worked := a.drainSome(64)
+		if a.pump() {
+			worked = true
+		}
+		if !worked {
+			a.clock.AddAggIdle(idlePollNs)
+			select {
+			case <-a.stop:
+				// Final drain: the queue must already be quiescent when
+				// Stop is called, but be safe.
+				for a.drainSome(64) {
+				}
+				a.pump()
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// pump transmits every staged queue; it reports whether any were sent.
+// Send can block on receiver backpressure, so pump must only be called
+// from the aggregator thread or a host thread — never a network thread.
+func (a *Aggregator) pump() bool {
+	// The inFlight guard keeps quiescence from declaring the node idle
+	// while a popped packet is between the ready list and fab.Send.
+	a.inFlight.Add(1)
+	defer a.inFlight.Add(-1)
+	any := false
+	for {
+		a.mu.Lock()
+		if len(a.ready) == 0 {
+			a.mu.Unlock()
+			return any
+		}
+		pkt := a.ready[0]
+		a.ready = a.ready[1:]
+		a.mu.Unlock()
+		if pkt.routed {
+			a.fab.SendRouted(a.node, pkt.dest, pkt.buf, pkt.msgs)
+		} else {
+			a.fab.Send(a.node, pkt.dest, pkt.buf, pkt.msgs)
+		}
+		any = true
+	}
+}
+
+// drainSome consumes up to max slots; reports whether any were consumed.
+func (a *Aggregator) drainSome(max int) bool {
+	a.inFlight.Add(1)
+	defer a.inFlight.Add(-1)
+	any := false
+	for i := 0; i < max; i++ {
+		if !a.q.TryConsume(a.repack) {
+			break
+		}
+		any = true
+	}
+	return any
+}
+
+// Busy reports whether a drain attempt is in progress; quiescence
+// detection needs this to close the window between a slot being claimed
+// and its messages reaching a builder.
+func (a *Aggregator) Busy() bool { return a.inFlight.Load() != 0 }
+
+// repack moves one slot's messages into per-destination builders,
+// flushing any builder that fills (§3.4: per-node queues are sent as
+// soon as they become full).
+func (a *Aggregator) repack(payload []uint64, rows, cols, count int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.clock.AddAgg(a.params.AggPerSlotNs + float64(count)*a.params.AggPerMsgNs)
+	a.clock.CountAggSlot(count)
+	cmdRow := payload[wire.RowCmd*cols:]
+	destRow := payload[wire.RowDest*cols:]
+	aRow := payload[wire.RowA*cols:]
+	bRow := payload[wire.RowB*cols:]
+	for m := 0; m < count; m++ {
+		a.appendLocked(int(destRow[m]), cmdRow[m], aRow[m], bRow[m])
+	}
+}
+
+// appendLocked stages one message toward dest, choosing a per-node or
+// per-group queue; a.mu must be held.
+func (a *Aggregator) appendLocked(dest int, cmd, av, vv uint64) {
+	if a.groupSize > 0 && dest/a.groupSize != a.node/a.groupSize {
+		g := dest / a.groupSize
+		b := a.grouped[g]
+		if b.Full() {
+			a.flushGroupLocked(g)
+		}
+		b.AppendRouted(cmd, av, vv, dest)
+		return
+	}
+	b := a.builders[dest]
+	if b.Full() {
+		a.flushLocked(dest)
+	}
+	b.Append(cmd, av, vv)
+	if a.PerMessage {
+		// Message-per-lane: no combining; one packet per message.
+		a.flushLocked(dest)
+	}
+}
+
+func (a *Aggregator) flushGroupLocked(g int) {
+	b := a.grouped[g]
+	if b.Empty() {
+		return
+	}
+	buf, msgs := b.Take()
+	a.clock.AddAgg(a.params.AggPerFlushNs)
+	a.ready = append(a.ready, readyPkt{dest: b.Dest(), buf: buf, msgs: msgs, routed: true})
+}
+
+// AppendDirect stages one message from host context (an AM handler
+// issuing a follow-up message, or a gateway relaying a routed record),
+// charging chargeNs of CPU time to the given adder. It may flush a full
+// queue.
+func (a *Aggregator) AppendDirect(dest int, cmd, av, vv uint64, chargeNs float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.clock.AddAgg(chargeNs)
+	a.appendLocked(dest, cmd, av, vv)
+}
+
+func (a *Aggregator) flushLocked(dest int) {
+	b := a.builders[dest]
+	if b.Empty() {
+		return
+	}
+	buf, msgs := b.Take()
+	a.clock.AddAgg(a.params.AggPerFlushNs)
+	a.ready = append(a.ready, readyPkt{dest: dest, buf: buf, msgs: msgs})
+}
+
+// Flush sends every non-empty per-node queue (end-of-superstep /
+// timeout flush). The caller must ensure the producer/consumer queue is
+// empty first, or freshly repacked messages may miss the flush. Flush
+// must be called from a host thread (it transmits, which can block).
+func (a *Aggregator) Flush() {
+	// Drain anything still in the queue on the caller's thread first.
+	for a.q.TryConsume(a.repack) {
+	}
+	a.mu.Lock()
+	for d := range a.builders {
+		a.flushLocked(d)
+	}
+	for g := range a.grouped {
+		a.flushGroupLocked(g)
+	}
+	a.mu.Unlock()
+	a.pump()
+}
+
+// Pending reports whether any builder holds unflushed messages.
+func (a *Aggregator) Pending() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, b := range a.builders {
+		if !b.Empty() {
+			return true
+		}
+	}
+	for _, b := range a.grouped {
+		if !b.Empty() {
+			return true
+		}
+	}
+	return len(a.ready) > 0
+}

@@ -1,0 +1,149 @@
+package agg
+
+import (
+	"runtime"
+	"testing"
+
+	"gravel/internal/fabric"
+	"gravel/internal/queue"
+	"gravel/internal/timemodel"
+	"gravel/internal/wire"
+)
+
+func setup(t *testing.T, perMessage bool, queueBytes int) (*Aggregator, *queue.Gravel, *fabric.Fabric) {
+	t.Helper()
+	p := timemodel.Default()
+	if queueBytes > 0 {
+		p.PerNodeQueueBytes = queueBytes
+	}
+	clocks := []*timemodel.Clocks{{}, {}}
+	fab := fabric.New(p, clocks)
+	q := queue.NewGravel(64, wire.SlotRows, 4)
+	a := New(0, p, q, fab, clocks[0], perMessage)
+	return a, q, fab
+}
+
+// produce enqueues count messages to dest through the PCQ.
+func produce(q *queue.Gravel, dest, count int) {
+	for sent := 0; sent < count; {
+		n := 4
+		if count-sent < n {
+			n = count - sent
+		}
+		s := q.Reserve(n)
+		for m := 0; m < n; m++ {
+			s.Row(wire.RowCmd)[m] = wire.PackCmd(wire.OpInc, 0, 1)
+			s.Row(wire.RowDest)[m] = uint64(dest)
+			s.Row(wire.RowA)[m] = uint64(sent + m)
+			s.Row(wire.RowB)[m] = 1
+		}
+		s.Commit()
+		sent += n
+	}
+}
+
+// collector drains a node's inbox concurrently (the inbox is bounded,
+// so synchronous flushes of many packets need a live consumer).
+type collector struct {
+	ch chan [2]int
+}
+
+func collect(fab *fabric.Fabric, node int) *collector {
+	c := &collector{ch: make(chan [2]int, 1)}
+	go func() {
+		pkts, msgs := 0, 0
+		for pkt := range fab.Inbox(node) {
+			pkts++
+			msgs += pkt.Msgs
+			fab.Done(pkt)
+		}
+		c.ch <- [2]int{pkts, msgs}
+	}()
+	return c
+}
+
+// wait closes the fabric and returns (pkts, msgs).
+func (c *collector) wait() (int, int) {
+	r := <-c.ch
+	return r[0], r[1]
+}
+
+func TestCombiningFlush(t *testing.T) {
+	a, q, fab := setup(t, false, 0)
+	c := collect(fab, 1)
+	produce(q, 1, 100)
+	a.Flush() // drains the queue on the caller's thread and sends
+	if a.Pending() {
+		t.Fatal("pending after flush")
+	}
+	fab.Close()
+	pkts, msgs := c.wait()
+	if msgs != 100 {
+		t.Fatalf("msgs = %d, want 100", msgs)
+	}
+	if pkts != 1 {
+		t.Fatalf("pkts = %d, want 1 (combined)", pkts)
+	}
+}
+
+func TestFullQueueAutoFlush(t *testing.T) {
+	// Tiny per-node queues force flush-on-full during repack. The inbox
+	// is bounded, so collect packets concurrently while flushing.
+	a, q, fab := setup(t, false, 10*wire.MsgWireBytes)
+	c := collect(fab, 1)
+	produce(q, 1, 95)
+	a.Flush()
+	fab.Close()
+	pkts, msgs := c.wait()
+	if msgs != 95 {
+		t.Fatalf("msgs = %d", msgs)
+	}
+	if pkts != 10 { // 9 full flushes of 10 + final 5
+		t.Fatalf("pkts = %d, want 10", pkts)
+	}
+}
+
+func TestPerMessageMode(t *testing.T) {
+	a, q, fab := setup(t, true, 0)
+	c := collect(fab, 1)
+	produce(q, 1, 12)
+	a.Flush()
+	fab.Close()
+	pkts, msgs := c.wait()
+	if pkts != 12 || msgs != 12 {
+		t.Fatalf("per-message mode: pkts=%d msgs=%d, want 12/12", pkts, msgs)
+	}
+}
+
+func TestBackgroundDrain(t *testing.T) {
+	a, q, fab := setup(t, false, 0)
+	c := collect(fab, 0)
+	a.Start()
+	produce(q, 0, 200) // self-destined
+	// The background thread must eventually drain the queue.
+	for !q.Empty() {
+		runtime.Gosched()
+	}
+	a.Stop()
+	a.Flush()
+	fab.Close()
+	_, msgs := c.wait()
+	if msgs != 200 {
+		t.Fatalf("msgs = %d, want 200", msgs)
+	}
+}
+
+func TestRouteByDestination(t *testing.T) {
+	a, q, fab := setup(t, false, 0)
+	c0 := collect(fab, 0)
+	c1 := collect(fab, 1)
+	produce(q, 0, 7)
+	produce(q, 1, 9)
+	a.Flush()
+	fab.Close()
+	_, m0 := c0.wait()
+	_, m1 := c1.wait()
+	if m0 != 7 || m1 != 9 {
+		t.Fatalf("routed %d/%d, want 7/9", m0, m1)
+	}
+}

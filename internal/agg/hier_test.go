@@ -1,0 +1,123 @@
+package agg
+
+import (
+	"testing"
+
+	"gravel/internal/fabric"
+	"gravel/internal/queue"
+	"gravel/internal/timemodel"
+	"gravel/internal/wire"
+)
+
+// setupHier builds a hierarchical aggregator for node over n nodes.
+func setupHier(t *testing.T, node, n, group int) (*Aggregator, *queue.Gravel, *fabric.Fabric) {
+	t.Helper()
+	p := timemodel.Default()
+	clocks := make([]*timemodel.Clocks, n)
+	for i := range clocks {
+		clocks[i] = &timemodel.Clocks{}
+	}
+	fab := fabric.New(p, clocks)
+	q := queue.NewGravel(64, wire.SlotRows, 4)
+	a := NewHierarchical(node, p, q, fab, clocks[node], false, group)
+	return a, q, fab
+}
+
+func TestGroupSizeNormalization(t *testing.T) {
+	// group <= 1 or >= nodes degenerates to flat.
+	for _, g := range []int{0, 1, 8, 100} {
+		a, _, _ := setupHier(t, 0, 8, g)
+		if g > 1 && g < 8 {
+			if a.GroupSize() != g {
+				t.Errorf("GroupSize(%d) = %d", g, a.GroupSize())
+			}
+		} else if a.GroupSize() != 0 {
+			t.Errorf("GroupSize(%d) should normalize to flat, got %d", g, a.GroupSize())
+		}
+	}
+}
+
+// TestHierRouting: in-group messages go direct; cross-group messages
+// become routed packets targeting a gateway in the destination's group.
+func TestHierRouting(t *testing.T) {
+	// Node 1 of 8, groups of 4: group 0 = {0..3}, group 1 = {4..7}.
+	a, q, fab := setupHier(t, 1, 8, 4)
+	c0 := collect(fab, 0) // in-group dest
+	// Gateway for group 1 as seen from node 1: 1*4 + 1%4 = 5.
+	c5 := collect(fab, 5)
+
+	// 4 messages to node 0 (in-group), 4 to node 6 (cross-group).
+	for _, dest := range []int{0, 6} {
+		s := q.Reserve(4)
+		for m := 0; m < 4; m++ {
+			s.Row(wire.RowCmd)[m] = wire.PackCmd(wire.OpInc, 0, 1)
+			s.Row(wire.RowDest)[m] = uint64(dest)
+			s.Row(wire.RowA)[m] = uint64(m)
+			s.Row(wire.RowB)[m] = 1
+		}
+		s.Commit()
+	}
+	a.Flush()
+	fab.Close()
+
+	pkts0, msgs0 := c0.wait()
+	pkts5, msgs5 := c5.wait()
+	if pkts0 != 1 || msgs0 != 4 {
+		t.Fatalf("in-group: %d pkts / %d msgs, want 1/4", pkts0, msgs0)
+	}
+	if pkts5 != 1 || msgs5 != 4 {
+		t.Fatalf("gateway: %d pkts / %d msgs, want 1/4", pkts5, msgs5)
+	}
+}
+
+// TestHierRoutedRecordsCarryDest: the gateway packet's records must
+// decode with their final destinations.
+func TestHierRoutedRecordsCarryDest(t *testing.T) {
+	a, q, fab := setupHier(t, 0, 8, 4)
+	s := q.Reserve(2)
+	for m, dest := range []int{5, 7} {
+		s.Row(wire.RowCmd)[m] = wire.PackCmd(wire.OpPut, 0, 2)
+		s.Row(wire.RowDest)[m] = uint64(dest)
+		s.Row(wire.RowA)[m] = uint64(100 + m)
+		s.Row(wire.RowB)[m] = uint64(m)
+	}
+	s.Commit()
+
+	// Gateway for group 1 as seen from node 0 is node 4.
+	done := make(chan struct{})
+	var got []int
+	go func() {
+		defer close(done)
+		pkt := <-fab.Inbox(4)
+		if !pkt.Routed {
+			t.Error("expected routed packet")
+		}
+		wire.DecodeRouted(pkt.Buf, func(cmd, a, v uint64, dest int) {
+			got = append(got, dest)
+		})
+		fab.Done(pkt)
+	}()
+	a.Flush()
+	<-done
+	if len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Fatalf("decoded dests = %v, want [5 7]", got)
+	}
+}
+
+// TestAppendDirect: host-context messages stage into the right queues.
+func TestAppendDirect(t *testing.T) {
+	a, _, fab := setupHier(t, 0, 4, 0)
+	c2 := collect(fab, 2)
+	for i := 0; i < 5; i++ {
+		a.AppendDirect(2, wire.PackCmd(wire.OpAM, 1, 0), uint64(i), 9, 10)
+	}
+	if !a.Pending() {
+		t.Fatal("AppendDirect left nothing pending")
+	}
+	a.Flush()
+	fab.Close()
+	pkts, msgs := c2.wait()
+	if pkts != 1 || msgs != 5 {
+		t.Fatalf("%d pkts / %d msgs, want 1/5", pkts, msgs)
+	}
+}

@@ -1,0 +1,83 @@
+package color_test
+
+import (
+	"testing"
+
+	"gravel/internal/apps/color"
+	"gravel/internal/core"
+	"gravel/internal/graph"
+)
+
+func TestColoringProper(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"random", graph.Random(400, 8, 21)},
+		{"bubbles", graph.Bubbles(400, 4)},
+		{"path", graph.Path(100)},
+	} {
+		for _, nodes := range []int{1, 2, 4} {
+			cl := core.New(core.Config{Nodes: nodes})
+			res := color.Run(cl, color.Config{G: tc.g, Seed: 5})
+			cl.Close()
+			if res.Colored != int64(tc.g.N) {
+				t.Errorf("%s nodes=%d: colored %d of %d", tc.name, nodes, res.Colored, tc.g.N)
+				continue
+			}
+			if err := color.Validate(tc.g, res.ColorAt); err != nil {
+				t.Errorf("%s nodes=%d: %v", tc.name, nodes, err)
+			}
+		}
+	}
+}
+
+func TestColoringUsesFewColors(t *testing.T) {
+	// A path graph is 2-colorable; JP with random priorities should use
+	// at most 3 colors.
+	g := graph.Path(200)
+	cl := core.New(core.Config{Nodes: 2})
+	defer cl.Close()
+	res := color.Run(cl, color.Config{G: g, Seed: 9})
+	if res.Colors > 3 {
+		t.Errorf("path graph used %d colors", res.Colors)
+	}
+}
+
+func TestColoringDeterministic(t *testing.T) {
+	g := graph.Random(300, 6, 33)
+	var rounds, colors []int
+	for _, nodes := range []int{1, 4} {
+		cl := core.New(core.Config{Nodes: nodes})
+		res := color.Run(cl, color.Config{G: g, Seed: 5})
+		cl.Close()
+		rounds = append(rounds, res.Rounds)
+		colors = append(colors, res.Colors)
+	}
+	if rounds[0] != rounds[1] || colors[0] != colors[1] {
+		t.Errorf("coloring not deterministic across node counts: rounds=%v colors=%v", rounds, colors)
+	}
+}
+
+// TestColoringBoundProperty: Jones-Plassmann never needs more than
+// maxDegree+1 colors; check across random graphs.
+func TestColoringBoundProperty(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := graph.Random(250, 8, seed)
+		maxDeg := 0
+		for v := 0; v < g.N; v++ {
+			if d := g.Deg(v); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		cl := core.New(core.Config{Nodes: 3})
+		res := color.Run(cl, color.Config{G: g, Seed: uint64(seed)})
+		cl.Close()
+		if res.Colors > maxDeg+1 {
+			t.Errorf("seed %d: %d colors > maxDeg+1 = %d", seed, res.Colors, maxDeg+1)
+		}
+		if err := color.Validate(g, res.ColorAt); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package inedges implements the paper's §5 running example (Figures
+// 9-11): counting each vertex's incoming edges in a directed graph by
+// having every work-item traverse one vertex's out-edge list and send
+// shmem_inc to the owner of a distributed counter array. Edge lists
+// have different lengths, so the loop diverges — the situation diverged
+// WG-level operations exist for.
+//
+// Three kernel styles are provided, mirroring Figure 10:
+//
+//   - StylePredicated (Figure 10b): the explicit software-predication
+//     transform — reduce-max loop bound, per-iteration active mask,
+//     network API extended with the mask. This is what Gravel requires
+//     on current GPUs and what Group.PredicatedLoop encapsulates.
+//   - StyleWGControlFlow: the same kernel executed on a device with
+//     WG-granularity control flow (§5.3, thread block compaction);
+//     functionally identical, cheaper per iteration.
+//   - StyleFBar (Figure 10c): lanes register with a fine-grain barrier
+//     and leave as their edge lists end, so fully retired wavefronts
+//     stop executing.
+//
+// All styles produce identical counters; only the charged GPU time
+// differs (§8.2 quantifies this on GUPS-mod).
+package inedges
+
+import (
+	"gravel/internal/graph"
+	"gravel/internal/rt"
+	"gravel/internal/simt"
+)
+
+// Style selects the diverged-control-flow mechanism.
+type Style int
+
+const (
+	// StylePredicated is Figure 10b on a software-predication device.
+	StylePredicated Style = iota
+	// StyleWGControlFlow is Figure 10b cost-modeled with WG-granularity
+	// control flow.
+	StyleWGControlFlow
+	// StyleFBar is Figure 10c: explicit fine-grain barrier membership.
+	StyleFBar
+)
+
+// Mode returns the simt divergence mode a style needs.
+func (s Style) Mode() simt.DivergenceMode {
+	switch s {
+	case StyleWGControlFlow:
+		return simt.WGReconvergence
+	case StyleFBar:
+		return simt.FineGrainBarrier
+	default:
+		return simt.SoftwarePredication
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	switch s {
+	case StylePredicated:
+		return "sw-predication"
+	case StyleWGControlFlow:
+		return "wg-control-flow"
+	case StyleFBar:
+		return "fbar"
+	default:
+		return "unknown"
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	// Ns is the virtual time consumed; the styles differ in their GPU
+	// component (read per-node clocks from the concrete system to
+	// compare).
+	Ns float64
+	// Edges is the number of increments sent (the directed edge count).
+	Edges int64
+}
+
+// Run counts in-edges of g on sys using the given style, returning the
+// timing result and a snapshot of the counter array for verification.
+// The caller must have built sys with the matching divergence mode
+// (Style.Mode).
+func Run(sys rt.System, g *graph.Graph, style Style) (Result, *CountSnapshot) {
+	nodes := sys.Nodes()
+	part := (g.N + nodes - 1) / nodes
+	visitors := sys.Space().Alloc(g.N)
+
+	grid := make([]int, nodes)
+	for i := 0; i < nodes; i++ {
+		lo, hi := i*part, (i+1)*part
+		if hi > g.N {
+			hi = g.N
+		}
+		if lo > g.N {
+			lo = g.N
+		}
+		grid[i] = hi - lo
+	}
+
+	t0 := sys.VirtualTimeNs()
+	sys.Step("count-in-edges", grid, 0, func(c rt.Ctx) {
+		wg := c.Group()
+		lo := c.Node() * part
+		counts := make([]int, wg.Size)
+		idx := make([]uint64, wg.Size)
+		one := make([]uint64, wg.Size)
+		wg.VectorN(1, func(l int) {
+			v := lo + wg.GlobalID(l)
+			counts[l] = g.Deg(v)
+			one[l] = 1
+		})
+
+		if style == StyleFBar {
+			// Figure 10c: all lanes join the fbar; each leaves when its
+			// edge list ends. The engine's predicated loop already
+			// charges fbar costs under the FineGrainBarrier mode; the
+			// explicit object demonstrates the programming model.
+			fb := wg.InitFBar()
+			wg.PredicatedLoop(counts, 3, func(i int, active []bool) {
+				wg.VectorMasked(2, active, func(l int) {
+					v := lo + wg.GlobalID(l)
+					e := g.Off[v] + int64(i)
+					idx[l] = uint64(g.Adj[e])
+				})
+				c.Inc(visitors, idx, one, active)
+				for l := 0; l < wg.Size; l++ {
+					if i+1 == counts[l] {
+						fb.Leave(l)
+					}
+				}
+				fb.Sync()
+			})
+			return
+		}
+
+		// Figure 10b: software predication (the device mode decides what
+		// each predicated iteration costs).
+		wg.PredicatedLoop(counts, 3, func(i int, active []bool) {
+			wg.VectorMasked(2, active, func(l int) {
+				v := lo + wg.GlobalID(l)
+				e := g.Off[v] + int64(i)
+				idx[l] = uint64(g.Adj[e])
+			})
+			c.Inc(visitors, idx, one, active)
+		})
+	})
+	ns := sys.VirtualTimeNs() - t0
+
+	snap := &CountSnapshot{counts: make([]uint64, g.N)}
+	for v := 0; v < g.N; v++ {
+		snap.counts[v] = visitors.Load(uint64(v))
+	}
+	return Result{Ns: ns, Edges: int64(g.E())}, snap
+}
+
+// CountSnapshot is the counter array captured at quiescence.
+type CountSnapshot struct{ counts []uint64 }
+
+// At returns vertex v's in-edge count.
+func (s *CountSnapshot) At(v int) uint64 { return s.counts[v] }
+
+// Reference computes in-degrees sequentially.
+func Reference(g *graph.Graph) []uint64 {
+	in := make([]uint64, g.N)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Out(u) {
+			in[v]++
+		}
+	}
+	return in
+}

@@ -1,0 +1,38 @@
+package mer_test
+
+import (
+	"testing"
+
+	"gravel/internal/apps/mer"
+	"gravel/internal/core"
+)
+
+func TestPhase2MatchesReference(t *testing.T) {
+	cfg := mer.Config{GenomeLen: 20000, ReadsPerNode: 400, ReadLen: 80, K: 19, Seed: 4}
+	t.Run("clean", func(t *testing.T) { testPhase2(t, cfg) })
+	cfg.ErrorPerMille = 10
+	t.Run("errors", func(t *testing.T) { testPhase2(t, cfg) })
+}
+
+func testPhase2(t *testing.T, cfg mer.Config) {
+	for _, nodes := range []int{1, 2, 4} {
+		want := mer.ReferencePhase2(cfg, nodes)
+		cl := core.New(core.Config{Nodes: nodes})
+		r1, r2 := mer.RunFull(cl, cfg)
+		cl.Close()
+		if r1.Inserted != r1.Expected {
+			t.Fatalf("nodes=%d: phase 1 broken", nodes)
+		}
+		if r2.UU != want.UU || r2.Contigs != want.Contigs || r2.TotalLen != want.TotalLen || r2.MaxLen != want.MaxLen {
+			t.Errorf("nodes=%d: got {UU:%d contigs:%d total:%d max:%d}, want {UU:%d contigs:%d total:%d max:%d}",
+				nodes, r2.UU, r2.Contigs, r2.TotalLen, r2.MaxLen,
+				want.UU, want.Contigs, want.TotalLen, want.MaxLen)
+		}
+		if r2.Contigs == 0 || r2.TotalLen < r2.Contigs {
+			t.Errorf("nodes=%d: degenerate traversal %+v", nodes, r2)
+		}
+		if cfg.ErrorPerMille > 0 && r2.Contigs < 10 {
+			t.Errorf("nodes=%d: errors should fragment the assembly, got %d contigs", nodes, r2.Contigs)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package pagerank_test
+
+import (
+	"testing"
+
+	"gravel/internal/apps/pagerank"
+	"gravel/internal/core"
+	"gravel/internal/graph"
+)
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g := graph.Random(600, 6, 3)
+	want := pagerank.Reference(g, 5)
+	wantSum := uint64(0)
+	for _, r := range want {
+		wantSum += r
+	}
+	for _, nodes := range []int{1, 3, 4} {
+		cl := core.New(core.Config{Nodes: nodes})
+		res := pagerank.Run(cl, pagerank.Config{G: g, Iters: 5})
+		cl.Close()
+		if res.RankSum != float64(wantSum)/pagerank.Scale {
+			t.Errorf("nodes=%d: rank sum %v != reference %v", nodes, res.RankSum, float64(wantSum)/pagerank.Scale)
+		}
+	}
+}
+
+func TestPageRankDeterministicAcrossNodeCounts(t *testing.T) {
+	g := graph.Bubbles(900, 5)
+	var sums []uint64
+	for _, nodes := range []int{1, 2, 4} {
+		cl := core.New(core.Config{Nodes: nodes})
+		res := pagerank.Run(cl, pagerank.Config{G: g, Iters: 3})
+		cl.Close()
+		sums = append(sums, res.Checksum)
+	}
+	if sums[0] != sums[1] || sums[1] != sums[2] {
+		t.Errorf("checksums differ across node counts: %v", sums)
+	}
+}
+
+func TestReferenceRankMass(t *testing.T) {
+	// On a graph with no dangling vertices, total rank stays ≈ N.
+	g := graph.Path(50)
+	r := pagerank.Reference(g, 20)
+	var sum uint64
+	for _, v := range r {
+		sum += v
+	}
+	got := float64(sum) / pagerank.Scale
+	if got < 49.5 || got > 50.5 {
+		t.Errorf("rank mass = %.3f, want ≈ 50", got)
+	}
+}

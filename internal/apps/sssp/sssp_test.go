@@ -1,0 +1,69 @@
+package sssp_test
+
+import (
+	"testing"
+
+	"gravel/internal/apps/sssp"
+	"gravel/internal/core"
+	"gravel/internal/graph"
+)
+
+func TestSSSPMatchesReference(t *testing.T) {
+	g := graph.Random(500, 6, 11)
+	want := sssp.ChecksumDists(sssp.Reference(g, 0))
+	for _, nodes := range []int{1, 2, 4} {
+		cl := core.New(core.Config{Nodes: nodes})
+		res := sssp.Run(cl, sssp.Config{G: g, Source: 0})
+		cl.Close()
+		if res.Checksum != want {
+			t.Errorf("nodes=%d: distance checksum mismatch", nodes)
+		}
+		if res.Reached < int64(g.N)/2 {
+			t.Errorf("nodes=%d: only %d reached", nodes, res.Reached)
+		}
+	}
+}
+
+func TestSSSPPathGraph(t *testing.T) {
+	// On an unweighted-ish path the distances are fully predictable.
+	g := graph.Path(64)
+	g.EnsureWeights()
+	ref := sssp.Reference(g, 0)
+	var want uint64
+	for v := 1; v < 64; v++ {
+		want += uint64(g.W[g.Off[v-1]+boolIdx(g.Adj[g.Off[v-1]] != uint32(v))])
+		_ = want
+	}
+	cl := core.New(core.Config{Nodes: 2})
+	defer cl.Close()
+	res := sssp.Run(cl, sssp.Config{G: g, Source: 0})
+	if res.Checksum != sssp.ChecksumDists(ref) {
+		t.Fatal("path graph distances mismatch reference")
+	}
+	if res.Reached != 64 {
+		t.Fatalf("reached %d of 64", res.Reached)
+	}
+	if res.Supersteps < 60 {
+		t.Errorf("path graph should take ~63 supersteps, got %d", res.Supersteps)
+	}
+}
+
+func boolIdx(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestSSSPMaxSteps(t *testing.T) {
+	g := graph.Path(100)
+	cl := core.New(core.Config{Nodes: 2})
+	defer cl.Close()
+	res := sssp.Run(cl, sssp.Config{G: g, Source: 0, MaxSteps: 5})
+	if res.Supersteps != 5 {
+		t.Fatalf("supersteps = %d, want 5", res.Supersteps)
+	}
+	if res.Reached > 11 {
+		t.Fatalf("reached %d vertices in 5 steps on a path", res.Reached)
+	}
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"gravel/internal/queue"
+	"gravel/internal/stats"
+	"gravel/internal/timemodel"
+)
+
+// runSPSC measures the padded single-producer/single-consumer ring.
+func runSPSC(totalMsgs, msgBytes int) float64 {
+	q := queue.NewSPSC(1024, msgBytes)
+	words := q.MsgWords()
+	msg := make([]uint64, words)
+	for i := range msg {
+		msg[i] = uint64(i)
+	}
+	var sum uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < totalMsgs; i++ {
+			q.Produce(msg)
+		}
+	}()
+	consumed := 0
+	for consumed < totalMsgs {
+		if q.TryConsume(func(m []uint64) {
+			for _, w := range m {
+				sum += w
+			}
+		}) {
+			consumed++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+	_ = sum
+	return float64(totalMsgs) * float64(msgBytes) / time.Since(start).Seconds() / 1e9
+}
+
+// runMPMC measures the padded CPU MPMC baseline with the paper's
+// configuration: two producer threads and two consumer threads.
+func runMPMC(totalMsgs, msgBytes int) float64 {
+	q := queue.NewPaddedMPMC(1024, msgBytes)
+	rows := q.Rows
+	perProd := totalMsgs / 2
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				s := q.Reserve(1)
+				for r := 0; r < rows; r++ {
+					s.Row(r)[0] = uint64(i)
+				}
+				s.Commit()
+			}
+		}(p)
+	}
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < 2; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			var sum uint64
+			for {
+				if !q.TryConsume(func(payload []uint64, rows, cols, count int) {
+					for r := 0; r < rows; r++ {
+						sum += payload[r]
+					}
+				}) {
+					select {
+					case <-done:
+						if q.Empty() {
+							return
+						}
+					default:
+					}
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	return float64(perProd*2) * float64(msgBytes) / time.Since(start).Seconds() / 1e9
+}
+
+// Fig8Sizes are the Figure 8 message sizes (8 B – 64 kB).
+var Fig8Sizes = []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// Fig8 reproduces Figure 8: producer/consumer queue bandwidth versus
+// message size for Gravel's queue, the CPU-only SPSC ring and the
+// CPU-only padded MPMC queue, against the 7 GB/s network-bandwidth
+// reference line.
+func Fig8() *Table {
+	t := &Table{
+		Title:  "Figure 8: queue bandwidth vs message size (GB/s)",
+		Header: []string{"msg size", "Gravel (model)", "SPSC (model)", "MPMC (model)", "Gravel (meas)", "SPSC (meas)", "MPMC (meas)", "network bw"},
+	}
+	p := timemodel.Default()
+	for _, size := range Fig8Sizes {
+		rows := size / 8
+		if rows < 1 {
+			rows = 1
+		}
+		// Bound each data point's byte volume so large sizes stay fast
+		// (and the whole sweep finishes quickly even on small hosts).
+		budgetBytes := 32 << 20
+		msgs := budgetBytes / size
+		cols := 256
+		slots := 64
+		if rows*cols*8 > 4<<20 {
+			// Large messages: fewer columns keep slots within memory
+			// reason; the WG still amortizes one reservation per slot.
+			cols = (4 << 20) / (rows * 8)
+			if cols < 1 {
+				cols = 1
+			}
+			slots = 8
+		}
+		if msgs < cols*8 {
+			msgs = cols * 8
+		}
+		prods, cons := benchWorkers()
+		gravel := runGravelQueue(msgs, rows, cols, prods, cons, slots)
+		spscMsgs := msgs
+		if spscMsgs > 1<<19 {
+			spscMsgs = 1 << 19
+		}
+		spsc := runSPSC(spscMsgs, size)
+		mpmc := runMPMC(spscMsgs, size)
+		mcols := 256
+		if size > 2048 {
+			mcols = 16
+		}
+		t.AddRow(stats.HumanBytes(int64(size)),
+			F(modeledGravelGBs(p, rows, mcols)), F(modeledSPSCGBs(size)), F(modeledMPMCGBs(size)),
+			F(gravel), F(spsc), F(mpmc), "7.00")
+	}
+	t.Note("paper: Gravel sustains ~7 GB/s at 32 B (network rate); CPU queues collapse below a cache line due to index+payload padding (3 cache lines per 8 B message)")
+	t.Note("modeled columns use the Table 3 cost model (the paper's hardware); measured columns exercise the real Go queues on this host")
+	return t
+}

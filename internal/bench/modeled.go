@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"gravel/internal/timemodel"
+)
+
+// Modeled queue throughput, from the Table 3 cost model. The measured
+// columns of Figures 6 and 8 exercise the real Go implementation on the
+// host CPU; the modeled columns answer "what would this protocol cost on
+// the paper's APU", which is where the paper's absolute numbers come
+// from. Both are reported.
+
+// modeledGravelGBs returns the modeled producer-side bandwidth of one
+// work-group stream offloading cols messages of rows*8 bytes per
+// reservation (§4.1-4.3).
+func modeledGravelGBs(p *timemodel.Params, rows, cols int) float64 {
+	wfs := (cols + p.WFWidth - 1) / p.WFWidth
+	stages := 1
+	for s := 1; s < cols; s <<= 1 {
+		stages++
+	}
+	cycles := 2*p.CyclesAtomic + // WriteIdx + WriteTick fetch-adds
+		int64(stages)*int64(wfs)*p.CyclesVectorIssue + // prefix-sum
+		int64(rows)*int64(wfs)*p.CyclesVectorIssue + // payload writes
+		2*p.CyclesBarrier
+	ns := float64(cycles) / p.GPUClockHz * 1e9
+	bytes := float64(cols * rows * 8)
+	gbs := bytes / ns
+	// The queue cannot beat the memory system; the paper's plateau is
+	// the DDR3 system's effective copy bandwidth shared with consumers.
+	const memGBs = 9.0
+	if gbs > memGBs {
+		gbs = memGBs
+	}
+	return gbs
+}
+
+// cpuLineNs is the modeled cost of moving one cache line on the host
+// CPU (DDR3-1600, §4.3's currency for the CPU-only queues).
+const cpuLineNs = 20.0
+
+// modeledSPSCGBs returns the modeled bandwidth of the padded CPU SPSC
+// ring: every message moves a padded read index, a padded write index
+// and ceil(size/64) payload lines (§4.3: "three cache lines are
+// read/written to send an eight-byte message").
+func modeledSPSCGBs(size int) float64 {
+	lines := 2 + (size+63)/64
+	ns := float64(lines) * cpuLineNs
+	return float64(size) / ns
+}
+
+// modeledMPMCGBs returns the modeled bandwidth of the padded CPU MPMC
+// ticket queue with two producers and two consumers: per message, four
+// atomic RMWs (~20 ns each under contention), a padded header line and
+// the payload lines — but two consumer threads drain in parallel.
+func modeledMPMCGBs(size int) float64 {
+	lines := 2 + (size+63)/64 // padded header + ticket state + payload
+	ns := 4*20.0 + float64(lines)*cpuLineNs
+	return float64(size) / (ns / 2)
+}

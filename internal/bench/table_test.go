@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{Title: "T", Header: []string{"a", "b"}}
+	t.AddRow("x", "1.5")
+	t.AddRow("needs,quote", "2")
+	t.Note("n%d", 1)
+	return t
+}
+
+func TestTableFprint(t *testing.T) {
+	var b strings.Builder
+	sampleTable().Fprint(&b)
+	out := b.String()
+	for _, want := range []string{"== T ==", "a", "x", "1.5", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableFcsv(t *testing.T) {
+	var b strings.Builder
+	sampleTable().Fcsv(&b)
+	out := b.String()
+	if !strings.Contains(out, "# T\n") || !strings.Contains(out, "a,b\n") {
+		t.Fatalf("csv header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "\"needs,quote\",2") {
+		t.Fatalf("csv quoting wrong:\n%s", out)
+	}
+}
+
+func TestF(t *testing.T) {
+	for in, want := range map[float64]string{0: "0", 123.4: "123", 1.234: "1.23", 0.0123: "0.0123"} {
+		if got := F(in); got != want {
+			t.Errorf("F(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

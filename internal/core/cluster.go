@@ -1,0 +1,424 @@
+// Package core implements the Gravel runtime — the paper's primary
+// contribution (§3.4, §4, §6): a cluster of nodes where each node's GPU
+// offloads fine-grain PGAS messages at work-group granularity through a
+// producer/consumer queue to a CPU aggregator, which combines messages
+// per destination into 64 kB per-node queues; a per-node network thread
+// resolves received messages (and all atomics, local or not) as local
+// memory operations.
+//
+// Execution is functionally real — goroutines, atomics, actual message
+// buffers — while time is virtual (package timemodel). The same Cluster
+// also powers the message-per-lane baseline (AggPerMessage bypasses
+// message combining), and its exported internals are reused by the
+// coprocessor and coalesced-API baselines in package models.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gravel/internal/agg"
+	"gravel/internal/fabric"
+	"gravel/internal/pgas"
+	"gravel/internal/queue"
+	"gravel/internal/rt"
+	"gravel/internal/simt"
+	"gravel/internal/stats"
+	"gravel/internal/timemodel"
+	"gravel/internal/wire"
+)
+
+// AggMode selects how offloaded messages reach the wire.
+type AggMode int
+
+const (
+	// AggCombine is Gravel: the aggregator combines messages targeting
+	// the same destination into per-node queues.
+	AggCombine AggMode = iota
+	// AggPerMessage is the message-per-lane baseline (§3.2, §7.2): every
+	// message becomes its own wire packet.
+	AggPerMessage
+)
+
+// Config configures a cluster.
+type Config struct {
+	// Name labels the system (defaults to "gravel").
+	Name string
+	// Nodes is the cluster size.
+	Nodes int
+	// Params is the virtual-time cost model; nil means timemodel.Default.
+	Params *timemodel.Params
+	// WGSize is the work-group size in lanes (default 256 = 4 WFs).
+	WGSize int
+	// DivMode selects diverged WG-level operation behaviour (§5).
+	DivMode simt.DivergenceMode
+	// AggMode selects Gravel aggregation or per-message sends.
+	AggMode AggMode
+	// Arch overrides the device architecture (nil = the paper's GPU);
+	// used by the Figure 13 CPU-only baseline.
+	Arch *simt.Arch
+	// LocalAtomicsDirect disables the paper's §6 design choice of
+	// serializing even node-local atomics through the network thread:
+	// instead the GPU executes local increments as concurrent
+	// read-modify-writes. The paper found its approach faster; the
+	// ablation in internal/bench reproduces that comparison.
+	LocalAtomicsDirect bool
+	// GroupSize > 1 enables the paper's §10 projection: two-level
+	// hierarchical aggregation over groups of this many nodes. Messages
+	// leaving the sender's group travel in per-group queues to a gateway
+	// member of the destination group, which re-aggregates them.
+	GroupSize int
+}
+
+// Node is one simulated machine: an APU (GPU + CPU threads) plus a NIC.
+type Node struct {
+	ID     int
+	GPU    *simt.Device
+	PCQ    *queue.Gravel
+	Agg    *agg.Aggregator
+	Clocks *timemodel.Clocks
+
+	// LocalOps / RemoteOps count fine-grain accesses by locality
+	// (Table 5 remote-access frequency).
+	LocalOps, RemoteOps stats.Counter
+
+	cl *Cluster
+}
+
+// Cluster implements rt.System for Gravel (and, with AggPerMessage, the
+// message-per-lane model).
+type Cluster struct {
+	cfg    Config
+	params *timemodel.Params
+	space  *pgas.Space
+	fab    *fabric.Fabric
+	nodes  []*Node
+
+	handlers []rt.AMHandler
+
+	phases  []timemodel.PhaseRecord
+	prev    []timemodel.Snapshot
+	totalNs float64
+
+	netWG  sync.WaitGroup
+	closed bool
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("core: non-positive node count")
+	}
+	if cfg.Params == nil {
+		cfg.Params = timemodel.Default()
+	}
+	if cfg.WGSize == 0 {
+		cfg.WGSize = 4 * cfg.Params.WFWidth
+	}
+	if cfg.WGSize < 0 || cfg.WGSize%cfg.Params.WFWidth != 0 {
+		panic(fmt.Sprintf("core: WGSize %d must be a positive multiple of the wavefront width %d",
+			cfg.WGSize, cfg.Params.WFWidth))
+	}
+	if cfg.GroupSize < 0 {
+		panic("core: negative GroupSize")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "gravel"
+	}
+	p := cfg.Params
+
+	cl := &Cluster{cfg: cfg, params: p, space: pgas.NewSpace(cfg.Nodes)}
+
+	clocks := make([]*timemodel.Clocks, cfg.Nodes)
+	for i := range clocks {
+		clocks[i] = &timemodel.Clocks{}
+	}
+	cl.fab = fabric.New(p, clocks)
+
+	arch := simt.GPUArch(p)
+	if cfg.Arch != nil {
+		arch = *cfg.Arch
+	}
+
+	slotBytes := wire.SlotRows * cfg.WGSize * 8
+	numSlots := p.PCQBytes / slotBytes
+	if numSlots < 4 {
+		numSlots = 4
+	}
+
+	cl.nodes = make([]*Node, cfg.Nodes)
+	for i := range cl.nodes {
+		n := &Node{ID: i, Clocks: clocks[i], cl: cl}
+		n.GPU = simt.NewDevice(arch)
+		n.GPU.Mode = cfg.DivMode
+		n.GPU.Clock = n.Clocks
+		n.PCQ = queue.NewGravel(numSlots, wire.SlotRows, cfg.WGSize)
+		n.Agg = agg.NewHierarchical(i, p, n.PCQ, cl.fab, n.Clocks, cfg.AggMode == AggPerMessage, cfg.GroupSize)
+		cl.nodes[i] = n
+	}
+
+	cl.prev = make([]timemodel.Snapshot, cfg.Nodes)
+	for _, n := range cl.nodes {
+		n.Agg.Start()
+		cl.netWG.Add(1)
+		go cl.netThread(n)
+	}
+	return cl
+}
+
+// netThread is the per-node network thread of §6: it receives per-node
+// queues and resolves each message as a local memory operation; atomics
+// and active messages execute here, serialized.
+func (cl *Cluster) netThread(n *Node) {
+	defer cl.netWG.Done()
+	p := cl.params
+	for pkt := range cl.fab.Inbox(n.ID) {
+		amExtra := 0
+		apply := func(cmd, a, v uint64) {
+			op, h, arr := wire.UnpackCmd(cmd)
+			switch op {
+			case wire.OpPut:
+				cl.space.Array(arr).Store(a, v)
+			case wire.OpInc:
+				cl.space.Array(arr).Add(a, v)
+			case wire.OpAM:
+				amExtra++
+				cl.handlers[h](n.ID, a, v)
+			default:
+				panic(fmt.Sprintf("core: bad op %v in packet", op))
+			}
+		}
+		var err error
+		relayed := 0
+		if pkt.Routed {
+			// Gateway role (§10): records for this node apply locally;
+			// the rest are re-aggregated into per-node queues for this
+			// group's members.
+			err = wire.DecodeRouted(pkt.Buf, func(cmd, a, v uint64, dest int) {
+				if dest == n.ID {
+					apply(cmd, a, v)
+					return
+				}
+				relayed++
+				n.Agg.AppendDirect(dest, cmd, a, v, p.AggPerMsgNs)
+			})
+		} else {
+			err = wire.Decode(pkt.Buf, apply)
+		}
+		if err != nil {
+			panic(err)
+		}
+		n.Clocks.AddNet(p.NetThreadPerPacketNs +
+			float64(pkt.Msgs)*p.NetThreadPerMsgNs +
+			float64(len(pkt.Buf))*p.NetThreadPerByteNs +
+			float64(amExtra)*p.NetThreadAMExtraNs)
+		n.Clocks.CountNetMsgs(pkt.Msgs - relayed)
+		cl.fab.Done(pkt)
+	}
+}
+
+// Name implements rt.System.
+func (cl *Cluster) Name() string { return cl.cfg.Name }
+
+// Nodes implements rt.System.
+func (cl *Cluster) Nodes() int { return cl.cfg.Nodes }
+
+// Space implements rt.System.
+func (cl *Cluster) Space() *pgas.Space { return cl.space }
+
+// Params returns the cost model in use.
+func (cl *Cluster) Params() *timemodel.Params { return cl.params }
+
+// WGSize returns the configured work-group size.
+func (cl *Cluster) WGSize() int { return cl.cfg.WGSize }
+
+// Node returns node i (exported for the baseline models and tests).
+func (cl *Cluster) Node(i int) *Node { return cl.nodes[i] }
+
+// Fabric returns the interconnect (exported for the baseline models).
+func (cl *Cluster) Fabric() *fabric.Fabric { return cl.fab }
+
+// RegisterAM implements rt.System. Handlers must be registered before
+// the first Step.
+func (cl *Cluster) RegisterAM(h rt.AMHandler) uint8 {
+	if len(cl.handlers) > 255 {
+		panic("core: too many AM handlers")
+	}
+	cl.handlers = append(cl.handlers, h)
+	return uint8(len(cl.handlers) - 1)
+}
+
+// Handler returns a registered handler (for the baseline models).
+func (cl *Cluster) Handler(h uint8) rt.AMHandler { return cl.handlers[h] }
+
+// Step implements rt.System: launch the kernel everywhere, quiesce,
+// record the phase with overlapped composition (§3.4: Gravel overlaps
+// communication and computation).
+func (cl *Cluster) Step(name string, grid []int, scratchPerWG int, k rt.Kernel) {
+	cl.LaunchAll(grid, scratchPerWG, func(n *Node, grp *simt.Group) rt.Ctx {
+		return &ctx{n: n, g: grp}
+	}, k)
+	cl.Quiesce()
+	cl.EndPhaseOverlapped(name)
+}
+
+// LaunchAll launches kernel k with grid[i] work-items on node i, using
+// mkCtx to build each work-group's context. It blocks until all devices
+// finish (but does not quiesce or record a phase). Baseline models build
+// their Steps from this.
+func (cl *Cluster) LaunchAll(grid []int, scratchPerWG int, mkCtx func(*Node, *simt.Group) rt.Ctx, k rt.Kernel) {
+	if len(grid) != cl.cfg.Nodes {
+		panic(fmt.Sprintf("core: launch grid has %d entries for %d nodes", len(grid), cl.cfg.Nodes))
+	}
+	var wg sync.WaitGroup
+	for i, n := range cl.nodes {
+		if grid[i] <= 0 {
+			continue
+		}
+		n.Clocks.AddHost(cl.params.KernelLaunchNs)
+		wg.Add(1)
+		go func(n *Node, g int) {
+			defer wg.Done()
+			n.GPU.Launch(g, cl.cfg.WGSize, scratchPerWG, func(grp *simt.Group) {
+				k(mkCtx(n, grp))
+			})
+		}(n, grid[i])
+	}
+	wg.Wait()
+}
+
+// Quiesce blocks until every initiated message has been applied: all
+// producer/consumer queues drained, all per-node queues flushed, the
+// wire empty, and the network threads idle.
+func (cl *Cluster) Quiesce() {
+	stable := 0
+	for stable < 2 {
+		for _, n := range cl.nodes {
+			for !n.PCQ.Empty() {
+				runtime.Gosched()
+			}
+		}
+		for _, n := range cl.nodes {
+			n.Agg.Flush()
+		}
+		for !cl.fab.Quiet() {
+			runtime.Gosched()
+		}
+		quiet := true
+		for _, n := range cl.nodes {
+			if !n.PCQ.Empty() || n.Agg.Busy() || n.Agg.Pending() {
+				quiet = false
+				break
+			}
+		}
+		if quiet && cl.fab.Quiet() {
+			stable++
+		} else {
+			stable = 0
+		}
+	}
+}
+
+// EndPhaseOverlapped snapshots per-node clocks since the previous phase
+// and records a phase whose per-node time is the busiest-resource bound.
+func (cl *Cluster) EndPhaseOverlapped(name string) {
+	nodeNs := make([]float64, cl.cfg.Nodes)
+	for i, n := range cl.nodes {
+		snap := n.Clocks.Snapshot()
+		nodeNs[i] = snap.Sub(cl.prev[i]).Overlapped()
+		cl.prev[i] = snap
+	}
+	cl.RecordPhase(name, nodeNs)
+}
+
+// EndPhaseSequential is EndPhaseOverlapped with bulk-synchronous
+// composition (used by the coprocessor baseline).
+func (cl *Cluster) EndPhaseSequential(name string) {
+	nodeNs := make([]float64, cl.cfg.Nodes)
+	for i, n := range cl.nodes {
+		snap := n.Clocks.Snapshot()
+		nodeNs[i] = snap.Sub(cl.prev[i]).Sequential()
+		cl.prev[i] = snap
+	}
+	cl.RecordPhase(name, nodeNs)
+}
+
+// RecordPhase appends a phase record: cluster phase time is the slowest
+// node plus one barrier.
+func (cl *Cluster) RecordPhase(name string, nodeNs []float64) {
+	m := 0.0
+	for _, v := range nodeNs {
+		if v > m {
+			m = v
+		}
+	}
+	phase := m + cl.params.BarrierNs
+	cl.phases = append(cl.phases, timemodel.PhaseRecord{Name: name, NodeNs: nodeNs, PhaseNs: phase})
+	cl.totalNs += phase
+}
+
+// HostAM implements rt.System: it initiates an active message from
+// host context on node from — typically from inside an AM handler,
+// enabling request/reply protocols. The message is staged into the
+// node's aggregator and is applied before the enclosing Step returns
+// (the quiescence protocol iterates until no messages remain anywhere).
+func (cl *Cluster) HostAM(from int, h uint8, dest int, a, b uint64) {
+	n := cl.nodes[from]
+	n.Clocks.AddNet(cl.params.NetThreadPerMsgNs)
+	if dest == from {
+		n.LocalOps.Inc()
+	} else {
+		n.RemoteOps.Inc()
+	}
+	n.Agg.AppendDirect(dest, wire.PackCmd(wire.OpAM, h, 0), a, b, 0)
+}
+
+// ChargeHost implements rt.System.
+func (cl *Cluster) ChargeHost(ns float64) {
+	for _, n := range cl.nodes {
+		n.Clocks.AddHost(ns)
+	}
+}
+
+// VirtualTimeNs implements rt.System.
+func (cl *Cluster) VirtualTimeNs() float64 { return cl.totalNs }
+
+// Phases implements rt.System.
+func (cl *Cluster) Phases() []timemodel.PhaseRecord { return cl.phases }
+
+// NetStats implements rt.System.
+func (cl *Cluster) NetStats() rt.NetStats {
+	var s rt.NetStats
+	var aggBusy float64
+	for _, n := range cl.nodes {
+		s.LocalOps += n.LocalOps.Load()
+		s.RemoteOps += n.RemoteOps.Load()
+		snap := n.Clocks.Snapshot()
+		s.WirePackets += snap.PktsSent
+		s.WireBytes += snap.BytesSent
+		aggBusy += snap.Agg
+	}
+	s.AvgPacketBytes = cl.fab.TotalAvgPacketBytes()
+	// Busy fraction of the aggregator core over the run's virtual time
+	// (the paper's §8.1 metric: 65% of the core's time is polling).
+	if cl.totalNs > 0 {
+		s.AggBusyFrac = aggBusy / (cl.totalNs * float64(len(cl.nodes)))
+	}
+	return s
+}
+
+// Close implements rt.System.
+func (cl *Cluster) Close() {
+	if cl.closed {
+		return
+	}
+	cl.closed = true
+	for _, n := range cl.nodes {
+		n.Agg.Stop()
+	}
+	cl.fab.Close()
+	cl.netWG.Wait()
+}
+
+var _ rt.System = (*Cluster)(nil)

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"gravel/internal/pgas"
+	"gravel/internal/queue"
+	"gravel/internal/rt"
+	"gravel/internal/simt"
+	"gravel/internal/wire"
+)
+
+// ctx is the per-work-group kernel context: it turns lane-level PGAS
+// operations into WG-granularity offloads through the node's
+// producer/consumer queue (§4.1): one prefix-sum to pack active lanes,
+// one leader reservation (two atomics), one vectorized payload write,
+// one commit.
+type ctx struct {
+	n *Node
+	g *simt.Group
+
+	// scratch, lazily sized to the WG
+	allOn  []bool
+	remote []bool
+}
+
+// Node implements rt.Ctx.
+func (c *ctx) Node() int { return c.n.ID }
+
+// Nodes implements rt.Ctx.
+func (c *ctx) Nodes() int { return c.n.cl.cfg.Nodes }
+
+// Group implements rt.Ctx.
+func (c *ctx) Group() *simt.Group { return c.g }
+
+func (c *ctx) allActive() []bool {
+	if len(c.allOn) < c.g.Size {
+		c.allOn = make([]bool, c.g.Size)
+		for i := range c.allOn {
+			c.allOn[i] = true
+		}
+	}
+	return c.allOn[:c.g.Size]
+}
+
+// offload performs one WG-granularity enqueue of the active lanes'
+// messages. destOf must be cheap and pure.
+func (c *ctx) offload(cmd uint64, destOf func(lane int) int, a, b []uint64, active []bool) {
+	g := c.g
+	offs, count := g.PrefixSumMask(active)
+	if count == 0 {
+		return
+	}
+	// Leader reservation: the only global synchronization for up to
+	// WGSize messages.
+	g.ChargeAtomics(queue.ProducerAtomicsPerReserve)
+	s := c.n.PCQ.Reserve(count)
+	rowCmd := s.Row(wire.RowCmd)
+	rowDest := s.Row(wire.RowDest)
+	rowA := s.Row(wire.RowA)
+	rowB := s.Row(wire.RowB)
+	local, rem := 0, 0
+	g.VectorMasked(wire.SlotRows, active, func(l int) {
+		m := offs[l]
+		d := destOf(l)
+		rowCmd[m] = cmd
+		rowDest[m] = uint64(d)
+		rowA[m] = a[l]
+		rowB[m] = b[l]
+		if d == c.n.ID {
+			local++
+		} else {
+			rem++
+		}
+	})
+	s.Commit()
+	g.ChargeMessages(count)
+	c.n.LocalOps.Add(int64(local))
+	c.n.RemoteOps.Add(int64(rem))
+}
+
+// Inc implements rt.Ctx: atomic increments always travel through the
+// owner's network thread, even when local (§6) — unless the cluster was
+// built with LocalAtomicsDirect, in which case local increments execute
+// as concurrent GPU read-modify-writes (the design the paper rejected).
+func (c *ctx) Inc(arr *pgas.Array, idx, delta []uint64, active []bool) {
+	if active == nil {
+		active = c.allActive()
+	}
+	cmd := wire.PackCmd(wire.OpInc, 0, arr.ID())
+	if !c.n.cl.cfg.LocalAtomicsDirect {
+		c.offload(cmd, func(l int) int { return arr.Owner(idx[l]) }, idx, delta, active)
+		return
+	}
+	g := c.g
+	if len(c.remote) < g.Size {
+		c.remote = make([]bool, g.Size)
+	}
+	remote := c.remote[:g.Size]
+	me := c.n.ID
+	anyRemote := false
+	local := 0
+	g.VectorMasked(1, active, func(l int) {
+		if arr.Owner(idx[l]) == me {
+			arr.Add(idx[l], delta[l])
+			remote[l] = false
+			local++
+		} else {
+			remote[l] = true
+			anyRemote = true
+		}
+	})
+	// Each local RMW is a contended global atomic, serialized at the
+	// memory system.
+	g.ChargeAtomics(local)
+	c.n.LocalOps.Add(int64(local))
+	if anyRemote {
+		c.offload(cmd, func(l int) int { return arr.Owner(idx[l]) }, idx, delta, remote)
+	}
+	for l := 0; l < g.Size; l++ {
+		remote[l] = false
+	}
+}
+
+// Put implements rt.Ctx: local PUTs execute directly as GPU stores;
+// remote PUTs are offloaded (§7.1).
+func (c *ctx) Put(arr *pgas.Array, idx, val []uint64, active []bool) {
+	if active == nil {
+		active = c.allActive()
+	}
+	g := c.g
+	if len(c.remote) < g.Size {
+		c.remote = make([]bool, g.Size)
+	}
+	remote := c.remote[:g.Size]
+	me := c.n.ID
+	anyRemote := false
+	local := 0
+	// One vector instruction: compute owner, store locally or mark for
+	// offload.
+	g.VectorMasked(2, active, func(l int) {
+		if arr.Owner(idx[l]) == me {
+			arr.Store(idx[l], val[l])
+			remote[l] = false
+			local++
+		} else {
+			remote[l] = true
+			anyRemote = true
+		}
+	})
+	c.n.LocalOps.Add(int64(local))
+	if anyRemote {
+		cmd := wire.PackCmd(wire.OpPut, 0, arr.ID())
+		c.offload(cmd, func(l int) int { return arr.Owner(idx[l]) }, idx, val, remote)
+		// offload counted the remote lanes as local=0, remote=count.
+	}
+	// Restore the all-false invariant on the scratch mask: a lane that
+	// was active-remote in this call must not leak into the next one
+	// (where it may be inactive and would resend a stale message).
+	for l := 0; l < g.Size; l++ {
+		remote[l] = false
+	}
+}
+
+// AM implements rt.Ctx: active messages are atomics and always travel
+// through the destination's network thread (§6).
+func (c *ctx) AM(h uint8, dest []int, a, b []uint64, active []bool) {
+	if active == nil {
+		active = c.allActive()
+	}
+	cmd := wire.PackCmd(wire.OpAM, h, 0)
+	c.offload(cmd, func(l int) int { return dest[l] }, a, b, active)
+}
+
+var _ rt.Ctx = (*ctx)(nil)

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"gravel/internal/rt"
+	"gravel/internal/timemodel"
+)
+
+// TestTinyPCQBackpressure: a producer/consumer queue with almost no
+// slots forces work-groups to stall in Reserve while the aggregator
+// drains — the system must make progress, not deadlock.
+func TestTinyPCQBackpressure(t *testing.T) {
+	p := timemodel.Default()
+	p.PCQBytes = 1 // rounds up to the 4-slot minimum
+	cl := New(Config{Nodes: 2, Params: p})
+	defer cl.Close()
+	arr := cl.Space().Alloc(256)
+	cl.Step("inc", []int{8192, 8192}, 0, func(c rt.Ctx) {
+		g := c.Group()
+		idx := make([]uint64, g.Size)
+		one := make([]uint64, g.Size)
+		g.Vector(func(l int) {
+			idx[l] = uint64(g.GlobalID(l) % 256)
+			one[l] = 1
+		})
+		c.Inc(arr, idx, one, nil)
+	})
+	if got := arr.Sum(); got != 16384 {
+		t.Fatalf("sum = %d, want 16384", got)
+	}
+}
+
+// TestTinyPerNodeQueues: 1-message per-node queues make every message
+// its own packet; inbox backpressure must throttle, not deadlock.
+func TestTinyPerNodeQueues(t *testing.T) {
+	p := timemodel.Default()
+	p.PerNodeQueueBytes = 1 // one message per queue
+	p.QueuesPerDest = 1     // minimal inbox depth
+	cl := New(Config{Nodes: 3, Params: p})
+	defer cl.Close()
+	arr := cl.Space().Alloc(128)
+	cl.Step("inc", []int{2048, 2048, 2048}, 0, func(c rt.Ctx) {
+		g := c.Group()
+		idx := make([]uint64, g.Size)
+		one := make([]uint64, g.Size)
+		g.Vector(func(l int) {
+			idx[l] = uint64((c.Node()*31 + g.GlobalID(l)) % 128)
+			one[l] = 1
+		})
+		c.Inc(arr, idx, one, nil)
+	})
+	if got := arr.Sum(); got != 3*2048 {
+		t.Fatalf("sum = %d", got)
+	}
+	if pkts := cl.NetStats().WirePackets; pkts < 1000 {
+		t.Fatalf("expected a packet storm, got %d packets", pkts)
+	}
+}
+
+// TestManySmallSteps: repeated tiny supersteps exercise the quiescence
+// protocol's steady-state overhead.
+func TestManySmallSteps(t *testing.T) {
+	cl := New(Config{Nodes: 2})
+	defer cl.Close()
+	arr := cl.Space().Alloc(64)
+	for i := 0; i < 200; i++ {
+		cl.Step("tiny", []int{64, 64}, 0, func(c rt.Ctx) {
+			g := c.Group()
+			idx := make([]uint64, g.Size)
+			one := make([]uint64, g.Size)
+			g.Vector(func(l int) { idx[l] = uint64(l); one[l] = 1 })
+			c.Inc(arr, idx, one, nil)
+		})
+	}
+	if got := arr.Sum(); got != 200*128 {
+		t.Fatalf("sum = %d, want %d", got, 200*128)
+	}
+	if len(cl.Phases()) != 200 {
+		t.Fatalf("phases = %d", len(cl.Phases()))
+	}
+}
+
+// TestWGSizeVariants: unusual work-group sizes (one wavefront, odd
+// multiples, bigger than the grid) must all work.
+func TestWGSizeVariants(t *testing.T) {
+	for _, wg := range []int{64, 192, 512} {
+		cl := New(Config{Nodes: 2, WGSize: wg})
+		arr := cl.Space().Alloc(64)
+		cl.Step("inc", []int{100, 7}, 0, func(c rt.Ctx) {
+			g := c.Group()
+			idx := make([]uint64, g.Size)
+			one := make([]uint64, g.Size)
+			g.Vector(func(l int) { idx[l] = 0; one[l] = 1 })
+			c.Inc(arr, idx, one, nil)
+		})
+		sum := arr.Sum()
+		cl.Close()
+		if sum != 107 {
+			t.Fatalf("wg=%d: sum=%d, want 107", wg, sum)
+		}
+	}
+}
+
+// TestHugeWGAgainstPCQ: the queue's slot shape follows the WG size.
+func TestHugeWGAgainstPCQ(t *testing.T) {
+	cl := New(Config{Nodes: 1, WGSize: 1024})
+	defer cl.Close()
+	if cols := cl.Node(0).PCQ.Cols; cols != 1024 {
+		t.Fatalf("PCQ cols = %d, want 1024", cols)
+	}
+	arr := cl.Space().Alloc(8)
+	cl.Step("inc", []int{4096}, 0, func(c rt.Ctx) {
+		g := c.Group()
+		idx := make([]uint64, g.Size)
+		one := make([]uint64, g.Size)
+		g.Vector(func(l int) { idx[l] = 0; one[l] = 1 })
+		c.Inc(arr, idx, one, nil)
+	})
+	if arr.Load(0) != 4096 {
+		t.Fatalf("count = %d", arr.Load(0))
+	}
+}
+
+// TestSingleLaneActivity: offloads where only one lane is active.
+func TestSingleLaneActivity(t *testing.T) {
+	cl := New(Config{Nodes: 2})
+	defer cl.Close()
+	arr := cl.Space().Alloc(8)
+	cl.Step("inc", []int{256, 0}, 0, func(c rt.Ctx) {
+		g := c.Group()
+		idx := make([]uint64, g.Size)
+		one := make([]uint64, g.Size)
+		active := make([]bool, g.Size)
+		g.Vector(func(l int) {
+			idx[l] = 7
+			one[l] = 1
+			active[l] = l == 13
+		})
+		c.Inc(arr, idx, one, active)
+	})
+	if arr.Load(7) != 1 {
+		t.Fatalf("count = %d, want 1", arr.Load(7))
+	}
+}
+
+// TestNoActiveLanes: an offload with an all-false mask is a no-op.
+func TestNoActiveLanes(t *testing.T) {
+	cl := New(Config{Nodes: 2})
+	defer cl.Close()
+	arr := cl.Space().Alloc(8)
+	cl.Step("inc", []int{256, 0}, 0, func(c rt.Ctx) {
+		g := c.Group()
+		idx := make([]uint64, g.Size)
+		one := make([]uint64, g.Size)
+		active := make([]bool, g.Size)
+		c.Inc(arr, idx, one, active)
+		c.Put(arr, idx, one, active)
+		c.AM(0, make([]int, g.Size), idx, one, active)
+	})
+	if arr.Sum() != 0 {
+		t.Fatal("no-op offloads mutated state")
+	}
+}

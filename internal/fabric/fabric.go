@@ -1,0 +1,141 @@
+// Package fabric simulates the cluster interconnect (Table 3: 56 Gb/s
+// InfiniBand, driven via MPI). Delivery is real — packets move between
+// in-process nodes through channels — while timing is virtual: every
+// packet charges LogGP-style wire occupancy (Alpha + bytes/Beta) to the
+// sender's and receiver's clocks.
+//
+// Backpressure mirrors the paper's configuration of a bounded number of
+// in-flight per-node queues per destination: each node's inbox is a
+// bounded channel, and senders block when a receiver falls behind.
+// Network threads must never send while processing (true for all
+// workloads here), so this cannot deadlock.
+package fabric
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gravel/internal/stats"
+	"gravel/internal/timemodel"
+)
+
+// Packet is one per-node queue in flight. Routed packets hold
+// wire.RoutedMsgBytes records (final destination per message) bound for
+// a group gateway (§10 hierarchical aggregation); direct packets hold
+// wire.MsgWireBytes records for the receiving node itself.
+type Packet struct {
+	From, To int
+	Buf      []byte
+	Msgs     int
+	Routed   bool
+}
+
+// Fabric connects n simulated nodes.
+type Fabric struct {
+	params *timemodel.Params
+	clocks []*timemodel.Clocks
+	inbox  []chan Packet
+
+	inflight atomic.Int64
+
+	// PktSizes records the size of every packet put on the wire by each
+	// node (Table 5 "average message size").
+	PktSizes []stats.SizeHist
+	// SelfPkts counts node-local packets (atomics routed through the
+	// local network thread, which never reach the wire).
+	SelfPkts []stats.Counter
+}
+
+// New creates a fabric over the given per-node clocks.
+func New(params *timemodel.Params, clocks []*timemodel.Clocks) *Fabric {
+	n := len(clocks)
+	if n == 0 {
+		panic("fabric: no nodes")
+	}
+	f := &Fabric{
+		params:   params,
+		clocks:   clocks,
+		inbox:    make([]chan Packet, n),
+		PktSizes: make([]stats.SizeHist, n),
+		SelfPkts: make([]stats.Counter, n),
+	}
+	depth := params.QueuesPerDest * n
+	if depth < 4 {
+		depth = 4
+	}
+	for i := range f.inbox {
+		f.inbox[i] = make(chan Packet, depth)
+	}
+	return f
+}
+
+// Nodes returns the node count.
+func (f *Fabric) Nodes() int { return len(f.inbox) }
+
+// Send transmits one per-node queue from node `from` to node `to`,
+// charging wire time to both endpoints. It blocks if the receiver's
+// inbox is full (finite in-flight queue credit, §6).
+func (f *Fabric) Send(from, to int, buf []byte, msgs int) {
+	f.send(from, to, buf, msgs, false)
+}
+
+// SendRouted transmits a per-group queue (records carry their final
+// destinations) to a group gateway for re-aggregation (§10).
+func (f *Fabric) SendRouted(from, gateway int, buf []byte, msgs int) {
+	f.send(from, gateway, buf, msgs, true)
+}
+
+func (f *Fabric) send(from, to int, buf []byte, msgs int, routed bool) {
+	if to < 0 || to >= len(f.inbox) {
+		panic(fmt.Sprintf("fabric: send to invalid node %d", to))
+	}
+	if from == to {
+		// Local atomics are routed through the local network thread but
+		// never touch the wire (§6).
+		f.SelfPkts[from].Inc()
+	} else {
+		ns := f.params.WireNs(len(buf))
+		f.clocks[from].AddWireSend(ns)
+		f.clocks[to].AddWireRecv(ns)
+		f.clocks[from].CountPacket(len(buf))
+		f.PktSizes[from].Observe(int64(len(buf)))
+	}
+	f.inflight.Add(1)
+	f.inbox[to] <- Packet{From: from, To: to, Buf: buf, Msgs: msgs, Routed: routed}
+}
+
+// Inbox returns node's receive channel; the node's network thread ranges
+// over it.
+func (f *Fabric) Inbox(node int) <-chan Packet { return f.inbox[node] }
+
+// Done must be called by the network thread after fully applying a
+// packet; quiescence detection depends on it.
+func (f *Fabric) Done(Packet) { f.inflight.Add(-1) }
+
+// Quiet reports whether no packets are in flight or being applied.
+func (f *Fabric) Quiet() bool { return f.inflight.Load() == 0 }
+
+// Close closes all inboxes; network threads drain and exit.
+func (f *Fabric) Close() {
+	for _, ch := range f.inbox {
+		close(ch)
+	}
+}
+
+// AvgPacketBytes returns the mean wire packet size for a node, 0 if it
+// sent none.
+func (f *Fabric) AvgPacketBytes(node int) float64 { return f.PktSizes[node].Mean() }
+
+// TotalAvgPacketBytes returns the mean wire packet size across all
+// nodes.
+func (f *Fabric) TotalAvgPacketBytes() float64 {
+	var sum, n int64
+	for i := range f.PktSizes {
+		sum += f.PktSizes[i].Sum()
+		n += f.PktSizes[i].Count()
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}

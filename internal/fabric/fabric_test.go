@@ -1,0 +1,95 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+
+	"gravel/internal/timemodel"
+)
+
+// near allows for the fixed-point (1/16 ns) clock granularity.
+func near(a, b float64) bool { return math.Abs(a-b) < 0.125 }
+
+func newTestFabric(n int) (*Fabric, []*timemodel.Clocks) {
+	clocks := make([]*timemodel.Clocks, n)
+	for i := range clocks {
+		clocks[i] = &timemodel.Clocks{}
+	}
+	return New(timemodel.Default(), clocks), clocks
+}
+
+func TestSendDeliversAndCharges(t *testing.T) {
+	f, clocks := newTestFabric(3)
+	buf := make([]byte, 240)
+	f.Send(0, 2, buf, 10)
+	pkt := <-f.Inbox(2)
+	if pkt.From != 0 || pkt.To != 2 || pkt.Msgs != 10 || len(pkt.Buf) != 240 {
+		t.Fatalf("packet wrong: %+v", pkt)
+	}
+	if f.Quiet() {
+		t.Fatal("Quiet before Done")
+	}
+	f.Done(pkt)
+	if !f.Quiet() {
+		t.Fatal("not Quiet after Done")
+	}
+	want := timemodel.Default().WireNs(240)
+	if got := clocks[0].Snapshot().WireSend; !near(got, want) {
+		t.Fatalf("sender wire = %v, want %v", got, want)
+	}
+	if got := clocks[2].Snapshot().WireRecv; !near(got, want) {
+		t.Fatalf("receiver wire = %v, want %v", got, want)
+	}
+	if f.PktSizes[0].Count() != 1 || f.AvgPacketBytes(0) != 240 {
+		t.Fatal("packet stats wrong")
+	}
+}
+
+func TestSelfSendSkipsWire(t *testing.T) {
+	f, clocks := newTestFabric(2)
+	f.Send(1, 1, make([]byte, 48), 2)
+	pkt := <-f.Inbox(1)
+	f.Done(pkt)
+	if clocks[1].Snapshot().WireSend != 0 {
+		t.Fatal("self-send charged wire time")
+	}
+	if f.SelfPkts[1].Load() != 1 {
+		t.Fatal("self packet not counted")
+	}
+	if f.PktSizes[1].Count() != 0 {
+		t.Fatal("self packet counted as wire packet")
+	}
+}
+
+func TestTotalAvgPacketBytes(t *testing.T) {
+	f, _ := newTestFabric(2)
+	f.Send(0, 1, make([]byte, 100), 1)
+	f.Send(1, 0, make([]byte, 300), 1)
+	f.Done(<-f.Inbox(1))
+	f.Done(<-f.Inbox(0))
+	if got := f.TotalAvgPacketBytes(); got != 200 {
+		t.Fatalf("avg = %v, want 200", got)
+	}
+	empty, _ := newTestFabric(2)
+	if empty.TotalAvgPacketBytes() != 0 {
+		t.Fatal("empty fabric avg should be 0")
+	}
+}
+
+func TestSendInvalidDestPanics(t *testing.T) {
+	f, _ := newTestFabric(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid destination did not panic")
+		}
+	}()
+	f.Send(0, 5, nil, 0)
+}
+
+func TestCloseEndsInboxes(t *testing.T) {
+	f, _ := newTestFabric(2)
+	f.Close()
+	if _, ok := <-f.Inbox(0); ok {
+		t.Fatal("inbox open after Close")
+	}
+}

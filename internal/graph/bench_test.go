@@ -1,0 +1,26 @@
+package graph
+
+import "testing"
+
+// BenchmarkBubbles measures mesh generation (dominated by CSR build).
+func BenchmarkBubbles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Bubbles(10000, int64(i))
+	}
+}
+
+// BenchmarkCage measures clustered-graph generation.
+func BenchmarkCage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Cage(4000, int64(i))
+	}
+}
+
+// BenchmarkInSlots measures the per-edge slot index build.
+func BenchmarkInSlots(b *testing.B) {
+	g := Cage(8000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.InSlots()
+	}
+}

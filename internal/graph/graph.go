@@ -1,0 +1,325 @@
+// Package graph provides the CSR graph substrate the paper's graph
+// applications (PageRank, SSSP, coloring) run on, together with
+// synthetic stand-ins for the paper's Table 4 inputs:
+//
+//   - Bubbles emulates hugebubbles-00020 (2D adaptive-mesh matrix:
+//     ~3 average degree, very large diameter, moderate vertex-ID
+//     locality).
+//   - Cage emulates cage15 (DNA electrophoresis matrix: ~20 average
+//     degree, small diameter, strong clustered ID locality).
+//
+// Bubbles controls the remote-access frequency under block partitioning
+// by *relabeling* a fraction of vertices (topology — and hence the
+// diameter that drives SSSP superstep counts — is untouched); Cage
+// controls it with the fraction of edges that leave their ID cluster.
+// Both are calibrated against the paper's Table 5 (see DESIGN.md §2 for
+// the substitution argument).
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a directed graph in compressed-sparse-row form. The
+// applications use symmetric digraphs (every undirected edge appears in
+// both directions).
+type Graph struct {
+	N   int
+	Off []int64  // len N+1; out-edges of u are Adj[Off[u]:Off[u+1]]
+	Adj []uint32 // edge targets
+	W   []uint8  // edge weights in [1,8] (nil until EnsureWeights)
+}
+
+// E returns the directed edge count.
+func (g *Graph) E() int { return len(g.Adj) }
+
+// Deg returns vertex u's out-degree.
+func (g *Graph) Deg(u int) int { return int(g.Off[u+1] - g.Off[u]) }
+
+// Out returns u's out-neighbor slice.
+func (g *Graph) Out(u int) []uint32 { return g.Adj[g.Off[u]:g.Off[u+1]] }
+
+// OutW returns u's out-edge weights.
+func (g *Graph) OutW(u int) []uint8 { return g.W[g.Off[u]:g.Off[u+1]] }
+
+// edge is a construction-time directed edge.
+type edge struct{ u, v uint32 }
+
+// fromEdges builds a CSR graph from a directed edge list.
+func fromEdges(n int, edges []edge) *Graph {
+	g := &Graph{N: n, Off: make([]int64, n+1), Adj: make([]uint32, len(edges))}
+	for _, e := range edges {
+		g.Off[e.u+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.Off[i+1] += g.Off[i]
+	}
+	pos := make([]int64, n)
+	copy(pos, g.Off[:n])
+	for _, e := range edges {
+		g.Adj[pos[e.u]] = e.v
+		pos[e.u]++
+	}
+	// Sort each adjacency list for determinism.
+	for u := 0; u < n; u++ {
+		adj := g.Adj[g.Off[u]:g.Off[u+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	return g
+}
+
+// EnsureWeights assigns deterministic symmetric weights in [1,8]:
+// w(u,v) = w(v,u) derived from a hash of the unordered pair.
+func (g *Graph) EnsureWeights() {
+	if g.W != nil {
+		return
+	}
+	g.W = make([]uint8, len(g.Adj))
+	for u := 0; u < g.N; u++ {
+		for i := g.Off[u]; i < g.Off[u+1]; i++ {
+			v := int(g.Adj[i])
+			a, b := uint64(u), uint64(v)
+			if a > b {
+				a, b = b, a
+			}
+			g.W[i] = uint8(mix(a*0x9e3779b97f4a7c15+b)%8) + 1
+		}
+	}
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Hash64 exposes the graph package's mixing function for callers that
+// need deterministic per-vertex values (e.g. coloring priorities).
+func Hash64(x uint64) uint64 { return mix(x) }
+
+// relabel applies a partial random permutation: frac of the vertices are
+// selected and shuffled among themselves. This changes block-partition
+// locality without changing topology.
+func relabel(n int, edges []edge, frac float64, rng *rand.Rand) []edge {
+	if frac <= 0 {
+		return edges
+	}
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	var moved []int
+	for i := 0; i < n; i++ {
+		if rng.Float64() < frac {
+			moved = append(moved, i)
+		}
+	}
+	// Shuffle the labels of the moved vertices among themselves.
+	labels := make([]uint32, len(moved))
+	for i, v := range moved {
+		labels[i] = uint32(v)
+	}
+	rng.Shuffle(len(labels), func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+	for i, v := range moved {
+		perm[v] = labels[i]
+	}
+	out := make([]edge, len(edges))
+	for i, e := range edges {
+		out[i] = edge{perm[e.u], perm[e.v]}
+	}
+	return out
+}
+
+// Bubbles generates the hugebubbles-00020 stand-in: a 2D grid mesh with
+// a fraction of edges deleted (average degree ≈ 3, diameter ≈ 2·√n) and
+// ~20 % of vertex IDs scattered (≈ 37.7 % remote accesses under 8-way
+// block partitioning, Table 5 PR-1).
+func Bubbles(n int, seed int64) *Graph {
+	return bubbles(n, seed, 0.20)
+}
+
+func bubbles(n int, seed int64, scatter float64) *Graph {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	n = side * side
+	rng := rand.New(rand.NewSource(seed))
+	var edges []edge
+	keep := func(u, v int) bool {
+		// Deterministically delete ~25% of undirected edges.
+		a, b := uint64(u), uint64(v)
+		if a > b {
+			a, b = b, a
+		}
+		return mix(a<<32|b)%4 != 0
+	}
+	add := func(u, v int) {
+		if keep(u, v) {
+			edges = append(edges, edge{uint32(u), uint32(v)}, edge{uint32(v), uint32(u)})
+		}
+	}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			u := r*side + c
+			if c+1 < side {
+				add(u, u+1)
+			}
+			if r+1 < side {
+				add(u, u+side)
+			}
+		}
+	}
+	return fromEdges(n, relabel(n, edges, scatter, rng))
+}
+
+// Cage generates the cage15 stand-in: a clustered random graph (average
+// degree ≈ 20, small diameter) whose vertices live in contiguous
+// clusters of ~128 IDs; ~15 % of edges leave their cluster for a random
+// vertex anywhere. Under 8-way block partitioning this yields ≈ 16.5 %
+// remote accesses (Table 5 PR-2) while the frontier of a traversal
+// spreads across every partition within a few hops — unlike a banded
+// layout, which would serialize wavefront algorithms across partitions.
+func Cage(n int, seed int64) *Graph {
+	return cage(n, seed, 0.155)
+}
+
+func cage(n int, seed int64, interFrac float64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	clusterSize := 128
+	if clusterSize > n {
+		clusterSize = n
+	}
+	const halfDeg = 10
+	seen := make(map[uint64]bool, n*halfDeg)
+	var edges []edge
+	for u := 0; u < n; u++ {
+		cluster := u / clusterSize
+		cLo := cluster * clusterSize
+		cHi := cLo + clusterSize
+		if cHi > n {
+			cHi = n
+		}
+		for k := 0; k < halfDeg; k++ {
+			var v int
+			if rng.Float64() < interFrac {
+				v = rng.Intn(n)
+			} else {
+				v = cLo + rng.Intn(cHi-cLo)
+			}
+			if v == u {
+				continue
+			}
+			a, b := uint64(u), uint64(v)
+			if a > b {
+				a, b = b, a
+			}
+			key := a<<32 | b
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			edges = append(edges, edge{uint32(u), uint32(v)}, edge{uint32(v), uint32(u)})
+		}
+	}
+	return fromEdges(n, edges)
+}
+
+// Random generates an Erdős–Rényi-style symmetric graph with the given
+// average directed degree (for tests).
+func Random(n, avgDeg int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool)
+	var edges []edge
+	target := n * avgDeg / 2
+	for len(edges)/2 < target {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		a, b := uint64(u), uint64(v)
+		if a > b {
+			a, b = b, a
+		}
+		key := a<<32 | b
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, edge{uint32(u), uint32(v)}, edge{uint32(v), uint32(u)})
+	}
+	return fromEdges(n, edges)
+}
+
+// Path returns a path graph (for tests).
+func Path(n int) *Graph {
+	var edges []edge
+	for u := 0; u+1 < n; u++ {
+		edges = append(edges, edge{uint32(u), uint32(u + 1)}, edge{uint32(u + 1), uint32(u)})
+	}
+	return fromEdges(n, edges)
+}
+
+// CutFrac returns the fraction of directed edges crossing a block
+// partition into parts (calibration for Table 5).
+func (g *Graph) CutFrac(parts int) float64 {
+	if g.E() == 0 {
+		return 0
+	}
+	part := (g.N + parts - 1) / parts
+	cut := 0
+	for u := 0; u < g.N; u++ {
+		pu := u / part
+		for _, v := range g.Out(u) {
+			if int(v)/part != pu {
+				cut++
+			}
+		}
+	}
+	return float64(cut) / float64(g.E())
+}
+
+// AvgDeg returns the average directed out-degree.
+func (g *Graph) AvgDeg() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(g.E()) / float64(g.N)
+}
+
+// InSlots assigns every directed edge a unique global slot grouped by
+// target vertex: the in-edges of vertex v occupy slots
+// [inOff[v], inOff[v+1]). slotOf[e] maps directed edge e (CSR order) to
+// its slot. PageRank and coloring use these slots so a vertex's incoming
+// values can be PUT by neighbors and read locally.
+func (g *Graph) InSlots() (inOff []int64, slotOf []int64) {
+	inOff = make([]int64, g.N+1)
+	for _, v := range g.Adj {
+		inOff[v+1]++
+	}
+	for i := 0; i < g.N; i++ {
+		inOff[i+1] += inOff[i]
+	}
+	pos := make([]int64, g.N)
+	copy(pos, inOff[:g.N])
+	slotOf = make([]int64, len(g.Adj))
+	for u := 0; u < g.N; u++ {
+		for i := g.Off[u]; i < g.Off[u+1]; i++ {
+			v := g.Adj[i]
+			slotOf[i] = pos[v]
+			pos[v]++
+		}
+	}
+	return inOff, slotOf
+}
+
+// String implements fmt.Stringer.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{N=%d E=%d avgDeg=%.1f}", g.N, g.E(), g.AvgDeg())
+}

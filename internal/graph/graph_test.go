@@ -1,0 +1,117 @@
+package graph
+
+import "testing"
+
+func TestFromEdgesCSR(t *testing.T) {
+	g := Path(5)
+	if g.N != 5 || g.E() != 8 {
+		t.Fatalf("path(5): N=%d E=%d", g.N, g.E())
+	}
+	if g.Deg(0) != 1 || g.Deg(1) != 2 || g.Deg(4) != 1 {
+		t.Fatalf("path degrees wrong: %v", g.Off)
+	}
+	if got := g.Out(2); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Out(2) = %v", got)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"bubbles": Bubbles(2000, 1),
+		"cage":    Cage(2000, 1),
+		"random":  Random(500, 8, 1),
+	} {
+		// Every edge must appear in both directions.
+		has := make(map[uint64]bool, g.E())
+		for u := 0; u < g.N; u++ {
+			for _, v := range g.Out(u) {
+				has[uint64(u)<<32|uint64(v)] = true
+			}
+		}
+		for u := 0; u < g.N; u++ {
+			for _, v := range g.Out(u) {
+				if !has[uint64(v)<<32|uint64(u)] {
+					t.Fatalf("%s: edge %d->%d has no reverse", name, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightsSymmetricAndBounded(t *testing.T) {
+	g := Random(300, 6, 2)
+	g.EnsureWeights()
+	w := make(map[uint64]uint8)
+	for u := 0; u < g.N; u++ {
+		ws := g.OutW(u)
+		for i, v := range g.Out(u) {
+			if ws[i] < 1 || ws[i] > 8 {
+				t.Fatalf("weight out of range: %d", ws[i])
+			}
+			w[uint64(u)<<32|uint64(v)] = ws[i]
+		}
+	}
+	for u := 0; u < g.N; u++ {
+		ws := g.OutW(u)
+		for i, v := range g.Out(u) {
+			if w[uint64(v)<<32|uint64(u)] != ws[i] {
+				t.Fatalf("asymmetric weight on %d<->%d", u, v)
+			}
+		}
+	}
+}
+
+func TestInSlots(t *testing.T) {
+	g := Random(200, 6, 3)
+	inOff, slotOf := g.InSlots()
+	if int(inOff[g.N]) != g.E() {
+		t.Fatalf("inOff total = %d, want %d", inOff[g.N], g.E())
+	}
+	// Each slot must be used exactly once and fall in its target range.
+	used := make([]bool, g.E())
+	for u := 0; u < g.N; u++ {
+		for i := g.Off[u]; i < g.Off[u+1]; i++ {
+			s := slotOf[i]
+			v := g.Adj[i]
+			if s < inOff[v] || s >= inOff[v+1] {
+				t.Fatalf("slot %d for edge ->%d outside [%d,%d)", s, v, inOff[v], inOff[v+1])
+			}
+			if used[s] {
+				t.Fatalf("slot %d reused", s)
+			}
+			used[s] = true
+		}
+	}
+}
+
+// TestTable5Calibration checks the generator stand-ins land near the
+// paper's Table 5 remote-access frequencies under 8-way partitioning.
+// A fully random edge would be 87.5% remote; the relabel fractions are
+// tuned for PR-1 ≈ 37.7% and PR-2 ≈ 16.5%.
+func TestTable5Calibration(t *testing.T) {
+	b := Bubbles(40000, 7)
+	if f := b.CutFrac(8); f < 0.30 || f > 0.46 {
+		t.Errorf("bubbles cut frac = %.3f, want ≈ 0.377", f)
+	}
+	if d := b.AvgDeg(); d < 2.4 || d > 3.6 {
+		t.Errorf("bubbles avg deg = %.2f, want ≈ 3", d)
+	}
+	c := Cage(20000, 7)
+	if f := c.CutFrac(8); f < 0.11 || f > 0.22 {
+		t.Errorf("cage cut frac = %.3f, want ≈ 0.165", f)
+	}
+	if d := c.AvgDeg(); d < 16 || d > 22 {
+		t.Errorf("cage avg deg = %.2f, want ≈ 20", d)
+	}
+}
+
+func TestCutFracBounds(t *testing.T) {
+	g := Random(1000, 8, 9)
+	f := g.CutFrac(8)
+	if f < 0.8 || f > 0.95 {
+		t.Errorf("random graph cut at 8 parts = %.3f, want ≈ 0.875", f)
+	}
+	if g.CutFrac(1) != 0 {
+		t.Errorf("cut at 1 part must be 0")
+	}
+}

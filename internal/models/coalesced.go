@@ -1,0 +1,226 @@
+package models
+
+import (
+	"gravel/internal/core"
+	"gravel/internal/pgas"
+	"gravel/internal/rt"
+	"gravel/internal/simt"
+	"gravel/internal/timemodel"
+	"gravel/internal/wire"
+)
+
+// scratchPerLane is the scratchpad the coalesced-APIs counting sort
+// consumes per work-item (§3.3: a 256-WI WG uses 4 kB — 16 bytes/WI).
+const scratchPerLane = 16
+
+// Coalesced is the §3.3 model (GPUnet/GPUrdma style): work-groups
+// counting-sort their messages by destination in scratchpad, then invoke
+// one synchronous coalesced send per destination. Without GPU-wide
+// aggregation, each send becomes its own (small) wire packet; with it
+// (the "coalesced APIs + Gravel aggregation" bar of Figure 15), the
+// per-WG lists are repacked into 64 kB per-node queues by the CPU.
+type Coalesced struct {
+	*core.Cluster
+	gpuWide bool
+	sb      []*sendBuffers
+}
+
+// NewCoalesced builds the model; gpuWide enables GPU-wide aggregation.
+func NewCoalesced(nodes int, p *timemodel.Params, gpuWide bool) *Coalesced {
+	if p == nil {
+		p = timemodel.Default()
+	}
+	name := "coalesced"
+	if gpuWide {
+		name = "coalesced+agg"
+	}
+	cl := core.New(core.Config{Name: name, Nodes: nodes, Params: p})
+	co := &Coalesced{Cluster: cl, gpuWide: gpuWide}
+	if gpuWide {
+		co.sb = make([]*sendBuffers, nodes)
+		for i := range co.sb {
+			co.sb[i] = newSendBuffers(cl, cl.Node(i), p.PerNodeQueueBytes, true)
+		}
+	}
+	return co
+}
+
+// Step implements rt.System. Communication overlaps with computation
+// (sends are initiated during the kernel), but each WG's sends are
+// synchronous. The counting sort's scratchpad demand lowers occupancy.
+func (co *Coalesced) Step(name string, grid []int, scratchPerWG int, k rt.Kernel) {
+	scratch := scratchPerWG + scratchPerLane*co.WGSize()
+	co.LaunchAll(grid, scratch, func(n *core.Node, g *simt.Group) rt.Ctx {
+		cc := &coalCtx{n: n, g: g, co: co}
+		return cc
+	}, k)
+	if co.gpuWide {
+		for _, sb := range co.sb {
+			sb.flushAll()
+		}
+	}
+	co.Quiesce()
+	co.EndPhaseOverlapped(name)
+}
+
+// Close implements rt.System; it also flushes any straggling buffers.
+func (co *Coalesced) Close() {
+	co.Cluster.Close()
+}
+
+// coalCtx implements the coalesced send path for one work-group.
+type coalCtx struct {
+	n  *core.Node
+	g  *simt.Group
+	co *Coalesced
+
+	allOn []bool
+	mask  []bool
+	dests []int
+	rem   []bool
+	aBuf  []uint64
+	vBuf  []uint64
+}
+
+// Node implements rt.Ctx.
+func (c *coalCtx) Node() int { return c.n.ID }
+
+// Nodes implements rt.Ctx.
+func (c *coalCtx) Nodes() int { return c.co.Nodes() }
+
+// Group implements rt.Ctx.
+func (c *coalCtx) Group() *simt.Group { return c.g }
+
+func (c *coalCtx) ensure() {
+	if len(c.mask) < c.g.Size {
+		c.mask = make([]bool, c.g.Size)
+		c.dests = make([]int, c.g.Size)
+		c.rem = make([]bool, c.g.Size)
+		c.aBuf = make([]uint64, c.g.Size)
+		c.vBuf = make([]uint64, c.g.Size)
+		c.allOn = make([]bool, c.g.Size)
+		for i := range c.allOn {
+			c.allOn[i] = true
+		}
+	}
+}
+
+// offload counting-sorts the WG's messages by destination (Figure 4c
+// lines 18-25) and issues one coalesced send per destination.
+func (c *coalCtx) offload(cmd uint64, destOf func(lane int) int, a, v []uint64, active []bool) {
+	g := c.g
+	c.ensure()
+	nodes := c.co.Nodes()
+	p := c.co.Params()
+
+	any := false
+	local, rem := 0, 0
+	g.VectorMasked(1, active, func(l int) {
+		c.dests[l] = destOf(l)
+		any = true
+		if c.dests[l] == c.n.ID {
+			local++
+		} else {
+			rem++
+		}
+	})
+	if !any {
+		return
+	}
+	c.n.LocalOps.Add(int64(local))
+	c.n.RemoteOps.Add(int64(rem))
+
+	// Counting sort in scratchpad: a handful of WG-wide passes.
+	g.ChargeInstr(6)
+	g.Barrier()
+	g.Barrier()
+
+	// One sync_inc_list per destination (Figure 4c lines 27-29): SIMT
+	// utilization degrades with the destination count.
+	for d := 0; d < nodes; d++ {
+		count := 0
+		for l := 0; l < g.Size; l++ {
+			if active[l] && c.dests[l] == d {
+				c.aBuf[count] = a[l]
+				c.vBuf[count] = v[l]
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		g.ChargeAtomics(1)
+		g.ChargeInstr(2)
+		g.ChargeMessages(count)
+		if c.co.gpuWide {
+			// Lists are handed to the CPU aggregator for repacking into
+			// large per-node queues.
+			c.co.sb[c.n.ID].appendList(d, cmd, c.aBuf, c.vBuf, count)
+			continue
+		}
+		// Synchronous send of this WG's list as its own packet; the WG
+		// blocks for the NIC round trip.
+		b := wire.NewBuilder(d, count*wire.MsgWireBytes)
+		for m := 0; m < count; m++ {
+			b.Append(cmd, c.aBuf[m], c.vBuf[m])
+		}
+		buf, msgs := b.Take()
+		c.co.Fabric().Send(c.n.ID, d, buf, msgs)
+		g.ChargeCycles(c.n.GPU.NsToCycles(p.AlphaNs / 2))
+	}
+}
+
+// Inc implements rt.Ctx.
+func (c *coalCtx) Inc(arr *pgas.Array, idx, delta []uint64, active []bool) {
+	c.ensure()
+	if active == nil {
+		active = c.allOn[:c.g.Size]
+	}
+	cmd := wire.PackCmd(wire.OpInc, 0, arr.ID())
+	c.offload(cmd, func(l int) int { return arr.Owner(idx[l]) }, idx, delta, active)
+}
+
+// Put implements rt.Ctx: local PUTs store directly, as in Gravel.
+func (c *coalCtx) Put(arr *pgas.Array, idx, val []uint64, active []bool) {
+	c.ensure()
+	if active == nil {
+		active = c.allOn[:c.g.Size]
+	}
+	g := c.g
+	me := c.n.ID
+	local := 0
+	anyRemote := false
+	g.VectorMasked(2, active, func(l int) {
+		if arr.Owner(idx[l]) == me {
+			arr.Store(idx[l], val[l])
+			c.rem[l] = false
+			local++
+		} else {
+			c.rem[l] = true
+			anyRemote = true
+		}
+	})
+	c.n.LocalOps.Add(int64(local))
+	if anyRemote {
+		cmd := wire.PackCmd(wire.OpPut, 0, arr.ID())
+		c.offload(cmd, func(l int) int { return arr.Owner(idx[l]) }, idx, val, c.rem)
+	}
+	for l := 0; l < g.Size; l++ {
+		c.rem[l] = false
+	}
+}
+
+// AM implements rt.Ctx.
+func (c *coalCtx) AM(h uint8, dest []int, a, b []uint64, active []bool) {
+	c.ensure()
+	if active == nil {
+		active = c.allOn[:c.g.Size]
+	}
+	cmd := wire.PackCmd(wire.OpAM, h, 0)
+	c.offload(cmd, func(l int) int { return dest[l] }, a, b, active)
+}
+
+var (
+	_ rt.System = (*Coalesced)(nil)
+	_ rt.Ctx    = (*coalCtx)(nil)
+)

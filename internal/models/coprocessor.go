@@ -1,0 +1,263 @@
+package models
+
+import (
+	"sync"
+
+	"gravel/internal/core"
+	"gravel/internal/pgas"
+	"gravel/internal/rt"
+	"gravel/internal/simt"
+	"gravel/internal/timemodel"
+	"gravel/internal/wire"
+)
+
+// Coprocessor is the §3.1 model: the GPU inserts messages into per-node
+// queues in memory; the host exchanges the queues between kernel chunks.
+// Nothing overlaps — phase time composes sequentially (Figure 4a).
+//
+// The number of concurrently executing work-items is limited so a
+// per-node queue cannot overflow even if every WI targets the same
+// destination; this is the chunking of Figure 4a lines 6-7 and is what
+// starves the GPU when queues are small (§7.2). Applications whose WIs
+// send many messages (PR, color) overflow mid-chunk anyway and pay a
+// synchronous flush stall.
+type Coprocessor struct {
+	*core.Cluster
+	name       string
+	queueBytes int
+	sb         []*sendBuffers
+}
+
+// NewCoprocessor builds the model. With extraBuffering, each per-node
+// queue gets 1 MB instead of Gravel's 64 kB (the second bar of
+// Figure 15).
+func NewCoprocessor(nodes int, p *timemodel.Params, extraBuffering bool) *Coprocessor {
+	if p == nil {
+		p = timemodel.Default()
+	}
+	name := "coprocessor"
+	qb := p.PerNodeQueueBytes
+	if extraBuffering {
+		name = "coprocessor+buf"
+		qb = 1 << 20
+	}
+	cl := core.New(core.Config{Name: name, Nodes: nodes, Params: p})
+	cp := &Coprocessor{Cluster: cl, name: name, queueBytes: qb}
+	cp.sb = make([]*sendBuffers, nodes)
+	for i := range cp.sb {
+		cp.sb[i] = newSendBuffers(cl, cl.Node(i), qb, false)
+	}
+	return cp
+}
+
+// Step implements rt.System with chunked bulk-synchronous execution.
+//
+// The initial chunk assumes one message per WI (the GUPS-style worst
+// case of Figure 4a). Kernels whose WIs send many messages (PR, color)
+// overflow a per-node queue mid-chunk; the host reacts the way the
+// paper's programmer does — by shrinking the chunk — which starves the
+// GPU further. Chunks smaller than the device's full-throughput width
+// additionally pay an occupancy penalty (the §7.2 "small per-node
+// queues limit the amount of parallelism on the GPU").
+func (cp *Coprocessor) Step(name string, grid []int, scratchPerWG int, k rt.Kernel) {
+	wgSize := cp.WGSize()
+	p := cp.Params()
+	maxChunk := cp.queueBytes / wire.MsgWireBytes / wgSize * wgSize
+	if maxChunk < wgSize {
+		maxChunk = wgSize
+	}
+	// Full-throughput width: enough WIs to populate every CU at the
+	// occupancy that hides memory latency.
+	fullWIs := p.CUs * p.OccupancyForFullThroughput * wgSize
+
+	var wg sync.WaitGroup
+	for i := 0; i < cp.Nodes(); i++ {
+		if grid[i] <= 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := cp.Node(i)
+			sb := cp.sb[i]
+			chunk := maxChunk
+			for start := 0; start < grid[i]; {
+				sz := grid[i] - start
+				if sz > chunk {
+					sz = chunk
+				}
+				n.Clocks.AddHost(p.KernelLaunchNs)
+				ns := n.GPU.LaunchAt(sz, start, wgSize, scratchPerWG, func(grp *simt.Group) {
+					k(&copCtx{n: n, g: grp, sb: sb, nodes: cp.Nodes()})
+				})
+				// GPU starvation: a chunk below the full-throughput
+				// width leaves the device idle while queues round-trip.
+				if sz < fullWIs {
+					factor := float64(fullWIs) / float64(sz)
+					if factor > 16 {
+						factor = 16
+					}
+					n.Clocks.AddGPU(ns * (factor - 1))
+				}
+				// Synchronous exchange at the chunk boundary.
+				sb.flushAll()
+				n.Clocks.AddHost(p.AlphaNs) // MPI exchange round trip
+				start += sz
+				// React to mid-chunk overflows: the safe chunk is
+				// smaller than assumed.
+				if sb.takeOverflows() > 0 && chunk > wgSize {
+					chunk = chunk / 2 / wgSize * wgSize
+					if chunk < wgSize {
+						chunk = wgSize
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	cp.Quiesce()
+	cp.EndPhaseSequential(name)
+}
+
+// copCtx routes kernel network operations into the node's GPU-side
+// per-node queues. WG-level synchronization happens once per distinct
+// destination (§3.1), costing divergence.
+type copCtx struct {
+	n     *core.Node
+	g     *simt.Group
+	sb    *sendBuffers
+	nodes int
+
+	allOn  []bool
+	mask   []bool
+	dests  []int
+	remote []bool
+	aBuf   []uint64
+	vBuf   []uint64
+}
+
+// Node implements rt.Ctx.
+func (c *copCtx) Node() int { return c.n.ID }
+
+// Nodes implements rt.Ctx.
+func (c *copCtx) Nodes() int { return c.nodes }
+
+// Group implements rt.Ctx.
+func (c *copCtx) Group() *simt.Group { return c.g }
+
+func (c *copCtx) ensure() {
+	if len(c.mask) < c.g.Size {
+		c.mask = make([]bool, c.g.Size)
+		c.dests = make([]int, c.g.Size)
+		c.remote = make([]bool, c.g.Size)
+		c.aBuf = make([]uint64, c.g.Size)
+		c.vBuf = make([]uint64, c.g.Size)
+		c.allOn = make([]bool, c.g.Size)
+		for i := range c.allOn {
+			c.allOn[i] = true
+		}
+	}
+}
+
+// offload groups the active lanes' messages by destination and appends
+// each group to the matching per-node queue.
+func (c *copCtx) offload(cmd uint64, destOf func(lane int) int, a, v []uint64, active []bool) {
+	g := c.g
+	c.ensure()
+	any := false
+	local, rem := 0, 0
+	g.VectorMasked(1, active, func(l int) {
+		c.dests[l] = destOf(l)
+		any = true
+		if c.dests[l] == c.n.ID {
+			local++
+		} else {
+			rem++
+		}
+	})
+	if !any {
+		return
+	}
+	c.n.LocalOps.Add(int64(local))
+	c.n.RemoteOps.Add(int64(rem))
+	// One WG-level reservation per destination present in the WG
+	// (Figure 4a lines 2-4): branch and memory divergence.
+	for d := 0; d < c.nodes; d++ {
+		count := 0
+		for l := 0; l < g.Size; l++ {
+			if active[l] && c.dests[l] == d {
+				c.mask[l] = true
+				c.aBuf[count] = a[l]
+				c.vBuf[count] = v[l]
+				count++
+			} else {
+				c.mask[l] = false
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		_, _ = g.PrefixSumMask(c.mask) // WG-level reserve for this queue
+		g.ChargeAtomics(1)
+		g.VectorMasked(wire.SlotRows, c.mask, func(int) {})
+		g.ChargeMemDivergence(count) // different queue per destination
+		g.ChargeMessages(count)
+		c.sb.appendList(d, cmd, c.aBuf, c.vBuf, count)
+	}
+}
+
+// Inc implements rt.Ctx.
+func (c *copCtx) Inc(arr *pgas.Array, idx, delta []uint64, active []bool) {
+	c.ensure()
+	if active == nil {
+		active = c.allOn[:c.g.Size]
+	}
+	cmd := wire.PackCmd(wire.OpInc, 0, arr.ID())
+	c.offload(cmd, func(l int) int { return arr.Owner(idx[l]) }, idx, delta, active)
+}
+
+// Put implements rt.Ctx: local PUTs store directly, as in Gravel.
+func (c *copCtx) Put(arr *pgas.Array, idx, val []uint64, active []bool) {
+	c.ensure()
+	if active == nil {
+		active = c.allOn[:c.g.Size]
+	}
+	g := c.g
+	me := c.n.ID
+	local := 0
+	anyRemote := false
+	g.VectorMasked(2, active, func(l int) {
+		if arr.Owner(idx[l]) == me {
+			arr.Store(idx[l], val[l])
+			c.remote[l] = false
+			local++
+		} else {
+			c.remote[l] = true
+			anyRemote = true
+		}
+	})
+	c.n.LocalOps.Add(int64(local))
+	if anyRemote {
+		cmd := wire.PackCmd(wire.OpPut, 0, arr.ID())
+		c.offload(cmd, func(l int) int { return arr.Owner(idx[l]) }, idx, val, c.remote)
+	}
+	// Restore the all-false invariant on the scratch mask.
+	for l := 0; l < g.Size; l++ {
+		c.remote[l] = false
+	}
+}
+
+// AM implements rt.Ctx.
+func (c *copCtx) AM(h uint8, dest []int, a, b []uint64, active []bool) {
+	c.ensure()
+	if active == nil {
+		active = c.allOn[:c.g.Size]
+	}
+	cmd := wire.PackCmd(wire.OpAM, h, 0)
+	c.offload(cmd, func(l int) int { return dest[l] }, a, b, active)
+}
+
+var (
+	_ rt.System = (*Coprocessor)(nil)
+	_ rt.Ctx    = (*copCtx)(nil)
+)

@@ -1,0 +1,122 @@
+package models_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gravel/internal/graph"
+	"gravel/internal/models"
+	"gravel/internal/pgas"
+	"gravel/internal/rt"
+)
+
+// program is a deterministic random workload: each work-item performs a
+// hash-chosen mix of Inc, Put (to its own write-slot) and AM operations
+// against two distributed arrays, with data-dependent activity in a
+// predicated loop. It exercises the full Ctx surface.
+type program struct {
+	seed    uint64
+	nodes   int
+	perNode int
+	arrLen  int
+}
+
+// run executes the program and returns (incSum, putChecksum, amSum).
+func (p program) run(sys rt.System) (uint64, uint64, uint64) {
+	acc := sys.Space().Alloc(p.arrLen)
+	slots := sys.Space().Alloc(p.nodes * p.perNode) // unique slot per WI
+	var amTotal [64]struct {
+		v uint64
+		_ [56]byte
+	}
+	h := sys.RegisterAM(func(node int, a, b uint64) {
+		amTotal[node].v += a ^ b
+	})
+
+	grid := make([]int, p.nodes)
+	for i := range grid {
+		grid[i] = p.perNode
+	}
+	sys.Step("fuzz", grid, 0, func(c rt.Ctx) {
+		g := c.Group()
+		counts := make([]int, g.Size)
+		idx := make([]uint64, g.Size)
+		val := make([]uint64, g.Size)
+		dst := make([]int, g.Size)
+		node := uint64(c.Node())
+		g.Vector(func(l int) {
+			gid := uint64(g.GlobalID(l))
+			counts[l] = int(graph.Hash64(p.seed^node<<32^gid) % 4)
+		})
+		g.PredicatedLoop(counts, 2, func(i int, active []bool) {
+			// Mixed op per (lane, iter): 0 => Inc, 1 => Put, 2 => AM.
+			op := graph.Hash64(p.seed^uint64(i)) % 3
+			g.VectorMasked(2, active, func(l int) {
+				gid := uint64(g.GlobalID(l))
+				hv := graph.Hash64(p.seed ^ node<<40 ^ gid<<8 ^ uint64(i))
+				switch op {
+				case 0:
+					idx[l] = hv % uint64(p.arrLen)
+					val[l] = 1 + hv%7
+				case 1:
+					idx[l] = node*uint64(p.perNode) + gid // private slot
+					val[l] = hv | 1
+				case 2:
+					dst[l] = int(hv % uint64(p.nodes))
+					idx[l] = hv
+					val[l] = hv >> 7
+				}
+			})
+			switch op {
+			case 0:
+				c.Inc(acc, idx, val, active)
+			case 1:
+				c.Put(slots, idx, val, active)
+			case 2:
+				c.AM(h, dst, idx, val, active)
+			}
+		})
+	})
+
+	var am uint64
+	for i := 0; i < p.nodes; i++ {
+		am += amTotal[i].v
+	}
+	return acc.Sum(), checksum(slots), am
+}
+
+func checksum(a *pgas.Array) uint64 {
+	var s uint64
+	for i := uint64(0); i < uint64(a.Len()); i++ {
+		s = s*1099511628211 + a.Load(i)
+	}
+	return s
+}
+
+// TestQuickAllModelsEquivalent: for random programs, every networking
+// model produces the identical final global state.
+func TestQuickAllModelsEquivalent(t *testing.T) {
+	systems := append(models.Names(), "cpu-only")
+	f := func(seed uint64) bool {
+		p := program{seed: seed, nodes: 3, perNode: 512, arrLen: 1 << 10}
+		var ref [3]uint64
+		for i, name := range systems {
+			sys := models.New(name, p.nodes, nil)
+			inc, put, am := p.run(sys)
+			sys.Close()
+			if i == 0 {
+				ref = [3]uint64{inc, put, am}
+				continue
+			}
+			if inc != ref[0] || put != ref[1] || am != ref[2] {
+				t.Logf("seed %d: %s disagrees with %s: inc %d/%d put %x/%x am %d/%d",
+					seed, name, systems[0], inc, ref[0], put, ref[1], am, ref[2])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

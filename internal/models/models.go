@@ -1,0 +1,91 @@
+// Package models implements the GPU networking models the paper
+// compares Gravel against (§3, §7.2, Figure 15):
+//
+//   - coprocessor (§3.1): the GPU fills per-node queues directly; the
+//     host exchanges them bulk-synchronously between kernel chunks. The
+//     chunk size is bounded so that the worst case (every WI targeting
+//     one destination) cannot overflow a queue. A variant allocates an
+//     order of magnitude more buffering ("coprocessor + extra
+//     buffering").
+//   - message-per-lane (§3.2): Gravel's queue but no aggregation —
+//     every message crosses the wire as its own packet.
+//   - coalesced APIs (§3.3): work-groups counting-sort their messages by
+//     destination in scratchpad and synchronously send one list per
+//     destination. A variant adds Gravel-style GPU-wide aggregation of
+//     those lists ("coalesced APIs + Gravel aggregation").
+//   - CPU-only (Figure 13): the same applications executed by the host
+//     CPU's four threads with Grappa/UPC-style per-thread aggregation —
+//     no GPU involved.
+//
+// All models implement rt.System, so every application runs unmodified
+// under every model.
+package models
+
+import (
+	"fmt"
+
+	"gravel/internal/core"
+	"gravel/internal/rt"
+	"gravel/internal/simt"
+	"gravel/internal/timemodel"
+)
+
+// Gravel returns the paper's system itself (package core), for use with
+// the New factory.
+func Gravel(nodes int, p *timemodel.Params) rt.System {
+	return core.New(core.Config{Name: "gravel", Nodes: nodes, Params: p})
+}
+
+// MsgPerLane returns the message-per-lane baseline: Gravel's
+// producer/consumer queue (which hides SIMT issues, as the paper assumes
+// for this model) but no message combining.
+func MsgPerLane(nodes int, p *timemodel.Params) rt.System {
+	return core.New(core.Config{Name: "msg-per-lane", Nodes: nodes, Params: p, AggMode: core.AggPerMessage})
+}
+
+// CPUOnly returns the Figure 13 baseline: a CPU-based distributed system
+// in the style of Grappa/UPC. The "device" is the node's 4 hardware
+// threads (one lane each); offload batches model per-thread aggregation
+// buffers.
+func CPUOnly(nodes int, p *timemodel.Params) rt.System {
+	arch := simt.CPUArch(p)
+	return core.New(core.Config{Name: "cpu-only", Nodes: nodes, Params: p, WGSize: 256, Arch: &arch})
+}
+
+// Names lists the systems Figure 15 compares, in the paper's bar order.
+func Names() []string {
+	return []string{
+		"coprocessor",
+		"coprocessor+buf",
+		"msg-per-lane",
+		"coalesced",
+		"coalesced+agg",
+		"gravel",
+	}
+}
+
+// New builds a system by Figure 15 name. A nil p means
+// timemodel.Default.
+func New(name string, nodes int, p *timemodel.Params) rt.System {
+	if p == nil {
+		p = timemodel.Default()
+	}
+	switch name {
+	case "gravel":
+		return Gravel(nodes, p)
+	case "msg-per-lane":
+		return MsgPerLane(nodes, p)
+	case "coprocessor":
+		return NewCoprocessor(nodes, p, false)
+	case "coprocessor+buf":
+		return NewCoprocessor(nodes, p, true)
+	case "coalesced":
+		return NewCoalesced(nodes, p, false)
+	case "coalesced+agg":
+		return NewCoalesced(nodes, p, true)
+	case "cpu-only":
+		return CPUOnly(nodes, p)
+	default:
+		panic(fmt.Sprintf("models: unknown system %q", name))
+	}
+}

@@ -1,0 +1,25 @@
+package models_test
+
+import (
+	"testing"
+
+	"gravel/internal/apps/mer"
+	"gravel/internal/models"
+)
+
+// TestMerPhase2AcrossModels: the AM request/reply traversal must work
+// (and agree) under every networking model, since HostAM cascades ride
+// the shared quiescence protocol.
+func TestMerPhase2AcrossModels(t *testing.T) {
+	cfg := mer.Config{GenomeLen: 8000, ReadsPerNode: 120, ReadLen: 60, K: 15, Seed: 6, ErrorPerMille: 8}
+	want := mer.ReferencePhase2(cfg, 3)
+	for _, name := range allSystems() {
+		sys := models.New(name, 3, nil)
+		_, r2 := mer.RunFull(sys, cfg)
+		sys.Close()
+		if r2.Contigs != want.Contigs || r2.TotalLen != want.TotalLen || r2.UU != want.UU {
+			t.Errorf("%s: got {%d contigs, %d len, %d UU}, want {%d, %d, %d}",
+				name, r2.Contigs, r2.TotalLen, r2.UU, want.Contigs, want.TotalLen, want.UU)
+		}
+	}
+}

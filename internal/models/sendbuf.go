@@ -1,0 +1,96 @@
+package models
+
+import (
+	"sync"
+
+	"gravel/internal/core"
+	"gravel/internal/timemodel"
+	"gravel/internal/wire"
+)
+
+// sendBuffers is a node's set of GPU-side per-destination queues, shared
+// by all of the node's work-groups. The coprocessor model fills them
+// from the GPU and exchanges them at chunk boundaries; the
+// coalesced+aggregation model fills them from repacked per-WG lists.
+type sendBuffers struct {
+	node *core.Node
+	cl   *core.Cluster
+	p    *timemodel.Params
+
+	// chargeAgg adds CPU aggregator cost per message (coalesced+agg).
+	chargeAgg bool
+
+	mu        sync.Mutex
+	b         []*wire.Builder
+	overflows int // mid-chunk full-queue flushes since the last take
+}
+
+func newSendBuffers(cl *core.Cluster, node *core.Node, capBytes int, chargeAgg bool) *sendBuffers {
+	nb := &sendBuffers{node: node, cl: cl, p: cl.Params(), chargeAgg: chargeAgg}
+	nb.b = make([]*wire.Builder, cl.Nodes())
+	for d := range nb.b {
+		nb.b[d] = wire.NewBuilder(d, capBytes)
+	}
+	return nb
+}
+
+// appendList adds msgs messages bound for dest, flushing whenever a
+// queue fills. Arguments are parallel slices of length count.
+func (s *sendBuffers) appendList(dest int, cmd uint64, a, v []uint64, count int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.b[dest]
+	for m := 0; m < count; m++ {
+		if b.Full() {
+			s.overflows++
+			s.flushLocked(dest)
+		}
+		b.Append(cmd, a[m], v[m])
+	}
+	if s.chargeAgg {
+		s.node.Clocks.AddAgg(s.p.AggPerSlotNs + float64(count)*s.p.AggPerMsgNs)
+		s.node.Clocks.CountAggSlot(count)
+	}
+}
+
+func (s *sendBuffers) flushLocked(dest int) {
+	b := s.b[dest]
+	if b.Empty() {
+		return
+	}
+	buf, msgs := b.Take()
+	if s.chargeAgg {
+		s.node.Clocks.AddAgg(s.p.AggPerFlushNs)
+	}
+	s.cl.Fabric().Send(s.node.ID, dest, buf, msgs)
+}
+
+// flushAll sends every non-empty queue (chunk boundary or quiescence).
+func (s *sendBuffers) flushAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for d := range s.b {
+		s.flushLocked(d)
+	}
+}
+
+// takeOverflows returns and resets the mid-chunk overflow count.
+func (s *sendBuffers) takeOverflows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.overflows
+	s.overflows = 0
+	return n
+}
+
+// pending reports whether any queue holds messages.
+func (s *sendBuffers) pending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.b {
+		if !b.Empty() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,231 @@
+// Package pgas implements the partitioned global address space Gravel's
+// PUT and atomic-increment operations act on (§6): symmetric distributed
+// arrays, block-partitioned across nodes, with a local slice per node.
+//
+// In the paper, a slice of each distributed array lives at the same
+// virtual address on every node; here each array has a small integer ID
+// that travels in the message command word, and owner/offset computation
+// is explicit.
+package pgas
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Space is one cluster-wide address space.
+type Space struct {
+	nodes  int
+	mu     sync.Mutex
+	arrays []*Array
+}
+
+// NewSpace creates an address space spanning the given number of nodes.
+func NewSpace(nodes int) *Space {
+	if nodes <= 0 {
+		panic("pgas: non-positive node count")
+	}
+	return &Space{nodes: nodes}
+}
+
+// Nodes returns the number of nodes in the space.
+func (s *Space) Nodes() int { return s.nodes }
+
+// Array is a symmetric distributed array of 64-bit words. By default it
+// is block-partitioned (element i lives on node i/part); AllocRanges
+// creates arrays with explicit per-node ranges instead (used to
+// co-locate per-edge slots with the owning vertex).
+type Array struct {
+	id     uint16
+	space  *Space
+	len    int
+	part   int
+	bounds []int // nil for block partition; else len nodes+1, ascending
+	local  [][]uint64
+}
+
+// Alloc creates a distributed array of n elements, zero-initialized.
+func (s *Space) Alloc(n int) *Array {
+	if n <= 0 {
+		panic("pgas: non-positive array length")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.arrays) > math.MaxUint16 {
+		panic("pgas: too many arrays")
+	}
+	part := (n + s.nodes - 1) / s.nodes
+	a := &Array{
+		id:    uint16(len(s.arrays)),
+		space: s,
+		len:   n,
+		part:  part,
+		local: make([][]uint64, s.nodes),
+	}
+	for node := 0; node < s.nodes; node++ {
+		lo := node * part
+		hi := lo + part
+		if hi > n {
+			hi = n
+		}
+		if lo > n {
+			lo = n
+		}
+		a.local[node] = make([]uint64, hi-lo)
+	}
+	s.arrays = append(s.arrays, a)
+	return a
+}
+
+// AllocRanges creates a distributed array where node i owns global
+// indexes [bounds[i], bounds[i+1]). bounds must have Nodes()+1 ascending
+// entries starting at 0; bounds[Nodes()] is the array length.
+func (s *Space) AllocRanges(bounds []int) *Array {
+	if len(bounds) != s.nodes+1 {
+		panic(fmt.Sprintf("pgas: AllocRanges got %d bounds for %d nodes", len(bounds), s.nodes))
+	}
+	if bounds[0] != 0 {
+		panic("pgas: bounds must start at 0")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			panic("pgas: bounds must be ascending")
+		}
+	}
+	n := bounds[s.nodes]
+	if n <= 0 {
+		panic("pgas: non-positive array length")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.arrays) > math.MaxUint16 {
+		panic("pgas: too many arrays")
+	}
+	a := &Array{
+		id:     uint16(len(s.arrays)),
+		space:  s,
+		len:    n,
+		bounds: append([]int(nil), bounds...),
+		local:  make([][]uint64, s.nodes),
+	}
+	for node := 0; node < s.nodes; node++ {
+		a.local[node] = make([]uint64, bounds[node+1]-bounds[node])
+	}
+	s.arrays = append(s.arrays, a)
+	return a
+}
+
+// Array returns the array with the given ID.
+func (s *Space) Array(id uint16) *Array {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.arrays) {
+		panic(fmt.Sprintf("pgas: unknown array id %d", id))
+	}
+	return s.arrays[id]
+}
+
+// ID returns the array's identifier (used in message command words).
+func (a *Array) ID() uint16 { return a.id }
+
+// Len returns the global length.
+func (a *Array) Len() int { return a.len }
+
+// PartSize returns the block-partition stride (elements per node); it
+// is 0 for arrays created with AllocRanges, whose partition is the
+// bounds slice.
+func (a *Array) PartSize() int { return a.part }
+
+// Owner returns the node owning global index idx.
+func (a *Array) Owner(idx uint64) int {
+	i := int(idx)
+	if i >= a.len {
+		panic(fmt.Sprintf("pgas: index %d out of range [0,%d)", idx, a.len))
+	}
+	if a.bounds == nil {
+		return i / a.part
+	}
+	// Binary search for the owning range.
+	lo, hi := 0, len(a.bounds)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if a.bounds[mid] <= i {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LocalRange returns the [lo,hi) global index range owned by node.
+func (a *Array) LocalRange(node int) (lo, hi int) {
+	if a.bounds != nil {
+		return a.bounds[node], a.bounds[node+1]
+	}
+	lo = node * a.part
+	hi = lo + len(a.local[node])
+	return lo, hi
+}
+
+// Local returns node's local slice. Elements must be accessed with the
+// atomic helpers below when the cluster is running.
+func (a *Array) Local(node int) []uint64 { return a.local[node] }
+
+func (a *Array) cell(idx uint64) *uint64 {
+	node := a.Owner(idx)
+	lo, _ := a.LocalRange(node)
+	return &a.local[node][int(idx)-lo]
+}
+
+// Load atomically reads element idx.
+func (a *Array) Load(idx uint64) uint64 { return atomic.LoadUint64(a.cell(idx)) }
+
+// Store atomically writes element idx.
+func (a *Array) Store(idx, val uint64) { atomic.StoreUint64(a.cell(idx), val) }
+
+// Add atomically adds delta to element idx and returns the new value.
+func (a *Array) Add(idx, delta uint64) uint64 { return atomic.AddUint64(a.cell(idx), delta) }
+
+// CompareAndSwap atomically replaces element idx if it equals old.
+func (a *Array) CompareAndSwap(idx, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(a.cell(idx), old, new)
+}
+
+// MinU64 atomically lowers element idx to val if val is smaller,
+// returning true if it stored.
+func (a *Array) MinU64(idx, val uint64) bool {
+	c := a.cell(idx)
+	for {
+		cur := atomic.LoadUint64(c)
+		if val >= cur {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(c, cur, val) {
+			return true
+		}
+	}
+}
+
+// Sum returns the sum of all elements (not atomic with respect to
+// concurrent writers; call at quiescence).
+func (a *Array) Sum() uint64 {
+	var s uint64
+	for _, l := range a.local {
+		for _, v := range l {
+			s += v
+		}
+	}
+	return s
+}
+
+// Fill sets every element to v (call at quiescence).
+func (a *Array) Fill(v uint64) {
+	for _, l := range a.local {
+		for i := range l {
+			l[i] = v
+		}
+	}
+}

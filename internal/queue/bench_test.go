@@ -1,0 +1,98 @@
+package queue
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// BenchmarkReserveCommit measures the producer path for one WG-level
+// reservation (256 messages of 32 B) with a background consumer.
+func BenchmarkReserveCommit(b *testing.B) {
+	for _, cols := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("wg%d", cols), func(b *testing.B) {
+			q := NewGravel(64, 4, cols)
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if !q.TryConsume(func([]uint64, int, int, int) {}) {
+						select {
+						case <-done:
+							if q.Empty() {
+								return
+							}
+						default:
+						}
+						runtime.Gosched()
+					}
+				}
+			}()
+			b.SetBytes(int64(4 * cols * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := q.Reserve(cols)
+				for r := 0; r < 4; r++ {
+					row := s.Row(r)
+					for m := range row {
+						row[m] = uint64(m)
+					}
+				}
+				s.Commit()
+			}
+			b.StopTimer()
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkWILevel measures the per-message cost when every message
+// pays its own reservation (the §4.1 WI-level comparison).
+func BenchmarkWILevel(b *testing.B) {
+	q := NewGravel(1024, 4, 1)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if !q.TryConsume(func([]uint64, int, int, int) {}) {
+				select {
+				case <-done:
+					if q.Empty() {
+						return
+					}
+				default:
+				}
+				runtime.Gosched()
+			}
+		}
+	}()
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := q.Reserve(1)
+		for r := 0; r < 4; r++ {
+			s.Row(r)[0] = uint64(i)
+		}
+		s.Commit()
+	}
+	b.StopTimer()
+	close(done)
+	wg.Wait()
+}
+
+// BenchmarkSPSC measures the padded ring's round trip.
+func BenchmarkSPSC(b *testing.B) {
+	q := NewSPSC(1024, 32)
+	msg := []uint64{1, 2, 3, 4}
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		q.Produce(msg)
+		q.TryConsume(func([]uint64) {})
+	}
+}

@@ -1,0 +1,74 @@
+package queue
+
+import "testing"
+
+// TestFigure7Walkthrough replays the paper's Figure 7 scenario against
+// the real implementation, checking the protocol state (write ticket,
+// current ticket N, full bit F) at each numbered time step:
+//
+//	t1: queue empty, all state zero
+//	t2: wi3 (the leader of wg0) takes write ticket 0; the WG owns slot 0
+//	t3: the WG's four messages are written and F is set
+//	t4: aggregator thread t0 takes read ticket 0 and owns the slot
+//	t5: the consumer releases: F cleared, N incremented
+func TestFigure7Walkthrough(t *testing.T) {
+	// Three slots, four lanes per WG, one row of payload (the figure
+	// shows destinations n1 n3 n1 n2 in one row).
+	q := NewGravel(3, 1, 4)
+	hdr0 := &q.headers[0]
+
+	// t1: empty queue.
+	if hdr0.writeTick.Load() != 0 || hdr0.n.Load() != 0 || hdr0.full.Load() != 0 {
+		t.Fatal("t1: queue not pristine")
+	}
+
+	// t2: the leader reserves on behalf of wg0.
+	s := q.Reserve(4)
+	if got := hdr0.writeTick.Load(); got != 1 {
+		t.Fatalf("t2: WriteTick = %d, want 1 (ticket 0 taken)", got)
+	}
+	if hdr0.full.Load() != 0 {
+		t.Fatal("t2: F must still be clear while the WG writes")
+	}
+
+	// t3: all four WIs deposit their messages; the leader sets F.
+	dests := []uint64{1, 3, 1, 2} // n1 n3 n1 n2
+	copy(s.Row(0), dests)
+	s.Commit()
+	if hdr0.full.Load() != 1 {
+		t.Fatal("t3: F not set after commit")
+	}
+	if hdr0.n.Load() != 0 {
+		t.Fatal("t3: N must not change on commit")
+	}
+
+	// t4: aggregator thread t0 takes the read ticket and owns the slot.
+	ok := q.TryConsume(func(p []uint64, rows, cols, count int) {
+		if count != 4 {
+			t.Fatalf("t4: count = %d", count)
+		}
+		for i, want := range dests {
+			if p[i] != want {
+				t.Fatalf("t4: message %d = n%d, want n%d", i, p[i], want)
+			}
+		}
+		if hdr0.readTick.Load() != 1 {
+			t.Fatal("t4: read ticket not taken")
+		}
+		if hdr0.full.Load() != 1 {
+			t.Fatal("t4: F must be set while consuming")
+		}
+	})
+	if !ok {
+		t.Fatal("t4: consumer did not take ownership")
+	}
+
+	// t5: released — F clear, N incremented; the slot is ready for the
+	// next generation's write ticket 1.
+	if hdr0.full.Load() != 0 {
+		t.Fatal("t5: F not cleared on release")
+	}
+	if hdr0.n.Load() != 1 {
+		t.Fatalf("t5: N = %d, want 1", hdr0.n.Load())
+	}
+}

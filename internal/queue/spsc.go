@@ -1,0 +1,91 @@
+package queue
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SPSC is the single-producer/single-consumer bounded ring the paper
+// uses as its first CPU-only baseline in Figure 8 ([27]). Indices and
+// slots are padded to cache-line size, so sending an 8-byte message
+// moves three cache lines (padded read index, padded write index,
+// padded payload) — the overhead §4.3 calls out.
+type SPSC struct {
+	slotWords int // padded stride in 64-bit words
+	msgWords  int
+	mask      uint64
+	buf       []uint64
+
+	_    pad64
+	head atomic.Uint64 // next slot to consume
+	_    pad64
+	tail atomic.Uint64 // next slot to produce
+	_    pad64
+}
+
+// NewSPSC creates a ring with numSlots slots (rounded up to a power of
+// two) holding msgBytes-sized messages, each padded to a cache-line
+// multiple.
+func NewSPSC(numSlots, msgBytes int) *SPSC {
+	n := 1
+	for n < numSlots {
+		n <<= 1
+	}
+	mw := (msgBytes + 7) / 8
+	if mw < 1 {
+		mw = 1
+	}
+	sw := (mw + 7) / 8 * 8 // pad to 64 bytes
+	return &SPSC{
+		slotWords: sw,
+		msgWords:  mw,
+		mask:      uint64(n - 1),
+		buf:       make([]uint64, n*sw),
+	}
+}
+
+// MsgWords returns the unpadded message size in 64-bit words.
+func (q *SPSC) MsgWords() int { return q.msgWords }
+
+// Produce blocks until space is available, then copies msg into the
+// ring. Only one goroutine may call Produce.
+func (q *SPSC) Produce(msg []uint64) {
+	t := q.tail.Load()
+	spin := 0
+	for t-q.head.Load() > q.mask {
+		spin++
+		if spin%16 == 0 {
+			runtime.Gosched()
+		}
+	}
+	base := int(t&q.mask) * q.slotWords
+	copy(q.buf[base:base+q.msgWords], msg)
+	q.tail.Store(t + 1)
+}
+
+// TryConsume invokes fn on the oldest message and returns true, or
+// returns false if the ring is empty. Only one goroutine may call
+// TryConsume.
+func (q *SPSC) TryConsume(fn func(msg []uint64)) bool {
+	h := q.head.Load()
+	if h == q.tail.Load() {
+		return false
+	}
+	base := int(h&q.mask) * q.slotWords
+	fn(q.buf[base : base+q.msgWords])
+	q.head.Store(h + 1)
+	return true
+}
+
+// NewPaddedMPMC returns the paper's second CPU-only baseline: a queue
+// with exactly Gravel's slot synchronization protocol, but with each
+// slot organized to be written by a single CPU thread (one message per
+// slot) and padded to avoid false sharing (§4.3).
+func NewPaddedMPMC(numSlots, msgBytes int) *Gravel {
+	rows := (msgBytes + 7) / 8
+	if rows < 1 {
+		rows = 1
+	}
+	padded := (rows + 7) / 8 * 8
+	return NewGravel(numSlots, padded, 1)
+}

@@ -1,0 +1,110 @@
+// Package rt defines the runtime interface every GPU networking model
+// implements (Gravel in package core; the coprocessor, message-per-lane,
+// coalesced-APIs and CPU-only baselines in package models).
+//
+// Applications are written once against this interface (the
+// message-per-lane / Gravel style of Figure 4b) and can then be executed
+// under any model — this is how the paper's Figure 15 style comparison
+// is produced.
+package rt
+
+import (
+	"gravel/internal/pgas"
+	"gravel/internal/simt"
+	"gravel/internal/timemodel"
+)
+
+// AMHandler is an active-message handler executed by the destination
+// node's network thread (§6). Handlers run serialized per node and must
+// be commutative. A handler may initiate follow-up messages with
+// System.HostAM (request/reply protocols); cascades must be finite.
+type AMHandler func(node int, a, b uint64)
+
+// Ctx is the per-work-group view a kernel gets of the networking model.
+// The slice arguments of Inc/Put/AM are indexed by lane; exactly the
+// lanes with active[lane] participate (diverged WG-level semantics, §5).
+type Ctx interface {
+	// Node returns the node executing this work-group.
+	Node() int
+	// Nodes returns the cluster size.
+	Nodes() int
+	// Group returns the SIMT work-group for vector operations.
+	Group() *simt.Group
+
+	// Inc atomically adds delta[l] to arr[idx[l]] for each active lane.
+	// Like all atomics it is routed through the owner's network thread
+	// even when local (§6).
+	Inc(arr *pgas.Array, idx, delta []uint64, active []bool)
+	// Put stores val[l] to arr[idx[l]] for each active lane. Local PUTs
+	// execute directly as GPU stores; remote PUTs travel the network.
+	Put(arr *pgas.Array, idx, val []uint64, active []bool)
+	// AM invokes handler h at dest[l] with arguments (a[l], b[l]) for
+	// each active lane.
+	AM(h uint8, dest []int, a, b []uint64, active []bool)
+}
+
+// Kernel is GPU code launched across a grid of work-items; it is invoked
+// once per work-group.
+type Kernel func(c Ctx)
+
+// NetStats summarizes a system's communication behaviour (Table 5).
+type NetStats struct {
+	// LocalOps and RemoteOps count fine-grain data accesses by
+	// destination locality; RemoteFrac is their ratio.
+	LocalOps, RemoteOps int64
+	// WirePackets and WireBytes count aggregated per-node queues that
+	// crossed the wire; AvgPacketBytes is the Table 5 "average message
+	// size".
+	WirePackets, WireBytes int64
+	AvgPacketBytes         float64
+	// AggBusyFrac is the fraction of aggregator CPU time spent doing
+	// useful work (1 - poll fraction, §8.1).
+	AggBusyFrac float64
+}
+
+// RemoteFrac returns the fraction of accesses that were remote.
+func (s NetStats) RemoteFrac() float64 {
+	t := s.LocalOps + s.RemoteOps
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RemoteOps) / float64(t)
+}
+
+// System is one networking model instantiated over a simulated cluster.
+type System interface {
+	// Name identifies the model ("gravel", "coprocessor", ...).
+	Name() string
+	// Nodes returns the cluster size.
+	Nodes() int
+	// Space returns the cluster's global address space.
+	Space() *pgas.Space
+	// RegisterAM registers an active-message handler, returning its ID.
+	RegisterAM(h AMHandler) uint8
+
+	// Step launches kernel k with grid[i] work-items on node i and
+	// returns after cluster-wide quiescence (every initiated message
+	// applied). scratchPerWG is the kernel's scratchpad demand in bytes.
+	Step(name string, grid []int, scratchPerWG int, k Kernel)
+
+	// ChargeHost adds ns of non-overlappable host time to every node
+	// (host-side serial sections between kernels).
+	ChargeHost(ns float64)
+
+	// HostAM initiates an active message from host context on node
+	// from. Its primary use is inside AM handlers, building
+	// request/reply protocols (e.g. remote hash-table lookups); the
+	// message is applied before the enclosing Step returns.
+	HostAM(from int, h uint8, dest int, a, b uint64)
+
+	// VirtualTimeNs returns total virtual time elapsed across all steps.
+	VirtualTimeNs() float64
+	// Phases returns the per-step time breakdown.
+	Phases() []timemodel.PhaseRecord
+	// NetStats returns cumulative communication statistics.
+	NetStats() NetStats
+
+	// Close releases background goroutines. The system is unusable
+	// afterwards.
+	Close()
+}

@@ -1,0 +1,50 @@
+package simt
+
+import (
+	"testing"
+
+	"gravel/internal/timemodel"
+)
+
+// BenchmarkLaunch measures simulation overhead per work-item for a
+// trivial kernel (the harness's fixed cost).
+func BenchmarkLaunch(b *testing.B) {
+	d := NewDevice(GPUArch(timemodel.Default()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Launch(1<<14, 256, 0, func(g *Group) {
+			g.Vector(func(int) {})
+		})
+	}
+}
+
+// BenchmarkPredicatedLoop measures the diverged-loop machinery.
+func BenchmarkPredicatedLoop(b *testing.B) {
+	d := NewDevice(GPUArch(timemodel.Default()))
+	for i := 0; i < b.N; i++ {
+		d.Launch(1<<12, 256, 0, func(g *Group) {
+			counts := make([]int, g.Size)
+			for l := range counts {
+				counts[l] = l % 8
+			}
+			g.PredicatedLoop(counts, 2, func(int, []bool) {})
+		})
+	}
+}
+
+// BenchmarkWGOps measures reduce/prefix-sum per work-group.
+func BenchmarkWGOps(b *testing.B) {
+	d := NewDevice(GPUArch(timemodel.Default()))
+	for i := 0; i < b.N; i++ {
+		d.Launch(256, 256, 0, func(g *Group) {
+			vals := make([]int, g.Size)
+			mask := make([]bool, g.Size)
+			for l := range vals {
+				vals[l] = l
+				mask[l] = l%3 == 0
+			}
+			g.ReduceMaxInt(vals)
+			g.PrefixSumMask(mask)
+		})
+	}
+}

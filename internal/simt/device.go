@@ -1,0 +1,271 @@
+// Package simt simulates the GPU execution model the paper targets
+// (§2): work-items (WIs) grouped into 64-wide wavefronts (WFs) that
+// execute in lockstep, wavefronts grouped into work-groups (WGs) that
+// share a compute unit (CU), WG-level operations (barrier, reduce,
+// prefix-sum, broadcast), branch divergence via active masks, and
+// occupancy limited by scratchpad capacity.
+//
+// A work-group executes as one goroutine; lanes never run as independent
+// goroutines, which both matches SIMT semantics (lanes advance in
+// lockstep between explicit vector operations) and keeps the simulation
+// fast. Every vector instruction, WG-level operation, atomic and barrier
+// is charged to a cycle counter that package timemodel converts into
+// virtual GPU time.
+//
+// The same machinery doubles as the CPU-execution substrate for the
+// paper's Figure 13 baseline: a "CPU device" is simply an Arch with four
+// single-lane compute units at 3.7 GHz.
+package simt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gravel/internal/timemodel"
+)
+
+// Arch describes the data-parallel processor being simulated.
+type Arch struct {
+	// Name labels the architecture in stats output.
+	Name string
+	// CUs is the number of compute units (or CPU threads).
+	CUs int
+	// WFWidth is the lockstep width. 1 for a CPU.
+	WFWidth int
+	// ClockHz is the core clock.
+	ClockHz float64
+	// MaxWGsPerCU bounds occupancy.
+	MaxWGsPerCU int
+	// ScratchpadPerCU is LDS capacity in bytes (0 = no scratchpad limit).
+	ScratchpadPerCU int
+	// OccupancyForFullThroughput is the resident-WG count per CU below
+	// which memory latency is no longer hidden.
+	OccupancyForFullThroughput int
+	// CyclesVectorIssue is the cycle cost of issuing one vector
+	// instruction for one wavefront.
+	CyclesVectorIssue int64
+	// CyclesMemCacheLine is the extra cost of each additional cache line
+	// touched by a divergent memory operation.
+	CyclesMemCacheLine int64
+	// CyclesAtomic is the cost of a global atomic RMW.
+	CyclesAtomic int64
+	// CyclesBarrier is the cost of a WG-level barrier.
+	CyclesBarrier int64
+	// PredOverheadInstr is the per-iteration instruction overhead of
+	// software predication (§5.1).
+	PredOverheadInstr int64
+	// FBarOverheadInstr is the per-iteration instruction overhead of the
+	// software-emulated fine-grain barrier (§8.2).
+	FBarOverheadInstr int64
+}
+
+// GPUArch returns the paper's integrated GPU (Table 3) under the given
+// cost parameters.
+func GPUArch(p *timemodel.Params) Arch {
+	return Arch{
+		Name:                       "gpu",
+		CUs:                        p.CUs,
+		WFWidth:                    p.WFWidth,
+		ClockHz:                    p.GPUClockHz,
+		MaxWGsPerCU:                p.MaxWGsPerCU,
+		ScratchpadPerCU:            p.ScratchpadPerCU,
+		OccupancyForFullThroughput: p.OccupancyForFullThroughput,
+		CyclesVectorIssue:          p.CyclesVectorIssue,
+		CyclesMemCacheLine:         p.CyclesMemCacheLine,
+		CyclesAtomic:               p.CyclesAtomic,
+		CyclesBarrier:              p.CyclesBarrier,
+		PredOverheadInstr:          14,
+		FBarOverheadInstr:          18,
+	}
+}
+
+// CPUArch returns the paper's host CPU (2 cores / 4 threads at 3.7 GHz)
+// modeled as four single-lane compute units. It drives the Figure 13
+// CPU-only distributed baseline.
+func CPUArch(p *timemodel.Params) Arch {
+	return Arch{
+		Name:                       "cpu",
+		CUs:                        p.CPUThreads,
+		WFWidth:                    1,
+		ClockHz:                    p.CPUClockHz,
+		MaxWGsPerCU:                1,
+		OccupancyForFullThroughput: 1,
+		// A CPU core retires roughly one application "lane op" per
+		// CPUOpNs; expressed in cycles of the 3.7 GHz clock.
+		CyclesVectorIssue: int64(p.CPUOpNs * p.CPUClockHz / 1e9),
+		// Memory stalls are already folded into CPUOpNs; charge only a
+		// small extra per divergent line to avoid double counting.
+		CyclesMemCacheLine: int64(5 * p.CPUClockHz / 1e9),
+		CyclesAtomic:       int64(20 * p.CPUClockHz / 1e9),
+		CyclesBarrier:      int64(50 * p.CPUClockHz / 1e9),
+		PredOverheadInstr:  0,
+		FBarOverheadInstr:  0,
+	}
+}
+
+// DivergenceMode selects how WG-level operations behave in diverged
+// control flow (§5, §8.2).
+type DivergenceMode int
+
+const (
+	// SoftwarePredication keeps inactive WIs executing alongside their WG
+	// and pays a per-iteration software overhead (current GPUs, §5.1).
+	SoftwarePredication DivergenceMode = iota
+	// WGReconvergence models a GPU that tracks control flow at WG
+	// granularity (a WG-level reconvergence stack, §5.3): no software
+	// overhead, but completely inactive WFs still execute.
+	WGReconvergence
+	// FineGrainBarrier models HSA-style fbars extended to arbitrary WI
+	// sets (§5.3): retired WFs stop executing, but the (software
+	// emulated) fbar operations themselves cost extra instructions.
+	FineGrainBarrier
+)
+
+// String implements fmt.Stringer.
+func (m DivergenceMode) String() string {
+	switch m {
+	case SoftwarePredication:
+		return "sw-predication"
+	case WGReconvergence:
+		return "wg-reconvergence"
+	case FineGrainBarrier:
+		return "fbar"
+	default:
+		return fmt.Sprintf("DivergenceMode(%d)", int(m))
+	}
+}
+
+// Counters aggregates dynamic execution statistics across all launches
+// of a device.
+type Counters struct {
+	VectorOps   atomic.Int64 // vector instructions issued (per WF)
+	Cycles      atomic.Int64 // total issue cycles across CUs
+	Atomics     atomic.Int64 // global atomic operations
+	Barriers    atomic.Int64 // WG barriers
+	WGLaunches  atomic.Int64
+	DivergedOps atomic.Int64 // vector ops issued with a partial mask
+	Messages    atomic.Int64 // messages offloaded to the network queue
+}
+
+// Device is one simulated data-parallel processor.
+type Device struct {
+	Arch Arch
+	// Mode selects diverged WG-level operation behaviour.
+	Mode DivergenceMode
+	// Clock, if non-nil, receives virtual GPU busy time at the end of
+	// every Launch.
+	Clock *timemodel.Clocks
+	// Parallelism caps the number of WGs simulated concurrently. Zero
+	// means min(GOMAXPROCS-ish default, resident WGs).
+	Parallelism int
+
+	Counters Counters
+}
+
+// NewDevice returns a device with the given architecture using software
+// predication.
+func NewDevice(a Arch) *Device {
+	return &Device{Arch: a, Parallelism: a.CUs}
+}
+
+// Occupancy reports the number of resident WGs per CU for a kernel using
+// scratchPerWG bytes of scratchpad, and the throughput slowdown factor
+// (>=1) caused by insufficient latency hiding. This reproduces the
+// paper's observation (§7.2) that scratchpad-hungry kernels (coalesced
+// APIs, mer) lose concurrency.
+func (d *Device) Occupancy(scratchPerWG int) (wgsPerCU int, slowdown float64) {
+	wgsPerCU = d.Arch.MaxWGsPerCU
+	if scratchPerWG > 0 && d.Arch.ScratchpadPerCU > 0 {
+		byScratch := d.Arch.ScratchpadPerCU / scratchPerWG
+		if byScratch < 1 {
+			byScratch = 1
+		}
+		if byScratch < wgsPerCU {
+			wgsPerCU = byScratch
+		}
+	}
+	slowdown = 1
+	if wgsPerCU < d.Arch.OccupancyForFullThroughput {
+		slowdown = float64(d.Arch.OccupancyForFullThroughput) / float64(wgsPerCU)
+	}
+	return wgsPerCU, slowdown
+}
+
+// Launch executes a kernel over grid work-items in work-groups of wgSize
+// lanes, using scratchPerWG bytes of scratchpad per WG. It blocks until
+// every WG has finished, then charges the resulting virtual GPU time to
+// d.Clock (if set) and returns it in nanoseconds.
+//
+// The kernel runs once per WG; lane-level work is expressed through the
+// Group's vector operations.
+func (d *Device) Launch(grid, wgSize, scratchPerWG int, kernel func(g *Group)) float64 {
+	return d.LaunchAt(grid, 0, wgSize, scratchPerWG, kernel)
+}
+
+// LaunchAt is Launch with the global work-item IDs offset by base; the
+// coprocessor model uses it to run a grid in chunks (§3.1).
+func (d *Device) LaunchAt(grid, base, wgSize, scratchPerWG int, kernel func(g *Group)) float64 {
+	if wgSize <= 0 {
+		panic("simt: non-positive work-group size")
+	}
+	if grid < 0 {
+		panic("simt: negative grid size")
+	}
+	numWGs := (grid + wgSize - 1) / wgSize
+	_, slowdown := d.Occupancy(scratchPerWG)
+
+	workers := d.Parallelism
+	if workers <= 0 {
+		workers = d.Arch.CUs
+	}
+	if workers > numWGs {
+		workers = numWGs
+	}
+
+	var launchCycles atomic.Int64
+	if numWGs > 0 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				g := newGroup(d, wgSize)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= numWGs {
+						return
+					}
+					size := wgSize
+					if rem := grid - i*wgSize; rem < size {
+						size = rem
+					}
+					g.reset(i, base+i*wgSize, size)
+					kernel(g)
+					launchCycles.Add(g.cycles)
+					g.flushCounters()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	d.Counters.WGLaunches.Add(int64(numWGs))
+	d.Counters.Cycles.Add(launchCycles.Load())
+	if numWGs == 0 {
+		return 0
+	}
+
+	// Virtual busy time: total issue cycles spread across the CUs,
+	// stretched by the scratchpad-occupancy slowdown. Grid-size
+	// starvation is deliberately NOT modelled: the paper's inputs are
+	// ~1000x larger than this reproduction's, so its GPU is never
+	// grid-starved, and modelling starvation at reduced scale would
+	// introduce an artifact the paper does not have (see DESIGN.md).
+	ns := float64(launchCycles.Load()) / float64(d.Arch.CUs) / d.Arch.ClockHz * 1e9 * slowdown
+	if d.Clock != nil {
+		d.Clock.AddGPU(ns)
+	}
+	return ns
+}

@@ -1,0 +1,134 @@
+package simt
+
+// PredicatedLoop executes a data-dependent loop in which lane l performs
+// counts[l] iterations, following the paper's diverged WG-level
+// semantics (§5). The loop body runs once per iteration with the set of
+// active lanes; WG-level operations inside the body (including message
+// offload) operate across exactly the active lanes.
+//
+// The cost charged per iteration depends on the device's DivergenceMode:
+//
+//   - SoftwarePredication (Figure 10b): every wavefront executes every
+//     iteration, plus PredOverheadInstr instructions of explicit
+//     predication code per iteration.
+//   - WGReconvergence (§5.3, thread block compaction): every wavefront
+//     executes every iteration (execution granularity is widened to the
+//     WG), but with no software overhead.
+//   - FineGrainBarrier (§5.3, Figure 10c): wavefronts whose lanes have
+//     all left the fbar stop executing, at the price of
+//     FBarOverheadInstr instructions of (software-emulated) fbar
+//     bookkeeping per iteration.
+//
+// bodyInstr is the instruction count of one loop body; active is reused
+// across iterations and must not be retained.
+func (g *Group) PredicatedLoop(counts []int, bodyInstr int, body func(iter int, active []bool)) {
+	maxIter := g.ReduceMaxInt(counts)
+	if maxIter == 0 {
+		return
+	}
+	arch := &g.dev.Arch
+	active := make([]bool, g.Size)
+	wfw := arch.WFWidth
+
+	for i := 0; i < maxIter; i++ {
+		activeLanes := 0
+		activeWFs := 0
+		for wf := 0; wf*wfw < g.Size; wf++ {
+			wfActive := false
+			hi := (wf + 1) * wfw
+			if hi > g.Size {
+				hi = g.Size
+			}
+			for l := wf * wfw; l < hi; l++ {
+				active[l] = i < counts[l]
+				if active[l] {
+					wfActive = true
+					activeLanes++
+				}
+			}
+			if wfActive {
+				activeWFs++
+			}
+		}
+		if activeLanes == 0 {
+			break
+		}
+
+		switch g.dev.Mode {
+		case SoftwarePredication:
+			g.chargeVector(int64(bodyInstr) + arch.PredOverheadInstr)
+		case WGReconvergence:
+			g.chargeVector(int64(bodyInstr))
+		case FineGrainBarrier:
+			// Only WFs still registered with the fbar execute; emulating
+			// the fbar costs extra instructions on those WFs.
+			g.chargeVectorWFs(int64(bodyInstr)+arch.FBarOverheadInstr, int64(activeWFs))
+			g.Barrier()
+		}
+		if activeLanes < g.Size {
+			g.divergedOps++
+		}
+
+		g.activeLanes = activeLanes
+		body(i, active)
+		g.activeLanes = 0
+	}
+}
+
+// FBar is a software emulation of HSA's fine-grain barrier extended to
+// arbitrary work-item sets (§5.3). It tracks which lanes of a WG are
+// registered; Sync synchronizes exactly the registered lanes. It exists
+// so kernels can be written in the Figure 10c style; the cost model is
+// applied by the owning Group.
+type FBar struct {
+	g      *Group
+	member []bool
+	n      int
+}
+
+// InitFBar creates a fine-grain barrier with all lanes registered
+// (Figure 10c lines 15-16).
+func (g *Group) InitFBar() *FBar {
+	g.ChargeInstr(1)
+	m := make([]bool, g.Size)
+	for i := range m {
+		m[i] = true
+	}
+	return &FBar{g: g, member: m, n: g.Size}
+}
+
+// Leave unregisters a lane (Figure 10c line 20).
+func (f *FBar) Leave(lane int) {
+	if f.member[lane] {
+		f.member[lane] = false
+		f.n--
+	}
+}
+
+// Members returns the current membership mask.
+func (f *FBar) Members() []bool { return f.member }
+
+// Count returns the number of registered lanes.
+func (f *FBar) Count() int { return f.n }
+
+// Sync synchronizes the registered lanes, charging a barrier across only
+// the wavefronts that still have members.
+func (f *FBar) Sync() {
+	g := f.g
+	wfs := int64(0)
+	wfw := g.dev.Arch.WFWidth
+	for wf := 0; wf*wfw < g.Size; wf++ {
+		hi := (wf + 1) * wfw
+		if hi > g.Size {
+			hi = g.Size
+		}
+		for l := wf * wfw; l < hi; l++ {
+			if f.member[l] {
+				wfs++
+				break
+			}
+		}
+	}
+	g.chargeVectorWFs(g.dev.Arch.FBarOverheadInstr, wfs)
+	g.Barrier()
+}

@@ -1,0 +1,146 @@
+package timemodel
+
+import "sync/atomic"
+
+// Clocks accumulates per-node virtual time on independent resources.
+// All fields are in nanoseconds scaled by ClockScale to allow atomic
+// integer accumulation of fractional costs.
+//
+// The functional simulation runs concurrently, so every accumulator is
+// atomic. Reads during a quiescent phase boundary are exact.
+type Clocks struct {
+	gpu       atomic.Int64 // GPU busy time
+	agg       atomic.Int64 // aggregator CPU busy time
+	net       atomic.Int64 // network thread CPU busy time
+	wireSend  atomic.Int64 // NIC send-side wire occupancy
+	wireRecv  atomic.Int64 // NIC receive-side wire occupancy
+	host      atomic.Int64 // host-side serial time (launches, chunk waits)
+	aggIdle   atomic.Int64 // aggregator poll (idle) time, for §8.1
+	aggSlots  atomic.Int64
+	aggMsgs   atomic.Int64
+	netMsgs   atomic.Int64
+	pktsSent  atomic.Int64
+	bytesSent atomic.Int64
+}
+
+// ClockScale converts nanoseconds to internal fixed-point ticks.
+const ClockScale = 16
+
+func toTicks(ns float64) int64 { return int64(ns * ClockScale) }
+
+// AddGPU charges ns to the GPU clock.
+func (c *Clocks) AddGPU(ns float64) { c.gpu.Add(toTicks(ns)) }
+
+// AddAgg charges ns of useful work to the aggregator clock.
+func (c *Clocks) AddAgg(ns float64) { c.agg.Add(toTicks(ns)) }
+
+// AddAggIdle charges ns of polling to the aggregator idle clock.
+func (c *Clocks) AddAggIdle(ns float64) { c.aggIdle.Add(toTicks(ns)) }
+
+// AddNet charges ns to the network thread clock.
+func (c *Clocks) AddNet(ns float64) { c.net.Add(toTicks(ns)) }
+
+// AddWireSend charges ns of send-side wire occupancy.
+func (c *Clocks) AddWireSend(ns float64) { c.wireSend.Add(toTicks(ns)) }
+
+// AddWireRecv charges ns of receive-side wire occupancy.
+func (c *Clocks) AddWireRecv(ns float64) { c.wireRecv.Add(toTicks(ns)) }
+
+// AddHost charges ns of non-overlappable host time.
+func (c *Clocks) AddHost(ns float64) { c.host.Add(toTicks(ns)) }
+
+// CountAggSlot records one consumed producer/consumer queue slot holding
+// msgs messages.
+func (c *Clocks) CountAggSlot(msgs int) {
+	c.aggSlots.Add(1)
+	c.aggMsgs.Add(int64(msgs))
+}
+
+// CountNetMsgs records messages resolved by the network thread.
+func (c *Clocks) CountNetMsgs(n int) { c.netMsgs.Add(int64(n)) }
+
+// CountPacket records one packet put on the wire.
+func (c *Clocks) CountPacket(bytes int) {
+	c.pktsSent.Add(1)
+	c.bytesSent.Add(int64(bytes))
+}
+
+// Snapshot is a point-in-time copy of a node's clocks, in nanoseconds.
+type Snapshot struct {
+	GPU, Agg, AggIdle, Net, WireSend, WireRecv, Host float64
+	AggSlots, AggMsgs, NetMsgs, PktsSent, BytesSent  int64
+}
+
+// Snapshot returns the current clock values. It is only exact when the
+// node is quiescent.
+func (c *Clocks) Snapshot() Snapshot {
+	return Snapshot{
+		GPU:       float64(c.gpu.Load()) / ClockScale,
+		Agg:       float64(c.agg.Load()) / ClockScale,
+		AggIdle:   float64(c.aggIdle.Load()) / ClockScale,
+		Net:       float64(c.net.Load()) / ClockScale,
+		WireSend:  float64(c.wireSend.Load()) / ClockScale,
+		WireRecv:  float64(c.wireRecv.Load()) / ClockScale,
+		Host:      float64(c.host.Load()) / ClockScale,
+		AggSlots:  c.aggSlots.Load(),
+		AggMsgs:   c.aggMsgs.Load(),
+		NetMsgs:   c.netMsgs.Load(),
+		PktsSent:  c.pktsSent.Load(),
+		BytesSent: c.bytesSent.Load(),
+	}
+}
+
+// Sub returns s - prev, field by field.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		GPU:       s.GPU - prev.GPU,
+		Agg:       s.Agg - prev.Agg,
+		AggIdle:   s.AggIdle - prev.AggIdle,
+		Net:       s.Net - prev.Net,
+		WireSend:  s.WireSend - prev.WireSend,
+		WireRecv:  s.WireRecv - prev.WireRecv,
+		Host:      s.Host - prev.Host,
+		AggSlots:  s.AggSlots - prev.AggSlots,
+		AggMsgs:   s.AggMsgs - prev.AggMsgs,
+		NetMsgs:   s.NetMsgs - prev.NetMsgs,
+		PktsSent:  s.PktsSent - prev.PktsSent,
+		BytesSent: s.BytesSent - prev.BytesSent,
+	}
+}
+
+// Overlapped composes the phase time for networking models that overlap
+// communication with computation (Gravel, message-per-lane, coalesced
+// APIs): the phase is bounded by the busiest resource, plus any host
+// serial time.
+func (s Snapshot) Overlapped() float64 {
+	m := s.GPU
+	for _, v := range []float64{s.Agg, s.Net, s.WireSend, s.WireRecv} {
+		if v > m {
+			m = v
+		}
+	}
+	return m + s.Host
+}
+
+// Sequential composes the phase time for the bulk-synchronous coprocessor
+// model: nothing overlaps.
+func (s Snapshot) Sequential() float64 {
+	return s.GPU + s.Agg + s.Net + s.WireSend + s.WireRecv + s.Host
+}
+
+// PhaseRecord describes one superstep of a run: the per-node phase times
+// and the cluster-level phase time (max over nodes plus barrier cost).
+type PhaseRecord struct {
+	Name    string
+	NodeNs  []float64
+	PhaseNs float64
+}
+
+// Total sums phase times.
+func Total(phases []PhaseRecord) float64 {
+	var t float64
+	for _, p := range phases {
+		t += p.PhaseNs
+	}
+	return t
+}

@@ -1,0 +1,44 @@
+package timemodel
+
+// Energy accounting for the §8.1 discussion: the paper argues a
+// dedicated hardware aggregator would be more energy-efficient than
+// burning an out-of-order multi-GHz core that polls 65 % of the time.
+// Power draws are rough public figures for the Table 3 APU
+// (A10-7850K: 95 W TDP shared between 2 CPU modules and the GPU) and a
+// FDR InfiniBand NIC; the comparison between configurations is the
+// point, not the absolute joules.
+
+// Power draw constants in watts.
+const (
+	// PowerGPUW is the GPU's share of the APU package when busy.
+	PowerGPUW = 45.0
+	// PowerCPUCoreW is one busy CPU hardware thread (aggregator or
+	// network thread).
+	PowerCPUCoreW = 12.0
+	// PowerCPUPollW is a polling CPU thread (§8.1: still burning an
+	// out-of-order multi-GHz core even when no work arrives).
+	PowerCPUPollW = 10.0
+	// PowerHWAggW is the paper's proposed small programmable
+	// aggregation core.
+	PowerHWAggW = 1.5
+	// PowerNICW is the NIC's active transfer draw.
+	PowerNICW = 8.0
+)
+
+// EnergyJ estimates the energy in joules consumed by one node's
+// activity snapshot, given whether aggregation ran on a CPU thread or
+// on the proposed dedicated hardware (§8.1). Poll time is charged to
+// the CPU aggregator only — a hardware aggregator idles cheaply enough
+// to ignore.
+func EnergyJ(s Snapshot, hwAggregator bool) float64 {
+	const nsToS = 1e-9
+	e := s.GPU * nsToS * PowerGPUW
+	e += s.Net * nsToS * PowerCPUCoreW
+	e += (s.WireSend + s.WireRecv) * nsToS * PowerNICW
+	if hwAggregator {
+		e += s.Agg * nsToS * PowerHWAggW
+	} else {
+		e += s.Agg*nsToS*PowerCPUCoreW + s.AggIdle*nsToS*PowerCPUPollW
+	}
+	return e
+}

@@ -1,0 +1,203 @@
+// Package wire defines Gravel's message encoding: the row layout used in
+// producer/consumer queue slots (§4.2: first row command, second row
+// destination, subsequent rows arguments) and the byte encoding used in
+// per-node queues sent over the network.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op is a network operation code (§6: Gravel supports PUT, atomic
+// increment, and a primitive active message API).
+type Op uint8
+
+const (
+	// OpPut stores a value into the partitioned global address space.
+	OpPut Op = iota + 1
+	// OpInc atomically adds a value in the PGAS; like every atomic it is
+	// serialized through the destination's network thread.
+	OpInc
+	// OpAM invokes a registered active-message handler at the
+	// destination.
+	OpAM
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "PUT"
+	case OpInc:
+		return "INC"
+	case OpAM:
+		return "AM"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Queue-slot row layout: each message occupies one column of a 4-row
+// slot, 32 bytes per message (§4.2).
+const (
+	// RowCmd packs op, handler and array ID.
+	RowCmd = 0
+	// RowDest holds the destination node.
+	RowDest = 1
+	// RowA holds the first argument (PGAS index, or AM argument 0).
+	RowA = 2
+	// RowB holds the second argument (value, or AM argument 1).
+	RowB = 3
+	// SlotRows is the number of rows per queue slot.
+	SlotRows = 4
+)
+
+// PackCmd builds the RowCmd word.
+func PackCmd(op Op, handler uint8, arr uint16) uint64 {
+	return uint64(op) | uint64(handler)<<8 | uint64(arr)<<16
+}
+
+// UnpackCmd splits a RowCmd word.
+func UnpackCmd(w uint64) (op Op, handler uint8, arr uint16) {
+	return Op(w), uint8(w >> 8), uint16(w >> 16)
+}
+
+// MsgWireBytes is the encoded size of one message inside a per-node
+// queue. The destination is implicit (the whole queue targets one
+// node), so only the command word and two arguments travel.
+const MsgWireBytes = 24
+
+// RoutedMsgBytes is the encoded size of one message inside a per-GROUP
+// queue (§10 hierarchical aggregation): the final destination travels
+// with the message so the receiving group's gateway can re-aggregate.
+const RoutedMsgBytes = 32
+
+// Builder accumulates messages bound for a single destination into a
+// per-node queue buffer of fixed capacity (§6: 64 kB by default). A
+// routed builder targets a *gateway* and each record carries its final
+// destination (hierarchical aggregation, §10).
+type Builder struct {
+	dest   int
+	cap    int
+	rec    int // bytes per record
+	routed bool
+	buf    []byte
+	msgs   int
+}
+
+// NewBuilder creates a builder for the given destination with the given
+// byte capacity (rounded down to a whole number of messages, minimum
+// one).
+func NewBuilder(dest, capBytes int) *Builder {
+	n := capBytes / MsgWireBytes
+	if n < 1 {
+		n = 1
+	}
+	return &Builder{dest: dest, cap: n * MsgWireBytes, rec: MsgWireBytes, buf: make([]byte, 0, n*MsgWireBytes)}
+}
+
+// NewRoutedBuilder creates a builder whose records carry final
+// destinations (sent to a group gateway for re-aggregation).
+func NewRoutedBuilder(gateway, capBytes int) *Builder {
+	n := capBytes / RoutedMsgBytes
+	if n < 1 {
+		n = 1
+	}
+	return &Builder{dest: gateway, cap: n * RoutedMsgBytes, rec: RoutedMsgBytes, routed: true, buf: make([]byte, 0, n*RoutedMsgBytes)}
+}
+
+// Routed reports whether records carry final destinations.
+func (b *Builder) Routed() bool { return b.routed }
+
+// AppendRouted adds one message with an explicit final destination; the
+// builder must be routed.
+func (b *Builder) AppendRouted(cmd, a, v uint64, finalDest int) {
+	if !b.routed {
+		panic("wire: AppendRouted on direct builder")
+	}
+	if b.Full() {
+		panic("wire: Append on full builder")
+	}
+	var rec [RoutedMsgBytes]byte
+	binary.LittleEndian.PutUint64(rec[0:8], cmd)
+	binary.LittleEndian.PutUint64(rec[8:16], a)
+	binary.LittleEndian.PutUint64(rec[16:24], v)
+	binary.LittleEndian.PutUint64(rec[24:32], uint64(finalDest))
+	b.buf = append(b.buf, rec[:]...)
+	b.msgs++
+}
+
+// DecodeRouted iterates over a routed buffer's (cmd, a, v, dest)
+// records.
+func DecodeRouted(buf []byte, fn func(cmd, a, v uint64, dest int)) error {
+	if len(buf)%RoutedMsgBytes != 0 {
+		return fmt.Errorf("wire: routed buffer length %d not a multiple of %d", len(buf), RoutedMsgBytes)
+	}
+	for off := 0; off < len(buf); off += RoutedMsgBytes {
+		cmd := binary.LittleEndian.Uint64(buf[off : off+8])
+		a := binary.LittleEndian.Uint64(buf[off+8 : off+16])
+		v := binary.LittleEndian.Uint64(buf[off+16 : off+24])
+		d := binary.LittleEndian.Uint64(buf[off+24 : off+32])
+		fn(cmd, a, v, int(d))
+	}
+	return nil
+}
+
+// Dest returns the builder's destination node.
+func (b *Builder) Dest() int { return b.dest }
+
+// Msgs returns the number of buffered messages.
+func (b *Builder) Msgs() int { return b.msgs }
+
+// Bytes returns the buffered byte count.
+func (b *Builder) Bytes() int { return len(b.buf) }
+
+// Empty reports whether no messages are buffered.
+func (b *Builder) Empty() bool { return b.msgs == 0 }
+
+// Full reports whether the next Append would overflow.
+func (b *Builder) Full() bool { return len(b.buf)+b.rec > b.cap }
+
+// Append adds one message. The caller must flush when Full; the builder
+// must be direct (see AppendRouted for routed builders).
+func (b *Builder) Append(cmd, a, v uint64) {
+	if b.routed {
+		panic("wire: Append on routed builder")
+	}
+	if b.Full() {
+		panic("wire: Append on full builder")
+	}
+	var rec [MsgWireBytes]byte
+	binary.LittleEndian.PutUint64(rec[0:8], cmd)
+	binary.LittleEndian.PutUint64(rec[8:16], a)
+	binary.LittleEndian.PutUint64(rec[16:24], v)
+	b.buf = append(b.buf, rec[:]...)
+	b.msgs++
+}
+
+// Take returns the current buffer and message count and resets the
+// builder. The returned slice is owned by the caller.
+func (b *Builder) Take() (buf []byte, msgs int) {
+	buf = b.buf
+	msgs = b.msgs
+	n := b.cap
+	b.buf = make([]byte, 0, n)
+	b.msgs = 0
+	return buf, msgs
+}
+
+// Decode iterates over the messages in an encoded per-node queue buffer.
+// It returns an error if the buffer is not a whole number of messages.
+func Decode(buf []byte, fn func(cmd, a, v uint64)) error {
+	if len(buf)%MsgWireBytes != 0 {
+		return fmt.Errorf("wire: buffer length %d not a multiple of %d", len(buf), MsgWireBytes)
+	}
+	for off := 0; off < len(buf); off += MsgWireBytes {
+		cmd := binary.LittleEndian.Uint64(buf[off : off+8])
+		a := binary.LittleEndian.Uint64(buf[off+8 : off+16])
+		v := binary.LittleEndian.Uint64(buf[off+16 : off+24])
+		fn(cmd, a, v)
+	}
+	return nil
+}
