@@ -1,0 +1,119 @@
+package gravel_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"gravel"
+	"gravel/internal/apps/gups"
+	"gravel/internal/core"
+	"gravel/internal/transport"
+)
+
+// The transport must be invisible to applications: the same GUPS run
+// must produce the same table sum on every fabric.
+
+var distGUPS = gups.Config{
+	TableSize:      1 << 12,
+	UpdatesPerNode: 1 << 10,
+	Seed:           7,
+	Steps:          2,
+}
+
+func TestTransportsRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range gravel.Transports() {
+		names[n] = true
+	}
+	for _, want := range []string{"chan", "loopback", "tcp"} {
+		if !names[want] {
+			t.Errorf("transport %q not registered (have %v)", want, gravel.Transports())
+		}
+	}
+}
+
+// TestLoopbackMatchesChan swaps the default channel fabric for the
+// loopback transport (real wire framing, in-process) through the public
+// Config and expects bit-identical application results.
+func TestLoopbackMatchesChan(t *testing.T) {
+	ref := gravel.New(gravel.Config{Nodes: 4})
+	want := gups.Run(ref, distGUPS).Sum
+	ref.Close()
+
+	lb := gravel.New(gravel.Config{Nodes: 4, Transport: "loopback"})
+	got := gups.Run(lb, distGUPS).Sum
+	stats := lb.NetStats()
+	lb.Close()
+
+	if got != want {
+		t.Fatalf("loopback GUPS sum = %d, chan fabric = %d", got, want)
+	}
+	var pkts int64
+	for _, d := range stats.PerDest {
+		pkts += d.Packets
+	}
+	if pkts == 0 {
+		t.Fatal("loopback run sent no wire packets — framing path not exercised")
+	}
+}
+
+// TestTCPClusterMatchesChan runs a real 4-node TCP cluster — four full
+// gravel.New instances, each hosting one node, joined through an
+// in-process coordinator over localhost sockets — and checks that the
+// reduced distributed sum equals the single-process channel fabric's.
+// This is the in-test twin of `gravel-node -smoke` (which forks real OS
+// processes).
+func TestTCPClusterMatchesChan(t *testing.T) {
+	const n = 4
+
+	ref := gravel.New(gravel.Config{Nodes: n})
+	want := gups.Run(ref, distGUPS).Sum
+	ref.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := transport.NewCoordinator(n)
+	go coord.Serve(ln)
+	defer ln.Close()
+
+	locals := make([]uint64, n)
+	totals := make([]uint64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sys := gravel.New(gravel.Config{
+				Nodes:     n,
+				Transport: "tcp",
+				TransportOpts: gravel.TransportOptions{
+					Self:  i,
+					Coord: ln.Addr().String(),
+				},
+			})
+			defer sys.Close()
+			locals[i] = gups.RunOn(sys, distGUPS, i).Sum
+			tcp := sys.(interface{ Fabric() core.Fabric }).Fabric().(*transport.TCP)
+			totals[i], errs[i] = tcp.Reduce("gups:sum", locals[i])
+		}(i)
+	}
+	wg.Wait()
+
+	var sum uint64
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d reduce: %v", i, errs[i])
+		}
+		if totals[i] != totals[0] {
+			t.Fatalf("nodes disagree on the reduced sum: %d vs %d", totals[i], totals[0])
+		}
+		sum += locals[i]
+	}
+	if sum != want || totals[0] != want {
+		t.Fatalf("TCP cluster sum = %d (reduced %d), chan fabric = %d", sum, totals[0], want)
+	}
+}

@@ -42,6 +42,7 @@ package gravel
 
 import (
 	"gravel/internal/core"
+	"gravel/internal/fabric"
 	"gravel/internal/models"
 	"gravel/internal/pgas"
 	"gravel/internal/rt"
@@ -113,16 +114,33 @@ type Config struct {
 	// GroupSize > 1 enables two-level hierarchical aggregation over
 	// groups of this many nodes (the paper's §10 scaling proposal).
 	GroupSize int
+	// Transport selects the fabric implementation by registered name:
+	// "" or "chan" (in-process channels, the default), "loopback"
+	// (in-process with real wire framing), or "tcp" (real sockets; one
+	// process per node — see cmd/gravel-node). Listed by Transports.
+	Transport string
+	// TransportOpts configures socket transports (which node this
+	// process hosts, listen address, coordinator address, wall-clock
+	// charging). Ignored by in-process transports.
+	TransportOpts TransportOptions
 }
+
+// TransportOptions configures socket transports; see fabric.Options.
+type TransportOptions = fabric.Options
+
+// Transports lists the registered fabric transport names.
+func Transports() []string { return fabric.Names() }
 
 // New creates a Gravel cluster. Callers must Close it.
 func New(cfg Config) System {
 	return core.New(core.Config{
-		Nodes:     cfg.Nodes,
-		Params:    cfg.Params,
-		WGSize:    cfg.WGSize,
-		DivMode:   cfg.DivMode,
-		GroupSize: cfg.GroupSize,
+		Nodes:         cfg.Nodes,
+		Params:        cfg.Params,
+		WGSize:        cfg.WGSize,
+		DivMode:       cfg.DivMode,
+		GroupSize:     cfg.GroupSize,
+		Transport:     cfg.Transport,
+		TransportOpts: cfg.TransportOpts,
 	})
 }
 

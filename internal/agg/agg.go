@@ -38,7 +38,7 @@ type Aggregator struct {
 	node   int
 	params *timemodel.Params
 	q      *queue.Gravel
-	fab    *fabric.Fabric
+	fab    fabric.Fabric
 	clock  *timemodel.Clocks
 
 	// PerMessage, when set before Start, disables message combining:
@@ -67,13 +67,13 @@ type Aggregator struct {
 // performs best on its 4-thread CPU). With perMessage set, combining is
 // disabled and every message becomes its own packet (the
 // message-per-lane baseline).
-func New(node int, params *timemodel.Params, q *queue.Gravel, fab *fabric.Fabric, clock *timemodel.Clocks, perMessage bool) *Aggregator {
+func New(node int, params *timemodel.Params, q *queue.Gravel, fab fabric.Fabric, clock *timemodel.Clocks, perMessage bool) *Aggregator {
 	return NewHierarchical(node, params, q, fab, clock, perMessage, 0)
 }
 
 // NewHierarchical is New with two-level aggregation over groups of
 // groupSize nodes (§10); groupSize <= 1 means flat.
-func NewHierarchical(node int, params *timemodel.Params, q *queue.Gravel, fab *fabric.Fabric, clock *timemodel.Clocks, perMessage bool, groupSize int) *Aggregator {
+func NewHierarchical(node int, params *timemodel.Params, q *queue.Gravel, fab fabric.Fabric, clock *timemodel.Clocks, perMessage bool, groupSize int) *Aggregator {
 	n := fab.Nodes()
 	if groupSize <= 1 || groupSize >= n {
 		groupSize = 0

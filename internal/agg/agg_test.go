@@ -10,7 +10,7 @@ import (
 	"gravel/internal/wire"
 )
 
-func setup(t *testing.T, perMessage bool, queueBytes int) (*Aggregator, *queue.Gravel, *fabric.Fabric) {
+func setup(t *testing.T, perMessage bool, queueBytes int) (*Aggregator, *queue.Gravel, *fabric.Chan) {
 	t.Helper()
 	p := timemodel.Default()
 	if queueBytes > 0 {
@@ -48,7 +48,7 @@ type collector struct {
 	ch chan [2]int
 }
 
-func collect(fab *fabric.Fabric, node int) *collector {
+func collect(fab *fabric.Chan, node int) *collector {
 	c := &collector{ch: make(chan [2]int, 1)}
 	go func() {
 		pkts, msgs := 0, 0

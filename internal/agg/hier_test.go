@@ -10,7 +10,7 @@ import (
 )
 
 // setupHier builds a hierarchical aggregator for node over n nodes.
-func setupHier(t *testing.T, node, n, group int) (*Aggregator, *queue.Gravel, *fabric.Fabric) {
+func setupHier(t *testing.T, node, n, group int) (*Aggregator, *queue.Gravel, *fabric.Chan) {
 	t.Helper()
 	p := timemodel.Default()
 	clocks := make([]*timemodel.Clocks, n)

@@ -39,8 +39,22 @@ type Result struct {
 	Sum uint64
 }
 
-// Run executes GUPS on the given system.
+// Run executes GUPS on the given system, launching on every node.
 func Run(sys rt.System, cfg Config) Result {
+	return run(sys, cfg, -1)
+}
+
+// RunOn executes only the given node's share of the GUPS update
+// stream. This is the per-process entry point of a distributed run
+// (cmd/gravel-node): each process launches its own node's updates, and
+// because the stream is derived from the initiating node's ID, the
+// union over all processes is exactly the single-process run — the
+// per-process table sums add up to Run's Sum.
+func RunOn(sys rt.System, cfg Config, node int) Result {
+	return run(sys, cfg, node)
+}
+
+func run(sys rt.System, cfg Config, only int) Result {
 	if cfg.Steps <= 0 {
 		cfg.Steps = 1
 	}
@@ -52,7 +66,11 @@ func Run(sys rt.System, cfg Config) Result {
 	grid := make([]int, n)
 	for s := 0; s < cfg.Steps; s++ {
 		for i := range grid {
-			grid[i] = perStep
+			if only < 0 || i == only {
+				grid[i] = perStep
+			} else {
+				grid[i] = 0
+			}
 		}
 		step := s
 		sys.Step("gups", grid, 0, func(c rt.Ctx) {
@@ -72,7 +90,11 @@ func Run(sys rt.System, cfg Config) Result {
 	}
 
 	ns := sys.VirtualTimeNs() - t0
-	updates := int64(perStep) * int64(cfg.Steps) * int64(n)
+	launched := int64(n)
+	if only >= 0 {
+		launched = 1
+	}
+	updates := int64(perStep) * int64(cfg.Steps) * launched
 	return Result{
 		Ns:      ns,
 		Updates: updates,

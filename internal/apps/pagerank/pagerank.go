@@ -34,6 +34,9 @@ type Result struct {
 	// RankSum is the sum of final ranks in units of 1.0; it stays ≈ N
 	// when the graph has no dangling vertices.
 	RankSum float64
+	// FixedSum is the same sum in raw fixed-point units — exact, so
+	// distributed per-shard sums can be reduced and compared.
+	FixedSum uint64
 	// Checksum is an FNV-1a hash of the final fixed-point rank vector.
 	Checksum uint64
 	Iters    int
@@ -63,8 +66,22 @@ func slotBounds(inOff []int64, vb []int) []int {
 	return b
 }
 
-// Run executes PageRank on the given system.
+// Run executes PageRank on the given system, launching on every node.
 func Run(sys rt.System, cfg Config) Result {
+	return run(sys, cfg, -1)
+}
+
+// RunOn executes only the given node's share of the PageRank pushes —
+// the per-process entry point of a distributed run. RankSum, FixedSum
+// and Checksum then cover only that node's vertex shard (rank.Fill
+// seeds every shard identically, and phases only read vertices the
+// launching node owns), so reducing FixedSum across processes yields
+// the single-process total.
+func RunOn(sys rt.System, cfg Config, node int) Result {
+	return run(sys, cfg, node)
+}
+
+func run(sys rt.System, cfg Config, only int) Result {
 	g := cfg.G
 	nodes := sys.Nodes()
 	vb := vertexBounds(g.N, nodes)
@@ -77,7 +94,9 @@ func Run(sys rt.System, cfg Config) Result {
 
 	grid := make([]int, nodes)
 	for i := 0; i < nodes; i++ {
-		grid[i] = vb[i+1] - vb[i]
+		if only < 0 || i == only {
+			grid[i] = vb[i+1] - vb[i]
+		}
 	}
 
 	t0 := sys.VirtualTimeNs()
@@ -142,10 +161,14 @@ func Run(sys rt.System, cfg Config) Result {
 	}
 	ns := sys.VirtualTimeNs() - t0
 
+	vlo, vhi := 0, g.N
+	if only >= 0 {
+		vlo, vhi = vb[only], vb[only+1]
+	}
 	h := fnv.New64a()
 	var buf [8]byte
 	var sum uint64
-	for v := uint64(0); v < uint64(g.N); v++ {
+	for v := uint64(vlo); v < uint64(vhi); v++ {
 		r := rank.Load(v)
 		sum += r
 		putU64(buf[:], r)
@@ -154,6 +177,7 @@ func Run(sys rt.System, cfg Config) Result {
 	return Result{
 		Ns:       ns,
 		RankSum:  float64(sum) / Scale,
+		FixedSum: sum,
 		Checksum: h.Sum64(),
 		Iters:    cfg.Iters,
 	}

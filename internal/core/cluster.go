@@ -26,6 +26,7 @@ import (
 	"gravel/internal/simt"
 	"gravel/internal/stats"
 	"gravel/internal/timemodel"
+	_ "gravel/internal/transport" // registers the "loopback" and "tcp" transports
 	"gravel/internal/wire"
 )
 
@@ -69,7 +70,20 @@ type Config struct {
 	// leaving the sender's group travel in per-group queues to a gateway
 	// member of the destination group, which re-aggregates them.
 	GroupSize int
+	// Transport names a registered fabric transport: "" or "chan" (the
+	// default in-process channel fabric), "loopback" (in-process with
+	// real framing), or "tcp" (real sockets; the cluster spans OS
+	// processes, one hosted node per process).
+	Transport string
+	// TransportOpts configures non-default transports (addresses,
+	// coordinator, wall-clock timing).
+	TransportOpts fabric.Options
 }
+
+// Fabric is the interconnect interface the runtime depends on; concrete
+// transports live in internal/fabric ("chan") and internal/transport
+// ("loopback", "tcp").
+type Fabric = fabric.Fabric
 
 // Node is one simulated machine: an APU (GPU + CPU threads) plus a NIC.
 type Node struct {
@@ -92,7 +106,7 @@ type Cluster struct {
 	cfg    Config
 	params *timemodel.Params
 	space  *pgas.Space
-	fab    *fabric.Fabric
+	fab    fabric.Fabric
 	nodes  []*Node
 
 	handlers []rt.AMHandler
@@ -134,7 +148,15 @@ func New(cfg Config) *Cluster {
 	for i := range clocks {
 		clocks[i] = &timemodel.Clocks{}
 	}
-	cl.fab = fabric.New(p, clocks)
+	if cfg.Transport == "" || cfg.Transport == "chan" {
+		cl.fab = fabric.New(p, clocks)
+	} else {
+		fab, err := fabric.NewByName(cfg.Transport, p, clocks, cfg.TransportOpts)
+		if err != nil {
+			panic(err)
+		}
+		cl.fab = fab
+	}
 
 	arch := simt.GPUArch(p)
 	if cfg.Arch != nil {
@@ -160,6 +182,11 @@ func New(cfg Config) *Cluster {
 
 	cl.prev = make([]timemodel.Snapshot, cfg.Nodes)
 	for _, n := range cl.nodes {
+		// A multi-process transport hosts one node per process; the
+		// others exist only for address-space symmetry and stay idle.
+		if !cl.fab.Hosts(n.ID) {
+			continue
+		}
 		n.Agg.Start()
 		cl.netWG.Add(1)
 		go cl.netThread(n)
@@ -236,8 +263,9 @@ func (cl *Cluster) WGSize() int { return cl.cfg.WGSize }
 // Node returns node i (exported for the baseline models and tests).
 func (cl *Cluster) Node(i int) *Node { return cl.nodes[i] }
 
-// Fabric returns the interconnect (exported for the baseline models).
-func (cl *Cluster) Fabric() *fabric.Fabric { return cl.fab }
+// Fabric returns the interconnect (exported for the baseline models and
+// the multi-process node runtime).
+func (cl *Cluster) Fabric() Fabric { return cl.fab }
 
 // RegisterAM implements rt.System. Handlers must be registered before
 // the first Step.
@@ -260,6 +288,14 @@ func (cl *Cluster) Step(name string, grid []int, scratchPerWG int, k rt.Kernel) 
 		return &ctx{n: n, g: grp}
 	}, k)
 	cl.Quiesce()
+	// Multi-process fabrics align step boundaries across the cluster:
+	// without this, a fast process could read results (or send the next
+	// step's messages) before a skewed peer's current-step messages have
+	// been applied. In-process fabrics need no alignment — the single
+	// Step caller is the barrier.
+	if b, ok := cl.fab.(interface{ StepBarrier() }); ok {
+		b.StepBarrier()
+	}
 	cl.EndPhaseOverlapped(name)
 }
 
@@ -275,6 +311,9 @@ func (cl *Cluster) LaunchAll(grid []int, scratchPerWG int, mkCtx func(*Node, *si
 	for i, n := range cl.nodes {
 		if grid[i] <= 0 {
 			continue
+		}
+		if !cl.fab.Hosts(i) {
+			panic(fmt.Sprintf("core: launch on node %d, which this process does not host", i))
 		}
 		n.Clocks.AddHost(cl.params.KernelLaunchNs)
 		wg.Add(1)
@@ -399,7 +438,14 @@ func (cl *Cluster) NetStats() rt.NetStats {
 		s.WireBytes += snap.BytesSent
 		aggBusy += snap.Agg
 	}
-	s.AvgPacketBytes = cl.fab.TotalAvgPacketBytes()
+	m := cl.fab.NetMetrics()
+	s.AvgPacketBytes = m.TotalAvgPacketBytes()
+	s.PerDest = make([]rt.DestCount, cl.cfg.Nodes)
+	for d := range s.PerDest {
+		s.PerDest[d] = rt.DestCount{Packets: m.PerDest.Packets(d), Bytes: m.PerDest.Bytes(d)}
+	}
+	s.Reconnects = m.Reconnects.Load()
+	s.Retries = m.Retries.Load()
 	// Busy fraction of the aggregator core over the run's virtual time
 	// (the paper's §8.1 metric: 65% of the core's time is polling).
 	if cl.totalNs > 0 {
@@ -415,7 +461,9 @@ func (cl *Cluster) Close() {
 	}
 	cl.closed = true
 	for _, n := range cl.nodes {
-		n.Agg.Stop()
+		if cl.fab.Hosts(n.ID) {
+			n.Agg.Stop()
+		}
 	}
 	cl.fab.Close()
 	cl.netWG.Wait()

@@ -1,0 +1,107 @@
+package fabric
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gravel/internal/timemodel"
+)
+
+// Chan is the default in-process transport: delivery is real — packets
+// move between in-process nodes through channels — while timing is
+// virtual: every packet charges LogGP-style wire occupancy (Alpha +
+// bytes/Beta) to the sender's and receiver's clocks.
+//
+// Backpressure mirrors the paper's configuration of a bounded number of
+// in-flight per-node queues per destination: each node's inbox is a
+// bounded channel, and senders block when a receiver falls behind.
+// Network threads must never send while processing (true for all
+// workloads here), so this cannot deadlock.
+type Chan struct {
+	*Metrics
+	params *timemodel.Params
+	clocks []*timemodel.Clocks
+	inbox  []chan Packet
+
+	inflight atomic.Int64
+}
+
+// New creates a channel fabric over the given per-node clocks.
+func New(params *timemodel.Params, clocks []*timemodel.Clocks) *Chan {
+	n := len(clocks)
+	if n == 0 {
+		panic("fabric: no nodes")
+	}
+	f := &Chan{
+		Metrics: NewMetrics(n),
+		params:  params,
+		clocks:  clocks,
+		inbox:   make([]chan Packet, n),
+	}
+	depth := params.QueuesPerDest * n
+	if depth < 4 {
+		depth = 4
+	}
+	for i := range f.inbox {
+		f.inbox[i] = make(chan Packet, depth)
+	}
+	return f
+}
+
+// Nodes returns the node count.
+func (f *Chan) Nodes() int { return len(f.inbox) }
+
+// Hosts implements Fabric: every node lives in this process.
+func (f *Chan) Hosts(int) bool { return true }
+
+// Send transmits one per-node queue from node `from` to node `to`,
+// charging wire time to both endpoints. It blocks if the receiver's
+// inbox is full (finite in-flight queue credit, §6).
+func (f *Chan) Send(from, to int, buf []byte, msgs int) {
+	f.send(from, to, buf, msgs, false)
+}
+
+// SendRouted transmits a per-group queue (records carry their final
+// destinations) to a group gateway for re-aggregation (§10).
+func (f *Chan) SendRouted(from, gateway int, buf []byte, msgs int) {
+	f.send(from, gateway, buf, msgs, true)
+}
+
+func (f *Chan) send(from, to int, buf []byte, msgs int, routed bool) {
+	if to < 0 || to >= len(f.inbox) {
+		panic(fmt.Sprintf("fabric: send to invalid node %d", to))
+	}
+	if from == to {
+		// Local atomics are routed through the local network thread but
+		// never touch the wire (§6).
+		f.SelfPkts[from].Inc()
+	} else {
+		ns := f.params.WireNs(len(buf))
+		f.clocks[from].AddWireSend(ns)
+		f.clocks[to].AddWireRecv(ns)
+		f.clocks[from].CountPacket(len(buf))
+		f.ObserveWire(from, to, len(buf))
+	}
+	f.inflight.Add(1)
+	f.inbox[to] <- Packet{From: from, To: to, Buf: buf, Msgs: msgs, Routed: routed}
+}
+
+// Inbox returns node's receive channel; the node's network thread ranges
+// over it.
+func (f *Chan) Inbox(node int) <-chan Packet { return f.inbox[node] }
+
+// Done must be called by the network thread after fully applying a
+// packet; quiescence detection depends on it.
+func (f *Chan) Done(Packet) { f.inflight.Add(-1) }
+
+// Quiet reports whether no packets are in flight or being applied.
+func (f *Chan) Quiet() bool { return f.inflight.Load() == 0 }
+
+// Close closes all inboxes; network threads drain and exit.
+func (f *Chan) Close() {
+	for _, ch := range f.inbox {
+		close(ch)
+	}
+}
+
+var _ Fabric = (*Chan)(nil)

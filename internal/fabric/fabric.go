@@ -1,19 +1,19 @@
-// Package fabric simulates the cluster interconnect (Table 3: 56 Gb/s
-// InfiniBand, driven via MPI). Delivery is real — packets move between
-// in-process nodes through channels — while timing is virtual: every
-// packet charges LogGP-style wire occupancy (Alpha + bytes/Beta) to the
-// sender's and receiver's clocks.
+// Package fabric defines the cluster interconnect abstraction: the
+// Fabric interface every transport implements, the Packet unit of
+// delivery, shared wire Metrics, and a registry that maps transport
+// names ("chan", "loopback", "tcp") to factories.
 //
-// Backpressure mirrors the paper's configuration of a bounded number of
-// in-flight per-node queues per destination: each node's inbox is a
-// bounded channel, and senders block when a receiver falls behind.
-// Network threads must never send while processing (true for all
-// workloads here), so this cannot deadlock.
+// The default "chan" transport (this package) simulates the paper's
+// interconnect (Table 3: 56 Gb/s InfiniBand, driven via MPI) with
+// in-process channels and virtual LogGP-style timing. Package
+// internal/transport contributes "loopback" (in-process, real framing)
+// and "tcp" (real sockets, multi-process clusters).
 package fabric
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sort"
+	"sync"
 
 	"gravel/internal/stats"
 	"gravel/internal/timemodel"
@@ -30,112 +30,159 @@ type Packet struct {
 	Routed   bool
 }
 
-// Fabric connects n simulated nodes.
-type Fabric struct {
-	params *timemodel.Params
-	clocks []*timemodel.Clocks
-	inbox  []chan Packet
+// Fabric is the interconnect interface the runtime depends on. A fabric
+// connects n nodes; Send/SendRouted transmit one per-node (or
+// per-group) queue, blocking when the receiver falls behind (finite
+// in-flight queue credit, §6). Each hosted node's network thread ranges
+// over Inbox and must call Done after fully applying a packet; Quiet
+// reports cluster-wide quiescence — no packets staged, in flight, or
+// being applied — which the runtime's Step barrier relies on.
+type Fabric interface {
+	// Nodes returns the cluster size.
+	Nodes() int
+	// Hosts reports whether this process runs node's threads. In-process
+	// fabrics host every node; a multi-process transport hosts one.
+	Hosts(node int) bool
+	// Send transmits one per-node queue from node `from` to node `to`,
+	// charging wire time to the sender. It blocks on backpressure.
+	Send(from, to int, buf []byte, msgs int)
+	// SendRouted transmits a per-group queue (records carry their final
+	// destinations) to a group gateway for re-aggregation (§10).
+	SendRouted(from, gateway int, buf []byte, msgs int)
+	// Inbox returns node's receive channel.
+	Inbox(node int) <-chan Packet
+	// Done must be called after fully applying a packet; quiescence
+	// detection depends on it.
+	Done(Packet)
+	// Quiet reports whether no packets are staged, in flight, or being
+	// applied anywhere in the cluster.
+	Quiet() bool
+	// Close tears the fabric down: all inboxes are closed after any
+	// drain/close handshake completes. Network threads drain and exit.
+	Close()
+	// Metrics returns the fabric's wire counters.
+	NetMetrics() *Metrics
+}
 
-	inflight atomic.Int64
-
+// Metrics holds the wire counters every transport maintains.
+type Metrics struct {
 	// PktSizes records the size of every packet put on the wire by each
 	// node (Table 5 "average message size").
 	PktSizes []stats.SizeHist
 	// SelfPkts counts node-local packets (atomics routed through the
 	// local network thread, which never reach the wire).
 	SelfPkts []stats.Counter
+	// PerDest counts wire packets and bytes by destination node.
+	PerDest *stats.PerDest
+	// Reconnects counts connections re-established after a drop;
+	// Retries counts failed dial attempts. Both stay 0 for in-process
+	// transports.
+	Reconnects, Retries stats.Counter
+	// Malformed counts received frames or payloads that failed
+	// validation and were dropped instead of applied.
+	Malformed stats.Counter
 }
 
-// New creates a fabric over the given per-node clocks.
-func New(params *timemodel.Params, clocks []*timemodel.Clocks) *Fabric {
-	n := len(clocks)
-	if n == 0 {
-		panic("fabric: no nodes")
-	}
-	f := &Fabric{
-		params:   params,
-		clocks:   clocks,
-		inbox:    make([]chan Packet, n),
+// NewMetrics creates zeroed metrics for an n-node fabric.
+func NewMetrics(n int) *Metrics {
+	return &Metrics{
 		PktSizes: make([]stats.SizeHist, n),
 		SelfPkts: make([]stats.Counter, n),
+		PerDest:  stats.NewPerDest(n),
 	}
-	depth := params.QueuesPerDest * n
-	if depth < 4 {
-		depth = 4
-	}
-	for i := range f.inbox {
-		f.inbox[i] = make(chan Packet, depth)
-	}
-	return f
 }
 
-// Nodes returns the node count.
-func (f *Fabric) Nodes() int { return len(f.inbox) }
+// Metrics returns m, so embedding *Metrics satisfies the Fabric
+// interface's accessor.
+func (m *Metrics) NetMetrics() *Metrics { return m }
 
-// Send transmits one per-node queue from node `from` to node `to`,
-// charging wire time to both endpoints. It blocks if the receiver's
-// inbox is full (finite in-flight queue credit, §6).
-func (f *Fabric) Send(from, to int, buf []byte, msgs int) {
-	f.send(from, to, buf, msgs, false)
-}
-
-// SendRouted transmits a per-group queue (records carry their final
-// destinations) to a group gateway for re-aggregation (§10).
-func (f *Fabric) SendRouted(from, gateway int, buf []byte, msgs int) {
-	f.send(from, gateway, buf, msgs, true)
-}
-
-func (f *Fabric) send(from, to int, buf []byte, msgs int, routed bool) {
-	if to < 0 || to >= len(f.inbox) {
-		panic(fmt.Sprintf("fabric: send to invalid node %d", to))
-	}
-	if from == to {
-		// Local atomics are routed through the local network thread but
-		// never touch the wire (§6).
-		f.SelfPkts[from].Inc()
-	} else {
-		ns := f.params.WireNs(len(buf))
-		f.clocks[from].AddWireSend(ns)
-		f.clocks[to].AddWireRecv(ns)
-		f.clocks[from].CountPacket(len(buf))
-		f.PktSizes[from].Observe(int64(len(buf)))
-	}
-	f.inflight.Add(1)
-	f.inbox[to] <- Packet{From: from, To: to, Buf: buf, Msgs: msgs, Routed: routed}
-}
-
-// Inbox returns node's receive channel; the node's network thread ranges
-// over it.
-func (f *Fabric) Inbox(node int) <-chan Packet { return f.inbox[node] }
-
-// Done must be called by the network thread after fully applying a
-// packet; quiescence detection depends on it.
-func (f *Fabric) Done(Packet) { f.inflight.Add(-1) }
-
-// Quiet reports whether no packets are in flight or being applied.
-func (f *Fabric) Quiet() bool { return f.inflight.Load() == 0 }
-
-// Close closes all inboxes; network threads drain and exit.
-func (f *Fabric) Close() {
-	for _, ch := range f.inbox {
-		close(ch)
-	}
+// ObserveWire records one wire packet from `from` to `to`.
+func (m *Metrics) ObserveWire(from, to, bytes int) {
+	m.PktSizes[from].Observe(int64(bytes))
+	m.PerDest.Observe(to, int64(bytes))
 }
 
 // AvgPacketBytes returns the mean wire packet size for a node, 0 if it
 // sent none.
-func (f *Fabric) AvgPacketBytes(node int) float64 { return f.PktSizes[node].Mean() }
+func (m *Metrics) AvgPacketBytes(node int) float64 { return m.PktSizes[node].Mean() }
 
 // TotalAvgPacketBytes returns the mean wire packet size across all
 // nodes.
-func (f *Fabric) TotalAvgPacketBytes() float64 {
+func (m *Metrics) TotalAvgPacketBytes() float64 {
 	var sum, n int64
-	for i := range f.PktSizes {
-		sum += f.PktSizes[i].Sum()
-		n += f.PktSizes[i].Count()
+	for i := range m.PktSizes {
+		sum += m.PktSizes[i].Sum()
+		n += m.PktSizes[i].Count()
 	}
 	if n == 0 {
 		return 0
 	}
 	return float64(sum) / float64(n)
+}
+
+// Options configures a transport built through the registry. The
+// in-process transports ("chan", "loopback") ignore every field.
+type Options struct {
+	// Self is the node this process hosts (multi-process transports).
+	Self int
+	// Listen is the address to accept peer connections on; an explicit
+	// port 0 picks a free port, published through the coordinator.
+	Listen string
+	// Peers maps node ID to address when known up front. With a
+	// coordinator it may be left nil; addresses are exchanged at join.
+	Peers []string
+	// Coord is the rendezvous coordinator address (join, quiescence,
+	// reductions).
+	Coord string
+	// WallClock charges measured wall-clock time for wire transfers
+	// instead of the virtual LogGP model.
+	WallClock bool
+}
+
+// Factory builds a fabric over the given per-node clocks.
+type Factory func(p *timemodel.Params, clocks []*timemodel.Clocks, opt Options) (Fabric, error)
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Factory{}
+)
+
+// Register makes a transport available by name. It panics on duplicate
+// registration.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("fabric: duplicate transport %q", name))
+	}
+	registry[name] = f
+}
+
+// NewByName builds a registered transport.
+func NewByName(name string, p *timemodel.Params, clocks []*timemodel.Clocks, opt Options) (Fabric, error) {
+	regMu.Lock()
+	f, ok := registry[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown transport %q (have %v)", name, Names())
+	}
+	return f(p, clocks, opt)
+}
+
+// Names lists the registered transports in sorted order.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("chan", func(p *timemodel.Params, clocks []*timemodel.Clocks, _ Options) (Fabric, error) {
+		return New(p, clocks), nil
+	})
 }

@@ -10,7 +10,7 @@ import (
 // near allows for the fixed-point (1/16 ns) clock granularity.
 func near(a, b float64) bool { return math.Abs(a-b) < 0.125 }
 
-func newTestFabric(n int) (*Fabric, []*timemodel.Clocks) {
+func newTestFabric(n int) (*Chan, []*timemodel.Clocks) {
 	clocks := make([]*timemodel.Clocks, n)
 	for i := range clocks {
 		clocks[i] = &timemodel.Clocks{}
@@ -84,6 +84,51 @@ func TestSendInvalidDestPanics(t *testing.T) {
 		}
 	}()
 	f.Send(0, 5, nil, 0)
+}
+
+func TestPerDestReconcilesWithSizeHist(t *testing.T) {
+	f, _ := newTestFabric(3)
+	f.Send(0, 1, make([]byte, 100), 1)
+	f.Send(0, 2, make([]byte, 300), 1)
+	f.Send(1, 2, make([]byte, 50), 1)
+	f.Send(2, 2, make([]byte, 50), 1) // self: never reaches the wire
+	f.Done(<-f.Inbox(1))
+	f.Done(<-f.Inbox(2))
+	f.Done(<-f.Inbox(2))
+	f.Done(<-f.Inbox(2))
+	m := f.NetMetrics()
+	pkts, bytes := m.PerDest.Totals()
+	var histPkts, histBytes int64
+	for i := range m.PktSizes {
+		histPkts += m.PktSizes[i].Count()
+		histBytes += m.PktSizes[i].Sum()
+	}
+	if pkts != histPkts || bytes != histBytes {
+		t.Fatalf("per-dest (%d pkts, %d B) != size-hist (%d pkts, %d B)",
+			pkts, bytes, histPkts, histBytes)
+	}
+	if m.PerDest.Packets(2) != 2 || m.PerDest.Bytes(2) != 350 {
+		t.Fatalf("dest 2: got %d pkts %d B, want 2 pkts 350 B",
+			m.PerDest.Packets(2), m.PerDest.Bytes(2))
+	}
+	if m.PerDest.Packets(0) != 0 {
+		t.Fatal("dest 0 received no wire packets")
+	}
+}
+
+func TestRegistryBuildsChan(t *testing.T) {
+	clocks := []*timemodel.Clocks{{}, {}}
+	f, err := NewByName("chan", timemodel.Default(), clocks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Nodes() != 2 || !f.Hosts(1) {
+		t.Fatal("registry-built chan fabric wrong shape")
+	}
+	f.Close()
+	if _, err := NewByName("no-such-transport", timemodel.Default(), clocks, Options{}); err == nil {
+		t.Fatal("unknown transport did not error")
+	}
 }
 
 func TestCloseEndsInboxes(t *testing.T) {

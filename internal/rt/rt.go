@@ -60,6 +60,19 @@ type NetStats struct {
 	// AggBusyFrac is the fraction of aggregator CPU time spent doing
 	// useful work (1 - poll fraction, §8.1).
 	AggBusyFrac float64
+	// PerDest, indexed by destination node, breaks the wire totals down
+	// by destination. In a multi-process cluster each process reports
+	// the traffic its hosted node originated.
+	PerDest []DestCount
+	// Reconnects counts transport connections re-established after a
+	// drop; Retries counts failed dial attempts. Both are 0 for
+	// in-process fabrics.
+	Reconnects, Retries int64
+}
+
+// DestCount is one destination's share of the wire traffic.
+type DestCount struct {
+	Packets, Bytes int64
 }
 
 // RemoteFrac returns the fraction of accesses that were remote.

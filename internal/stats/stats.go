@@ -88,6 +88,42 @@ func (h *SizeHist) Reset() {
 	h.sum.Store(0)
 }
 
+// PerDest tracks wire packet and byte counts by destination node. All
+// methods are safe for concurrent use.
+type PerDest struct {
+	pkts  []atomic.Int64
+	bytes []atomic.Int64
+}
+
+// NewPerDest creates a per-destination tracker for n nodes.
+func NewPerDest(n int) *PerDest {
+	return &PerDest{pkts: make([]atomic.Int64, n), bytes: make([]atomic.Int64, n)}
+}
+
+// Len returns the number of destinations tracked.
+func (d *PerDest) Len() int { return len(d.pkts) }
+
+// Observe records one packet of the given size bound for dest.
+func (d *PerDest) Observe(dest int, bytes int64) {
+	d.pkts[dest].Add(1)
+	d.bytes[dest].Add(bytes)
+}
+
+// Packets returns the packet count for dest.
+func (d *PerDest) Packets(dest int) int64 { return d.pkts[dest].Load() }
+
+// Bytes returns the byte count for dest.
+func (d *PerDest) Bytes(dest int) int64 { return d.bytes[dest].Load() }
+
+// Totals returns the packet and byte counts summed over destinations.
+func (d *PerDest) Totals() (pkts, bytes int64) {
+	for i := range d.pkts {
+		pkts += d.pkts[i].Load()
+		bytes += d.bytes[i].Load()
+	}
+	return pkts, bytes
+}
+
 // GeoMean returns the geometric mean of xs. It panics if any value is
 // non-positive, matching how the paper's geo-mean bars are computed.
 func GeoMean(xs []float64) float64 {

@@ -1,0 +1,367 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Coordinator is the rendezvous point of a multi-process cluster: it
+// assigns nothing and moves no data, but provides the three collective
+// services sockets cannot: peer discovery (join), distributed
+// quiescence detection (the cross-process extension of fabric.Quiet),
+// and terminal reductions (gathering per-node results such as table
+// sums).
+//
+// Quiescence uses the classic sum-matching argument over monotonic
+// counters: every worker reports (wire frames sent, wire frames
+// applied, locally idle). The cluster is quiet when every worker has
+// reported, every worker is idle, the sums match, and the previous
+// evaluation — also a candidate — saw identical sums. Counters only
+// grow, so two consecutive matching candidates imply no frame was in
+// flight between them.
+type Coordinator struct {
+	nodes int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	peers   map[int]string
+	reports map[int]quietReport
+	prevS   int64
+	prevA   int64
+	prevOK  bool
+
+	reduces  map[string]*reduceState
+	barriers map[string]*barrierState
+	byes     int
+	done     chan struct{}
+}
+
+type barrierState struct {
+	arrived  map[int]bool
+	released bool
+}
+
+type quietReport struct {
+	sent, applied int64
+	idle          bool
+}
+
+type reduceState struct {
+	vals map[int]uint64
+	done bool
+}
+
+// coordMsg is both request and response of the line-oriented JSON
+// protocol workers speak to the coordinator.
+type coordMsg struct {
+	Op      string   `json:"op,omitempty"`
+	Node    int      `json:"node"`
+	Addr    string   `json:"addr,omitempty"`
+	Sent    int64    `json:"sent,omitempty"`
+	Applied int64    `json:"applied,omitempty"`
+	Idle    bool     `json:"idle,omitempty"`
+	Key     string   `json:"key,omitempty"`
+	Val     uint64   `json:"val,omitempty"`
+	OK      bool     `json:"ok"`
+	Err     string   `json:"err,omitempty"`
+	Quiet   bool     `json:"quiet,omitempty"`
+	Total   uint64   `json:"total,omitempty"`
+	Peers   []string `json:"peers,omitempty"`
+}
+
+// NewCoordinator creates a coordinator expecting the given worker
+// count.
+func NewCoordinator(nodes int) *Coordinator {
+	c := &Coordinator{
+		nodes:    nodes,
+		peers:    make(map[int]string),
+		reports:  make(map[int]quietReport),
+		reduces:  make(map[string]*reduceState),
+		barriers: make(map[string]*barrierState),
+		done:     make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Done is closed once every worker has said goodbye.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Serve accepts worker connections until the listener closes. Call
+// `ln.Close()` after Done() fires (or on error) to end it.
+func (c *Coordinator) Serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.handle(conn)
+	}
+}
+
+func (c *Coordinator) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req coordMsg
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := c.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if req.Op == "bye" {
+			return
+		}
+	}
+}
+
+func (c *Coordinator) dispatch(req *coordMsg) *coordMsg {
+	if req.Node < 0 || req.Node >= c.nodes {
+		return &coordMsg{Err: fmt.Sprintf("node %d out of range [0,%d)", req.Node, c.nodes)}
+	}
+	switch req.Op {
+	case "join":
+		peers, err := c.join(req.Node, req.Addr)
+		if err != nil {
+			return &coordMsg{Err: err.Error()}
+		}
+		return &coordMsg{OK: true, Peers: peers}
+	case "quiet":
+		q := c.quietEval(req.Node, quietReport{sent: req.Sent, applied: req.Applied, idle: req.Idle})
+		return &coordMsg{OK: true, Quiet: q}
+	case "reduce":
+		return &coordMsg{OK: true, Total: c.reduce(req.Node, req.Key, req.Val)}
+	case "barrier":
+		rel := c.barrier(req.Node, req.Key, quietReport{sent: req.Sent, applied: req.Applied, idle: req.Idle})
+		return &coordMsg{OK: true, Quiet: rel}
+	case "bye":
+		c.bye()
+		return &coordMsg{OK: true}
+	default:
+		return &coordMsg{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// join registers a worker's listen address and blocks until the whole
+// cluster has assembled, returning the address table indexed by node.
+func (c *Coordinator) join(node int, addr string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, dup := c.peers[node]; dup && prev != addr {
+		return nil, fmt.Errorf("node %d joined twice (%s, %s)", node, prev, addr)
+	}
+	c.peers[node] = addr
+	c.cond.Broadcast()
+	for len(c.peers) < c.nodes {
+		c.cond.Wait()
+	}
+	out := make([]string, c.nodes)
+	for i, a := range c.peers {
+		out[i] = a
+	}
+	return out, nil
+}
+
+// quietEval folds one worker's report into the global picture and
+// reports whether the cluster is provably quiescent.
+func (c *Coordinator) quietEval(node int, r quietReport) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reports[node] = r
+	if len(c.reports) < c.nodes {
+		return false
+	}
+	var s, a int64
+	allIdle := true
+	for _, rep := range c.reports {
+		s += rep.sent
+		a += rep.applied
+		allIdle = allIdle && rep.idle
+	}
+	candidate := allIdle && s == a
+	quiet := candidate && c.prevOK && s == c.prevS && a == c.prevA
+	c.prevS, c.prevA, c.prevOK = s, a, candidate
+	return quiet
+}
+
+// barrier registers node's arrival at the named step barrier and
+// reports whether it has released. Workers poll rather than block, and
+// every poll refreshes the node's quiescence report — this is what
+// keeps the counter picture current while a fast worker waits for a
+// skewed peer. Release requires everyone arrived AND a globally
+// quiescent instant (all idle, sent == applied), so nothing is on the
+// wire when a step boundary commits.
+func (c *Coordinator) barrier(node int, key string, r quietReport) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reports[node] = r
+	st := c.barriers[key]
+	if st == nil {
+		st = &barrierState{arrived: make(map[int]bool)}
+		c.barriers[key] = st
+	}
+	st.arrived[node] = true
+	if !st.released && len(st.arrived) == c.nodes {
+		var s, a int64
+		allIdle := true
+		for _, rep := range c.reports {
+			s += rep.sent
+			a += rep.applied
+			allIdle = allIdle && rep.idle
+		}
+		if allIdle && s == a {
+			st.released = true
+		}
+	}
+	return st.released
+}
+
+// reduce folds val into the named reduction and blocks until every
+// worker has contributed, returning the sum. Keys must be unique per
+// collective (tag them with a step or phase counter).
+func (c *Coordinator) reduce(node int, key string, val uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.reduces[key]
+	if st == nil {
+		st = &reduceState{vals: make(map[int]uint64)}
+		c.reduces[key] = st
+	}
+	st.vals[node] = val
+	if len(st.vals) == c.nodes {
+		st.done = true
+		c.cond.Broadcast()
+	}
+	for !st.done {
+		c.cond.Wait()
+	}
+	var total uint64
+	for _, v := range st.vals {
+		total += v
+	}
+	return total
+}
+
+// ReduceTotal returns a completed reduction's sum (used by the smoke
+// harness after the run).
+func (c *Coordinator) ReduceTotal(key string) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.reduces[key]
+	if st == nil || !st.done {
+		return 0, false
+	}
+	var total uint64
+	for _, v := range st.vals {
+		total += v
+	}
+	return total, true
+}
+
+func (c *Coordinator) bye() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byes++
+	if c.byes == c.nodes {
+		close(c.done)
+	}
+}
+
+// coordClient is a worker's connection to the coordinator. All calls
+// are serialized request/response exchanges.
+type coordClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// dialCoord connects with retries: workers routinely start before the
+// coordinator is listening.
+func dialCoord(addr string, timeout time.Duration) (*coordClient, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := 10 * time.Millisecond
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return &coordClient{
+				conn: conn,
+				dec:  json.NewDecoder(bufio.NewReader(conn)),
+				enc:  json.NewEncoder(conn),
+			}, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: coordinator %s unreachable: %w", addr, err)
+		}
+		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff))))
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+func (c *coordClient) call(req *coordMsg) (*coordMsg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("transport: coordinator request: %w", err)
+	}
+	var resp coordMsg
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("transport: coordinator response: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("transport: coordinator: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+func (c *coordClient) join(node int, addr string) ([]string, error) {
+	resp, err := c.call(&coordMsg{Op: "join", Node: node, Addr: addr})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Peers, nil
+}
+
+func (c *coordClient) quiet(node int, sent, applied int64, idle bool) (bool, error) {
+	resp, err := c.call(&coordMsg{Op: "quiet", Node: node, Sent: sent, Applied: applied, Idle: idle})
+	if err != nil {
+		return false, err
+	}
+	return resp.Quiet, nil
+}
+
+func (c *coordClient) reduce(node int, key string, val uint64) (uint64, error) {
+	resp, err := c.call(&coordMsg{Op: "reduce", Node: node, Key: key, Val: val})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Total, nil
+}
+
+func (c *coordClient) barrier(node int, key string, sent, applied int64, idle bool) (bool, error) {
+	resp, err := c.call(&coordMsg{Op: "barrier", Node: node, Key: key, Sent: sent, Applied: applied, Idle: idle})
+	if err != nil {
+		return false, err
+	}
+	return resp.Quiet, nil
+}
+
+func (c *coordClient) bye(node int) error {
+	_, err := c.call(&coordMsg{Op: "bye", Node: node})
+	return err
+}
+
+func (c *coordClient) close() {
+	c.conn.Close()
+}

@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Wire framing: every unit on a transport connection is one frame — a
+// fixed 36-byte little-endian header followed by an optional payload.
+//
+//	offset  size  field
+//	0       4     magic "GRVL"
+//	4       1     version (1)
+//	5       1     type
+//	6       2     reserved (0)
+//	8       4     from node
+//	12      4     to node
+//	16      4     message count
+//	20      4     payload length
+//	24      8     sequence number
+//	32      4     CRC-32 (IEEE) of the payload
+//
+// Data and routed-data payloads are exactly the wire-package per-node
+// (or per-group) queue encodings; control frames carry no payload and
+// reuse the seq field (hello: stream resume point; ack: cumulative
+// acknowledged seq).
+const (
+	frameMagic      = 0x4C565247 // "GRVL"
+	frameVersion    = 1
+	headerBytes     = 36
+	maxFramePayload = 1 << 24
+)
+
+type frameType uint8
+
+const (
+	// frameData carries one per-node queue (wire.MsgWireBytes records).
+	frameData frameType = iota + 1
+	// frameRouted carries one per-group queue (wire.RoutedMsgBytes
+	// records bound for a gateway, §10).
+	frameRouted
+	// frameHello opens a sender→receiver stream; seq echoes the highest
+	// sequence number the sender believes was delivered, and the
+	// receiver's helloAck reply carries its own cumulative count so the
+	// sender can trim and retransmit.
+	frameHello
+	// frameAck acknowledges every data frame with seq ≤ its seq field.
+	frameAck
+	// frameFin asks the receiver to drain and confirm with frameFinAck;
+	// the graceful half of the close handshake.
+	frameFin
+	frameFinAck
+)
+
+func (t frameType) valid() bool { return t >= frameData && t <= frameFinAck }
+
+// frame is one transport protocol unit.
+type frame struct {
+	typ      frameType
+	from, to int
+	msgs     int
+	seq      uint64
+	payload  []byte
+}
+
+// appendFrame encodes f onto dst and returns the extended slice.
+func appendFrame(dst []byte, f *frame) []byte {
+	var h [headerBytes]byte
+	binary.LittleEndian.PutUint32(h[0:4], frameMagic)
+	h[4] = frameVersion
+	h[5] = byte(f.typ)
+	binary.LittleEndian.PutUint32(h[8:12], uint32(f.from))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(f.to))
+	binary.LittleEndian.PutUint32(h[16:20], uint32(f.msgs))
+	binary.LittleEndian.PutUint32(h[20:24], uint32(len(f.payload)))
+	binary.LittleEndian.PutUint64(h[24:32], f.seq)
+	binary.LittleEndian.PutUint32(h[32:36], crc32.ChecksumIEEE(f.payload))
+	dst = append(dst, h[:]...)
+	return append(dst, f.payload...)
+}
+
+// writeFrame writes one encoded frame to w.
+func writeFrame(w io.Writer, f *frame) error {
+	buf := appendFrame(make([]byte, 0, headerBytes+len(f.payload)), f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads and validates one frame from a stream. Malformed
+// input returns an error and poisons the stream (the caller must drop
+// the connection); it never panics.
+func readFrame(r *bufio.Reader) (*frame, error) {
+	var h [headerBytes]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, err
+	}
+	if m := binary.LittleEndian.Uint32(h[0:4]); m != frameMagic {
+		return nil, fmt.Errorf("transport: bad frame magic %#x", m)
+	}
+	if h[4] != frameVersion {
+		return nil, fmt.Errorf("transport: unsupported frame version %d", h[4])
+	}
+	typ := frameType(h[5])
+	if !typ.valid() {
+		return nil, fmt.Errorf("transport: unknown frame type %d", h[5])
+	}
+	plen := binary.LittleEndian.Uint32(h[20:24])
+	if plen > maxFramePayload {
+		return nil, fmt.Errorf("transport: frame payload %d exceeds limit %d", plen, maxFramePayload)
+	}
+	f := &frame{
+		typ:  typ,
+		from: int(binary.LittleEndian.Uint32(h[8:12])),
+		to:   int(binary.LittleEndian.Uint32(h[12:16])),
+		msgs: int(binary.LittleEndian.Uint32(h[16:20])),
+		seq:  binary.LittleEndian.Uint64(h[24:32]),
+	}
+	if plen > 0 {
+		f.payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, f.payload); err != nil {
+			return nil, err
+		}
+	}
+	if got, want := crc32.ChecksumIEEE(f.payload), binary.LittleEndian.Uint32(h[32:36]); got != want {
+		return nil, fmt.Errorf("transport: frame CRC mismatch (got %#x want %#x)", got, want)
+	}
+	return f, nil
+}
+
+// parseFrame decodes a frame from a complete in-memory buffer (the
+// loopback transport's path).
+func parseFrame(b []byte) (*frame, error) {
+	br := bufio.NewReader(bytes.NewReader(b))
+	f, err := readFrame(br)
+	if err != nil {
+		return nil, err
+	}
+	if br.Buffered() > 0 {
+		return nil, fmt.Errorf("transport: %d trailing bytes after frame", br.Buffered())
+	}
+	return f, nil
+}

@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []*frame{
+		{typ: frameData, from: 0, to: 3, msgs: 7, seq: 1, payload: []byte("hello wire")},
+		{typ: frameRouted, from: 2, to: 1, msgs: 1, seq: 1 << 40, payload: bytes.Repeat([]byte{0xAB}, 4096)},
+		{typ: frameHello, from: 1, to: 0, seq: 99},
+		{typ: frameAck, from: 0, to: 1, seq: 12345},
+		{typ: frameFin, from: 3, to: 0},
+		{typ: frameFinAck, from: 0, to: 3},
+	}
+	for _, want := range cases {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, want); err != nil {
+			t.Fatalf("writeFrame(%d): %v", want.typ, err)
+		}
+		got, err := readFrame(bufio.NewReader(bytes.NewReader(buf.Bytes())))
+		if err != nil {
+			t.Fatalf("readFrame(%d): %v", want.typ, err)
+		}
+		if got.typ != want.typ || got.from != want.from || got.to != want.to ||
+			got.msgs != want.msgs || got.seq != want.seq || !bytes.Equal(got.payload, want.payload) {
+			t.Fatalf("round trip mangled frame %d: %+v != %+v", want.typ, got, want)
+		}
+		// The whole-buffer path must agree with the stream path.
+		if _, err := parseFrame(buf.Bytes()); err != nil {
+			t.Fatalf("parseFrame(%d): %v", want.typ, err)
+		}
+	}
+}
+
+func TestFrameRejectsMalformed(t *testing.T) {
+	good := appendFrame(nil, &frame{typ: frameData, from: 0, to: 1, msgs: 1, seq: 1, payload: []byte("payload")})
+
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"bad magic":      corrupt(func(b []byte) { b[0] = 'X' }),
+		"bad version":    corrupt(func(b []byte) { b[4] = 99 }),
+		"bad type":       corrupt(func(b []byte) { b[5] = 200 }),
+		"huge paylen":    corrupt(func(b []byte) { b[20], b[21], b[22], b[23] = 0xFF, 0xFF, 0xFF, 0xFF }),
+		"flipped crc":    corrupt(func(b []byte) { b[32] ^= 0x01 }),
+		"flipped body":   corrupt(func(b []byte) { b[headerBytes] ^= 0x01 }),
+		"truncated":      good[:len(good)-3],
+		"header only":    good[:headerBytes-4],
+		"trailing bytes": append(append([]byte(nil), good...), 0xEE),
+	}
+	for name, raw := range cases {
+		if _, err := parseFrame(raw); err == nil {
+			t.Errorf("parseFrame accepted %s", name)
+		}
+	}
+
+	// The stream path must reject the same corruptions (sans trailing
+	// bytes, which a stream legitimately treats as the next frame).
+	for name, raw := range cases {
+		if name == "trailing bytes" {
+			continue
+		}
+		if _, err := readFrame(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+			t.Errorf("readFrame accepted %s", name)
+		}
+	}
+}

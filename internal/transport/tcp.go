@@ -1,0 +1,762 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gravel/internal/fabric"
+	"gravel/internal/timemodel"
+	"gravel/internal/wire"
+)
+
+// Tunables of the TCP transport. Frames are whole per-node queues
+// (64 kB by default), so modest queue depths already buffer megabytes.
+const (
+	sendQueueFrames  = 64  // staged frames per destination before Send blocks
+	sendWindowFrames = 256 // written-but-unacked frames before the writer stalls
+	recvQueueFrames  = 256 // received packets before the reader stalls (backpressure)
+
+	dialTimeout      = 2 * time.Second
+	backoffInitial   = 10 * time.Millisecond
+	backoffMax       = time.Second
+	handshakeTimeout = 5 * time.Second
+	drainTimeout     = 8 * time.Second
+	finAckTimeout    = 2 * time.Second
+
+	finAckMark = math.MaxUint64 // in-band marker on the ack channel
+)
+
+// TCP is the real-socket transport: the cluster runs as one OS process
+// per node, and per-node queues travel as CRC-framed, sequence-numbered
+// messages over per-destination TCP connections.
+//
+// Reliability: each sender→destination stream numbers its data frames;
+// the receiver acknowledges cumulatively and deduplicates, and the
+// sender keeps a bounded window of unacknowledged frames that it
+// retransmits after reconnecting (exponential backoff with jitter), so
+// a dropped connection delays but never loses or duplicates messages.
+//
+// Quiescence: Quiet extends the runtime's Step barrier across
+// processes through the rendezvous coordinator (see Coordinator) using
+// monotonic sent/applied frame counters.
+//
+// Timing: with Options.WallClock the clocks charge measured wall time
+// for wire activity; otherwise the virtual LogGP model is charged
+// sender-side and receiver-side as in the in-process fabrics.
+type TCP struct {
+	*fabric.Metrics
+	params *timemodel.Params
+	clocks []*timemodel.Clocks
+	n      int
+	self   int
+	wall   bool
+
+	ln      net.Listener
+	coord   *coordClient
+	senders []*sender
+
+	inbox         []chan fabric.Packet
+	localInflight atomic.Int64 // self→self packets between Send and Done
+	recvInflight  atomic.Int64 // wire packets between inbox enqueue and Done
+	sentWire      atomic.Int64 // data frames originated (monotonic)
+	appliedWire   atomic.Int64 // data frames fully applied (monotonic)
+	epoch         atomic.Int64 // step barriers passed
+
+	deliveredMu sync.Mutex
+	delivered   map[int]uint64 // per peer: highest data seq handed to the inbox
+
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{} // live inbound connections
+
+	quietMu      sync.Mutex
+	quietCached  bool
+	quietSent    int64
+	quietApplied int64
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	handlers  sync.WaitGroup
+}
+
+// NewTCP builds the transport: it binds opt.Listen (default
+// "127.0.0.1:0"), discovers peers — through the coordinator rendezvous
+// when opt.Coord is set (blocking until the whole cluster has joined),
+// or from opt.Peers — and starts the per-destination connection pools.
+func NewTCP(params *timemodel.Params, clocks []*timemodel.Clocks, opt fabric.Options) (*TCP, error) {
+	n := len(clocks)
+	if n == 0 {
+		return nil, fmt.Errorf("transport: no nodes")
+	}
+	if opt.Self < 0 || opt.Self >= n {
+		return nil, fmt.Errorf("transport: self %d out of range [0,%d)", opt.Self, n)
+	}
+	listen := opt.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listen, err)
+	}
+	t := &TCP{
+		Metrics:   fabric.NewMetrics(n),
+		params:    params,
+		clocks:    clocks,
+		n:         n,
+		self:      opt.Self,
+		wall:      opt.WallClock,
+		ln:        ln,
+		inbox:     make([]chan fabric.Packet, n),
+		delivered: make(map[int]uint64),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	for i := range t.inbox {
+		t.inbox[i] = make(chan fabric.Packet, recvQueueFrames)
+	}
+
+	peers := opt.Peers
+	if opt.Coord != "" {
+		coord, err := dialCoord(opt.Coord, 30*time.Second)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		t.coord = coord
+		peers, err = coord.join(t.self, ln.Addr().String())
+		if err != nil {
+			coord.close()
+			ln.Close()
+			return nil, err
+		}
+	}
+	if n > 1 && len(peers) != n {
+		if t.coord != nil {
+			t.coord.close()
+		}
+		ln.Close()
+		return nil, fmt.Errorf("transport: have %d peer addresses for %d nodes", len(peers), n)
+	}
+
+	t.senders = make([]*sender, n)
+	for d := 0; d < n; d++ {
+		if d == t.self {
+			continue
+		}
+		s := &sender{
+			t:     t,
+			dest:  d,
+			addr:  peers[d],
+			queue: make(chan *frame, sendQueueFrames),
+			stop:  make(chan struct{}),
+			done:  make(chan struct{}),
+		}
+		t.senders[d] = s
+		go s.run()
+	}
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Nodes implements fabric.Fabric.
+func (t *TCP) Nodes() int { return t.n }
+
+// Self returns the node this process hosts.
+func (t *TCP) Self() int { return t.self }
+
+// Hosts implements fabric.Fabric: one node per process.
+func (t *TCP) Hosts(node int) bool { return node == t.self }
+
+// Addr returns the transport's listen address.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Send implements fabric.Fabric.
+func (t *TCP) Send(from, to int, buf []byte, msgs int) {
+	t.send(from, to, buf, msgs, false)
+}
+
+// SendRouted implements fabric.Fabric.
+func (t *TCP) SendRouted(from, gateway int, buf []byte, msgs int) {
+	t.send(from, gateway, buf, msgs, true)
+}
+
+func (t *TCP) send(from, to int, buf []byte, msgs int, routed bool) {
+	if from != t.self {
+		panic(fmt.Sprintf("transport: node %d sending from the process hosting %d", from, t.self))
+	}
+	if to < 0 || to >= t.n {
+		panic(fmt.Sprintf("transport: send to invalid node %d", to))
+	}
+	if to == t.self {
+		t.SelfPkts[t.self].Inc()
+		t.localInflight.Add(1)
+		t.inbox[t.self] <- fabric.Packet{From: from, To: to, Buf: buf, Msgs: msgs, Routed: routed}
+		return
+	}
+	t.ObserveWire(from, to, len(buf))
+	t.clocks[from].CountPacket(len(buf))
+	typ := frameData
+	if routed {
+		typ = frameRouted
+	}
+	f := &frame{typ: typ, from: from, to: to, msgs: msgs, payload: buf}
+	t.sentWire.Add(1)
+	if t.wall {
+		t0 := time.Now()
+		t.senders[to].queue <- f
+		t.clocks[from].AddWireSend(float64(time.Since(t0).Nanoseconds()))
+	} else {
+		t.clocks[from].AddWireSend(t.params.WireNs(len(buf)))
+		t.senders[to].queue <- f
+	}
+}
+
+// Inbox implements fabric.Fabric. Only the hosted node's inbox ever
+// receives; the rest exist so the runtime's shape is node-symmetric.
+func (t *TCP) Inbox(node int) <-chan fabric.Packet { return t.inbox[node] }
+
+// Done implements fabric.Fabric.
+func (t *TCP) Done(p fabric.Packet) {
+	if p.From == t.self && p.To == t.self {
+		t.localInflight.Add(-1)
+		return
+	}
+	t.recvInflight.Add(-1)
+	t.appliedWire.Add(1)
+}
+
+// localIdle reports whether this process has nothing in flight: no
+// self-packets or received packets being applied, and every outbound
+// stream drained and acknowledged.
+func (t *TCP) localIdle() bool {
+	if t.localInflight.Load() != 0 || t.recvInflight.Load() != 0 {
+		return false
+	}
+	for _, s := range t.senders {
+		if s != nil && !s.idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiet implements fabric.Fabric. Local activity is checked first;
+// cluster-wide quiescence is then established through the coordinator
+// and cached until the local counters move again.
+func (t *TCP) Quiet() bool {
+	if !t.localIdle() {
+		return false
+	}
+	if t.n == 1 {
+		return true
+	}
+	sent, applied := t.sentWire.Load(), t.appliedWire.Load()
+	if t.coord == nil {
+		// No coordinator (address-list construction): local best effort —
+		// everything this process sent is acked and nothing is pending
+		// locally. Unit-test configurations only; real multi-process runs
+		// use the coordinator.
+		return true
+	}
+	t.quietMu.Lock()
+	defer t.quietMu.Unlock()
+	if t.quietCached && sent == t.quietSent && applied == t.quietApplied {
+		return true
+	}
+	quiet, err := t.coord.quiet(t.self, sent, applied, true)
+	if err != nil {
+		panic(fmt.Sprintf("transport: quiescence query failed: %v", err))
+	}
+	// Only cache if the counters did not move while we asked.
+	if quiet && sent == t.sentWire.Load() && applied == t.appliedWire.Load() {
+		t.quietCached, t.quietSent, t.quietApplied = true, sent, applied
+		return true
+	}
+	return false
+}
+
+// StepBarrier aligns step boundaries across the cluster (the runtime
+// calls it after every Step's quiescence, via interface assertion).
+// Each process polls the coordinator's epoch barrier, refreshing its
+// counter report on every poll; the coordinator releases the barrier
+// only when all processes have arrived at the same epoch at a globally
+// quiescent instant. Without this, a fast process could read results
+// or start the next step before a skewed peer's messages landed.
+func (t *TCP) StepBarrier() {
+	if t.coord == nil || t.n == 1 {
+		return
+	}
+	key := fmt.Sprintf("step:%d", t.epoch.Add(1))
+	for {
+		released, err := t.coord.barrier(t.self, key, t.sentWire.Load(), t.appliedWire.Load(), t.localIdle())
+		if err != nil {
+			panic(fmt.Sprintf("transport: step barrier failed: %v", err))
+		}
+		if released {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Reduce folds val into the named cluster-wide sum through the
+// coordinator, blocking until every node has contributed. Without a
+// coordinator it returns val.
+func (t *TCP) Reduce(key string, val uint64) (uint64, error) {
+	if t.coord == nil {
+		return val, nil
+	}
+	return t.coord.reduce(t.self, key, val)
+}
+
+// Barrier blocks until every node has reached the named barrier.
+func (t *TCP) Barrier(key string) error {
+	_, err := t.Reduce("barrier:"+key, 0)
+	return err
+}
+
+// Close runs the drain/close handshake: every sender flushes its queue
+// and window, FINs its stream, and awaits the FIN-ACK; inbound streams
+// are given time to FIN symmetrically; then all inboxes close so the
+// network threads exit, and the coordinator is told goodbye.
+func (t *TCP) Close() {
+	t.closeOnce.Do(func() {
+		t.closed.Store(true)
+		var wg sync.WaitGroup
+		for _, s := range t.senders {
+			if s == nil {
+				continue
+			}
+			wg.Add(1)
+			go func(s *sender) {
+				defer wg.Done()
+				s.shutdown()
+			}(s)
+		}
+		wg.Wait()
+		t.ln.Close()
+
+		// Peers close concurrently; give their FINs time to land, then
+		// cut whatever is left.
+		handlersDone := make(chan struct{})
+		go func() { t.handlers.Wait(); close(handlersDone) }()
+		select {
+		case <-handlersDone:
+		case <-time.After(drainTimeout):
+			t.connsMu.Lock()
+			for c := range t.conns {
+				c.Close()
+			}
+			t.connsMu.Unlock()
+			<-handlersDone
+		}
+
+		for _, ch := range t.inbox {
+			close(ch)
+		}
+		if t.coord != nil {
+			t.coord.bye(t.self)
+			t.coord.close()
+		}
+	})
+}
+
+// DropConnections forcibly closes every established connection, inbound
+// and outbound, without touching queued or unacknowledged frames — a
+// fault-injection hook: senders must reconnect (with backoff) and
+// retransmit, and no message may be lost or duplicated.
+func (t *TCP) DropConnections() {
+	for _, s := range t.senders {
+		if s != nil {
+			s.dropConn()
+		}
+	}
+	t.connsMu.Lock()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.connsMu.Unlock()
+}
+
+// deliveredSeq returns the highest data seq from peer handed to the
+// inbox.
+func (t *TCP) deliveredSeq(peer int) uint64 {
+	t.deliveredMu.Lock()
+	defer t.deliveredMu.Unlock()
+	return t.delivered[peer]
+}
+
+func (t *TCP) setDeliveredSeq(peer int, seq uint64) {
+	t.deliveredMu.Lock()
+	defer t.deliveredMu.Unlock()
+	t.delivered[peer] = seq
+}
+
+// acceptLoop admits peer connections until the listener closes.
+func (t *TCP) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.connsMu.Lock()
+		t.conns[conn] = struct{}{}
+		t.connsMu.Unlock()
+		t.handlers.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn is the receive side of one peer stream: HELLO, then data
+// frames — validated, deduplicated, delivered, acknowledged — until FIN
+// or error. Any malformed frame poisons the connection; the peer
+// reconnects and retransmits from the last acknowledged frame.
+func (t *TCP) serveConn(conn net.Conn) {
+	defer t.handlers.Done()
+	defer func() {
+		t.connsMu.Lock()
+		delete(t.conns, conn)
+		t.connsMu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	hello, err := readFrame(br)
+	if err != nil || hello.typ != frameHello || hello.to != t.self ||
+		hello.from < 0 || hello.from >= t.n || hello.from == t.self {
+		t.Malformed.Inc()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	from := hello.from
+	if err := writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: t.deliveredSeq(from)}); err != nil {
+		return
+	}
+
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		switch f.typ {
+		case frameFin:
+			writeFrame(conn, &frame{typ: frameFinAck, from: t.self, to: from})
+			return
+		case frameData, frameRouted:
+			routed := f.typ == frameRouted
+			last := t.deliveredSeq(from)
+			switch {
+			case f.from != from || f.to != t.self,
+				f.seq > last+1, // gap: protocol violation
+				wire.CheckBuf(f.payload, routed, t.n) != nil:
+				t.Malformed.Inc()
+				return
+			case f.seq <= last:
+				// Duplicate after a reconnect: re-acknowledge, drop.
+				if writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: f.seq}) != nil {
+					return
+				}
+				continue
+			}
+			if !t.deliver(f, routed) {
+				return
+			}
+			t.setDeliveredSeq(from, f.seq)
+			if writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: f.seq}) != nil {
+				return
+			}
+		default:
+			t.Malformed.Inc()
+			return
+		}
+	}
+}
+
+// deliver hands one validated data frame to the hosted node's inbox,
+// charging receive-side wire time. It reports false if the transport
+// closed underneath it (stray post-drain frame).
+func (t *TCP) deliver(f *frame, routed bool) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			// Inbox closed during shutdown; the frame is unacked, so a
+			// surviving peer would retransmit — by protocol this frame is
+			// post-quiescence and carries nothing the run still needs.
+			t.recvInflight.Add(-1)
+			ok = false
+		}
+	}()
+	if t.wall {
+		t0 := time.Now()
+		t.recvInflight.Add(1)
+		t.inbox[t.self] <- fabric.Packet{From: f.from, To: t.self, Buf: f.payload, Msgs: f.msgs, Routed: routed}
+		t.clocks[t.self].AddWireRecv(float64(time.Since(t0).Nanoseconds()))
+		return true
+	}
+	t.clocks[t.self].AddWireRecv(t.params.WireNs(len(f.payload)))
+	t.recvInflight.Add(1)
+	t.inbox[t.self] <- fabric.Packet{From: f.from, To: t.self, Buf: f.payload, Msgs: f.msgs, Routed: routed}
+	return true
+}
+
+// sender is one outbound stream: a bounded queue of staged frames, a
+// bounded window of unacknowledged frames, and a writer goroutine that
+// owns the connection — dialing, handshaking, retransmitting the window
+// after reconnects, and FINing on shutdown.
+type sender struct {
+	t    *TCP
+	dest int
+	addr string
+
+	queue chan *frame
+	stop  chan struct{}
+	done  chan struct{}
+
+	mu      sync.Mutex
+	window  []*frame
+	nextSeq uint64
+	conn    net.Conn // current connection, for fault injection
+}
+
+// idle reports whether nothing is staged or awaiting acknowledgment.
+func (s *sender) idle() bool {
+	if len(s.queue) != 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.window) == 0
+}
+
+// trim drops acknowledged frames (seq ≤ acked) from the window.
+func (s *sender) trim(acked uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := 0
+	for i < len(s.window) && s.window[i].seq <= acked {
+		i++
+	}
+	s.window = s.window[i:]
+}
+
+func (s *sender) windowSnapshot() []*frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*frame(nil), s.window...)
+}
+
+func (s *sender) windowFull() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.window) >= sendWindowFrames
+}
+
+func (s *sender) push(f *frame) {
+	s.mu.Lock()
+	s.window = append(s.window, f)
+	s.mu.Unlock()
+}
+
+func (s *sender) setConn(c net.Conn) {
+	s.mu.Lock()
+	s.conn = c
+	s.mu.Unlock()
+}
+
+// dropConn force-closes the current connection (fault injection).
+func (s *sender) dropConn() {
+	s.mu.Lock()
+	c := s.conn
+	s.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// shutdown drains and stops the writer.
+func (s *sender) shutdown() {
+	close(s.stop)
+	<-s.done
+}
+
+// connect dials with exponential backoff and jitter until it succeeds
+// or the deadline channel fires, then handshakes and retransmits the
+// unacknowledged window. It returns the established conn and its ack
+// reader channels.
+func (s *sender) connect(abort <-chan time.Time, attempted *bool) (net.Conn, chan uint64, chan error) {
+	backoff := backoffInitial
+	for {
+		conn, err := net.DialTimeout("tcp", s.addr, dialTimeout)
+		if err == nil {
+			if c, acks, errs := s.handshake(conn); c != nil {
+				if *attempted {
+					s.t.Reconnects.Inc()
+				}
+				*attempted = true
+				return c, acks, errs
+			}
+		}
+		s.t.Retries.Inc()
+		sleep := backoff + time.Duration(rand.Int63n(int64(backoff)))
+		if backoff < backoffMax {
+			backoff *= 2
+		}
+		select {
+		case <-time.After(sleep):
+		case <-abort:
+			return nil, nil, nil
+		}
+	}
+}
+
+// handshake sends HELLO, consumes the receiver's cumulative ack (which
+// trims the window after a reconnect), retransmits whatever remains,
+// and starts the ack reader.
+func (s *sender) handshake(conn net.Conn) (net.Conn, chan uint64, chan error) {
+	if err := writeFrame(conn, &frame{typ: frameHello, from: s.t.self, to: s.dest}); err != nil {
+		conn.Close()
+		return nil, nil, nil
+	}
+	br := bufio.NewReaderSize(conn, 16<<10)
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	ack, err := readFrame(br)
+	if err != nil || ack.typ != frameAck {
+		conn.Close()
+		return nil, nil, nil
+	}
+	conn.SetReadDeadline(time.Time{})
+	s.trim(ack.seq)
+	for _, f := range s.windowSnapshot() {
+		if err := writeFrame(conn, f); err != nil {
+			conn.Close()
+			return nil, nil, nil
+		}
+	}
+	acks := make(chan uint64, sendWindowFrames)
+	errs := make(chan error, 1)
+	go func() {
+		for {
+			f, err := readFrame(br)
+			if err != nil {
+				errs <- err
+				return
+			}
+			switch f.typ {
+			case frameAck:
+				acks <- f.seq
+			case frameFinAck:
+				acks <- finAckMark
+				return
+			default:
+				errs <- fmt.Errorf("transport: unexpected %d frame on ack stream", f.typ)
+				return
+			}
+		}
+	}()
+	s.setConn(conn)
+	return conn, acks, errs
+}
+
+// run is the writer loop.
+func (s *sender) run() {
+	defer close(s.done)
+	var (
+		conn      net.Conn
+		acks      chan uint64
+		errs      chan error
+		attempted bool
+		draining  bool
+		deadline  <-chan time.Time
+		stop      = s.stop
+	)
+	disconnect := func() {
+		if conn != nil {
+			conn.Close()
+			s.setConn(nil)
+			conn = nil
+		}
+	}
+	defer disconnect()
+	for {
+		if draining && len(s.queue) == 0 {
+			s.mu.Lock()
+			empty := len(s.window) == 0
+			s.mu.Unlock()
+			if empty {
+				if conn != nil {
+					s.fin(conn, acks)
+				}
+				return
+			}
+		}
+		if conn == nil {
+			// Nothing to transmit and shutting down: don't redial.
+			if draining && len(s.queue) == 0 && s.idle() {
+				continue // loops into the exit branch above
+			}
+			conn, acks, errs = s.connect(deadline, &attempted)
+			if conn == nil {
+				return // drain deadline fired while reconnecting
+			}
+			continue
+		}
+		// With a full window, only acks (or failure/shutdown) can
+		// make progress.
+		queue := s.queue
+		if s.windowFull() {
+			queue = nil
+		}
+		select {
+		case seq := <-acks:
+			if seq == finAckMark {
+				disconnect()
+				continue
+			}
+			s.trim(seq)
+		case <-errs:
+			disconnect()
+		case f := <-queue:
+			if f.seq == 0 {
+				s.nextSeq++
+				f.seq = s.nextSeq
+			}
+			s.push(f)
+			if err := writeFrame(conn, f); err != nil {
+				disconnect()
+			}
+		case <-stop:
+			stop = nil
+			draining = true
+			timer := time.NewTimer(drainTimeout)
+			defer timer.Stop()
+			deadline = timer.C
+		case <-deadline:
+			return
+		}
+	}
+}
+
+// fin runs the close handshake on a drained stream.
+func (s *sender) fin(conn net.Conn, acks chan uint64) {
+	if err := writeFrame(conn, &frame{typ: frameFin, from: s.t.self, to: s.dest}); err != nil {
+		return
+	}
+	timeout := time.After(finAckTimeout)
+	for {
+		select {
+		case seq := <-acks:
+			if seq == finAckMark {
+				return
+			}
+		case <-timeout:
+			return
+		}
+	}
+}
+
+var _ fabric.Fabric = (*TCP)(nil)

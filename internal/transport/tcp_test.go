@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gravel/internal/fabric"
+	"gravel/internal/timemodel"
+	"gravel/internal/wire"
+)
+
+// newTCPCluster assembles n TCP fabrics (one per simulated process)
+// around an in-process coordinator. Joins block until the whole
+// cluster has assembled, so construction is concurrent.
+func newTCPCluster(t *testing.T, n int) []*TCP {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(n)
+	go c.Serve(ln)
+	t.Cleanup(func() { ln.Close() })
+
+	fabs := make([]*TCP, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fabs[i], errs[i] = NewTCP(timemodel.Default(), newClocks(n), fabric.Options{
+				Self:  i,
+				Coord: ln.Addr().String(),
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("fabric %d: %v", i, err)
+		}
+	}
+	return fabs
+}
+
+// allQuiet polls every fabric's Quiet — deliberately without
+// short-circuiting. Coordinator-based quiescence needs each process to
+// keep reporting its counters (in real deployments every process's own
+// Quiesce loop does this); a short-circuiting f0 && f1 would starve
+// f1's reports and deadlock the detection.
+func allQuiet(fabs []*TCP) bool {
+	quiet := true
+	for _, f := range fabs {
+		if !f.Quiet() {
+			quiet = false
+		}
+	}
+	return quiet
+}
+
+func closeAll(fabs []*TCP) {
+	var wg sync.WaitGroup
+	for _, f := range fabs {
+		wg.Add(1)
+		go func(f *TCP) {
+			defer wg.Done()
+			f.Close()
+		}(f)
+	}
+	wg.Wait()
+}
+
+func TestTCPSingleNodeNeedsNoCoordinator(t *testing.T) {
+	f, err := NewTCP(timemodel.Default(), newClocks(1), fabric.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Send(0, 0, incBuf(3, 1), 1)
+	f.Done(<-f.Inbox(0))
+	if !f.Quiet() {
+		t.Fatal("single node not quiet after Done")
+	}
+	f.Close()
+}
+
+func TestTCPDeliversAndQuiesces(t *testing.T) {
+	fabs := newTCPCluster(t, 2)
+	defer closeAll(fabs)
+
+	buf := incBuf(7, 2)
+	fabs[0].Send(0, 1, buf, 1)
+	var p fabric.Packet
+	select {
+	case p = <-fabs[1].Inbox(1):
+	case <-time.After(5 * time.Second):
+		t.Fatal("packet never delivered")
+	}
+	if p.From != 0 || p.To != 1 || p.Msgs != 1 || p.Routed || string(p.Buf) != string(buf) {
+		t.Fatalf("bad packet %+v", p)
+	}
+	// Not applied yet: the cluster must not report quiet.
+	if fabs[0].Quiet() && fabs[1].Quiet() && fabs[0].Quiet() {
+		t.Fatal("cluster quiet while a packet is being applied")
+	}
+	fabs[1].Done(p)
+	waitQuiet(t, "tcp pair", func() bool { return allQuiet(fabs) })
+
+	if got := fabs[0].NetMetrics().PerDest.Packets(1); got != 1 {
+		t.Fatalf("sender PerDest.Packets(1) = %d, want 1", got)
+	}
+}
+
+func TestTCPReduceSumsAcrossFabrics(t *testing.T) {
+	fabs := newTCPCluster(t, 3)
+	defer closeAll(fabs)
+
+	totals := make([]uint64, 3)
+	var wg sync.WaitGroup
+	for i, f := range fabs {
+		wg.Add(1)
+		go func(i int, f *TCP) {
+			defer wg.Done()
+			totals[i], _ = f.Reduce("sum", uint64(10*(i+1)))
+		}(i, f)
+	}
+	wg.Wait()
+	for i, tot := range totals {
+		if tot != 60 {
+			t.Fatalf("fabric %d reduced to %d, want 60", i, tot)
+		}
+	}
+}
+
+func TestTCPStepBarrierAligns(t *testing.T) {
+	fabs := newTCPCluster(t, 2)
+	defer closeAll(fabs)
+
+	done := make(chan int, 2)
+	go func() {
+		fabs[0].StepBarrier()
+		done <- 0
+	}()
+	select {
+	case <-done:
+		t.Fatal("barrier released with one of two processes absent")
+	case <-time.After(50 * time.Millisecond):
+	}
+	go func() {
+		fabs[1].StepBarrier()
+		done <- 1
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("step barrier never released")
+		}
+	}
+}
+
+// TestTCPRecoversFromConnectionDrop is the transport's recovery
+// contract: sever every established connection mid-stream and every
+// message must still arrive exactly once, with the reconnect counted.
+func TestTCPRecoversFromConnectionDrop(t *testing.T) {
+	fabs := newTCPCluster(t, 2)
+
+	const total = 48
+	recvd := make(chan uint64, total)
+	go func() {
+		for p := range fabs[1].Inbox(1) {
+			wire.Decode(p.Buf, func(_, a, _ uint64) { recvd <- a })
+			fabs[1].Done(p)
+		}
+	}()
+
+	collect := func(want int, seen map[uint64]bool) {
+		t.Helper()
+		for i := 0; i < want; i++ {
+			select {
+			case a := <-recvd:
+				if seen[a] {
+					t.Fatalf("message %d delivered twice", a)
+				}
+				seen[a] = true
+			case <-time.After(10 * time.Second):
+				t.Fatalf("gave up with %d messages delivered", len(seen))
+			}
+		}
+	}
+
+	seen := make(map[uint64]bool)
+	// Phase 1 proves the stream is established and flowing.
+	for i := 0; i < total/4; i++ {
+		fabs[0].Send(0, 1, incBuf(uint64(i), 1), 1)
+	}
+	collect(total/4, seen)
+
+	// Sever everything, then keep sending: the sender must reconnect
+	// (with backoff) and retransmit whatever the drop swallowed.
+	fabs[0].DropConnections()
+	fabs[1].DropConnections()
+	for i := total / 4; i < total; i++ {
+		fabs[0].Send(0, 1, incBuf(uint64(i), 1), 1)
+		if i == total/2 {
+			fabs[0].DropConnections() // once more, mid-retransmission
+		}
+	}
+	collect(total-total/4, seen)
+
+	for i := 0; i < total; i++ {
+		if !seen[uint64(i)] {
+			t.Fatalf("message %d lost", i)
+		}
+	}
+	if got := fabs[0].Reconnects.Load(); got < 1 {
+		t.Fatalf("Reconnects = %d, want >= 1", got)
+	}
+	waitQuiet(t, "tcp pair", func() bool { return allQuiet(fabs) })
+	closeAll(fabs)
+}

@@ -7,6 +7,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // Op is a network operation code (§6: Gravel supports PUT, atomic
@@ -129,7 +130,10 @@ func (b *Builder) AppendRouted(cmd, a, v uint64, finalDest int) {
 }
 
 // DecodeRouted iterates over a routed buffer's (cmd, a, v, dest)
-// records.
+// records. A destination that cannot be a node index (it overflows
+// int32) is rejected before the callback runs, so a malformed network
+// frame cannot smuggle a negative or absurd destination into the
+// gateway's re-aggregation path.
 func DecodeRouted(buf []byte, fn func(cmd, a, v uint64, dest int)) error {
 	if len(buf)%RoutedMsgBytes != 0 {
 		return fmt.Errorf("wire: routed buffer length %d not a multiple of %d", len(buf), RoutedMsgBytes)
@@ -139,7 +143,41 @@ func DecodeRouted(buf []byte, fn func(cmd, a, v uint64, dest int)) error {
 		a := binary.LittleEndian.Uint64(buf[off+8 : off+16])
 		v := binary.LittleEndian.Uint64(buf[off+16 : off+24])
 		d := binary.LittleEndian.Uint64(buf[off+24 : off+32])
+		if d > math.MaxInt32 {
+			return fmt.Errorf("wire: routed record at offset %d has invalid destination %d", off, d)
+		}
 		fn(cmd, a, v, int(d))
+	}
+	return nil
+}
+
+// CheckBuf validates a per-node (or routed) queue buffer received from
+// an untrusted byte stream without applying it: the length must be a
+// whole number of records, every op must be known, and routed
+// destinations must name a node in [0, nodes). Transports call this
+// before handing a payload to the network thread, whose decode path
+// treats violations as programming errors.
+func CheckBuf(buf []byte, routed bool, nodes int) error {
+	rec := MsgWireBytes
+	if routed {
+		rec = RoutedMsgBytes
+	}
+	if len(buf)%rec != 0 {
+		return fmt.Errorf("wire: buffer length %d not a multiple of %d", len(buf), rec)
+	}
+	for off := 0; off < len(buf); off += rec {
+		op, _, _ := UnpackCmd(binary.LittleEndian.Uint64(buf[off : off+8]))
+		switch op {
+		case OpPut, OpInc, OpAM:
+		default:
+			return fmt.Errorf("wire: record at offset %d has unknown op %d", off, uint8(op))
+		}
+		if routed {
+			d := binary.LittleEndian.Uint64(buf[off+24 : off+32])
+			if d >= uint64(nodes) {
+				return fmt.Errorf("wire: record at offset %d targets node %d of %d", off, d, nodes)
+			}
+		}
 	}
 	return nil
 }

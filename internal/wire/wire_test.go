@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"encoding/binary"
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -115,13 +117,20 @@ func TestQuickBuilderDecode(t *testing.T) {
 }
 
 // TestQuickDecodeRejectsRagged: Decode and DecodeRouted must reject any
-// buffer that is not a whole number of records, and never panic.
+// buffer that is not a whole number of records — and DecodeRouted any
+// destination that overflows int32 — and never panic.
 func TestQuickDecodeRejectsRagged(t *testing.T) {
 	f := func(raw []byte) bool {
 		errPlain := Decode(raw, func(_, _, _ uint64) {})
 		errRouted := DecodeRouted(raw, func(_, _, _ uint64, _ int) {})
 		okPlain := (len(raw)%MsgWireBytes == 0) == (errPlain == nil)
-		okRouted := (len(raw)%RoutedMsgBytes == 0) == (errRouted == nil)
+		wantRoutedOK := len(raw)%RoutedMsgBytes == 0
+		for off := 0; wantRoutedOK && off < len(raw); off += RoutedMsgBytes {
+			if binary.LittleEndian.Uint64(raw[off+24:off+32]) > math.MaxInt32 {
+				wantRoutedOK = false
+			}
+		}
+		okRouted := wantRoutedOK == (errRouted == nil)
 		return okPlain && okRouted
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
