@@ -130,6 +130,8 @@ type Options struct {
 	Listen string
 	// Peers maps node ID to address when known up front. With a
 	// coordinator it may be left nil; addresses are exchanged at join.
+	// A peers list alone cannot provide cross-process quiescence, so
+	// the TCP transport rejects multi-node clusters without Coord.
 	Peers []string
 	// Coord is the rendezvous coordinator address (join, quiescence,
 	// reductions).

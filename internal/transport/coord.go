@@ -45,6 +45,7 @@ type Coordinator struct {
 type barrierState struct {
 	arrived  map[int]bool
 	released bool
+	observed map[int]bool // nodes that have seen the release
 }
 
 type quietReport struct {
@@ -53,8 +54,10 @@ type quietReport struct {
 }
 
 type reduceState struct {
-	vals map[int]uint64
-	done bool
+	vals      map[int]uint64
+	total     uint64
+	done      bool
+	collected int // nodes that have received the total
 }
 
 // coordMsg is both request and response of the line-oriented JSON
@@ -199,14 +202,16 @@ func (c *Coordinator) quietEval(node int, r quietReport) bool {
 // keeps the counter picture current while a fast worker waits for a
 // skewed peer. Release requires everyone arrived AND a globally
 // quiescent instant (all idle, sent == applied), so nothing is on the
-// wire when a step boundary commits.
+// wire when a step boundary commits. Once every node has observed the
+// release the entry is deleted — barrier keys are per-step, so a
+// long-running cluster must not accrete one forever.
 func (c *Coordinator) barrier(node int, key string, r quietReport) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reports[node] = r
 	st := c.barriers[key]
 	if st == nil {
-		st = &barrierState{arrived: make(map[int]bool)}
+		st = &barrierState{arrived: make(map[int]bool), observed: make(map[int]bool)}
 		c.barriers[key] = st
 	}
 	st.arrived[node] = true
@@ -222,12 +227,21 @@ func (c *Coordinator) barrier(node int, key string, r quietReport) bool {
 			st.released = true
 		}
 	}
-	return st.released
+	if !st.released {
+		return false
+	}
+	st.observed[node] = true
+	if len(st.observed) == c.nodes {
+		delete(c.barriers, key)
+	}
+	return true
 }
 
 // reduce folds val into the named reduction and blocks until every
 // worker has contributed, returning the sum. Keys must be unique per
-// collective (tag them with a step or phase counter).
+// collective (tag them with a step or phase counter). The entry is
+// deleted once every node has collected the total, so per-step
+// collectives do not leak coordinator memory.
 func (c *Coordinator) reduce(node int, key string, val uint64) uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -238,21 +252,26 @@ func (c *Coordinator) reduce(node int, key string, val uint64) uint64 {
 	}
 	st.vals[node] = val
 	if len(st.vals) == c.nodes {
+		for _, v := range st.vals {
+			st.total += v
+		}
+		st.vals = nil
 		st.done = true
 		c.cond.Broadcast()
 	}
 	for !st.done {
 		c.cond.Wait()
 	}
-	var total uint64
-	for _, v := range st.vals {
-		total += v
+	st.collected++
+	if st.collected == c.nodes {
+		delete(c.reduces, key)
 	}
-	return total
+	return st.total
 }
 
-// ReduceTotal returns a completed reduction's sum (used by the smoke
-// harness after the run).
+// ReduceTotal returns a completed reduction's sum. A reduction is
+// reclaimed once every node has collected it, so this only reports
+// ones still in flight or awaiting stragglers.
 func (c *Coordinator) ReduceTotal(key string) (uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -260,11 +279,7 @@ func (c *Coordinator) ReduceTotal(key string) (uint64, bool) {
 	if st == nil || !st.done {
 		return 0, false
 	}
-	var total uint64
-	for _, v := range st.vals {
-		total += v
-	}
-	return total, true
+	return st.total, true
 }
 
 func (c *Coordinator) bye() {

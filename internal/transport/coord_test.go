@@ -1,0 +1,53 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCoordinatorReclaimsCollectiveState pins the coordinator's memory
+// bound: per-step barrier and reduce entries must be deleted once every
+// node has observed the release (or collected the total), so state does
+// not grow with step count on long-running clusters.
+func TestCoordinatorReclaimsCollectiveState(t *testing.T) {
+	c := NewCoordinator(2)
+	idle := quietReport{idle: true}
+
+	if c.barrier(0, "step:1", idle) {
+		t.Fatal("barrier released with one node absent")
+	}
+	if !c.barrier(1, "step:1", idle) {
+		t.Fatal("barrier not released with all nodes arrived and idle")
+	}
+	if !c.barrier(0, "step:1", idle) {
+		t.Fatal("release not sticky for the remaining node")
+	}
+	c.mu.Lock()
+	nb := len(c.barriers)
+	c.mu.Unlock()
+	if nb != 0 {
+		t.Fatalf("%d barrier entries retained after every node observed the release", nb)
+	}
+
+	totals := make([]uint64, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			totals[i] = c.reduce(i, "sum:1", uint64(i+1))
+		}(i)
+	}
+	wg.Wait()
+	for i, tot := range totals {
+		if tot != 3 {
+			t.Fatalf("node %d reduced to %d, want 3", i, tot)
+		}
+	}
+	c.mu.Lock()
+	nr := len(c.reduces)
+	c.mu.Unlock()
+	if nr != 0 {
+		t.Fatalf("%d reduce entries retained after every node collected the total", nr)
+	}
+}

@@ -67,8 +67,15 @@ type frame struct {
 	payload  []byte
 }
 
-// appendFrame encodes f onto dst and returns the extended slice.
+// appendFrame encodes f onto dst and returns the extended slice. It
+// panics on a payload over maxFramePayload: the receiver rejects such
+// a frame as malformed, so emitting it could only poison the stream
+// (and its retransmit window) — oversized buffers must fail at the
+// source.
 func appendFrame(dst []byte, f *frame) []byte {
+	if len(f.payload) > maxFramePayload {
+		panic(fmt.Sprintf("transport: %d-byte frame payload exceeds the %d-byte limit", len(f.payload), maxFramePayload))
+	}
 	var h [headerBytes]byte
 	binary.LittleEndian.PutUint32(h[0:4], frameMagic)
 	h[4] = frameVersion

@@ -35,6 +35,17 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// Oversized payloads must fail at encode time: the receiver would
+// reject them as malformed, poisoning the stream's retransmit window.
+func TestAppendFrameRejectsOversizedPayload(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("appendFrame accepted a payload over maxFramePayload")
+		}
+	}()
+	appendFrame(nil, &frame{typ: frameData, from: 0, to: 1, seq: 1, payload: make([]byte, maxFramePayload+1)})
+}
+
 func TestFrameRejectsMalformed(t *testing.T) {
 	good := appendFrame(nil, &frame{typ: frameData, from: 0, to: 1, msgs: 1, seq: 1, payload: []byte("payload")})
 

@@ -68,8 +68,7 @@ type TCP struct {
 	appliedWire   atomic.Int64 // data frames fully applied (monotonic)
 	epoch         atomic.Int64 // step barriers passed
 
-	deliveredMu sync.Mutex
-	delivered   map[int]uint64 // per peer: highest data seq handed to the inbox
+	recv []*peerRecv // per-peer receive state (dedup seq + active conn)
 
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{} // live inbound connections
@@ -85,9 +84,13 @@ type TCP struct {
 }
 
 // NewTCP builds the transport: it binds opt.Listen (default
-// "127.0.0.1:0"), discovers peers — through the coordinator rendezvous
-// when opt.Coord is set (blocking until the whole cluster has joined),
-// or from opt.Peers — and starts the per-destination connection pools.
+// "127.0.0.1:0"), discovers peers through the coordinator rendezvous
+// (blocking until the whole cluster has joined), and starts the
+// per-destination connection pools. Multi-node clusters require
+// opt.Coord: the Quiet() quiescence guarantee the runtime's Step
+// barrier relies on cannot be established from a static peers list
+// alone, so a peers-only configuration is rejected rather than
+// silently weakening the contract.
 func NewTCP(params *timemodel.Params, clocks []*timemodel.Clocks, opt fabric.Options) (*TCP, error) {
 	n := len(clocks)
 	if n == 0 {
@@ -95,6 +98,9 @@ func NewTCP(params *timemodel.Params, clocks []*timemodel.Clocks, opt fabric.Opt
 	}
 	if opt.Self < 0 || opt.Self >= n {
 		return nil, fmt.Errorf("transport: self %d out of range [0,%d)", opt.Self, n)
+	}
+	if n > 1 && opt.Coord == "" {
+		return nil, fmt.Errorf("transport: %d nodes but no coordinator: cross-process quiescence requires Options.Coord", n)
 	}
 	listen := opt.Listen
 	if listen == "" {
@@ -105,19 +111,20 @@ func NewTCP(params *timemodel.Params, clocks []*timemodel.Clocks, opt fabric.Opt
 		return nil, fmt.Errorf("transport: listen %s: %w", listen, err)
 	}
 	t := &TCP{
-		Metrics:   fabric.NewMetrics(n),
-		params:    params,
-		clocks:    clocks,
-		n:         n,
-		self:      opt.Self,
-		wall:      opt.WallClock,
-		ln:        ln,
-		inbox:     make([]chan fabric.Packet, n),
-		delivered: make(map[int]uint64),
-		conns:     make(map[net.Conn]struct{}),
+		Metrics: fabric.NewMetrics(n),
+		params:  params,
+		clocks:  clocks,
+		n:       n,
+		self:    opt.Self,
+		wall:    opt.WallClock,
+		ln:      ln,
+		inbox:   make([]chan fabric.Packet, n),
+		recv:    make([]*peerRecv, n),
+		conns:   make(map[net.Conn]struct{}),
 	}
 	for i := range t.inbox {
 		t.inbox[i] = make(chan fabric.Packet, recvQueueFrames)
+		t.recv[i] = &peerRecv{}
 	}
 
 	peers := opt.Peers
@@ -198,6 +205,12 @@ func (t *TCP) send(from, to int, buf []byte, msgs int, routed bool) {
 		t.inbox[t.self] <- fabric.Packet{From: from, To: to, Buf: buf, Msgs: msgs, Routed: routed}
 		return
 	}
+	if len(buf) > maxFramePayload {
+		// Fail at the source: a frame the receiver would reject as
+		// malformed must never enter the retransmit window, where it
+		// would livelock the stream in a reconnect loop.
+		panic(fmt.Sprintf("transport: %d-byte payload exceeds the %d-byte frame limit", len(buf), maxFramePayload))
+	}
 	t.ObserveWire(from, to, len(buf))
 	t.clocks[from].CountPacket(len(buf))
 	typ := frameData
@@ -255,14 +268,8 @@ func (t *TCP) Quiet() bool {
 	if t.n == 1 {
 		return true
 	}
+	// n > 1 implies a coordinator: NewTCP rejects peers-only clusters.
 	sent, applied := t.sentWire.Load(), t.appliedWire.Load()
-	if t.coord == nil {
-		// No coordinator (address-list construction): local best effort —
-		// everything this process sent is acked and nothing is pending
-		// locally. Unit-test configurations only; real multi-process runs
-		// use the coordinator.
-		return true
-	}
 	t.quietMu.Lock()
 	defer t.quietMu.Unlock()
 	if t.quietCached && sent == t.quietSent && applied == t.quietApplied {
@@ -383,18 +390,17 @@ func (t *TCP) DropConnections() {
 	t.connsMu.Unlock()
 }
 
-// deliveredSeq returns the highest data seq from peer handed to the
-// inbox.
-func (t *TCP) deliveredSeq(peer int) uint64 {
-	t.deliveredMu.Lock()
-	defer t.deliveredMu.Unlock()
-	return t.delivered[peer]
-}
-
-func (t *TCP) setDeliveredSeq(peer int, seq uint64) {
-	t.deliveredMu.Lock()
-	defer t.deliveredMu.Unlock()
-	t.delivered[peer] = seq
+// peerRecv serializes the receive side of one peer. mu is held across
+// the whole dedup-check / deliver / record sequence, and conn tracks
+// the connection currently allowed to deliver: a reconnecting peer's
+// new HELLO supersedes (closes) the old connection under mu, so two
+// handlers for the same peer can never both pass the dedup test and
+// enqueue one frame twice — even while the old handler drains frames
+// still buffered in its reader.
+type peerRecv struct {
+	mu   sync.Mutex
+	seq  uint64   // highest data seq handed to the inbox
+	conn net.Conn // connection allowed to deliver for this peer
 }
 
 // acceptLoop admits peer connections until the listener closes.
@@ -435,7 +441,26 @@ func (t *TCP) serveConn(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Time{})
 	from := hello.from
-	if err := writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: t.deliveredSeq(from)}); err != nil {
+	pr := t.recv[from]
+	// Supersede any previous connection from this peer before acking
+	// the resume point: the old handler may still be draining frames
+	// buffered in its reader, and the retransmitted window must not be
+	// able to race it past the dedup check.
+	pr.mu.Lock()
+	if pr.conn != nil {
+		pr.conn.Close()
+	}
+	pr.conn = conn
+	resume := pr.seq
+	pr.mu.Unlock()
+	defer func() {
+		pr.mu.Lock()
+		if pr.conn == conn {
+			pr.conn = nil
+		}
+		pr.mu.Unlock()
+	}()
+	if err := writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: resume}); err != nil {
 		return
 	}
 
@@ -450,24 +475,37 @@ func (t *TCP) serveConn(conn net.Conn) {
 			return
 		case frameData, frameRouted:
 			routed := f.typ == frameRouted
-			last := t.deliveredSeq(from)
+			pr.mu.Lock()
+			if pr.conn != conn {
+				// Superseded by a reconnect while this frame sat in the
+				// reader; the new stream retransmits everything unacked.
+				pr.mu.Unlock()
+				return
+			}
+			last := pr.seq
 			switch {
 			case f.from != from || f.to != t.self,
 				f.seq > last+1, // gap: protocol violation
 				wire.CheckBuf(f.payload, routed, t.n) != nil:
+				pr.mu.Unlock()
 				t.Malformed.Inc()
 				return
 			case f.seq <= last:
 				// Duplicate after a reconnect: re-acknowledge, drop.
+				pr.mu.Unlock()
 				if writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: f.seq}) != nil {
 					return
 				}
 				continue
 			}
-			if !t.deliver(f, routed) {
+			ok := t.deliver(f, routed)
+			if ok {
+				pr.seq = f.seq
+			}
+			pr.mu.Unlock()
+			if !ok {
 				return
 			}
-			t.setDeliveredSeq(from, f.seq)
 			if writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: f.seq}) != nil {
 				return
 			}
@@ -584,11 +622,12 @@ func (s *sender) shutdown() {
 	<-s.done
 }
 
-// connect dials with exponential backoff and jitter until it succeeds
-// or the deadline channel fires, then handshakes and retransmits the
-// unacknowledged window. It returns the established conn and its ack
-// reader channels.
-func (s *sender) connect(abort <-chan time.Time, attempted *bool) (net.Conn, chan uint64, chan error) {
+// connect dials with exponential backoff and jitter until it succeeds,
+// shutdown begins (stop closes — stopped=true so the caller can start
+// its bounded drain), or the drain deadline fires. On success it
+// handshakes, retransmits the unacknowledged window, and returns the
+// established conn with its ack reader channels.
+func (s *sender) connect(stop <-chan struct{}, abort <-chan time.Time, attempted *bool) (conn net.Conn, acks chan uint64, errs chan error, stopped bool) {
 	backoff := backoffInitial
 	for {
 		conn, err := net.DialTimeout("tcp", s.addr, dialTimeout)
@@ -598,7 +637,7 @@ func (s *sender) connect(abort <-chan time.Time, attempted *bool) (net.Conn, cha
 					s.t.Reconnects.Inc()
 				}
 				*attempted = true
-				return c, acks, errs
+				return c, acks, errs, false
 			}
 		}
 		s.t.Retries.Inc()
@@ -608,8 +647,10 @@ func (s *sender) connect(abort <-chan time.Time, attempted *bool) (net.Conn, cha
 		}
 		select {
 		case <-time.After(sleep):
+		case <-stop:
+			return nil, nil, nil, true
 		case <-abort:
-			return nil, nil, nil
+			return nil, nil, nil, false
 		}
 	}
 }
@@ -682,6 +723,18 @@ func (s *sender) run() {
 		}
 	}
 	defer disconnect()
+	var drainTimer *time.Timer
+	defer func() {
+		if drainTimer != nil {
+			drainTimer.Stop()
+		}
+	}()
+	beginDrain := func() {
+		stop = nil
+		draining = true
+		drainTimer = time.NewTimer(drainTimeout)
+		deadline = drainTimer.C
+	}
 	for {
 		if draining && len(s.queue) == 0 {
 			s.mu.Lock()
@@ -699,7 +752,14 @@ func (s *sender) run() {
 			if draining && len(s.queue) == 0 && s.idle() {
 				continue // loops into the exit branch above
 			}
-			conn, acks, errs = s.connect(deadline, &attempted)
+			var stopped bool
+			conn, acks, errs, stopped = s.connect(stop, deadline, &attempted)
+			if stopped {
+				// Shutdown arrived mid-reconnect: switch to the bounded
+				// drain so an unreachable peer cannot hang Close.
+				beginDrain()
+				continue
+			}
 			if conn == nil {
 				return // drain deadline fired while reconnecting
 			}
@@ -730,11 +790,7 @@ func (s *sender) run() {
 				disconnect()
 			}
 		case <-stop:
-			stop = nil
-			draining = true
-			timer := time.NewTimer(drainTimeout)
-			defer timer.Stop()
-			deadline = timer.C
+			beginDrain()
 		case <-deadline:
 			return
 		}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"net"
 	"sync"
 	"testing"
@@ -220,4 +221,161 @@ func TestTCPRecoversFromConnectionDrop(t *testing.T) {
 	}
 	waitQuiet(t, "tcp pair", func() bool { return allQuiet(fabs) })
 	closeAll(fabs)
+}
+
+func TestTCPRejectsPeersWithoutCoordinator(t *testing.T) {
+	_, err := NewTCP(timemodel.Default(), newClocks(2), fabric.Options{
+		Peers: []string{"127.0.0.1:1", "127.0.0.1:2"},
+	})
+	if err == nil {
+		t.Fatal("NewTCP accepted a multi-node peers list without a coordinator")
+	}
+}
+
+// TestTCPCloseInterruptsReconnect pins the shutdown path against a
+// vanished peer: a writer stuck in its dial/backoff loop must notice
+// stop and fall into the bounded drain instead of redialing forever.
+func TestTCPCloseInterruptsReconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nobody listening: every dial is refused
+
+	tr := &TCP{Metrics: fabric.NewMetrics(2), params: timemodel.Default(), clocks: newClocks(2), n: 2, self: 0}
+	s := &sender{
+		t:     tr,
+		dest:  1,
+		addr:  addr,
+		queue: make(chan *frame, sendQueueFrames),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go s.run()
+	time.Sleep(50 * time.Millisecond) // let the writer enter the backoff loop
+
+	done := make(chan struct{})
+	go func() {
+		s.shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown hung in the reconnect loop")
+	}
+}
+
+// newRecvOnlyTCP assembles the receive side of a TCP fabric without
+// senders or a coordinator, so tests can drive its wire protocol with
+// hand-rolled connections.
+func newRecvOnlyTCP(t *testing.T, n, self int) *TCP {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &TCP{
+		Metrics: fabric.NewMetrics(n),
+		params:  timemodel.Default(),
+		clocks:  newClocks(n),
+		n:       n,
+		self:    self,
+		ln:      ln,
+		inbox:   make([]chan fabric.Packet, n),
+		recv:    make([]*peerRecv, n),
+		conns:   make(map[net.Conn]struct{}),
+		senders: make([]*sender, n),
+	}
+	for i := range tr.inbox {
+		tr.inbox[i] = make(chan fabric.Packet, recvQueueFrames)
+		tr.recv[i] = &peerRecv{}
+	}
+	go tr.acceptLoop()
+	return tr
+}
+
+// TestTCPSupersedesStaleInboundConn pins the receive side's
+// exactly-once contract across reconnects: a new HELLO from a peer
+// must retire the old connection before the resume point is acked, and
+// a retransmitted frame must be re-acked without a second delivery.
+func TestTCPSupersedesStaleInboundConn(t *testing.T) {
+	tr := newRecvOnlyTCP(t, 2, 1)
+	defer tr.Close()
+
+	dial := func() (net.Conn, *bufio.Reader) {
+		t.Helper()
+		c, err := net.DialTimeout("tcp", tr.Addr(), dialTimeout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, bufio.NewReader(c)
+	}
+	expectAck := func(br *bufio.Reader, seq uint64) {
+		t.Helper()
+		f, err := readFrame(br)
+		if err != nil {
+			t.Fatalf("reading ack: %v", err)
+		}
+		if f.typ != frameAck || f.seq != seq {
+			t.Fatalf("got frame type %d seq %d, want ack seq %d", f.typ, f.seq, seq)
+		}
+	}
+	recvInc := func(want uint64) {
+		t.Helper()
+		select {
+		case p := <-tr.Inbox(1):
+			var got uint64
+			wire.Decode(p.Buf, func(_, a, _ uint64) { got = a })
+			if got != want {
+				t.Fatalf("delivered address %d, want %d", got, want)
+			}
+			tr.Done(p)
+		case <-time.After(5 * time.Second):
+			t.Fatal("packet never delivered")
+		}
+	}
+
+	connA, brA := dial()
+	defer connA.Close()
+	if err := writeFrame(connA, &frame{typ: frameHello, from: 0, to: 1}); err != nil {
+		t.Fatal(err)
+	}
+	expectAck(brA, 0)
+	if err := writeFrame(connA, &frame{typ: frameData, from: 0, to: 1, msgs: 1, seq: 1, payload: incBuf(5, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	recvInc(5)
+	expectAck(brA, 1)
+
+	// Reconnect: the new stream's HELLO must resume at seq 1 and cut
+	// the old connection off before it can deliver anything else.
+	connB, brB := dial()
+	defer connB.Close()
+	if err := writeFrame(connB, &frame{typ: frameHello, from: 0, to: 1}); err != nil {
+		t.Fatal(err)
+	}
+	expectAck(brB, 1)
+	connA.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := readFrame(brA); err == nil {
+		t.Fatal("superseded connection still alive")
+	}
+
+	// The retransmitted window re-acks without a second delivery; the
+	// next fresh frame flows normally.
+	if err := writeFrame(connB, &frame{typ: frameData, from: 0, to: 1, msgs: 1, seq: 1, payload: incBuf(5, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	expectAck(brB, 1)
+	if err := writeFrame(connB, &frame{typ: frameData, from: 0, to: 1, msgs: 1, seq: 2, payload: incBuf(9, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	recvInc(9)
+	expectAck(brB, 2)
+	select {
+	case p := <-tr.Inbox(1):
+		t.Fatalf("unexpected extra delivery %+v", p)
+	default:
+	}
 }
