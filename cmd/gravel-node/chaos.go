@@ -1,0 +1,340 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gravel"
+	"gravel/internal/apps/gups"
+	"gravel/internal/transport"
+	"gravel/internal/transport/fault"
+)
+
+// The chaos harness proves the distributed runtime's failure story
+// end to end, with real processes:
+//
+//   - recoverable iterations run the 4-process GUPS smoke under a
+//     seeded fault schedule (drops, duplicates, delays, reordering,
+//     corruption, severs) and require the reduced sum to stay
+//     bit-exact with the in-process fabric — the transport must hide
+//     every recoverable fault;
+//   - kill-worker iterations SIGKILL one worker mid-run and require
+//     every survivor to exit nonzero with a typed diagnosis within
+//     the failure detector's bound — an unrecoverable fault must
+//     fail fast, not hang;
+//   - kill-coordinator iterations sever every coordinator connection
+//     mid-run and require the same of all workers.
+//
+// Every iteration's fault schedule derives deterministically from
+// -seed, so a failure report names the exact schedule to replay.
+
+// chaosSuspect is the failure-detection timeout chaos workers run
+// with; kills must be diagnosed within twice this (plus process
+// overhead).
+const chaosSuspect = time.Second
+
+// workerResult is one forked worker's outcome.
+type workerResult struct {
+	res    result
+	err    error
+	stderr string
+}
+
+// forkWorkers runs one worker process per node against coordAddr with
+// the given extra flags and waits for them all. kill, when >= 0, names
+// a node whose process is SIGKILLed after killAfter.
+func forkWorkers(coordAddr string, extra []string, kill int, killAfter time.Duration) ([]workerResult, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]workerResult, *nodes)
+	var wg sync.WaitGroup
+	for i := 0; i < *nodes; i++ {
+		args := []string{
+			"-node", strconv.Itoa(i),
+			"-nodes", strconv.Itoa(*nodes),
+			"-coord", coordAddr,
+			"-app", "gups",
+			"-table", strconv.Itoa(*table),
+			"-updates", strconv.Itoa(*updates),
+			"-steps", strconv.Itoa(*steps),
+			"-seed", strconv.FormatUint(*seed, 10),
+		}
+		args = append(args, extra...)
+		cmd := exec.Command(exe, args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		var stdout bytes.Buffer
+		cmd.Stdout = &stdout
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+		if i == kill {
+			go func() {
+				time.Sleep(killAfter)
+				cmd.Process.Kill()
+			}()
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := cmd.Wait()
+			out[i].stderr = stderr.String()
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			out[i].err = unmarshalResult(stdout.Bytes(), &out[i].res)
+		}(i)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+func unmarshalResult(b []byte, r *result) error {
+	if err := json.Unmarshal(b, r); err != nil {
+		return fmt.Errorf("bad worker output %q: %w", string(b), err)
+	}
+	return nil
+}
+
+// startCoordinator runs an in-process rendezvous coordinator and
+// returns it with its address and a stopper.
+func startCoordinator() (*transport.Coordinator, string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", nil, err
+	}
+	c := transport.NewCoordinator(*nodes)
+	go c.Serve(ln)
+	stop := func() { ln.Close() }
+	go func() {
+		<-c.Done()
+		ln.Close()
+	}()
+	return c, ln.Addr().String(), stop, nil
+}
+
+// refSum computes (once) the GUPS sum on the in-process channel
+// fabric — the bit-exactness reference for every recoverable
+// iteration.
+var refSumOnce struct {
+	sync.Once
+	sum uint64
+}
+
+func chaosRefSum() uint64 {
+	refSumOnce.Do(func() {
+		ref := gravel.New(gravel.Config{Nodes: *nodes})
+		refSumOnce.sum = gups.Run(ref, gups.Config{
+			TableSize:      *table,
+			UpdatesPerNode: *updates,
+			Seed:           *seed,
+			Steps:          *steps,
+		}).Sum
+		ref.Close()
+	})
+	return refSumOnce.sum
+}
+
+// chaosSchedule is the canonical recoverable schedule (the acceptance
+// schedule: 2% drop, 1% dup, delays up to 5ms, at most one sever per
+// link), seeded per iteration, with corruption added so the CRC path
+// is exercised too.
+func chaosSchedule(iterSeed uint64) *fault.Config {
+	return &fault.Config{
+		Seed:     iterSeed,
+		Drop:     0.02,
+		Dup:      0.01,
+		Reorder:  0.01,
+		Corrupt:  0.005,
+		Delay:    0.2,
+		DelayMax: 5 * time.Millisecond,
+		Sever:    0.002,
+		SeverMax: 1,
+	}
+}
+
+// chaosRecoverable runs the fault-schedule iteration: every worker
+// must exit zero and the reduced sum must match the in-process fabric
+// bit-exactly.
+func chaosRecoverable(iterSeed uint64) error {
+	fc := chaosSchedule(iterSeed)
+	_, addr, stop, err := startCoordinator()
+	if err != nil {
+		return err
+	}
+	defer stop()
+	results, err := forkWorkers(addr, []string{
+		"-faults", fc.String(),
+		"-suspect", "20s", // generous: injected faults must recover, not trip detection
+	}, -1, 0)
+	if err != nil {
+		return err
+	}
+	want := chaosRefSum()
+	var localTotal uint64
+	for i, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("worker %d failed under schedule %q: %v\nstderr:\n%s", i, fc.String(), r.err, r.stderr)
+		}
+		localTotal += r.res.LocalSum
+		if r.res.TotalSum != want {
+			return fmt.Errorf("worker %d reduced sum %d, want %d (schedule %q)", i, r.res.TotalSum, want, fc.String())
+		}
+	}
+	if localTotal != want {
+		return fmt.Errorf("local sums add to %d, want %d (schedule %q)", localTotal, want, fc.String())
+	}
+	return nil
+}
+
+// diagnosed reports whether a failed worker's stderr shows a typed
+// transport diagnosis rather than an arbitrary crash.
+func diagnosed(stderr string) bool {
+	return strings.Contains(stderr, "down") || // PeerDownError / CoordDownError
+		strings.Contains(stderr, "failed to assemble")
+}
+
+// chaosKillWorker SIGKILLs one worker mid-run; every survivor must
+// exit nonzero with a typed diagnosis within the detection bound.
+func chaosKillWorker(iterSeed uint64, rng *rand.Rand) error {
+	_, addr, stop, err := startCoordinator()
+	if err != nil {
+		return err
+	}
+	defer stop()
+	victim := rng.Intn(*nodes)
+	killAfter := 200*time.Millisecond + time.Duration(rng.Int63n(int64(700*time.Millisecond)))
+	start := time.Now()
+	results, err := forkWorkers(addr, []string{
+		"-suspect", chaosSuspect.String(),
+		"-heartbeat", "250ms",
+		"-coord-timeout", "5s",
+		"-coord-rpc-timeout", "2s",
+		"-steps", "20", // long enough that the kill lands mid-run
+	}, victim, killAfter)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	var finishedSums []uint64
+	for i, r := range results {
+		if i == victim {
+			continue
+		}
+		if r.err == nil {
+			// The whole run finished before the kill landed; nothing to
+			// diagnose, but finished survivors must agree on the sum.
+			finishedSums = append(finishedSums, r.res.TotalSum)
+			continue
+		}
+		if !diagnosed(r.stderr) {
+			return fmt.Errorf("worker %d died undiagnosed after killing worker %d at %v:\n%s",
+				i, victim, killAfter, r.stderr)
+		}
+	}
+	for _, s := range finishedSums {
+		if s != finishedSums[0] {
+			return fmt.Errorf("survivors disagree on the reduced sum: %v", finishedSums)
+		}
+	}
+	// The detection bound: kill + 2x suspect, plus generous process
+	// overhead (spawn, join, dial budget) — a hang would blow well past
+	// this.
+	if bound := killAfter + 2*chaosSuspect + 20*time.Second; elapsed > bound {
+		return fmt.Errorf("survivors took %v to fail, over the %v bound", elapsed, bound)
+	}
+	return nil
+}
+
+// chaosKillCoord severs every coordinator connection mid-run (and
+// closes its listener); every worker must exit nonzero with a typed
+// CoordDownError diagnosis.
+func chaosKillCoord(iterSeed uint64, rng *rand.Rand) error {
+	c, addr, stop, err := startCoordinator()
+	if err != nil {
+		return err
+	}
+	defer stop()
+	killAfter := 200*time.Millisecond + time.Duration(rng.Int63n(int64(700*time.Millisecond)))
+	go func() {
+		time.Sleep(killAfter)
+		stop()   // no new connections
+		c.Kill() // sever established ones
+	}()
+	start := time.Now()
+	results, err := forkWorkers(addr, []string{
+		"-suspect", chaosSuspect.String(),
+		"-heartbeat", "250ms",
+		"-coord-timeout", "5s",
+		"-coord-rpc-timeout", "2s",
+		"-steps", "20",
+	}, -1, 0)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	finished := 0
+	for i, r := range results {
+		if r.err == nil {
+			finished++ // run beat the kill; allowed, but not for everyone
+			continue
+		}
+		if !diagnosed(r.stderr) {
+			return fmt.Errorf("worker %d died undiagnosed after coordinator kill at %v:\n%s", i, killAfter, r.stderr)
+		}
+	}
+	if finished == *nodes {
+		return fmt.Errorf("all workers finished before the coordinator kill at %v landed; run too short", killAfter)
+	}
+	if bound := killAfter + 2*chaosSuspect + 20*time.Second; elapsed > bound {
+		return fmt.Errorf("workers took %v to fail, over the %v bound", elapsed, bound)
+	}
+	return nil
+}
+
+// runChaos iterates the three chaos modes until -duration expires,
+// always completing at least one full cycle. Iteration schedules
+// derive from -seed, so `-chaos -seed N` replays the same sequence.
+func runChaos() error {
+	rng := rand.New(rand.NewSource(int64(*seed)))
+	deadline := time.Now().Add(*duration)
+	iter := 0
+	for {
+		iter++
+		iterSeed := *seed*1_000_003 + uint64(iter)
+		var err error
+		var kind string
+		switch iter % 3 {
+		case 1:
+			kind = "recoverable"
+			err = chaosRecoverable(iterSeed)
+		case 2:
+			kind = "kill-worker"
+			err = chaosKillWorker(iterSeed, rng)
+		default:
+			kind = "kill-coordinator"
+			err = chaosKillCoord(iterSeed, rng)
+		}
+		if err != nil {
+			return fmt.Errorf("chaos iteration %d (%s, seed %d): %w", iter, kind, iterSeed, err)
+		}
+		fmt.Printf("chaos: iteration %d (%s, seed %d) ok\n", iter, kind, iterSeed)
+		if iter >= 3 && !time.Now().Before(deadline) {
+			break
+		}
+	}
+	fmt.Printf("chaos: PASS (%d iterations)\n", iter)
+	return nil
+}

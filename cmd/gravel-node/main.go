@@ -11,11 +11,23 @@
 //	gravel-node -smoke -nodes 4                   self-contained localhost
 //	                                              run, checked against the
 //	                                              in-process fabric
+//	gravel-node -chaos -seed 1 -duration 30s      chaos harness: smoke runs
+//	                                              under seeded fault schedules
+//	                                              plus worker/coordinator kills
 //
 // Workers print one JSON result line on stdout. The smoke mode forks
 // one worker per node, runs the coordinator itself, and verifies that
 // the reduced distributed table sum equals the single-process run's —
 // the distributed fabric must be invisible to application results.
+//
+// Workers accept a fault-injection schedule via -faults (or the
+// GRAVEL_FAULTS env var), e.g. `seed=7,drop=0.02,delay=0.2/5ms`, and
+// failure-detection cadence via -suspect / -heartbeat. A worker whose
+// peer or coordinator dies exits nonzero with the typed error and a
+// per-destination stats + fault-log dump on stderr. The chaos mode
+// cycles three iteration kinds — recoverable schedules that must stay
+// bit-exact, a SIGKILLed worker, a killed coordinator — with every
+// schedule derived from -seed so failures replay exactly.
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"os/exec"
 	"strconv"
 	"sync"
+	"time"
 
 	"gravel"
 	"gravel/internal/apps/gups"
@@ -34,11 +47,13 @@ import (
 	"gravel/internal/core"
 	"gravel/internal/graph"
 	"gravel/internal/transport"
+	"gravel/internal/transport/fault"
 )
 
 var (
 	serve = flag.Bool("serve", false, "run the rendezvous coordinator")
 	smoke = flag.Bool("smoke", false, "fork a full localhost cluster and verify it against the in-process fabric")
+	chaos = flag.Bool("chaos", false, "run the chaos harness: repeated distributed runs under seeded fault schedules and process kills")
 
 	node   = flag.Int("node", -1, "node this worker hosts")
 	nodes  = flag.Int("nodes", 4, "cluster size")
@@ -53,6 +68,16 @@ var (
 	seed    = flag.Uint64("seed", 42, "deterministic seed")
 	verts   = flag.Int("verts", 2048, "pagerank: vertex count")
 	iters   = flag.Int("iters", 3, "pagerank: iterations")
+
+	faults = flag.String("faults", "",
+		`deterministic fault schedule, e.g. "seed=7,drop=0.02,dup=0.01,delay=0.2:5ms,sever=0.002:1" (default $GRAVEL_FAULTS; empty/off disables)`)
+	suspectFlag     = flag.Duration("suspect", 0, "declare a silent peer down after this long (0 = 30s default, <0 disables)")
+	heartbeatFlag   = flag.Duration("heartbeat", 0, "peer/coordinator heartbeat period (0 = suspect/4)")
+	coordTimeout    = flag.Duration("coord-timeout", 0, "coordinator dial budget (0 = 30s default)")
+	coordBackoff    = flag.Duration("coord-backoff", 0, "initial coordinator dial retry backoff (0 = 10ms default)")
+	coordBackoffMax = flag.Duration("coord-backoff-max", 0, "coordinator dial retry backoff ceiling (0 = 1s default)")
+	coordRPCTimeout = flag.Duration("coord-rpc-timeout", 0, "per-RPC coordinator deadline (0 = 15s default, <0 disables)")
+	duration        = flag.Duration("duration", 30*time.Second, "chaos: how long to keep iterating")
 )
 
 // result is the JSON line a worker prints.
@@ -75,6 +100,10 @@ func main() {
 		}
 	case *smoke:
 		if err := runSmoke(); err != nil {
+			fatal(err)
+		}
+	case *chaos:
+		if err := runChaos(); err != nil {
 			fatal(err)
 		}
 	case *node >= 0:
@@ -111,7 +140,10 @@ func runCoordinator() error {
 
 // runWorker hosts one node: it joins the cluster through the
 // coordinator, runs the selected application's shard, folds the local
-// result into the cluster-wide reduction, and prints both.
+// result into the cluster-wide reduction, and prints both. On a fatal
+// transport error (a peer or the coordinator declared down, surfaced
+// as a typed error from the runtime) it exits nonzero after dumping
+// per-destination wire statistics and the injected-fault log to stderr.
 func runWorker() (err error) {
 	if *coord == "" {
 		return fmt.Errorf("worker needs -coord")
@@ -122,27 +154,61 @@ func runWorker() (err error) {
 	if *app != "gups" && *app != "pagerank" {
 		return fmt.Errorf("unknown -app %q", *app)
 	}
-	// Cluster construction panics on transport misconfiguration (a
-	// duplicate node id, an unreachable coordinator); report those as
-	// ordinary CLI errors rather than a stack trace.
+	spec := *faults
+	if spec == "" {
+		spec = os.Getenv("GRAVEL_FAULTS")
+	}
+	fcfg, err := fault.Parse(spec)
+	if err != nil {
+		return fmt.Errorf("-faults: %w", err)
+	}
+	var (
+		sys gravel.System
+		tcp *transport.TCP
+	)
+	// Transport failures (and misconfigurations) surface as panics on
+	// the Step goroutine carrying typed errors (transport.PeerDownError,
+	// transport.CoordDownError). Recover them into a diagnosed nonzero
+	// exit. On failure the transport is killed, not closed: a graceful
+	// drain toward a dead peer would stall the exit past the failure
+	// detector's own bound.
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("%v", r)
+			if e, ok := r.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("%v", r)
+			}
+		}
+		if err != nil {
+			dumpDiagnostics(sys, tcp)
+			if tcp != nil {
+				tcp.Kill()
+			}
+		} else if sys != nil {
+			sys.Close()
 		}
 	}()
-	sys := gravel.New(gravel.Config{
+	sys = gravel.New(gravel.Config{
 		Nodes:     *nodes,
 		Transport: "tcp",
+		Faults:    fcfg,
 		TransportOpts: gravel.TransportOptions{
-			Self:      *node,
-			Listen:    *listen,
-			Coord:     *coord,
-			WallClock: *wall,
+			Self:                *node,
+			Listen:              *listen,
+			Coord:               *coord,
+			WallClock:           *wall,
+			SuspectTimeout:      *suspectFlag,
+			HeartbeatInterval:   *heartbeatFlag,
+			CoordDialTimeout:    *coordTimeout,
+			CoordDialBackoff:    *coordBackoff,
+			CoordDialBackoffMax: *coordBackoffMax,
+			CoordRPCTimeout:     *coordRPCTimeout,
 		},
 	})
-	defer sys.Close()
 
-	tcp, ok := sys.(interface{ Fabric() core.Fabric }).Fabric().(*transport.TCP)
+	var ok bool
+	tcp, ok = sys.(interface{ Fabric() core.Fabric }).Fabric().(*transport.TCP)
 	if !ok {
 		return fmt.Errorf("fabric is not the TCP transport")
 	}
@@ -188,6 +254,36 @@ func sumPkts(s gravel.NetStats) int64 {
 		n += d.Packets
 	}
 	return n
+}
+
+// dumpDiagnostics writes the failure-time picture to stderr: per-dest
+// wire statistics and, when fault injection is on, the injected-fault
+// counters and log tail — everything needed to replay and localize a
+// failed chaos run from its seed.
+func dumpDiagnostics(sys gravel.System, tcp *transport.TCP) {
+	fmt.Fprintf(os.Stderr, "gravel-node: diagnostic dump (node %d)\n", *node)
+	if sys != nil {
+		s := sys.NetStats()
+		fmt.Fprintf(os.Stderr, "  wire: %d pkts, %d bytes; reconnects=%d retries=%d malformed=%d corrupt=%d\n",
+			s.WirePackets, s.WireBytes, s.Reconnects, s.Retries, s.Malformed, s.CorruptFrames)
+		for d, pd := range s.PerDest {
+			if pd.Packets > 0 {
+				fmt.Fprintf(os.Stderr, "  -> node %d: %d pkts, %d bytes\n", d, pd.Packets, pd.Bytes)
+			}
+		}
+	}
+	if tcp == nil {
+		return
+	}
+	if err := tcp.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "  transport error: %v\n", err)
+	}
+	if inj := tcp.FaultInjector(); inj.Enabled() {
+		fmt.Fprintf(os.Stderr, "  faults injected: %s (seed %d)\n", inj.Counters(), inj.Config().Seed)
+		for _, e := range inj.Log() {
+			fmt.Fprintf(os.Stderr, "    %s\n", e)
+		}
+	}
 }
 
 // runSmoke is the end-to-end check: it runs the coordinator in-process,

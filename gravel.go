@@ -48,6 +48,7 @@ import (
 	"gravel/internal/rt"
 	"gravel/internal/simt"
 	"gravel/internal/timemodel"
+	"gravel/internal/transport/fault"
 )
 
 // System is a running cluster: kernels are launched with Step and every
@@ -121,18 +122,34 @@ type Config struct {
 	Transport string
 	// TransportOpts configures socket transports (which node this
 	// process hosts, listen address, coordinator address, wall-clock
-	// charging). Ignored by in-process transports.
+	// charging, failure-detection timeouts). Ignored by in-process
+	// transports.
 	TransportOpts TransportOptions
+	// Faults, when non-nil, enables deterministic seeded fault injection
+	// on socket transports: drops, duplicates, delays, reordering, byte
+	// corruption, stalls, severs, node blackouts, and asymmetric
+	// partitions, all replayable from Faults.Seed. Nil (the default) is
+	// a zero-cost pass-through. Shorthand for TransportOpts.Faults.
+	Faults *FaultConfig
 }
 
 // TransportOptions configures socket transports; see fabric.Options.
 type TransportOptions = fabric.Options
+
+// FaultConfig is a deterministic fault-injection schedule; see
+// internal/transport/fault.Config for field semantics and
+// fault.Parse for the "drop=0.02,sever=0.01:1,..." spec syntax used by
+// cmd/gravel-node's -faults flag and GRAVEL_FAULTS.
+type FaultConfig = fault.Config
 
 // Transports lists the registered fabric transport names.
 func Transports() []string { return fabric.Names() }
 
 // New creates a Gravel cluster. Callers must Close it.
 func New(cfg Config) System {
+	if cfg.Faults != nil && cfg.TransportOpts.Faults == nil {
+		cfg.TransportOpts.Faults = cfg.Faults
+	}
 	return core.New(core.Config{
 		Nodes:         cfg.Nodes,
 		Params:        cfg.Params,

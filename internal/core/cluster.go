@@ -446,6 +446,8 @@ func (cl *Cluster) NetStats() rt.NetStats {
 	}
 	s.Reconnects = m.Reconnects.Load()
 	s.Retries = m.Retries.Load()
+	s.Malformed = m.Malformed.Load()
+	s.CorruptFrames = m.CorruptFrames.Load()
 	// Busy fraction of the aggregator core over the run's virtual time
 	// (the paper's §8.1 metric: 65% of the core's time is polling).
 	if cl.totalNs > 0 {

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"gravel/internal/stats"
 	"gravel/internal/timemodel"
+	"gravel/internal/transport/fault"
 )
 
 // Packet is one per-node queue in flight. Routed packets hold
@@ -81,6 +83,12 @@ type Metrics struct {
 	// Malformed counts received frames or payloads that failed
 	// validation and were dropped instead of applied.
 	Malformed stats.Counter
+	// CorruptFrames counts received frames whose header parsed but
+	// whose payload failed the CRC — in-flight corruption. Each one
+	// forces a retransmit (the receiver poisons the stream after
+	// re-acknowledging its resume point), so corruption costs latency,
+	// never data.
+	CorruptFrames stats.Counter
 }
 
 // NewMetrics creates zeroed metrics for an n-node fabric.
@@ -139,6 +147,32 @@ type Options struct {
 	// WallClock charges measured wall-clock time for wire transfers
 	// instead of the virtual LogGP model.
 	WallClock bool
+
+	// Faults, when non-nil, enables deterministic fault injection on
+	// socket transports (see internal/transport/fault). Nil is the
+	// production configuration: a zero-allocation pass-through.
+	Faults *fault.Config
+
+	// SuspectTimeout is how long a peer (or the coordinator's view of a
+	// worker) may be silent while traffic is pending before it is
+	// declared down with a typed PeerDownError. Zero means the default
+	// (30s); negative disables failure detection.
+	SuspectTimeout time.Duration
+	// HeartbeatInterval is the peer-ping and coordinator-heartbeat
+	// period. Zero means SuspectTimeout/4.
+	HeartbeatInterval time.Duration
+
+	// CoordDialTimeout bounds the initial coordinator dial (workers
+	// routinely start before the coordinator listens). Zero means 30s.
+	CoordDialTimeout time.Duration
+	// CoordDialBackoff / CoordDialBackoffMax shape the dial retry
+	// backoff (exponential with jitter). Zero means 10ms / 1s.
+	CoordDialBackoff    time.Duration
+	CoordDialBackoffMax time.Duration
+	// CoordRPCTimeout bounds every coordinator request/response
+	// exchange; an expired deadline yields a typed CoordDownError.
+	// Zero means 15s; negative disables the deadline.
+	CoordRPCTimeout time.Duration
 }
 
 // Factory builds a fabric over the given per-node clocks.

@@ -68,6 +68,10 @@ type NetStats struct {
 	// drop; Retries counts failed dial attempts. Both are 0 for
 	// in-process fabrics.
 	Reconnects, Retries int64
+	// Malformed counts received frames dropped as invalid;
+	// CorruptFrames counts frames whose payload failed the CRC (wire
+	// corruption) and were recovered by retransmission.
+	Malformed, CorruptFrames int64
 }
 
 // DestCount is one destination's share of the wire traffic.

@@ -11,11 +11,17 @@ import (
 )
 
 // Coordinator is the rendezvous point of a multi-process cluster: it
-// assigns nothing and moves no data, but provides the three collective
+// assigns nothing and moves no data, but provides the collective
 // services sockets cannot: peer discovery (join), distributed
 // quiescence detection (the cross-process extension of fabric.Quiet),
-// and terminal reductions (gathering per-node results such as table
-// sums).
+// terminal reductions (gathering per-node results such as table sums),
+// and cluster-wide failure detection (workers heartbeat; a worker
+// silent past the suspect timeout is reported Down to every poll).
+//
+// Every operation is a prompt request/response — workers poll instead
+// of blocking in the server — so every worker RPC can carry a deadline
+// and a vanished coordinator always surfaces as a typed CoordDownError
+// within that deadline, never as a hang.
 //
 // Quiescence uses the classic sum-matching argument over monotonic
 // counters: every worker reports (wire frames sent, wire frames
@@ -27,19 +33,28 @@ import (
 type Coordinator struct {
 	nodes int
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	// SuspectTimeout, when positive, declares a joined worker down
+	// after that much silence (workers heartbeat at a fraction of it).
+	// Joiners report their own configured timeouts and the coordinator
+	// adopts the largest it has seen, so setting it here is optional.
+	SuspectTimeout time.Duration
 
-	peers   map[int]string
-	reports map[int]quietReport
-	prevS   int64
-	prevA   int64
-	prevOK  bool
+	mu sync.Mutex
+
+	peers     map[int]string
+	firstJoin time.Time
+	lastSeen  map[int]time.Time
+	left      map[int]bool
+	reports  map[int]quietReport
+	prevS    int64
+	prevA    int64
+	prevOK   bool
 
 	reduces  map[string]*reduceState
 	barriers map[string]*barrierState
-	byes     int
 	done     chan struct{}
+
+	conns map[net.Conn]struct{} // live worker connections (for Kill)
 }
 
 type barrierState struct {
@@ -57,7 +72,7 @@ type reduceState struct {
 	vals      map[int]uint64
 	total     uint64
 	done      bool
-	collected int // nodes that have received the total
+	collected map[int]bool // nodes that have received the total
 }
 
 // coordMsg is both request and response of the line-oriented JSON
@@ -71,26 +86,30 @@ type coordMsg struct {
 	Idle    bool     `json:"idle,omitempty"`
 	Key     string   `json:"key,omitempty"`
 	Val     uint64   `json:"val,omitempty"`
+	Suspect int64    `json:"suspect,omitempty"` // joiner's suspect timeout, ns
 	OK      bool     `json:"ok"`
 	Err     string   `json:"err,omitempty"`
 	Quiet   bool     `json:"quiet,omitempty"`
+	Ready   bool     `json:"ready,omitempty"` // polled op (join/reduce) completed
 	Total   uint64   `json:"total,omitempty"`
 	Peers   []string `json:"peers,omitempty"`
+	Down    []int    `json:"down,omitempty"` // workers silent past the suspect timeout
 }
 
 // NewCoordinator creates a coordinator expecting the given worker
 // count.
 func NewCoordinator(nodes int) *Coordinator {
-	c := &Coordinator{
+	return &Coordinator{
 		nodes:    nodes,
 		peers:    make(map[int]string),
+		lastSeen: make(map[int]time.Time),
+		left:     make(map[int]bool),
 		reports:  make(map[int]quietReport),
 		reduces:  make(map[string]*reduceState),
 		barriers: make(map[string]*barrierState),
 		done:     make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
 	}
-	c.cond = sync.NewCond(&c.mu)
-	return c
 }
 
 // Done is closed once every worker has said goodbye.
@@ -104,12 +123,31 @@ func (c *Coordinator) Serve(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		c.mu.Lock()
+		c.conns[conn] = struct{}{}
+		c.mu.Unlock()
 		go c.handle(conn)
 	}
 }
 
+// Kill abruptly severs every worker connection — the chaos harness's
+// "coordinator process died" lever. Workers' next RPC fails and must
+// surface as a CoordDownError.
+func (c *Coordinator) Kill() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for conn := range c.conns {
+		conn.Close()
+	}
+}
+
 func (c *Coordinator) handle(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+		conn.Close()
+	}()
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	for {
@@ -131,54 +169,101 @@ func (c *Coordinator) dispatch(req *coordMsg) *coordMsg {
 	if req.Node < 0 || req.Node >= c.nodes {
 		return &coordMsg{Err: fmt.Sprintf("node %d out of range [0,%d)", req.Node, c.nodes)}
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastSeen[req.Node] = time.Now()
 	switch req.Op {
 	case "join":
-		peers, err := c.join(req.Node, req.Addr)
+		peers, ready, err := c.joinLocked(req.Node, req.Addr, time.Duration(req.Suspect))
 		if err != nil {
 			return &coordMsg{Err: err.Error()}
 		}
-		return &coordMsg{OK: true, Peers: peers}
+		return &coordMsg{OK: true, Ready: ready, Peers: peers}
 	case "quiet":
-		q := c.quietEval(req.Node, quietReport{sent: req.Sent, applied: req.Applied, idle: req.Idle})
-		return &coordMsg{OK: true, Quiet: q}
+		q := c.quietEvalLocked(req.Node, quietReport{sent: req.Sent, applied: req.Applied, idle: req.Idle})
+		return &coordMsg{OK: true, Quiet: q, Down: c.downLocked()}
 	case "reduce":
-		return &coordMsg{OK: true, Total: c.reduce(req.Node, req.Key, req.Val)}
+		total, ready := c.reduceLocked(req.Node, req.Key, req.Val)
+		return &coordMsg{OK: true, Ready: ready, Total: total, Down: c.downLocked()}
 	case "barrier":
-		rel := c.barrier(req.Node, req.Key, quietReport{sent: req.Sent, applied: req.Applied, idle: req.Idle})
-		return &coordMsg{OK: true, Quiet: rel}
+		rel := c.barrierLocked(req.Node, req.Key, quietReport{sent: req.Sent, applied: req.Applied, idle: req.Idle})
+		return &coordMsg{OK: true, Quiet: rel, Down: c.downLocked()}
+	case "ping":
+		return &coordMsg{OK: true, Down: c.downLocked()}
 	case "bye":
-		c.bye()
+		c.byeLocked(req.Node)
 		return &coordMsg{OK: true}
 	default:
 		return &coordMsg{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 }
 
-// join registers a worker's listen address and blocks until the whole
-// cluster has assembled, returning the address table indexed by node.
-func (c *Coordinator) join(node int, addr string) ([]string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if prev, dup := c.peers[node]; dup && prev != addr {
-		return nil, fmt.Errorf("node %d joined twice (%s, %s)", node, prev, addr)
+// joinLocked registers a worker's listen address; once the whole
+// cluster has registered it reports ready with the address table
+// indexed by node. Workers poll until ready.
+func (c *Coordinator) joinLocked(node int, addr string, suspect time.Duration) ([]string, bool, error) {
+	if prev, dup := c.peers[node]; dup && addr != "" && prev != addr {
+		return nil, false, fmt.Errorf("node %d joined twice (%s, %s)", node, prev, addr)
 	}
-	c.peers[node] = addr
-	c.cond.Broadcast()
-	for len(c.peers) < c.nodes {
-		c.cond.Wait()
+	if c.firstJoin.IsZero() {
+		c.firstJoin = time.Now()
+	}
+	if addr != "" {
+		c.peers[node] = addr
+	}
+	if suspect > c.SuspectTimeout {
+		c.SuspectTimeout = suspect
+	}
+	if len(c.peers) < c.nodes {
+		// Assembly can legitimately be slow, but with failure detection
+		// on it must not wait forever on a worker that died before
+		// joining: past a generous grace the join itself fails, so every
+		// surviving worker gets a diagnosed exit instead of a hang.
+		if c.SuspectTimeout > 0 {
+			grace := 4 * c.SuspectTimeout
+			if grace < 5*time.Second {
+				grace = 5 * time.Second
+			}
+			if time.Since(c.firstJoin) > grace {
+				return nil, false, fmt.Errorf("cluster failed to assemble: %d/%d workers joined within %v",
+					len(c.peers), c.nodes, grace)
+			}
+		}
+		return nil, false, nil
 	}
 	out := make([]string, c.nodes)
 	for i, a := range c.peers {
 		out[i] = a
 	}
-	return out, nil
+	return out, true, nil
 }
 
-// quietEval folds one worker's report into the global picture and
+// downLocked lists joined workers that have been silent past the
+// suspect timeout — the coordinator-side half of failure detection.
+// Heartbeats (op "ping") keep a live worker's lastSeen fresh even while
+// it computes, so staleness really means the process is gone or
+// unreachable. Workers that said goodbye are not dead, just done.
+func (c *Coordinator) downLocked() []int {
+	if c.SuspectTimeout <= 0 || len(c.peers) < c.nodes {
+		return nil
+	}
+	now := time.Now()
+	var down []int
+	for i := 0; i < c.nodes; i++ {
+		if c.left[i] {
+			continue
+		}
+		seen, ok := c.lastSeen[i]
+		if ok && now.Sub(seen) > c.SuspectTimeout {
+			down = append(down, i)
+		}
+	}
+	return down
+}
+
+// quietEvalLocked folds one worker's report into the global picture and
 // reports whether the cluster is provably quiescent.
-func (c *Coordinator) quietEval(node int, r quietReport) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+func (c *Coordinator) quietEvalLocked(node int, r quietReport) bool {
 	c.reports[node] = r
 	if len(c.reports) < c.nodes {
 		return false
@@ -196,7 +281,7 @@ func (c *Coordinator) quietEval(node int, r quietReport) bool {
 	return quiet
 }
 
-// barrier registers node's arrival at the named step barrier and
+// barrierLocked registers node's arrival at the named step barrier and
 // reports whether it has released. Workers poll rather than block, and
 // every poll refreshes the node's quiescence report — this is what
 // keeps the counter picture current while a fast worker waits for a
@@ -205,9 +290,7 @@ func (c *Coordinator) quietEval(node int, r quietReport) bool {
 // wire when a step boundary commits. Once every node has observed the
 // release the entry is deleted — barrier keys are per-step, so a
 // long-running cluster must not accrete one forever.
-func (c *Coordinator) barrier(node int, key string, r quietReport) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+func (c *Coordinator) barrierLocked(node int, key string, r quietReport) bool {
 	c.reports[node] = r
 	st := c.barriers[key]
 	if st == nil {
@@ -237,36 +320,36 @@ func (c *Coordinator) barrier(node int, key string, r quietReport) bool {
 	return true
 }
 
-// reduce folds val into the named reduction and blocks until every
-// worker has contributed, returning the sum. Keys must be unique per
-// collective (tag them with a step or phase counter). The entry is
-// deleted once every node has collected the total, so per-step
-// collectives do not leak coordinator memory.
-func (c *Coordinator) reduce(node int, key string, val uint64) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// reduceLocked folds val into the named reduction; once every worker
+// has contributed it reports ready with the sum. Workers poll (their
+// contribution is idempotent), so the handler never blocks. Keys must
+// be unique per collective (tag them with a step or phase counter).
+// The entry is deleted once every node has collected the total, so
+// per-step collectives do not leak coordinator memory.
+func (c *Coordinator) reduceLocked(node int, key string, val uint64) (uint64, bool) {
 	st := c.reduces[key]
 	if st == nil {
-		st = &reduceState{vals: make(map[int]uint64)}
+		st = &reduceState{vals: make(map[int]uint64), collected: make(map[int]bool)}
 		c.reduces[key] = st
 	}
-	st.vals[node] = val
-	if len(st.vals) == c.nodes {
-		for _, v := range st.vals {
-			st.total += v
+	if !st.done {
+		st.vals[node] = val
+		if len(st.vals) == c.nodes {
+			for _, v := range st.vals {
+				st.total += v
+			}
+			st.vals = nil
+			st.done = true
 		}
-		st.vals = nil
-		st.done = true
-		c.cond.Broadcast()
 	}
-	for !st.done {
-		c.cond.Wait()
+	if !st.done {
+		return 0, false
 	}
-	st.collected++
-	if st.collected == c.nodes {
+	st.collected[node] = true
+	if len(st.collected) == c.nodes {
 		delete(c.reduces, key)
 	}
-	return st.total
+	return st.total, true
 }
 
 // ReduceTotal returns a completed reduction's sum. A reduction is
@@ -282,18 +365,48 @@ func (c *Coordinator) ReduceTotal(key string) (uint64, bool) {
 	return st.total, true
 }
 
-func (c *Coordinator) bye() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.byes++
-	if c.byes == c.nodes {
+func (c *Coordinator) byeLocked(node int) {
+	if c.left[node] {
+		return
+	}
+	c.left[node] = true
+	if len(c.left) == c.nodes {
 		close(c.done)
 	}
 }
 
+// coordDialOpts shapes dialCoord's retry loop and the client's per-RPC
+// deadline; zero fields take the listed defaults.
+type coordDialOpts struct {
+	timeout    time.Duration // total dial budget (default 30s)
+	backoff    time.Duration // initial retry backoff (default 10ms)
+	backoffMax time.Duration // backoff ceiling (default 1s)
+	rpcTimeout time.Duration // per-exchange deadline (default 15s; <0 none)
+}
+
+func (o coordDialOpts) withDefaults() coordDialOpts {
+	if o.timeout == 0 {
+		o.timeout = 30 * time.Second
+	}
+	if o.backoff == 0 {
+		o.backoff = 10 * time.Millisecond
+	}
+	if o.backoffMax == 0 {
+		o.backoffMax = time.Second
+	}
+	if o.rpcTimeout == 0 {
+		o.rpcTimeout = 15 * time.Second
+	}
+	return o
+}
+
 // coordClient is a worker's connection to the coordinator. All calls
-// are serialized request/response exchanges.
+// are serialized request/response exchanges, each bounded by the RPC
+// deadline; any failure is a *CoordDownError.
 type coordClient struct {
+	addr       string
+	rpcTimeout time.Duration
+
 	mu   sync.Mutex
 	conn net.Conn
 	dec  *json.Decoder
@@ -301,24 +414,28 @@ type coordClient struct {
 }
 
 // dialCoord connects with retries: workers routinely start before the
-// coordinator is listening.
-func dialCoord(addr string, timeout time.Duration) (*coordClient, error) {
-	deadline := time.Now().Add(timeout)
-	backoff := 10 * time.Millisecond
+// coordinator is listening. Timeout and backoff come from the
+// transport options (fabric.Options.CoordDial*).
+func dialCoord(addr string, o coordDialOpts) (*coordClient, error) {
+	o = o.withDefaults()
+	deadline := time.Now().Add(o.timeout)
+	backoff := o.backoff
 	for {
 		conn, err := net.Dial("tcp", addr)
 		if err == nil {
 			return &coordClient{
-				conn: conn,
-				dec:  json.NewDecoder(bufio.NewReader(conn)),
-				enc:  json.NewEncoder(conn),
+				addr:       addr,
+				rpcTimeout: o.rpcTimeout,
+				conn:       conn,
+				dec:        json.NewDecoder(bufio.NewReader(conn)),
+				enc:        json.NewEncoder(conn),
 			}, nil
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("transport: coordinator %s unreachable: %w", addr, err)
+			return nil, &CoordDownError{Addr: addr, Cause: fmt.Errorf("unreachable after %v: %w", o.timeout, err)}
 		}
 		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff))))
-		if backoff < time.Second {
+		if backoff < o.backoffMax {
 			backoff *= 2
 		}
 	}
@@ -327,12 +444,18 @@ func dialCoord(addr string, timeout time.Duration) (*coordClient, error) {
 func (c *coordClient) call(req *coordMsg) (*coordMsg, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.rpcTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.rpcTimeout))
+	}
 	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("transport: coordinator request: %w", err)
+		return nil, &CoordDownError{Addr: c.addr, Cause: fmt.Errorf("request: %w", err)}
 	}
 	var resp coordMsg
 	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("transport: coordinator response: %w", err)
+		return nil, &CoordDownError{Addr: c.addr, Cause: fmt.Errorf("response: %w", err)}
+	}
+	if c.rpcTimeout > 0 {
+		c.conn.SetDeadline(time.Time{})
 	}
 	if resp.Err != "" {
 		return nil, fmt.Errorf("transport: coordinator: %s", resp.Err)
@@ -340,36 +463,82 @@ func (c *coordClient) call(req *coordMsg) (*coordMsg, error) {
 	return &resp, nil
 }
 
-func (c *coordClient) join(node int, addr string) ([]string, error) {
-	resp, err := c.call(&coordMsg{Op: "join", Node: node, Addr: addr})
-	if err != nil {
-		return nil, err
+// peerDown converts a response's Down list into the typed error, or
+// nil. Any down peer dooms the run; the first is reported.
+func (c *coordClient) peerDown(resp *coordMsg, suspect time.Duration) error {
+	if len(resp.Down) == 0 {
+		return nil
 	}
-	return resp.Peers, nil
+	return &PeerDownError{Node: resp.Down[0], Detector: "coordinator", Silence: suspect}
 }
 
-func (c *coordClient) quiet(node int, sent, applied int64, idle bool) (bool, error) {
+// join registers this worker and polls until the whole cluster has
+// assembled. Assembly can legitimately take as long as the slowest
+// worker's start, so only coordinator failure — not elapsed time —
+// aborts the wait.
+func (c *coordClient) join(node int, addr string, suspect time.Duration) ([]string, error) {
+	registered := addr
+	for {
+		resp, err := c.call(&coordMsg{Op: "join", Node: node, Addr: registered, Suspect: int64(suspect)})
+		if err != nil {
+			return nil, err
+		}
+		if resp.Ready {
+			return resp.Peers, nil
+		}
+		registered = "" // already recorded; further polls just wait
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (c *coordClient) quiet(node int, sent, applied int64, idle bool, suspect time.Duration) (bool, error) {
 	resp, err := c.call(&coordMsg{Op: "quiet", Node: node, Sent: sent, Applied: applied, Idle: idle})
 	if err != nil {
 		return false, err
 	}
+	if err := c.peerDown(resp, suspect); err != nil {
+		return false, err
+	}
 	return resp.Quiet, nil
 }
 
-func (c *coordClient) reduce(node int, key string, val uint64) (uint64, error) {
-	resp, err := c.call(&coordMsg{Op: "reduce", Node: node, Key: key, Val: val})
-	if err != nil {
-		return 0, err
+// reduce contributes val and polls until every worker has contributed.
+func (c *coordClient) reduce(node int, key string, val uint64, suspect time.Duration) (uint64, error) {
+	for {
+		resp, err := c.call(&coordMsg{Op: "reduce", Node: node, Key: key, Val: val})
+		if err != nil {
+			return 0, err
+		}
+		if err := c.peerDown(resp, suspect); err != nil {
+			return 0, err
+		}
+		if resp.Ready {
+			return resp.Total, nil
+		}
+		time.Sleep(time.Millisecond)
 	}
-	return resp.Total, nil
 }
 
-func (c *coordClient) barrier(node int, key string, sent, applied int64, idle bool) (bool, error) {
+func (c *coordClient) barrier(node int, key string, sent, applied int64, idle bool, suspect time.Duration) (bool, error) {
 	resp, err := c.call(&coordMsg{Op: "barrier", Node: node, Key: key, Sent: sent, Applied: applied, Idle: idle})
 	if err != nil {
 		return false, err
 	}
+	if err := c.peerDown(resp, suspect); err != nil {
+		return false, err
+	}
 	return resp.Quiet, nil
+}
+
+// ping is the worker heartbeat: it keeps this worker's lastSeen fresh
+// at the coordinator (even during long compute phases) and brings back
+// the coordinator's view of dead peers.
+func (c *coordClient) ping(node int, suspect time.Duration) error {
+	resp, err := c.call(&coordMsg{Op: "ping", Node: node})
+	if err != nil {
+		return err
+	}
+	return c.peerDown(resp, suspect)
 }
 
 func (c *coordClient) bye(node int) error {

@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"sync"
 	"testing"
 )
 
@@ -13,13 +12,18 @@ func TestCoordinatorReclaimsCollectiveState(t *testing.T) {
 	c := NewCoordinator(2)
 	idle := quietReport{idle: true}
 
-	if c.barrier(0, "step:1", idle) {
+	barrier := func(node int, key string) bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.barrierLocked(node, key, idle)
+	}
+	if barrier(0, "step:1") {
 		t.Fatal("barrier released with one node absent")
 	}
-	if !c.barrier(1, "step:1", idle) {
+	if !barrier(1, "step:1") {
 		t.Fatal("barrier not released with all nodes arrived and idle")
 	}
-	if !c.barrier(0, "step:1", idle) {
+	if !barrier(0, "step:1") {
 		t.Fatal("release not sticky for the remaining node")
 	}
 	c.mu.Lock()
@@ -29,20 +33,23 @@ func TestCoordinatorReclaimsCollectiveState(t *testing.T) {
 		t.Fatalf("%d barrier entries retained after every node observed the release", nb)
 	}
 
-	totals := make([]uint64, 2)
-	var wg sync.WaitGroup
-	for i := 0; i < 2; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			totals[i] = c.reduce(i, "sum:1", uint64(i+1))
-		}(i)
+	// Reduce is a polled collective: nodes contribute, then poll until
+	// everyone has; the entry is reclaimed once all have collected.
+	reduce := func(node int, key string, val uint64) (uint64, bool) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.reduceLocked(node, key, val)
 	}
-	wg.Wait()
-	for i, tot := range totals {
-		if tot != 3 {
-			t.Fatalf("node %d reduced to %d, want 3", i, tot)
-		}
+	if _, ready := reduce(0, "sum:1", 1); ready {
+		t.Fatal("reduce ready with one node missing")
+	}
+	tot1, ready := reduce(1, "sum:1", 2)
+	if !ready || tot1 != 3 {
+		t.Fatalf("reduce(1) = %d ready=%v, want 3 true", tot1, ready)
+	}
+	tot0, ready := reduce(0, "sum:1", 1) // node 0 polls again and collects
+	if !ready || tot0 != 3 {
+		t.Fatalf("reduce(0) poll = %d ready=%v, want 3 true", tot0, ready)
 	}
 	c.mu.Lock()
 	nr := len(c.reduces)

@@ -1,0 +1,44 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+)
+
+// PeerDownError reports that a peer node has been declared dead: either
+// this process's sender made no progress toward it (no acknowledgement,
+// no successful dial) for the suspect timeout while traffic was
+// pending, or the coordinator stopped hearing the peer's heartbeats.
+// It unwinds Step() — via the quiescence and step-barrier paths — so a
+// vanished peer fails the run with a diagnosis instead of a deadlock.
+type PeerDownError struct {
+	// Node is the peer declared down.
+	Node int
+	// Detector names what noticed: "sender" (no ack progress) or
+	// "coordinator" (missed heartbeats).
+	Detector string
+	// Silence is how long the peer had been silent when declared down.
+	Silence time.Duration
+}
+
+func (e *PeerDownError) Error() string {
+	return fmt.Sprintf("transport: peer node %d down (%s saw no progress for %v)",
+		e.Node, e.Detector, e.Silence.Round(time.Millisecond))
+}
+
+// CoordDownError reports that the rendezvous coordinator is
+// unreachable: a coordinator RPC failed or timed out. Every collective
+// (join, quiescence, step barrier, reduce) depends on the coordinator,
+// so the run cannot continue.
+type CoordDownError struct {
+	// Addr is the coordinator address.
+	Addr string
+	// Cause is the underlying RPC failure.
+	Cause error
+}
+
+func (e *CoordDownError) Error() string {
+	return fmt.Sprintf("transport: coordinator %s down: %v", e.Addr, e.Cause)
+}
+
+func (e *CoordDownError) Unwrap() error { return e.Cause }

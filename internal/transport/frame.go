@@ -4,10 +4,17 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 )
+
+// errCorruptPayload marks a frame whose header parsed but whose payload
+// failed the CRC — in-flight corruption rather than a protocol
+// violation. Receivers count these (NetStats.CorruptFrames) and force a
+// retransmit instead of dropping the loss silently.
+var errCorruptPayload = errors.New("transport: frame CRC mismatch")
 
 // Wire framing: every unit on a transport connection is one frame — a
 // fixed 36-byte little-endian header followed by an optional payload.
@@ -54,9 +61,13 @@ const (
 	// the graceful half of the close handshake.
 	frameFin
 	frameFinAck
+	// framePing is a sender→receiver heartbeat; the receiver answers
+	// with a cumulative frameAck, so liveness and ack progress share one
+	// signal. Pings carry no payload and no sequence number.
+	framePing
 )
 
-func (t frameType) valid() bool { return t >= frameData && t <= frameFinAck }
+func (t frameType) valid() bool { return t >= frameData && t <= framePing }
 
 // frame is one transport protocol unit.
 type frame struct {
@@ -133,7 +144,7 @@ func readFrame(r *bufio.Reader) (*frame, error) {
 		}
 	}
 	if got, want := crc32.ChecksumIEEE(f.payload), binary.LittleEndian.Uint32(h[32:36]); got != want {
-		return nil, fmt.Errorf("transport: frame CRC mismatch (got %#x want %#x)", got, want)
+		return nil, fmt.Errorf("%w (got %#x want %#x)", errCorruptPayload, got, want)
 	}
 	return f, nil
 }

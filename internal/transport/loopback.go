@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -98,7 +99,11 @@ func (l *Loopback) decode(node int) {
 	for raw := range l.wires[node] {
 		f, err := parseFrame(raw)
 		if err != nil {
-			l.Malformed.Inc()
+			if errors.Is(err, errCorruptPayload) {
+				l.CorruptFrames.Inc()
+			} else {
+				l.Malformed.Inc()
+			}
 			l.inflight.Add(-1)
 			continue
 		}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 
 	"gravel/internal/fabric"
 	"gravel/internal/timemodel"
+	"gravel/internal/transport/fault"
 	"gravel/internal/wire"
 )
 
@@ -28,6 +30,19 @@ const (
 	handshakeTimeout = 5 * time.Second
 	drainTimeout     = 8 * time.Second
 	finAckTimeout    = 2 * time.Second
+
+	// rexmitInterval bounds how long the oldest unacknowledged frame may
+	// sit without ack progress before the writer reconnects and replays
+	// the window. A receiver detects mid-stream loss as a sequence gap
+	// and poisons the connection, but a frame lost at the *tail* of the
+	// stream has no successor to expose the gap — only this timer
+	// recovers it.
+	rexmitInterval = 100 * time.Millisecond
+
+	// defaultSuspectTimeout is how long a peer may be silent (no acks,
+	// no successful dials, no coordinator heartbeats) before it is
+	// declared down. Options.SuspectTimeout overrides; negative disables.
+	defaultSuspectTimeout = 30 * time.Second
 
 	finAckMark = math.MaxUint64 // in-band marker on the ack channel
 )
@@ -60,6 +75,34 @@ type TCP struct {
 	ln      net.Listener
 	coord   *coordClient
 	senders []*sender
+
+	// inj is the fault injector (nil in production: every hook passes
+	// through).
+	inj *fault.Injector
+
+	// suspect/heartbeat drive failure detection; zero suspect disables
+	// it entirely (the hand-built transports in tests stay inert).
+	suspect   time.Duration
+	heartbeat time.Duration
+
+	// failedCh is closed by fail() on the first fatal transport error
+	// (peer or coordinator declared down). After that, Send discards so
+	// aggregator goroutines drain instead of blocking, and the
+	// collective entry points (Quiet, StepBarrier, Reduce) surface
+	// failErr — Quiet and StepBarrier by panicking it on the Step
+	// goroutine, which the node runtime recovers into a nonzero exit.
+	failOnce sync.Once
+	failedCh chan struct{}
+	failErr  error
+
+	// killed is closed by Kill(), the chaos hook simulating abrupt
+	// process death: senders and reconnect loops exit immediately, no
+	// FIN, no bye.
+	killOnce sync.Once
+	killed   chan struct{}
+
+	hbStop chan struct{} // stops the coordinator heartbeat loop
+	hbDone chan struct{}
 
 	inbox         []chan fabric.Packet
 	localInflight atomic.Int64 // self→self packets between Send and Done
@@ -106,21 +149,45 @@ func NewTCP(params *timemodel.Params, clocks []*timemodel.Clocks, opt fabric.Opt
 	if listen == "" {
 		listen = "127.0.0.1:0"
 	}
-	ln, err := net.Listen("tcp", listen)
+	rawLn, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", listen, err)
 	}
+	inj := fault.New(opt.Faults)
+	var ln net.Listener = rawLn
+	if inj.Enabled() {
+		// Only the hosted node's blackout windows apply inbound; all
+		// probabilistic faults ride outbound conns, where the link
+		// identity is known before the first byte.
+		ln = inj.WrapListener(rawLn, opt.Self)
+	}
+	suspect := opt.SuspectTimeout
+	switch {
+	case suspect < 0:
+		suspect = 0 // detection disabled
+	case suspect == 0:
+		suspect = defaultSuspectTimeout
+	}
+	heartbeat := opt.HeartbeatInterval
+	if heartbeat <= 0 {
+		heartbeat = suspect / 4
+	}
 	t := &TCP{
-		Metrics: fabric.NewMetrics(n),
-		params:  params,
-		clocks:  clocks,
-		n:       n,
-		self:    opt.Self,
-		wall:    opt.WallClock,
-		ln:      ln,
-		inbox:   make([]chan fabric.Packet, n),
-		recv:    make([]*peerRecv, n),
-		conns:   make(map[net.Conn]struct{}),
+		Metrics:   fabric.NewMetrics(n),
+		params:    params,
+		clocks:    clocks,
+		n:         n,
+		self:      opt.Self,
+		wall:      opt.WallClock,
+		ln:        ln,
+		inj:       inj,
+		suspect:   suspect,
+		heartbeat: heartbeat,
+		inbox:     make([]chan fabric.Packet, n),
+		recv:      make([]*peerRecv, n),
+		conns:     make(map[net.Conn]struct{}),
+		failedCh:  make(chan struct{}),
+		killed:    make(chan struct{}),
 	}
 	for i := range t.inbox {
 		t.inbox[i] = make(chan fabric.Packet, recvQueueFrames)
@@ -129,13 +196,18 @@ func NewTCP(params *timemodel.Params, clocks []*timemodel.Clocks, opt fabric.Opt
 
 	peers := opt.Peers
 	if opt.Coord != "" {
-		coord, err := dialCoord(opt.Coord, 30*time.Second)
+		coord, err := dialCoord(opt.Coord, coordDialOpts{
+			timeout:    opt.CoordDialTimeout,
+			backoff:    opt.CoordDialBackoff,
+			backoffMax: opt.CoordDialBackoffMax,
+			rpcTimeout: opt.CoordRPCTimeout,
+		})
 		if err != nil {
 			ln.Close()
 			return nil, err
 		}
 		t.coord = coord
-		peers, err = coord.join(t.self, ln.Addr().String())
+		peers, err = coord.join(t.self, ln.Addr().String(), suspect)
 		if err != nil {
 			coord.close()
 			ln.Close()
@@ -163,11 +235,99 @@ func NewTCP(params *timemodel.Params, clocks []*timemodel.Clocks, opt fabric.Opt
 			stop:  make(chan struct{}),
 			done:  make(chan struct{}),
 		}
+		s.lastAck.Store(time.Now().UnixNano())
 		t.senders[d] = s
 		go s.run()
 	}
 	go t.acceptLoop()
+	if t.coord != nil && t.suspect > 0 {
+		t.hbStop = make(chan struct{})
+		t.hbDone = make(chan struct{})
+		go t.heartbeatLoop()
+	}
 	return t, nil
+}
+
+// heartbeatLoop pings the coordinator every heartbeat interval: the
+// ping keeps this worker's lastSeen fresh (so long compute phases are
+// not mistaken for death) and brings back the coordinator's view of
+// dead peers, failing the transport if any worker has gone silent.
+func (t *TCP) heartbeatLoop() {
+	defer close(t.hbDone)
+	tick := time.NewTicker(t.heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if err := t.coord.ping(t.self, t.suspect); err != nil {
+				t.fail(err)
+				return
+			}
+		case <-t.hbStop:
+			return
+		case <-t.failedCh:
+			return
+		case <-t.killed:
+			return
+		}
+	}
+}
+
+// fail records the first fatal transport error and unblocks everything
+// waiting on delivery. After fail, Send discards (so aggregation
+// goroutines finish their drains) and the collective entry points
+// surface the error to the Step goroutine.
+func (t *TCP) fail(err error) {
+	t.failOnce.Do(func() {
+		t.failErr = err
+		close(t.failedCh)
+	})
+}
+
+// Err returns the fatal transport error, nil while healthy. (Nil-safe
+// on a zero-value TCP: a nil failedCh never selects.)
+func (t *TCP) Err() error {
+	select {
+	case <-t.failedCh:
+		return t.failErr
+	default:
+		return nil
+	}
+}
+
+// FaultInjector returns the transport's fault injector (nil when fault
+// injection is disabled) for diagnostics.
+func (t *TCP) FaultInjector() *fault.Injector { return t.inj }
+
+// Kill abruptly stops the transport as if the process died: the
+// listener and every connection close, senders exit without FIN, the
+// coordinator connection drops without a goodbye. A chaos-test hook;
+// production shutdown is Close.
+func (t *TCP) Kill() {
+	t.killOnce.Do(func() {
+		// Mark the transport failed too, so an in-process caller's Step
+		// unwinds instead of spinning on a quiescence that can never
+		// reconcile (a real dead process has no callers to unwind).
+		t.fail(fmt.Errorf("transport: killed"))
+		close(t.killed)
+		t.ln.Close()
+		if t.hbStop != nil {
+			<-t.hbDone
+		}
+		for _, s := range t.senders {
+			if s != nil {
+				s.dropConn()
+			}
+		}
+		t.connsMu.Lock()
+		for c := range t.conns {
+			c.Close()
+		}
+		t.connsMu.Unlock()
+		if t.coord != nil {
+			t.coord.close()
+		}
+	})
 }
 
 // Nodes implements fabric.Fabric.
@@ -221,11 +381,24 @@ func (t *TCP) send(from, to int, buf []byte, msgs int, routed bool) {
 	t.sentWire.Add(1)
 	if t.wall {
 		t0 := time.Now()
-		t.senders[to].queue <- f
+		t.enqueue(to, f)
 		t.clocks[from].AddWireSend(float64(time.Since(t0).Nanoseconds()))
 	} else {
 		t.clocks[from].AddWireSend(t.params.WireNs(len(buf)))
-		t.senders[to].queue <- f
+		t.enqueue(to, f)
+	}
+}
+
+// enqueue stages a frame for a destination, blocking on backpressure.
+// Once the transport has failed the frame is discarded instead: the
+// aggregation goroutines calling Send must drain and park so the Step
+// goroutine — not they — reports the typed error; delivery guarantees
+// are void on a failed transport anyway.
+func (t *TCP) enqueue(to int, f *frame) {
+	select {
+	case t.senders[to].queue <- f:
+	case <-t.failedCh:
+	case <-t.killed:
 	}
 }
 
@@ -262,6 +435,13 @@ func (t *TCP) localIdle() bool {
 // cluster-wide quiescence is then established through the coordinator
 // and cached until the local counters move again.
 func (t *TCP) Quiet() bool {
+	if err := t.Err(); err != nil {
+		// The transport has failed: counters can never reconcile again
+		// (Send discards), so quiescence polling would spin forever.
+		// Panicking the typed error here unwinds the Step goroutine,
+		// where the node runtime recovers it into a diagnosed exit.
+		panic(err)
+	}
 	if !t.localIdle() {
 		return false
 	}
@@ -275,9 +455,10 @@ func (t *TCP) Quiet() bool {
 	if t.quietCached && sent == t.quietSent && applied == t.quietApplied {
 		return true
 	}
-	quiet, err := t.coord.quiet(t.self, sent, applied, true)
+	quiet, err := t.coord.quiet(t.self, sent, applied, true, t.suspect)
 	if err != nil {
-		panic(fmt.Sprintf("transport: quiescence query failed: %v", err))
+		t.fail(err)
+		panic(err)
 	}
 	// Only cache if the counters did not move while we asked.
 	if quiet && sent == t.sentWire.Load() && applied == t.appliedWire.Load() {
@@ -300,9 +481,13 @@ func (t *TCP) StepBarrier() {
 	}
 	key := fmt.Sprintf("step:%d", t.epoch.Add(1))
 	for {
-		released, err := t.coord.barrier(t.self, key, t.sentWire.Load(), t.appliedWire.Load(), t.localIdle())
+		if err := t.Err(); err != nil {
+			panic(err)
+		}
+		released, err := t.coord.barrier(t.self, key, t.sentWire.Load(), t.appliedWire.Load(), t.localIdle(), t.suspect)
 		if err != nil {
-			panic(fmt.Sprintf("transport: step barrier failed: %v", err))
+			t.fail(err)
+			panic(err)
 		}
 		if released {
 			return
@@ -318,7 +503,15 @@ func (t *TCP) Reduce(key string, val uint64) (uint64, error) {
 	if t.coord == nil {
 		return val, nil
 	}
-	return t.coord.reduce(t.self, key, val)
+	if err := t.Err(); err != nil {
+		return 0, err
+	}
+	total, err := t.coord.reduce(t.self, key, val, t.suspect)
+	if err != nil {
+		t.fail(err)
+		return 0, err
+	}
+	return total, nil
 }
 
 // Barrier blocks until every node has reached the named barrier.
@@ -334,6 +527,10 @@ func (t *TCP) Barrier(key string) error {
 func (t *TCP) Close() {
 	t.closeOnce.Do(func() {
 		t.closed.Store(true)
+		if t.hbStop != nil {
+			close(t.hbStop)
+			<-t.hbDone
+		}
 		var wg sync.WaitGroup
 		for _, s := range t.senders {
 			if s == nil {
@@ -467,12 +664,33 @@ func (t *TCP) serveConn(conn net.Conn) {
 	for {
 		f, err := readFrame(br)
 		if err != nil {
+			if errors.Is(err, errCorruptPayload) {
+				// In-flight corruption, caught by the frame CRC. Count it,
+				// re-acknowledge the resume point as an explicit retransmit
+				// request, and poison the connection: the sender reconnects
+				// and replays everything after the ack, so corruption costs
+				// a round trip, never data.
+				t.CorruptFrames.Inc()
+				pr.mu.Lock()
+				resume := pr.seq
+				pr.mu.Unlock()
+				writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: resume})
+			}
 			return
 		}
 		switch f.typ {
 		case frameFin:
 			writeFrame(conn, &frame{typ: frameFinAck, from: t.self, to: from})
 			return
+		case framePing:
+			// Peer heartbeat: answer with the cumulative ack so liveness
+			// and ack progress share one signal.
+			pr.mu.Lock()
+			cum := pr.seq
+			pr.mu.Unlock()
+			if writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: cum}) != nil {
+				return
+			}
 		case frameData, frameRouted:
 			routed := f.typ == frameRouted
 			pr.mu.Lock()
@@ -555,10 +773,41 @@ type sender struct {
 	stop  chan struct{}
 	done  chan struct{}
 
+	// lastAck is the unix-nano time of the last proof the peer is alive:
+	// construction, a completed handshake, or any received ack (data
+	// frames and heartbeat pings are both acknowledged). The suspect
+	// check compares silence against it.
+	lastAck atomic.Int64
+
 	mu      sync.Mutex
 	window  []*frame
 	nextSeq uint64
 	conn    net.Conn // current connection, for fault injection
+}
+
+// progress marks the peer alive now.
+func (s *sender) progress() { s.lastAck.Store(time.Now().UnixNano()) }
+
+// silence returns how long the peer has shown no sign of life.
+func (s *sender) silence() time.Duration {
+	return time.Duration(time.Now().UnixNano() - s.lastAck.Load())
+}
+
+// suspectCheck declares the peer down — failing the whole transport —
+// if it has been silent past the suspect timeout. Heartbeat pings keep
+// a live, idle peer acking, so sustained silence really means the peer
+// (or the path to it) is gone. Disabled (suspect == 0) for hand-built
+// senders in tests and when Options.SuspectTimeout < 0.
+func (s *sender) suspectCheck() bool {
+	suspect := s.t.suspect
+	if suspect <= 0 || s.t.closed.Load() {
+		return false
+	}
+	if sil := s.silence(); sil > suspect {
+		s.t.fail(&PeerDownError{Node: s.dest, Detector: "sender", Silence: sil})
+		return true
+	}
+	return false
 }
 
 // idle reports whether nothing is staged or awaiting acknowledgment.
@@ -580,6 +829,17 @@ func (s *sender) trim(acked uint64) {
 		i++
 	}
 	s.window = s.window[i:]
+}
+
+// windowHead returns the seq of the oldest unacknowledged frame, or 0
+// (sequences start at 1) when the window is empty.
+func (s *sender) windowHead() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.window) == 0 {
+		return 0
+	}
+	return s.window[0].seq
 }
 
 func (s *sender) windowSnapshot() []*frame {
@@ -630,17 +890,23 @@ func (s *sender) shutdown() {
 func (s *sender) connect(stop <-chan struct{}, abort <-chan time.Time, attempted *bool) (conn net.Conn, acks chan uint64, errs chan error, stopped bool) {
 	backoff := backoffInitial
 	for {
-		conn, err := net.DialTimeout("tcp", s.addr, dialTimeout)
-		if err == nil {
-			if c, acks, errs := s.handshake(conn); c != nil {
-				if *attempted {
-					s.t.Reconnects.Inc()
+		if !s.t.inj.LinkBlocked(s.t.self, s.dest) { // cut links fail fast into backoff
+			conn, err := net.DialTimeout("tcp", s.addr, dialTimeout)
+			if err == nil {
+				conn = s.t.inj.WrapConn(conn, s.t.self, s.dest)
+				if c, acks, errs := s.handshake(conn); c != nil {
+					if *attempted {
+						s.t.Reconnects.Inc()
+					}
+					*attempted = true
+					return c, acks, errs, false
 				}
-				*attempted = true
-				return c, acks, errs, false
 			}
 		}
 		s.t.Retries.Inc()
+		if s.suspectCheck() {
+			return nil, nil, nil, false
+		}
 		sleep := backoff + time.Duration(rand.Int63n(int64(backoff)))
 		if backoff < backoffMax {
 			backoff *= 2
@@ -650,6 +916,8 @@ func (s *sender) connect(stop <-chan struct{}, abort <-chan time.Time, attempted
 		case <-stop:
 			return nil, nil, nil, true
 		case <-abort:
+			return nil, nil, nil, false
+		case <-s.t.killed:
 			return nil, nil, nil, false
 		}
 	}
@@ -689,6 +957,10 @@ func (s *sender) handshake(conn net.Conn) (net.Conn, chan uint64, chan error) {
 			}
 			switch f.typ {
 			case frameAck:
+				// Progress is stamped at arrival, not when the writer loop
+				// drains the channel: an injected stall blocks the writer,
+				// and acks landing meanwhile must still prove liveness.
+				s.progress()
 				acks <- f.seq
 			case frameFinAck:
 				acks <- finAckMark
@@ -700,6 +972,7 @@ func (s *sender) handshake(conn net.Conn) (net.Conn, chan uint64, chan error) {
 		}
 	}()
 	s.setConn(conn)
+	s.progress()
 	return conn, acks, errs
 }
 
@@ -735,6 +1008,22 @@ func (s *sender) run() {
 		drainTimer = time.NewTimer(drainTimeout)
 		deadline = drainTimer.C
 	}
+	// With failure detection on, ping the peer every heartbeat interval
+	// (the receiver answers with a cumulative ack) and check for suspect
+	// silence on the same tick. A nil channel — detection disabled —
+	// never fires.
+	var heartbeat <-chan time.Time
+	if s.t.suspect > 0 && s.t.heartbeat > 0 {
+		hb := time.NewTicker(s.t.heartbeat)
+		defer hb.Stop()
+		heartbeat = hb.C
+	}
+	// Retransmit watchdog: if the oldest unacked frame is the same one
+	// it was a full interval ago, the stream tail was lost in flight;
+	// reconnecting replays the window (the receiver deduplicates).
+	rx := time.NewTicker(rexmitInterval)
+	defer rx.Stop()
+	var rexmitHead uint64
 	for {
 		if draining && len(s.queue) == 0 {
 			s.mu.Lock()
@@ -789,9 +1078,26 @@ func (s *sender) run() {
 			if err := writeFrame(conn, f); err != nil {
 				disconnect()
 			}
+		case <-heartbeat:
+			if s.suspectCheck() {
+				return
+			}
+			if err := writeFrame(conn, &frame{typ: framePing, from: s.t.self, to: s.dest}); err != nil {
+				disconnect()
+			}
+		case <-rx.C:
+			head := s.windowHead()
+			if head != 0 && head == rexmitHead {
+				disconnect()
+				head = 0 // fresh grace period after the reconnect replays
+			}
+			rexmitHead = head
 		case <-stop:
 			beginDrain()
 		case <-deadline:
+			return
+		case <-s.t.killed:
+			disconnect()
 			return
 		}
 	}
