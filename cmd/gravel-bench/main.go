@@ -3,39 +3,135 @@
 // Usage:
 //
 //	gravel-bench -exp=fig12 [-scale=1.0]
-//	gravel-bench -exp=all
+//	gravel-bench -exp=all [-json=results.json] [-cpuprofile=cpu.pprof]
 //
 // Experiments: table2, table5, fig6, fig8, fig12, fig13, fig14, fig15,
 // sec82, hier, ablations, all.
+//
+// With -json, every experiment's table is also written to the given
+// path as machine-readable JSON, with per-experiment wall time and
+// allocation totals (MemStats deltas) alongside a headline metric —
+// the first numeric cell of the first row — so CI can diff runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"gravel/internal/bench"
 )
 
+// expResult is one experiment's machine-readable record.
+type expResult struct {
+	Name           string     `json:"name"`
+	Title          string     `json:"title"`
+	HeadlineMetric string     `json:"headline_metric"`
+	HeadlineValue  float64    `json:"headline_value"`
+	NsPerOp        int64      `json:"ns_per_op"`
+	BytesPerOp     uint64     `json:"bytes_per_op"`
+	AllocsPerOp    uint64     `json:"allocs_per_op"`
+	Header         []string   `json:"header"`
+	Rows           [][]string `json:"rows"`
+	Notes          []string   `json:"notes,omitempty"`
+}
+
+// report is the top-level -json document.
+type report struct {
+	GeneratedUnix int64       `json:"generated_unix"`
+	GoVersion     string      `json:"go_version"`
+	GoMaxProcs    int         `json:"gomaxprocs"`
+	Scale         float64     `json:"scale"`
+	Experiments   []expResult `json:"experiments"`
+}
+
+// headline extracts a deterministic headline metric from a table: the
+// first cell of the first row that parses as a number (column 0 is the
+// row label), named "<row label>: <column header>".
+func headline(t *bench.Table) (metric string, value float64) {
+	for _, row := range t.Rows {
+		for i := 1; i < len(row); i++ {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[i], "x"), 64)
+			if err != nil {
+				continue
+			}
+			col := ""
+			if i < len(t.Header) {
+				col = t.Header[i]
+			}
+			return fmt.Sprintf("%s: %s", row[0], col), v
+		}
+	}
+	return "", 0
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (table2, table5, fig6, fig8, fig12, fig13, fig14, fig15, sec82, hier, ablations, all)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = default reduced inputs)")
 	format := flag.String("format", "table", "output format: table or csv")
+	jsonPath := flag.String("json", "", "also write machine-readable results to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gravel-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gravel-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Scale:         *scale,
+	}
 
 	run := func(name string, f func() *bench.Table) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		t := f()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if *jsonPath != "" {
+			metric, value := headline(t)
+			rep.Experiments = append(rep.Experiments, expResult{
+				Name:           name,
+				Title:          t.Title,
+				HeadlineMetric: metric,
+				HeadlineValue:  value,
+				NsPerOp:        elapsed.Nanoseconds(),
+				BytesPerOp:     after.TotalAlloc - before.TotalAlloc,
+				AllocsPerOp:    after.Mallocs - before.Mallocs,
+				Header:         t.Header,
+				Rows:           t.Rows,
+				Notes:          t.Notes,
+			})
+		}
 		if *format == "csv" {
 			t.Fcsv(os.Stdout)
 			return
 		}
 		t.Fprint(os.Stdout)
-		fmt.Printf("  [%s ran in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  [%s ran in %v]\n", name, elapsed.Round(time.Millisecond))
 	}
 
 	run("fig6", func() *bench.Table { return bench.Fig6() })
@@ -49,4 +145,31 @@ func main() {
 	run("sec82", func() *bench.Table { return bench.Sec82(*scale, nil) })
 	run("hier", func() *bench.Table { return bench.Hier(*scale, nil) })
 	run("ablations", func() *bench.Table { return bench.Ablations(*scale, nil) })
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gravel-bench: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "gravel-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gravel-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gravel-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -37,6 +37,8 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -78,6 +80,9 @@ var (
 	coordBackoffMax = flag.Duration("coord-backoff-max", 0, "coordinator dial retry backoff ceiling (0 = 1s default)")
 	coordRPCTimeout = flag.Duration("coord-rpc-timeout", 0, "per-RPC coordinator deadline (0 = 15s default, <0 disables)")
 	duration        = flag.Duration("duration", 30*time.Second, "chaos: how long to keep iterating")
+
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of this process to this path")
+	memProfile = flag.String("memprofile", "", "write a heap profile of this process to this path on exit")
 )
 
 // result is the JSON line a worker prints.
@@ -93,6 +98,31 @@ type result struct {
 
 func main() {
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gravel-node:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gravel-node:", err)
+			}
+		}()
+	}
 	switch {
 	case *serve:
 		if err := runCoordinator(); err != nil {

@@ -22,7 +22,7 @@ import (
 )
 
 // readyPkt is a flushed per-node (or per-group) queue waiting to be put
-// on the wire. Flush decisions happen under the aggregator mutex, but
+// on the wire. Flush decisions happen under a shard mutex, but
 // transmission — which can block on receiver backpressure — happens
 // outside it (see pump), so network threads can always stage follow-up
 // messages without risking a send/receive deadlock.
@@ -31,6 +31,24 @@ type readyPkt struct {
 	buf    []byte
 	msgs   int
 	routed bool
+}
+
+// shard is one drain thread's private aggregation state: its own
+// builder set and ready list under its own mutex. With one aggregator
+// thread (the paper's best configuration, and the default) there is a
+// single shard and behavior is identical to a global lock; with more,
+// threads repack without contending on one mutex and packet streams
+// merge at pump/flush boundaries.
+type shard struct {
+	mu       sync.Mutex      // guards builders, grouped, ready; never held across Send
+	builders []*wire.Builder // per in-group destination (or all, when flat)
+	grouped  []*wire.Builder // per remote group, routed records
+	ready    []readyPkt      // flushed queues awaiting transmission
+	spare    []readyPkt      // drained batch recycled for the next swap
+
+	// repackFn is the shard-bound queue consumer, built once so the hot
+	// TryConsume path passes a preallocated closure.
+	repackFn func(payload []uint64, rows, cols, count int)
 }
 
 // Aggregator drains one node's producer/consumer queue.
@@ -52,11 +70,11 @@ type Aggregator struct {
 	// re-aggregates them into per-node queues for its group.
 	groupSize int
 
-	mu       sync.Mutex      // guards builders and ready; never held across Send
-	builders []*wire.Builder // per in-group destination (or all, when flat)
-	grouped  []*wire.Builder // per remote group, routed records
-	ready    []readyPkt      // flushed queues awaiting transmission
-	inFlight atomic.Int64    // drain attempts in progress (quiescence)
+	// shards holds one aggregation shard per drain thread
+	// (params.AggregatorThreads, minimum one). Host-context staging
+	// (AppendDirect, Flush's final drain) uses shard 0.
+	shards   []*shard
+	inFlight atomic.Int64 // drain attempts in progress (quiescence)
 
 	stop chan struct{}
 	done chan struct{}
@@ -93,17 +111,28 @@ func NewHierarchical(node int, params *timemodel.Params, q *queue.Gravel, fab fa
 	if perMessage {
 		capBytes = wire.MsgWireBytes
 	}
-	a.builders = make([]*wire.Builder, n)
-	for d := 0; d < n; d++ {
-		a.builders[d] = wire.NewBuilder(d, capBytes)
+	threads := params.AggregatorThreads
+	if threads < 1 {
+		threads = 1
 	}
-	if groupSize > 0 {
-		groups := (n + groupSize - 1) / groupSize
-		a.grouped = make([]*wire.Builder, groups)
-		for g := 0; g < groups; g++ {
-			gw := a.gatewayOf(g)
-			a.grouped[g] = wire.NewRoutedBuilder(gw, capBytes)
+	a.shards = make([]*shard, threads)
+	for i := range a.shards {
+		sh := &shard{builders: make([]*wire.Builder, n)}
+		for d := 0; d < n; d++ {
+			sh.builders[d] = wire.NewBuilder(d, capBytes)
 		}
+		if groupSize > 0 {
+			groups := (n + groupSize - 1) / groupSize
+			sh.grouped = make([]*wire.Builder, groups)
+			for g := 0; g < groups; g++ {
+				gw := a.gatewayOf(g)
+				sh.grouped[g] = wire.NewRoutedBuilder(gw, capBytes)
+			}
+		}
+		sh.repackFn = func(payload []uint64, rows, cols, count int) {
+			a.repack(sh, payload, rows, cols, count)
+		}
+		a.shards[i] = sh
 	}
 	return a
 }
@@ -122,19 +151,15 @@ func (a *Aggregator) gatewayOf(g int) int {
 // GroupSize returns the hierarchical group size (0 = flat).
 func (a *Aggregator) GroupSize() int { return a.groupSize }
 
-// Start launches the aggregator thread(s).
+// Start launches the aggregator thread(s), one per shard.
 func (a *Aggregator) Start() {
-	threads := a.params.AggregatorThreads
-	if threads < 1 {
-		threads = 1
-	}
 	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		go func() {
+	wg.Add(len(a.shards))
+	for _, sh := range a.shards {
+		go func(sh *shard) {
 			defer wg.Done()
-			a.run()
-		}()
+			a.run(sh)
+		}(sh)
 	}
 	go func() {
 		wg.Wait()
@@ -148,10 +173,10 @@ func (a *Aggregator) Stop() {
 	<-a.done
 }
 
-func (a *Aggregator) run() {
+func (a *Aggregator) run(sh *shard) {
 	idlePollNs := 40.0 // cost of one empty poll of the queue head
 	for {
-		worked := a.drainSome(64)
+		worked := a.drainSome(sh, 64)
 		if a.pump() {
 			worked = true
 		}
@@ -161,7 +186,7 @@ func (a *Aggregator) run() {
 			case <-a.stop:
 				// Final drain: the queue must already be quiescent when
 				// Stop is called, but be safe.
-				for a.drainSome(64) {
+				for a.drainSome(sh, 64) {
 				}
 				a.pump()
 				return
@@ -172,40 +197,66 @@ func (a *Aggregator) run() {
 	}
 }
 
-// pump transmits every staged queue; it reports whether any were sent.
-// Send can block on receiver backpressure, so pump must only be called
-// from the aggregator thread or a host thread — never a network thread.
+// pump transmits every staged queue on every shard; it reports whether
+// any were sent. Send can block on receiver backpressure, so pump must
+// only be called from an aggregator thread or a host thread — never a
+// network thread.
 func (a *Aggregator) pump() bool {
 	// The inFlight guard keeps quiescence from declaring the node idle
 	// while a popped packet is between the ready list and fab.Send.
 	a.inFlight.Add(1)
 	defer a.inFlight.Add(-1)
 	any := false
+	for _, sh := range a.shards {
+		if a.pumpShard(sh) {
+			any = true
+		}
+	}
+	return any
+}
+
+// pumpShard drains one shard's ready list. It swaps the whole list out
+// under the lock (ping-ponging between two reusable backing arrays, so
+// the steady state stages and drains without allocating) and sends
+// outside it.
+func (a *Aggregator) pumpShard(sh *shard) bool {
+	any := false
 	for {
-		a.mu.Lock()
-		if len(a.ready) == 0 {
-			a.mu.Unlock()
+		sh.mu.Lock()
+		if len(sh.ready) == 0 {
+			sh.mu.Unlock()
 			return any
 		}
-		pkt := a.ready[0]
-		a.ready = a.ready[1:]
-		a.mu.Unlock()
-		if pkt.routed {
-			a.fab.SendRouted(a.node, pkt.dest, pkt.buf, pkt.msgs)
-		} else {
-			a.fab.Send(a.node, pkt.dest, pkt.buf, pkt.msgs)
+		batch := sh.ready
+		sh.ready = sh.spare[:0]
+		sh.spare = nil
+		sh.mu.Unlock()
+		for i := range batch {
+			pkt := &batch[i]
+			if pkt.routed {
+				a.fab.SendRouted(a.node, pkt.dest, pkt.buf, pkt.msgs)
+			} else {
+				a.fab.Send(a.node, pkt.dest, pkt.buf, pkt.msgs)
+			}
+			batch[i] = readyPkt{} // the fabric owns the buffer now
 		}
+		sh.mu.Lock()
+		if sh.spare == nil {
+			sh.spare = batch[:0]
+		}
+		sh.mu.Unlock()
 		any = true
 	}
 }
 
-// drainSome consumes up to max slots; reports whether any were consumed.
-func (a *Aggregator) drainSome(max int) bool {
+// drainSome consumes up to max slots into sh; reports whether any were
+// consumed.
+func (a *Aggregator) drainSome(sh *shard, max int) bool {
 	a.inFlight.Add(1)
 	defer a.inFlight.Add(-1)
 	any := false
 	for i := 0; i < max; i++ {
-		if !a.q.TryConsume(a.repack) {
+		if !a.q.TryConsume(sh.repackFn) {
 			break
 		}
 		any = true
@@ -218,12 +269,12 @@ func (a *Aggregator) drainSome(max int) bool {
 // and its messages reaching a builder.
 func (a *Aggregator) Busy() bool { return a.inFlight.Load() != 0 }
 
-// repack moves one slot's messages into per-destination builders,
+// repack moves one slot's messages into sh's per-destination builders,
 // flushing any builder that fills (§3.4: per-node queues are sent as
 // soon as they become full).
-func (a *Aggregator) repack(payload []uint64, rows, cols, count int) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+func (a *Aggregator) repack(sh *shard, payload []uint64, rows, cols, count int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	a.clock.AddAgg(a.params.AggPerSlotNs + float64(count)*a.params.AggPerMsgNs)
 	a.clock.CountAggSlot(count)
 	cmdRow := payload[wire.RowCmd*cols:]
@@ -231,62 +282,63 @@ func (a *Aggregator) repack(payload []uint64, rows, cols, count int) {
 	aRow := payload[wire.RowA*cols:]
 	bRow := payload[wire.RowB*cols:]
 	for m := 0; m < count; m++ {
-		a.appendLocked(int(destRow[m]), cmdRow[m], aRow[m], bRow[m])
+		a.appendLocked(sh, int(destRow[m]), cmdRow[m], aRow[m], bRow[m])
 	}
 }
 
 // appendLocked stages one message toward dest, choosing a per-node or
-// per-group queue; a.mu must be held.
-func (a *Aggregator) appendLocked(dest int, cmd, av, vv uint64) {
+// per-group queue; sh.mu must be held.
+func (a *Aggregator) appendLocked(sh *shard, dest int, cmd, av, vv uint64) {
 	if a.groupSize > 0 && dest/a.groupSize != a.node/a.groupSize {
 		g := dest / a.groupSize
-		b := a.grouped[g]
+		b := sh.grouped[g]
 		if b.Full() {
-			a.flushGroupLocked(g)
+			a.flushGroupLocked(sh, g)
 		}
 		b.AppendRouted(cmd, av, vv, dest)
 		return
 	}
-	b := a.builders[dest]
+	b := sh.builders[dest]
 	if b.Full() {
-		a.flushLocked(dest)
+		a.flushLocked(sh, dest)
 	}
 	b.Append(cmd, av, vv)
 	if a.PerMessage {
 		// Message-per-lane: no combining; one packet per message.
-		a.flushLocked(dest)
+		a.flushLocked(sh, dest)
 	}
 }
 
-func (a *Aggregator) flushGroupLocked(g int) {
-	b := a.grouped[g]
+func (a *Aggregator) flushGroupLocked(sh *shard, g int) {
+	b := sh.grouped[g]
 	if b.Empty() {
 		return
 	}
 	buf, msgs := b.Take()
 	a.clock.AddAgg(a.params.AggPerFlushNs)
-	a.ready = append(a.ready, readyPkt{dest: b.Dest(), buf: buf, msgs: msgs, routed: true})
+	sh.ready = append(sh.ready, readyPkt{dest: b.Dest(), buf: buf, msgs: msgs, routed: true})
 }
 
 // AppendDirect stages one message from host context (an AM handler
 // issuing a follow-up message, or a gateway relaying a routed record),
 // charging chargeNs of CPU time to the given adder. It may flush a full
-// queue.
+// queue. Host-context staging always lands on shard 0.
 func (a *Aggregator) AppendDirect(dest int, cmd, av, vv uint64, chargeNs float64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	sh := a.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	a.clock.AddAgg(chargeNs)
-	a.appendLocked(dest, cmd, av, vv)
+	a.appendLocked(sh, dest, cmd, av, vv)
 }
 
-func (a *Aggregator) flushLocked(dest int) {
-	b := a.builders[dest]
+func (a *Aggregator) flushLocked(sh *shard, dest int) {
+	b := sh.builders[dest]
 	if b.Empty() {
 		return
 	}
 	buf, msgs := b.Take()
 	a.clock.AddAgg(a.params.AggPerFlushNs)
-	a.ready = append(a.ready, readyPkt{dest: dest, buf: buf, msgs: msgs})
+	sh.ready = append(sh.ready, readyPkt{dest: dest, buf: buf, msgs: msgs})
 }
 
 // Flush sends every non-empty per-node queue (end-of-superstep /
@@ -295,32 +347,44 @@ func (a *Aggregator) flushLocked(dest int) {
 // must be called from a host thread (it transmits, which can block).
 func (a *Aggregator) Flush() {
 	// Drain anything still in the queue on the caller's thread first.
-	for a.q.TryConsume(a.repack) {
+	for a.q.TryConsume(a.shards[0].repackFn) {
 	}
-	a.mu.Lock()
-	for d := range a.builders {
-		a.flushLocked(d)
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		for d := range sh.builders {
+			a.flushLocked(sh, d)
+		}
+		for g := range sh.grouped {
+			a.flushGroupLocked(sh, g)
+		}
+		sh.mu.Unlock()
 	}
-	for g := range a.grouped {
-		a.flushGroupLocked(g)
-	}
-	a.mu.Unlock()
 	a.pump()
 }
 
-// Pending reports whether any builder holds unflushed messages.
+// Pending reports whether any shard holds unflushed or unsent messages.
 func (a *Aggregator) Pending() bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	for _, b := range a.builders {
-		if !b.Empty() {
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		pending := len(sh.ready) > 0
+		for _, b := range sh.builders {
+			if !b.Empty() {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			for _, b := range sh.grouped {
+				if !b.Empty() {
+					pending = true
+					break
+				}
+			}
+		}
+		sh.mu.Unlock()
+		if pending {
 			return true
 		}
 	}
-	for _, b := range a.grouped {
-		if !b.Empty() {
-			return true
-		}
-	}
-	return len(a.ready) > 0
+	return false
 }

@@ -1,0 +1,93 @@
+package agg
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"gravel/internal/fabric"
+	"gravel/internal/queue"
+	"gravel/internal/timemodel"
+	"gravel/internal/wire"
+)
+
+// TestFlushRoundTripAllocFree pins the pooled packet lifecycle to zero
+// steady-state heap allocations: staging a full per-node queue, flushing
+// it onto the fabric, applying it, and recycling with Done must reuse
+// the same pooled buffer every cycle. GC is disabled for the
+// measurement so a collection cannot clear the pool's victim cache and
+// masquerade as a hot-path allocation.
+func TestFlushRoundTripAllocFree(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	p := timemodel.Default()
+	clocks := []*timemodel.Clocks{{}, {}}
+	fab := fabric.New(p, clocks)
+	q := queue.NewGravel(64, wire.SlotRows, 4)
+	a := New(0, p, q, fab, clocks[0], false)
+
+	msgsPerPacket := p.PerNodeQueueBytes / wire.MsgWireBytes
+	cmd := wire.PackCmd(wire.OpInc, 0, 1)
+	drain := func() {
+		for {
+			select {
+			case pkt := <-fab.Inbox(1):
+				fab.Done(pkt)
+			default:
+				return
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for m := 0; m < msgsPerPacket; m++ {
+			a.AppendDirect(1, cmd, uint64(m), 1, 0)
+		}
+		a.Flush()
+		drain()
+	})
+	if allocs != 0 {
+		t.Fatalf("aggregator flush round trip allocated %.2f times per op, want 0", allocs)
+	}
+}
+
+// TestRepackDrainAllocFree is the same guard over the queue-drain path:
+// one committed slot repacked into builders, flushed, applied, and
+// recycled.
+func TestRepackDrainAllocFree(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	p := timemodel.Default()
+	clocks := []*timemodel.Clocks{{}, {}}
+	fab := fabric.New(p, clocks)
+	const cols = 256
+	q := queue.NewGravel(64, wire.SlotRows, cols)
+	a := New(0, p, q, fab, clocks[0], false)
+
+	cmd := wire.PackCmd(wire.OpInc, 0, 1)
+	drain := func() {
+		for {
+			select {
+			case pkt := <-fab.Inbox(1):
+				fab.Done(pkt)
+			default:
+				return
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s := q.Reserve(cols)
+		for m := 0; m < cols; m++ {
+			s.Row(wire.RowCmd)[m] = cmd
+			s.Row(wire.RowDest)[m] = 1
+			s.Row(wire.RowA)[m] = uint64(m)
+			s.Row(wire.RowB)[m] = 1
+		}
+		s.Commit()
+		for q.TryConsume(a.shards[0].repackFn) {
+		}
+		a.Flush()
+		drain()
+	})
+	if allocs != 0 {
+		t.Fatalf("repack/drain round trip allocated %.2f times per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,89 @@
+package agg
+
+import (
+	"testing"
+
+	"gravel/internal/fabric"
+	"gravel/internal/queue"
+	"gravel/internal/timemodel"
+	"gravel/internal/wire"
+)
+
+// BenchmarkFlushRoundTrip measures the full host hot path: messages are
+// staged into per-node builders, flushed as 64 kB packets onto the
+// fabric, applied by a draining consumer, and released with Done. With
+// the pooled buffer lifecycle this loop is allocation-free in steady
+// state; -benchmem makes any per-packet garbage visible.
+func BenchmarkFlushRoundTrip(b *testing.B) {
+	p := timemodel.Default()
+	clocks := []*timemodel.Clocks{{}, {}}
+	fab := fabric.New(p, clocks)
+	q := queue.NewGravel(64, wire.SlotRows, 4)
+	a := New(0, p, q, fab, clocks[0], false)
+
+	// One op = one full per-node queue staged, flushed, applied, and
+	// recycled.
+	msgsPerPacket := p.PerNodeQueueBytes / wire.MsgWireBytes
+	cmd := wire.PackCmd(wire.OpInc, 0, 1)
+	drain := func() {
+		for {
+			select {
+			case pkt := <-fab.Inbox(1):
+				fab.Done(pkt)
+			default:
+				return
+			}
+		}
+	}
+	b.SetBytes(int64(msgsPerPacket * wire.MsgWireBytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for m := 0; m < msgsPerPacket; m++ {
+			a.AppendDirect(1, cmd, uint64(m), 1, 0)
+		}
+		a.Flush()
+		drain()
+	}
+}
+
+// BenchmarkRepackDrain measures the aggregator's queue-drain path: one
+// op reserves, commits, and drains one full WG slot (256 messages) into
+// per-node builders, flushing and recycling whatever fills.
+func BenchmarkRepackDrain(b *testing.B) {
+	p := timemodel.Default()
+	clocks := []*timemodel.Clocks{{}, {}}
+	fab := fabric.New(p, clocks)
+	const cols = 256
+	q := queue.NewGravel(64, wire.SlotRows, cols)
+	a := New(0, p, q, fab, clocks[0], false)
+
+	cmd := wire.PackCmd(wire.OpInc, 0, 1)
+	drain := func() {
+		for {
+			select {
+			case pkt := <-fab.Inbox(1):
+				fab.Done(pkt)
+			default:
+				return
+			}
+		}
+	}
+	b.SetBytes(int64(cols * wire.MsgWireBytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := q.Reserve(cols)
+		for m := 0; m < cols; m++ {
+			s.Row(wire.RowCmd)[m] = cmd
+			s.Row(wire.RowDest)[m] = 1
+			s.Row(wire.RowA)[m] = uint64(m)
+			s.Row(wire.RowB)[m] = 1
+		}
+		s.Commit()
+		for q.TryConsume(a.shards[0].repackFn) {
+		}
+		a.Flush()
+		drain()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"gravel/internal/timemodel"
+	"gravel/internal/wire"
 )
 
 // Chan is the default in-process transport: delivery is real — packets
@@ -91,8 +92,13 @@ func (f *Chan) send(from, to int, buf []byte, msgs int, routed bool) {
 func (f *Chan) Inbox(node int) <-chan Packet { return f.inbox[node] }
 
 // Done must be called by the network thread after fully applying a
-// packet; quiescence detection depends on it.
-func (f *Chan) Done(Packet) { f.inflight.Add(-1) }
+// packet; quiescence detection depends on it. It recycles the packet's
+// buffer into the wire pool — the packet travels zero-copy from the
+// sender's builder, so this completes the pooled buffer lifecycle.
+func (f *Chan) Done(p Packet) {
+	f.inflight.Add(-1)
+	wire.PutBuf(p.Buf)
+}
 
 // Quiet reports whether no packets are in flight or being applied.
 func (f *Chan) Quiet() bool { return f.inflight.Load() == 0 }

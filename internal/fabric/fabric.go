@@ -25,6 +25,11 @@ import (
 // wire.RoutedMsgBytes records (final destination per message) bound for
 // a group gateway (§10 hierarchical aggregation); direct packets hold
 // wire.MsgWireBytes records for the receiving node itself.
+//
+// Buffer ownership travels with the packet: Send transfers the buffer
+// to the fabric, the receiver borrows it between Inbox and Done, and
+// Done recycles it into the wire package's packet pool. After Done (or
+// after Send, on the sending side) the buffer must not be touched.
 type Packet struct {
 	From, To int
 	Buf      []byte
@@ -47,6 +52,7 @@ type Fabric interface {
 	Hosts(node int) bool
 	// Send transmits one per-node queue from node `from` to node `to`,
 	// charging wire time to the sender. It blocks on backpressure.
+	// Ownership of buf transfers to the fabric (see Packet).
 	Send(from, to int, buf []byte, msgs int)
 	// SendRouted transmits a per-group queue (records carry their final
 	// destinations) to a group gateway for re-aggregation (§10).
@@ -54,7 +60,7 @@ type Fabric interface {
 	// Inbox returns node's receive channel.
 	Inbox(node int) <-chan Packet
 	// Done must be called after fully applying a packet; quiescence
-	// detection depends on it.
+	// detection depends on it, and it recycles the packet's buffer.
 	Done(Packet)
 	// Quiet reports whether no packets are staged, in flight, or being
 	// applied anywhere in the cluster.

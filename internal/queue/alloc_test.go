@@ -1,0 +1,32 @@
+package queue
+
+import "testing"
+
+// discard is the no-op consumer for the alloc guard, bound once so the
+// measured loop does not pay a closure allocation that the real
+// aggregator (whose consumer is prebuilt per shard) would not.
+var discard = func(payload []uint64, rows, cols, count int) {}
+
+// TestReserveCommitConsumeAllocFree pins the queue's slot protocol to
+// zero steady-state heap allocations: Reserve, the lane fills, Commit,
+// and TryConsume are the per-message hot path (§4.2) and must never
+// produce garbage.
+func TestReserveCommitConsumeAllocFree(t *testing.T) {
+	const cols = 8
+	q := NewGravel(64, 4, cols)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := q.Reserve(cols)
+		for r := 0; r < 4; r++ {
+			row := s.Row(r)
+			for i := range row {
+				row[i] = uint64(i)
+			}
+		}
+		s.Commit()
+		for q.TryConsume(discard) {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reserve/Commit/TryConsume allocated %.2f times per op, want 0", allocs)
+	}
+}

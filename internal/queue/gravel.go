@@ -136,12 +136,8 @@ func (q *Gravel) Reserve(count int) Slot {
 	si := q.writeIdx.Add(1) - 1
 	hdr := &q.headers[si&q.mask]
 	tick := hdr.writeTick.Add(1) - 1
-	spin := 0
-	for hdr.n.Load() != tick || hdr.full.Load() != 0 {
-		spin++
-		if spin%16 == 0 {
-			runtime.Gosched()
-		}
+	for spin := 0; hdr.n.Load() != tick || hdr.full.Load() != 0; spin++ {
+		backoff(spin)
 	}
 	hdr.count = uint32(count)
 	base := int(si&q.mask) * q.Rows * q.Cols
@@ -175,18 +171,30 @@ func (q *Gravel) TryConsume(fn func(payload []uint64, rows, cols, count int)) bo
 	}
 	hdr := &q.headers[si&q.mask]
 	tick := hdr.readTick.Add(1) - 1
-	spin := 0
-	for hdr.n.Load() != tick || hdr.full.Load() != 1 {
-		spin++
-		if spin%16 == 0 {
-			runtime.Gosched()
-		}
+	for spin := 0; hdr.n.Load() != tick || hdr.full.Load() != 1; spin++ {
+		backoff(spin)
 	}
 	base := int(si&q.mask) * q.Rows * q.Cols
 	fn(q.payload[base:base+q.Rows*q.Cols], q.Rows, q.Cols, int(hdr.count))
 	hdr.full.Store(0)
 	hdr.n.Add(1)
 	return true
+}
+
+// spinBudget is how many iterations a slot wait burns as a pure spin
+// before escalating to the scheduler. The common wait — the consumer
+// one tick behind a producer mid-fill — resolves within nanoseconds, so
+// a short spin wins; past the budget the waiter is almost certainly
+// behind a descheduled peer and yielding beats burning the core (the
+// fixed spin%16 cadence previously yielded even on the shortest waits).
+const spinBudget = 64
+
+// backoff is the slot-wait strategy: spin flat-out within the budget,
+// then yield to the scheduler on every iteration.
+func backoff(spin int) {
+	if spin >= spinBudget {
+		runtime.Gosched()
+	}
 }
 
 // Empty reports whether every reservation has been consumed.

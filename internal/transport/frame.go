@@ -8,6 +8,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
+
+	"gravel/internal/wire"
 )
 
 // errCorruptPayload marks a frame whose header parsed but whose payload
@@ -108,29 +111,54 @@ func writeFrame(w io.Writer, f *frame) error {
 	return err
 }
 
-// readFrame reads and validates one frame from a stream. Malformed
-// input returns an error and poisons the stream (the caller must drop
-// the connection); it never panics.
-func readFrame(r *bufio.Reader) (*frame, error) {
+// framePool recycles frame structs on the transport's send path, where
+// every flushed per-node queue once allocated one. Frames are taken in
+// TCP.send and returned when the ack trims them out of the retransmit
+// window; drop paths (a failed transport discarding its queue) simply
+// leak them to the GC, which is safe but unpooled.
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// getFrame returns a zeroed frame from the pool.
+func getFrame() *frame {
+	f := framePool.Get().(*frame)
+	*f = frame{}
+	return f
+}
+
+// putFrame recycles a frame and its payload buffer. The caller must be
+// the frame's sole owner (for window frames: only after the cumulative
+// ack proves no retransmit can ever replay it).
+func putFrame(f *frame) {
+	wire.PutBuf(f.payload)
+	f.payload = nil
+	framePool.Put(f)
+}
+
+// readFrameInto reads and validates one frame from a stream into f,
+// drawing the payload buffer from the wire packet pool (delivery hands
+// it to the inbox packet, whose Done recycles it). Malformed input
+// returns an error and poisons the stream (the caller must drop the
+// connection); it never panics. On error f holds no pooled buffer.
+func readFrameInto(r *bufio.Reader, f *frame) error {
 	var h [headerBytes]byte
 	if _, err := io.ReadFull(r, h[:]); err != nil {
-		return nil, err
+		return err
 	}
 	if m := binary.LittleEndian.Uint32(h[0:4]); m != frameMagic {
-		return nil, fmt.Errorf("transport: bad frame magic %#x", m)
+		return fmt.Errorf("transport: bad frame magic %#x", m)
 	}
 	if h[4] != frameVersion {
-		return nil, fmt.Errorf("transport: unsupported frame version %d", h[4])
+		return fmt.Errorf("transport: unsupported frame version %d", h[4])
 	}
 	typ := frameType(h[5])
 	if !typ.valid() {
-		return nil, fmt.Errorf("transport: unknown frame type %d", h[5])
+		return fmt.Errorf("transport: unknown frame type %d", h[5])
 	}
 	plen := binary.LittleEndian.Uint32(h[20:24])
 	if plen > maxFramePayload {
-		return nil, fmt.Errorf("transport: frame payload %d exceeds limit %d", plen, maxFramePayload)
+		return fmt.Errorf("transport: frame payload %d exceeds limit %d", plen, maxFramePayload)
 	}
-	f := &frame{
+	*f = frame{
 		typ:  typ,
 		from: int(binary.LittleEndian.Uint32(h[8:12])),
 		to:   int(binary.LittleEndian.Uint32(h[12:16])),
@@ -138,13 +166,27 @@ func readFrame(r *bufio.Reader) (*frame, error) {
 		seq:  binary.LittleEndian.Uint64(h[24:32]),
 	}
 	if plen > 0 {
-		f.payload = make([]byte, plen)
+		f.payload = wire.GetBuf(int(plen))[:plen]
 		if _, err := io.ReadFull(r, f.payload); err != nil {
-			return nil, err
+			wire.PutBuf(f.payload)
+			f.payload = nil
+			return err
 		}
 	}
 	if got, want := crc32.ChecksumIEEE(f.payload), binary.LittleEndian.Uint32(h[32:36]); got != want {
-		return nil, fmt.Errorf("%w (got %#x want %#x)", errCorruptPayload, got, want)
+		wire.PutBuf(f.payload)
+		f.payload = nil
+		return fmt.Errorf("%w (got %#x want %#x)", errCorruptPayload, got, want)
+	}
+	return nil
+}
+
+// readFrame is readFrameInto with a freshly allocated frame, for call
+// sites (handshakes, tests) that keep the frame around.
+func readFrame(r *bufio.Reader) (*frame, error) {
+	f := new(frame)
+	if err := readFrameInto(r, f); err != nil {
+		return nil, err
 	}
 	return f, nil
 }

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -88,16 +90,34 @@ func (l *Loopback) send(f *frame) {
 		l.ObserveWire(f.from, f.to, len(f.payload))
 	}
 	l.inflight.Add(1)
-	l.wires[f.to] <- appendFrame(nil, f)
+	// Encode into a pooled wire buffer; the encode copies the payload,
+	// so the caller's buffer recycles immediately (Send owns it).
+	raw := appendFrame(wire.GetBuf(headerBytes+len(f.payload)), f)
+	wire.PutBuf(f.payload)
+	l.wires[f.to] <- raw
 }
 
 // decode is node's wire-side decoder: it turns validated frames into
-// inbox packets, dropping (and counting) anything malformed.
+// inbox packets, dropping (and counting) anything malformed. The frame
+// struct and readers are reused across packets; the decoded payload is
+// a fresh pooled buffer (the raw encoding recycles as soon as it is
+// parsed), so one buffer never backs two packets.
 func (l *Loopback) decode(node int) {
 	defer l.decoders.Done()
 	defer close(l.inbox[node])
+	var (
+		f  frame
+		rd bytes.Reader
+		br = bufio.NewReaderSize(&rd, 64<<10)
+	)
 	for raw := range l.wires[node] {
-		f, err := parseFrame(raw)
+		rd.Reset(raw)
+		br.Reset(&rd)
+		err := readFrameInto(br, &f)
+		if err == nil && br.Buffered() > 0 {
+			err = fmt.Errorf("transport: %d trailing bytes after frame", br.Buffered())
+		}
+		wire.PutBuf(raw)
 		if err != nil {
 			if errors.Is(err, errCorruptPayload) {
 				l.CorruptFrames.Inc()
@@ -120,8 +140,12 @@ func (l *Loopback) decode(node int) {
 // Inbox implements fabric.Fabric.
 func (l *Loopback) Inbox(node int) <-chan fabric.Packet { return l.inbox[node] }
 
-// Done implements fabric.Fabric.
-func (l *Loopback) Done(fabric.Packet) { l.inflight.Add(-1) }
+// Done implements fabric.Fabric: it recycles the packet's buffer and
+// retires it from quiescence accounting.
+func (l *Loopback) Done(p fabric.Packet) {
+	l.inflight.Add(-1)
+	wire.PutBuf(p.Buf)
+}
 
 // Quiet implements fabric.Fabric.
 func (l *Loopback) Quiet() bool { return l.inflight.Load() == 0 }

@@ -39,6 +39,14 @@ const (
 	// recovers it.
 	rexmitInterval = 100 * time.Millisecond
 
+	// Write coalescing: the writer drains its staged-frame queue in
+	// bursts into one buffered writer and flushes either when the batch
+	// stops growing past the flush deadline or when the buffer fills.
+	// The deadline mirrors the aggregator's 125µs flush timeout (§6), so
+	// batching never adds more latency than aggregation already budgets.
+	coalesceFlushInterval = 125 * time.Microsecond
+	coalesceBufBytes      = 256 << 10
+
 	// defaultSuspectTimeout is how long a peer may be silent (no acks,
 	// no successful dials, no coordinator heartbeats) before it is
 	// declared down. Options.SuspectTimeout overrides; negative disables.
@@ -377,7 +385,8 @@ func (t *TCP) send(from, to int, buf []byte, msgs int, routed bool) {
 	if routed {
 		typ = frameRouted
 	}
-	f := &frame{typ: typ, from: from, to: to, msgs: msgs, payload: buf}
+	f := getFrame()
+	f.typ, f.from, f.to, f.msgs, f.payload = typ, from, to, msgs, buf
 	t.sentWire.Add(1)
 	if t.wall {
 		t0 := time.Now()
@@ -406,14 +415,18 @@ func (t *TCP) enqueue(to int, f *frame) {
 // receives; the rest exist so the runtime's shape is node-symmetric.
 func (t *TCP) Inbox(node int) <-chan fabric.Packet { return t.inbox[node] }
 
-// Done implements fabric.Fabric.
+// Done implements fabric.Fabric. It recycles the packet's buffer:
+// self-packets still carry the sender's builder buffer, wire packets a
+// pooled payload drawn by the frame reader.
 func (t *TCP) Done(p fabric.Packet) {
 	if p.From == t.self && p.To == t.self {
 		t.localInflight.Add(-1)
+		wire.PutBuf(p.Buf)
 		return
 	}
 	t.recvInflight.Add(-1)
 	t.appliedWire.Add(1)
+	wire.PutBuf(p.Buf)
 }
 
 // localIdle reports whether this process has nothing in flight: no
@@ -657,13 +670,26 @@ func (t *TCP) serveConn(conn net.Conn) {
 		}
 		pr.mu.Unlock()
 	}()
-	if err := writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: resume}); err != nil {
+	// Control replies (acks, fin-ack) reuse one encode scratch instead
+	// of allocating per frame; one goroutine owns this connection's
+	// writes, so no lock is needed.
+	var ctlBuf []byte
+	writeCtl := func(typ frameType, seq uint64) error {
+		ctlBuf = appendFrame(ctlBuf[:0], &frame{typ: typ, from: t.self, to: from, seq: seq})
+		_, err := conn.Write(ctlBuf)
+		return err
+	}
+	if err := writeCtl(frameAck, resume); err != nil {
 		return
 	}
 
+	// The frame struct is reused across reads; its payload is a fresh
+	// pooled buffer per data frame, owned by the inbox packet once
+	// delivered (Done recycles it) and recycled here on the drop paths
+	// that keep the connection alive.
+	var f frame
 	for {
-		f, err := readFrame(br)
-		if err != nil {
+		if err := readFrameInto(br, &f); err != nil {
 			if errors.Is(err, errCorruptPayload) {
 				// In-flight corruption, caught by the frame CRC. Count it,
 				// re-acknowledge the resume point as an explicit retransmit
@@ -674,13 +700,13 @@ func (t *TCP) serveConn(conn net.Conn) {
 				pr.mu.Lock()
 				resume := pr.seq
 				pr.mu.Unlock()
-				writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: resume})
+				writeCtl(frameAck, resume)
 			}
 			return
 		}
 		switch f.typ {
 		case frameFin:
-			writeFrame(conn, &frame{typ: frameFinAck, from: t.self, to: from})
+			writeCtl(frameFinAck, 0)
 			return
 		case framePing:
 			// Peer heartbeat: answer with the cumulative ack so liveness
@@ -688,7 +714,7 @@ func (t *TCP) serveConn(conn net.Conn) {
 			pr.mu.Lock()
 			cum := pr.seq
 			pr.mu.Unlock()
-			if writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: cum}) != nil {
+			if writeCtl(frameAck, cum) != nil {
 				return
 			}
 		case frameData, frameRouted:
@@ -709,14 +735,17 @@ func (t *TCP) serveConn(conn net.Conn) {
 				t.Malformed.Inc()
 				return
 			case f.seq <= last:
-				// Duplicate after a reconnect: re-acknowledge, drop.
+				// Duplicate after a reconnect: re-acknowledge, drop (and
+				// recycle the payload nothing will ever apply).
 				pr.mu.Unlock()
-				if writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: f.seq}) != nil {
+				wire.PutBuf(f.payload)
+				f.payload = nil
+				if writeCtl(frameAck, f.seq) != nil {
 					return
 				}
 				continue
 			}
-			ok := t.deliver(f, routed)
+			ok := t.deliver(&f, routed)
 			if ok {
 				pr.seq = f.seq
 			}
@@ -724,7 +753,7 @@ func (t *TCP) serveConn(conn net.Conn) {
 			if !ok {
 				return
 			}
-			if writeFrame(conn, &frame{typ: frameAck, from: t.self, to: from, seq: f.seq}) != nil {
+			if writeCtl(frameAck, f.seq) != nil {
 				return
 			}
 		default:
@@ -773,6 +802,15 @@ type sender struct {
 	stop  chan struct{}
 	done  chan struct{}
 
+	// Writer-goroutine-only state for write coalescing: enc is the
+	// frame-encode scratch, bw batches encoded frames into one socket
+	// write (reset onto each new connection), and winScratch is reused
+	// across handshake retransmits so replaying the window allocates
+	// nothing.
+	enc        []byte
+	bw         *bufio.Writer
+	winScratch []*frame
+
 	// lastAck is the unix-nano time of the last proof the peer is alive:
 	// construction, a completed handshake, or any received ack (data
 	// frames and heartbeat pings are both acknowledged). The suspect
@@ -820,15 +858,24 @@ func (s *sender) idle() bool {
 	return len(s.window) == 0
 }
 
-// trim drops acknowledged frames (seq ≤ acked) from the window.
+// trim drops acknowledged frames (seq ≤ acked) from the window and
+// recycles them: the cumulative ack is the proof no retransmit can ever
+// replay a trimmed frame, so this is the one safe recycle point on the
+// send side.
 func (s *sender) trim(acked uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	i := 0
 	for i < len(s.window) && s.window[i].seq <= acked {
+		putFrame(s.window[i])
+		s.window[i] = nil
 		i++
 	}
-	s.window = s.window[i:]
+	if i == len(s.window) {
+		s.window = s.window[:0]
+	} else {
+		s.window = s.window[i:]
+	}
 }
 
 // windowHead returns the seq of the oldest unacknowledged frame, or 0
@@ -842,10 +889,37 @@ func (s *sender) windowHead() uint64 {
 	return s.window[0].seq
 }
 
-func (s *sender) windowSnapshot() []*frame {
+// appendWindow appends the unacknowledged window onto dst (a reusable
+// scratch), replacing the per-call snapshot copy the handshake used to
+// allocate on every reconnect.
+func (s *sender) appendWindow(dst []*frame) []*frame {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]*frame(nil), s.window...)
+	return append(dst, s.window...)
+}
+
+// writeCoalesced encodes f into the sender's scratch and appends it to
+// the connection's batching writer. Bytes are copied out of the frame,
+// so the caller's ownership (window, pool) is unaffected. The caller is
+// responsible for flushing: data frames ride the 125µs flush deadline
+// (mirroring the aggregator's flush timeout), control frames flush
+// immediately.
+func (s *sender) writeCoalesced(f *frame) error {
+	s.enc = appendFrame(s.enc[:0], f)
+	_, err := s.bw.Write(s.enc)
+	return err
+}
+
+// writeData assigns a sequence number (first transmission only), pushes
+// f onto the retransmit window, and stages its bytes on the batching
+// writer.
+func (s *sender) writeData(f *frame) error {
+	if f.seq == 0 {
+		s.nextSeq++
+		f.seq = s.nextSeq
+	}
+	s.push(f)
+	return s.writeCoalesced(f)
 }
 
 func (s *sender) windowFull() bool {
@@ -940,18 +1014,32 @@ func (s *sender) handshake(conn net.Conn) (net.Conn, chan uint64, chan error) {
 	}
 	conn.SetReadDeadline(time.Time{})
 	s.trim(ack.seq)
-	for _, f := range s.windowSnapshot() {
-		if err := writeFrame(conn, f); err != nil {
-			conn.Close()
-			return nil, nil, nil
+	if s.bw == nil {
+		s.bw = bufio.NewWriterSize(conn, coalesceBufBytes)
+	} else {
+		s.bw.Reset(conn)
+	}
+	s.winScratch = s.appendWindow(s.winScratch[:0])
+	retransmitErr := false
+	for _, f := range s.winScratch {
+		if err := s.writeCoalesced(f); err != nil {
+			retransmitErr = true
+			break
 		}
+	}
+	for i := range s.winScratch {
+		s.winScratch[i] = nil // scratch must not pin recycled frames
+	}
+	if retransmitErr || s.bw.Flush() != nil {
+		conn.Close()
+		return nil, nil, nil
 	}
 	acks := make(chan uint64, sendWindowFrames)
 	errs := make(chan error, 1)
 	go func() {
+		var f frame // reused: acks carry no payload
 		for {
-			f, err := readFrame(br)
-			if err != nil {
+			if err := readFrameInto(br, &f); err != nil {
 				errs <- err
 				return
 			}
@@ -1024,6 +1112,15 @@ func (s *sender) run() {
 	rx := time.NewTicker(rexmitInterval)
 	defer rx.Stop()
 	var rexmitHead uint64
+	// Flush deadline for coalesced writes: armed after staging data
+	// frames, it bounds how long encoded bytes may sit in s.bw. Created
+	// stopped; hand-built test senders that never connect never arm it.
+	flushTimer := time.NewTimer(coalesceFlushInterval)
+	if !flushTimer.Stop() {
+		<-flushTimer.C
+	}
+	defer flushTimer.Stop()
+	flushArmed := false
 	for {
 		if draining && len(s.queue) == 0 {
 			s.mu.Lock()
@@ -1070,19 +1167,36 @@ func (s *sender) run() {
 		case <-errs:
 			disconnect()
 		case f := <-queue:
-			if f.seq == 0 {
-				s.nextSeq++
-				f.seq = s.nextSeq
+			// Burst-drain: pull every frame already staged (up to the
+			// window limit) into one buffered write, then arm the flush
+			// deadline instead of paying a syscall per frame.
+			err := s.writeData(f)
+		burst:
+			for err == nil && !s.windowFull() {
+				select {
+				case f2 := <-s.queue:
+					err = s.writeData(f2)
+				default:
+					break burst
+				}
 			}
-			s.push(f)
-			if err := writeFrame(conn, f); err != nil {
+			if err != nil {
+				disconnect()
+			} else if s.bw.Buffered() > 0 && !flushArmed {
+				flushTimer.Reset(coalesceFlushInterval)
+				flushArmed = true
+			}
+		case <-flushTimer.C:
+			flushArmed = false
+			if conn != nil && s.bw.Flush() != nil {
 				disconnect()
 			}
 		case <-heartbeat:
 			if s.suspectCheck() {
 				return
 			}
-			if err := writeFrame(conn, &frame{typ: framePing, from: s.t.self, to: s.dest}); err != nil {
+			ping := frame{typ: framePing, from: s.t.self, to: s.dest}
+			if s.writeCoalesced(&ping) != nil || s.bw.Flush() != nil {
 				disconnect()
 			}
 		case <-rx.C:
@@ -1103,8 +1217,14 @@ func (s *sender) run() {
 	}
 }
 
-// fin runs the close handshake on a drained stream.
+// fin runs the close handshake on a drained stream. The window is
+// empty (every data frame acked, which implies flushed), so the
+// batching writer holds no bytes; flush anyway to make FIN ordering
+// independent of that invariant.
 func (s *sender) fin(conn net.Conn, acks chan uint64) {
+	if s.bw != nil && s.bw.Flush() != nil {
+		return
+	}
 	if err := writeFrame(conn, &frame{typ: frameFin, from: s.t.self, to: s.dest}); err != nil {
 		return
 	}

@@ -1,0 +1,77 @@
+package wire
+
+import "sync"
+
+// Packet-buffer pool: the hot path flushes one per-node queue every
+// 64 kB of traffic, and before pooling each flush allocated a fresh
+// buffer that died as soon as the receiver applied it — per-packet
+// garbage exactly like the per-message synchronization the paper's §4.1
+// WG-level reservation amortizes away. Builders draw flush buffers from
+// here, ownership travels with the packet through Send/Inbox/Done, and
+// Done returns the buffer for the next flush.
+//
+// Two sync.Pools cooperate so the steady state allocates nothing: bufs
+// holds recycled buffers boxed in *[]byte holders, and holders keeps the
+// empty boxes circulating (putting a raw []byte into a sync.Pool would
+// heap-allocate its interface box on every Put).
+var (
+	bufs    sync.Pool // *[]byte carrying a recycled buffer
+	holders sync.Pool // *[]byte with a nil slice, ready to carry one
+)
+
+// minPooledBytes keeps tiny buffers (per-message-mode packets, test
+// scraps) out of the pool: pooling them would let a 24-byte buffer
+// bounce a 64 kB request into a fresh allocation. Small buffers are
+// cheap enough for the GC.
+const minPooledBytes = 1 << 10
+
+// poolRound rounds a capacity request up to a power of two so buffers
+// from builders, routed builders, and transport receive paths — whose
+// exact record-aligned capacities differ by a few bytes — land in one
+// size class and recycle into each other.
+func poolRound(n int) int {
+	p := minPooledBytes
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// GetBuf returns an empty buffer with capacity at least capBytes, reusing
+// a recycled one when possible. The caller owns it until it is handed to
+// a fabric via Send; the fabric's Done (or the transport's ack-trim)
+// returns it with PutBuf.
+func GetBuf(capBytes int) []byte {
+	if capBytes < minPooledBytes {
+		return make([]byte, 0, capBytes)
+	}
+	if v := bufs.Get(); v != nil {
+		h := v.(*[]byte)
+		b := *h
+		*h = nil
+		holders.Put(h)
+		if cap(b) >= capBytes {
+			return b[:0]
+		}
+		// Wrong size class (a run with different queue capacities left
+		// it behind): drop it and let the pool re-fill at this class.
+	}
+	return make([]byte, 0, poolRound(capBytes))
+}
+
+// PutBuf recycles a buffer previously returned by GetBuf (or any buffer
+// whose owner is done with it). The caller must not touch b afterwards:
+// the next GetBuf may hand it to another goroutine.
+func PutBuf(b []byte) {
+	if cap(b) < minPooledBytes {
+		return
+	}
+	var h *[]byte
+	if v := holders.Get(); v != nil {
+		h = v.(*[]byte)
+	} else {
+		h = new([]byte)
+	}
+	*h = b[:0]
+	bufs.Put(h)
+}

@@ -95,7 +95,7 @@ func NewBuilder(dest, capBytes int) *Builder {
 	if n < 1 {
 		n = 1
 	}
-	return &Builder{dest: dest, cap: n * MsgWireBytes, rec: MsgWireBytes, buf: make([]byte, 0, n*MsgWireBytes)}
+	return &Builder{dest: dest, cap: n * MsgWireBytes, rec: MsgWireBytes, buf: GetBuf(n * MsgWireBytes)}
 }
 
 // NewRoutedBuilder creates a builder whose records carry final
@@ -105,7 +105,7 @@ func NewRoutedBuilder(gateway, capBytes int) *Builder {
 	if n < 1 {
 		n = 1
 	}
-	return &Builder{dest: gateway, cap: n * RoutedMsgBytes, rec: RoutedMsgBytes, routed: true, buf: make([]byte, 0, n*RoutedMsgBytes)}
+	return &Builder{dest: gateway, cap: n * RoutedMsgBytes, rec: RoutedMsgBytes, routed: true, buf: GetBuf(n * RoutedMsgBytes)}
 }
 
 // Routed reports whether records carry final destinations.
@@ -215,12 +215,13 @@ func (b *Builder) Append(cmd, a, v uint64) {
 }
 
 // Take returns the current buffer and message count and resets the
-// builder. The returned slice is owned by the caller.
+// builder with a fresh buffer from the packet pool. The returned slice
+// is owned by the caller; handing it to a fabric transfers ownership to
+// the packet lifecycle, whose Done recycles it (see GetBuf/PutBuf).
 func (b *Builder) Take() (buf []byte, msgs int) {
 	buf = b.buf
 	msgs = b.msgs
-	n := b.cap
-	b.buf = make([]byte, 0, n)
+	b.buf = GetBuf(b.cap)
 	b.msgs = 0
 	return buf, msgs
 }
