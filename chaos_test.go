@@ -348,8 +348,8 @@ func TestChaosCoordinatorDeathMidBarrier(t *testing.T) {
 	}
 	time.Sleep(300 * time.Millisecond) // land the kill mid-run, between barriers
 	killedAt := time.Now()
-	stop()        // no new coordinator connections
-	coord.Kill()  // sever the established ones
+	stop()       // no new coordinator connections
+	coord.Kill() // sever the established ones
 	runWG.Wait()
 	detection := time.Since(killedAt)
 

@@ -13,22 +13,37 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"gravel"
 	"gravel/internal/apps/color"
 	"gravel/internal/apps/gups"
 	"gravel/internal/apps/kmeans"
 	"gravel/internal/apps/mer"
 	"gravel/internal/apps/pagerank"
 	"gravel/internal/apps/sssp"
+	"gravel/internal/cliflags"
 	"gravel/internal/core"
 	"gravel/internal/graph"
-	"gravel/internal/models"
 	"gravel/internal/rt"
 )
+
+// appReport is the -json document: the run's identity and summary plus
+// the full versioned Stats snapshot.
+type appReport struct {
+	App       string   `json:"app"`
+	Model     string   `json:"model"`
+	Nodes     int      `json:"nodes"`
+	Scale     float64  `json:"scale"`
+	Summary   string   `json:"summary"`
+	VirtualNs float64  `json:"virtual_ns"`
+	WallNs    int64    `json:"wall_ns"`
+	Stats     rt.Stats `json:"stats"`
+}
 
 func main() {
 	app := flag.String("app", "gups", "application to run")
@@ -37,7 +52,15 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "input scale factor")
 	phases := flag.Bool("phases", false, "print the per-superstep virtual-time breakdown")
 	group := flag.Int("groupsize", 0, "two-level hierarchical aggregation group size (gravel model only)")
+	var common cliflags.Common
+	common.RegisterDefault(true)
 	flag.Parse()
+
+	sess, err := common.Begin()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gravel-apps:", err)
+		os.Exit(1)
+	}
 
 	var sys rt.System
 	if *group > 1 {
@@ -47,23 +70,61 @@ func main() {
 		}
 		sys = core.New(core.Config{Nodes: *nodes, GroupSize: *group})
 	} else {
-		sys = models.New(*model, *nodes, nil)
+		sys, err = gravel.NewModelChecked(*model, *nodes, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gravel-apps:", err)
+			os.Exit(2)
+		}
 	}
-	defer sys.Close()
+	sess.SetStats(func() *rt.Stats {
+		st := sys.Stats()
+		return &st
+	})
 
 	start := time.Now()
 	summary := run(sys, *app, *scale)
 	wall := time.Since(start)
 
-	st := sys.NetStats()
+	st := sys.Stats()
+	net := st.NetStats()
 	fmt.Printf("app=%s model=%s nodes=%d scale=%g\n", *app, *model, *nodes, *scale)
 	fmt.Printf("  %s\n", summary)
 	fmt.Printf("  virtual time: %.3f ms   (simulated in %v)\n", sys.VirtualTimeNs()/1e6, wall.Round(time.Millisecond))
 	fmt.Printf("  remote accesses: %.1f%%   avg wire packet: %.0f B   agg busy: %.0f%%\n",
-		100*st.RemoteFrac(), st.AvgPacketBytes, 100*st.AggBusyFrac)
+		100*net.RemoteFrac(), net.AvgPacketBytes, 100*net.AggBusyFrac)
 	if *phases {
 		printPhases(sys)
 	}
+	if common.JSONPath != "" {
+		rep := appReport{
+			App: *app, Model: *model, Nodes: *nodes, Scale: *scale,
+			Summary: summary, VirtualNs: sys.VirtualTimeNs(), WallNs: wall.Nanoseconds(),
+			Stats: st,
+		}
+		if err := writeJSON(common.JSONPath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "gravel-apps:", err)
+			os.Exit(1)
+		}
+	}
+	sys.Close()
+	if err := sess.End(); err != nil {
+		fmt.Fprintln(os.Stderr, "gravel-apps:", err)
+		os.Exit(1)
+	}
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printPhases renders the superstep timeline, merging consecutive

@@ -20,12 +20,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"gravel/internal/bench"
+	"gravel/internal/cliflags"
 )
 
 // expResult is one experiment's machine-readable record.
@@ -75,23 +75,15 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (table2, table5, fig6, fig8, fig12, fig13, fig14, fig15, sec82, hier, ablations, all)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = default reduced inputs)")
 	format := flag.String("format", "table", "output format: table or csv")
-	jsonPath := flag.String("json", "", "also write machine-readable results to this path")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
+	var common cliflags.Common
+	common.RegisterDefault(true)
 	flag.Parse()
+	jsonPath := &common.JSONPath
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "gravel-bench: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "gravel-bench: %v\n", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	sess, err := common.Begin()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gravel-bench: %v\n", err)
+		os.Exit(1)
 	}
 
 	rep := report{
@@ -159,17 +151,8 @@ func main() {
 		}
 	}
 
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "gravel-bench: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "gravel-bench: %v\n", err)
-			os.Exit(1)
-		}
+	if err := sess.End(); err != nil {
+		fmt.Fprintf(os.Stderr, "gravel-bench: %v\n", err)
+		os.Exit(1)
 	}
 }

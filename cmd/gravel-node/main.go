@@ -37,8 +37,6 @@ import (
 	"net"
 	"os"
 	"os/exec"
-	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -46,8 +44,11 @@ import (
 	"gravel"
 	"gravel/internal/apps/gups"
 	"gravel/internal/apps/pagerank"
+	"gravel/internal/cliflags"
 	"gravel/internal/core"
 	"gravel/internal/graph"
+	"gravel/internal/obs"
+	"gravel/internal/rt"
 	"gravel/internal/transport"
 	"gravel/internal/transport/fault"
 )
@@ -81,9 +82,14 @@ var (
 	coordRPCTimeout = flag.Duration("coord-rpc-timeout", 0, "per-RPC coordinator deadline (0 = 15s default, <0 disables)")
 	duration        = flag.Duration("duration", 30*time.Second, "chaos: how long to keep iterating")
 
-	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of this process to this path")
-	memProfile = flag.String("memprofile", "", "write a heap profile of this process to this path on exit")
+	checkTrace = flag.String("check-trace", "", "validate a flight-recorder JSONL trace file against the schema and exit")
+
+	// common is the shared observability/profiling flag surface
+	// (-json, -trace, -obs-addr, -cpuprofile, -memprofile).
+	common cliflags.Common
 )
+
+func init() { common.RegisterDefault(true) }
 
 // result is the JSON line a worker prints.
 type result struct {
@@ -98,51 +104,45 @@ type result struct {
 
 func main() {
 	flag.Parse()
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	if *checkTrace != "" {
+		ev, err := obs.ValidateJSONLFile(*checkTrace)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer pprof.StopCPUProfile()
+		fmt.Printf("check-trace: %s: %d events, schema v%d, timestamps monotonic\n",
+			*checkTrace, len(ev), obs.SchemaVersion)
+		return
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "gravel-node:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "gravel-node:", err)
-			}
-		}()
+	sess, err := common.Begin()
+	if err != nil {
+		fatal(err)
 	}
+	err = dispatch(sess)
+	// The session must end before exiting (flush the CPU profile, drain
+	// the trace, stop the observability server) — fatal would skip the
+	// deferred path.
+	if endErr := sess.End(); err == nil {
+		err = endErr
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func dispatch(sess *cliflags.Session) error {
 	switch {
 	case *serve:
-		if err := runCoordinator(); err != nil {
-			fatal(err)
-		}
+		return runCoordinator()
 	case *smoke:
-		if err := runSmoke(); err != nil {
-			fatal(err)
-		}
+		return runSmoke(sess)
 	case *chaos:
-		if err := runChaos(); err != nil {
-			fatal(err)
-		}
+		return runChaos()
 	case *node >= 0:
-		if err := runWorker(); err != nil {
-			fatal(err)
-		}
+		return runWorker(sess)
 	default:
 		flag.Usage()
 		os.Exit(2)
+		return nil
 	}
 }
 
@@ -174,7 +174,7 @@ func runCoordinator() error {
 // transport error (a peer or the coordinator declared down, surfaced
 // as a typed error from the runtime) it exits nonzero after dumping
 // per-destination wire statistics and the injected-fault log to stderr.
-func runWorker() (err error) {
+func runWorker(sess *cliflags.Session) (err error) {
 	if *coord == "" {
 		return fmt.Errorf("worker needs -coord")
 	}
@@ -242,6 +242,14 @@ func runWorker() (err error) {
 	if !ok {
 		return fmt.Errorf("fabric is not the TCP transport")
 	}
+	// Wire the observability endpoint to this worker's runtime: /healthz
+	// surfaces the transport failure detector's verdict, /metrics the
+	// live Stats snapshot.
+	sess.SetHealth(tcp.Err)
+	sess.SetStats(func() *rt.Stats {
+		st := sys.Stats()
+		return &st
+	})
 
 	var local uint64
 	var ns float64
@@ -267,7 +275,7 @@ func runWorker() (err error) {
 		return err
 	}
 	stats := sys.NetStats()
-	return json.NewEncoder(os.Stdout).Encode(result{
+	res := result{
 		Node:     *node,
 		App:      *app,
 		LocalSum: local,
@@ -275,7 +283,28 @@ func runWorker() (err error) {
 		Ns:       ns,
 		Sent:     sumPkts(stats),
 		Recon:    stats.Reconnects,
-	})
+	}
+	if common.JSONPath != "" {
+		if err := writeJSON(common.JSONPath, res); err != nil {
+			return err
+		}
+	}
+	return json.NewEncoder(os.Stdout).Encode(res)
+}
+
+// writeJSON writes v to path as one JSON document.
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func sumPkts(s gravel.NetStats) int64 {
@@ -318,8 +347,10 @@ func dumpDiagnostics(sys gravel.System, tcp *transport.TCP) {
 
 // runSmoke is the end-to-end check: it runs the coordinator in-process,
 // forks one worker per node over localhost, and verifies the reduced
-// distributed GUPS sum against the single-process channel fabric.
-func runSmoke() error {
+// distributed GUPS sum against the single-process channel fabric. With
+// -trace/-obs-addr the in-process reference run feeds the flight
+// recorder and the /metrics endpoint.
+func runSmoke(sess *cliflags.Session) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -375,6 +406,8 @@ func runSmoke() error {
 		Seed:           *seed,
 		Steps:          *steps,
 	})
+	refStats := ref.Stats()
+	sess.SetStats(func() *rt.Stats { return &refStats })
 	ref.Close()
 
 	var localTotal uint64

@@ -1,0 +1,99 @@
+package gravel_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gravel"
+)
+
+// TestConfigValidate exercises the single validation funnel: each bad
+// configuration must come back as a *ConfigError naming the offending
+// field.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   gravel.Config
+		field string // "" means valid
+	}{
+		{"ok-minimal", gravel.Config{Nodes: 1}, ""},
+		{"ok-full", gravel.Config{Nodes: 8, WGSize: 256, GroupSize: 4, Transport: "loopback"}, ""},
+		{"zero-nodes", gravel.Config{}, "Nodes"},
+		{"negative-nodes", gravel.Config{Nodes: -3}, "Nodes"},
+		{"wgsize-not-multiple", gravel.Config{Nodes: 2, WGSize: 100}, "WGSize"},
+		{"wgsize-negative", gravel.Config{Nodes: 2, WGSize: -64}, "WGSize"},
+		{"groupsize-negative", gravel.Config{Nodes: 2, GroupSize: -1}, "GroupSize"},
+		{"unknown-transport", gravel.Config{Nodes: 2, Transport: "rdma"}, "Transport"},
+		{"chan-alias-ok", gravel.Config{Nodes: 2, Transport: "chan"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			var ce *gravel.ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Validate() = %v (%T), want *ConfigError", err, err)
+			}
+			if ce.Field != tc.field {
+				t.Errorf("ConfigError.Field = %q, want %q", ce.Field, tc.field)
+			}
+			if !strings.Contains(ce.Error(), "invalid "+tc.field) {
+				t.Errorf("Error() = %q, want it to name the field", ce.Error())
+			}
+		})
+	}
+}
+
+// TestNewCheckedRejects verifies the error-returning constructor and
+// that the panicking one throws the same typed value.
+func TestNewCheckedRejects(t *testing.T) {
+	if _, err := gravel.NewChecked(gravel.Config{Nodes: 0}); err == nil {
+		t.Fatal("NewChecked accepted Nodes=0")
+	}
+	sys, err := gravel.NewChecked(gravel.Config{Nodes: 2})
+	if err != nil {
+		t.Fatalf("NewChecked rejected a valid config: %v", err)
+	}
+	sys.Close()
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New(Nodes=0) did not panic")
+		}
+		if _, ok := r.(*gravel.ConfigError); !ok {
+			t.Fatalf("New panicked with %T, want *ConfigError", r)
+		}
+	}()
+	gravel.New(gravel.Config{})
+}
+
+// TestNewModelChecked verifies model-name and cluster-size validation,
+// and that every advertised model still constructs.
+func TestNewModelChecked(t *testing.T) {
+	if _, err := gravel.NewModelChecked("warp-drive", 2, nil); err == nil {
+		t.Fatal("NewModelChecked accepted an unknown model")
+	} else {
+		var ce *gravel.ConfigError
+		if !errors.As(err, &ce) || ce.Field != "Model" {
+			t.Fatalf("unknown model error = %v, want *ConfigError{Field: Model}", err)
+		}
+	}
+	if _, err := gravel.NewModelChecked(gravel.ModelGravel, 0, nil); err == nil {
+		t.Fatal("NewModelChecked accepted 0 nodes")
+	}
+	for _, name := range gravel.Models() {
+		sys, err := gravel.NewModelChecked(name, 2, nil)
+		if err != nil {
+			t.Errorf("NewModelChecked(%q) = %v", name, err)
+			continue
+		}
+		sys.Close()
+	}
+}

@@ -41,6 +41,8 @@
 package gravel
 
 import (
+	"fmt"
+
 	"gravel/internal/core"
 	"gravel/internal/fabric"
 	"gravel/internal/models"
@@ -66,8 +68,29 @@ type Kernel = rt.Kernel
 // destination node's network thread.
 type AMHandler = rt.AMHandler
 
+// Stats is the versioned statistics snapshot (System.Stats): cumulative
+// totals organized by subsystem (Queue, Agg, Transport, Faults) plus
+// per-step deltas. StatsVersion identifies the schema.
+type Stats = rt.Stats
+
+// StatsVersion is the schema version carried in Stats.Version.
+const StatsVersion = rt.StatsVersion
+
+// Per-subsystem sections of Stats, and the per-step delta record.
+type (
+	QueueStats     = rt.QueueStats
+	AggStats       = rt.AggStats
+	TransportStats = rt.TransportStats
+	FaultStats     = rt.FaultStats
+	StepStats      = rt.StepStats
+)
+
 // NetStats summarizes communication behaviour (remote-access frequency,
 // wire packet sizes, aggregator utilization).
+//
+// Deprecated: NetStats is the flat pre-observability snapshot; use
+// Stats. System.NetStats() is now derived from Stats, so the shared
+// fields match bit-for-bit.
 type NetStats = rt.NetStats
 
 // Array is a symmetric distributed array in the global address space.
@@ -145,8 +168,69 @@ type FaultConfig = fault.Config
 // Transports lists the registered fabric transport names.
 func Transports() []string { return fabric.Names() }
 
-// New creates a Gravel cluster. Callers must Close it.
+// ConfigError reports an invalid Config (or NewModel argument): which
+// field is wrong and why. It is the error type behind Validate,
+// NewChecked, and NewModelChecked, and the panic value of New/NewModel
+// on bad input.
+type ConfigError struct {
+	Field  string // the offending Config field ("Nodes", "WGSize", ...)
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return "gravel: invalid " + e.Field + ": " + e.Reason
+}
+
+// Validate checks the configuration and returns a *ConfigError
+// describing the first problem found, or nil. It is the single place
+// configuration rules live: New, NewChecked, and cmd binaries all go
+// through it.
+func (cfg Config) Validate() error {
+	if cfg.Nodes <= 0 {
+		return &ConfigError{Field: "Nodes", Reason: fmt.Sprintf("cluster size %d, need at least 1", cfg.Nodes)}
+	}
+	p := cfg.Params
+	if p == nil {
+		p = DefaultParams()
+	}
+	if cfg.WGSize < 0 || (cfg.WGSize > 0 && cfg.WGSize%p.WFWidth != 0) {
+		return &ConfigError{Field: "WGSize", Reason: fmt.Sprintf("work-group size %d must be a positive multiple of the wavefront width %d", cfg.WGSize, p.WFWidth)}
+	}
+	if cfg.GroupSize < 0 {
+		return &ConfigError{Field: "GroupSize", Reason: fmt.Sprintf("negative group size %d", cfg.GroupSize)}
+	}
+	if cfg.Transport != "" && cfg.Transport != "chan" {
+		known := false
+		for _, n := range fabric.Names() {
+			if n == cfg.Transport {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return &ConfigError{Field: "Transport", Reason: fmt.Sprintf("unknown transport %q (have %v)", cfg.Transport, fabric.Names())}
+		}
+	}
+	return nil
+}
+
+// New creates a Gravel cluster. Callers must Close it. It panics with a
+// *ConfigError on invalid configuration; NewChecked returns the error
+// instead.
 func New(cfg Config) System {
+	sys, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// NewChecked is New returning configuration errors (always a
+// *ConfigError) instead of panicking.
+func NewChecked(cfg Config) (System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Faults != nil && cfg.TransportOpts.Faults == nil {
 		cfg.TransportOpts.Faults = cfg.Faults
 	}
@@ -158,7 +242,7 @@ func New(cfg Config) System {
 		GroupSize:     cfg.GroupSize,
 		Transport:     cfg.Transport,
 		TransportOpts: cfg.TransportOpts,
-	})
+	}), nil
 }
 
 // Model names accepted by NewModel, in the paper's Figure 15 order plus
@@ -180,7 +264,32 @@ func Models() []string {
 
 // NewModel creates a cluster running one of the paper's GPU networking
 // models; applications written against this package run unmodified
-// under any of them. A nil params means DefaultParams.
+// under any of them. A nil params means DefaultParams. It panics with a
+// *ConfigError on an unknown model or invalid cluster size;
+// NewModelChecked returns the error instead.
 func NewModel(name string, nodes int, params *Params) System {
-	return models.New(name, nodes, params)
+	sys, err := NewModelChecked(name, nodes, params)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// NewModelChecked is NewModel returning configuration errors (always a
+// *ConfigError) instead of panicking.
+func NewModelChecked(name string, nodes int, params *Params) (System, error) {
+	if nodes <= 0 {
+		return nil, &ConfigError{Field: "Nodes", Reason: fmt.Sprintf("cluster size %d, need at least 1", nodes)}
+	}
+	known := name == ModelCPUOnly
+	for _, n := range models.Names() {
+		if n == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, &ConfigError{Field: "Model", Reason: fmt.Sprintf("unknown model %q (have %v)", name, Models())}
+	}
+	return models.New(name, nodes, params), nil
 }

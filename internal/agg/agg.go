@@ -16,7 +16,9 @@ import (
 	"sync/atomic"
 
 	"gravel/internal/fabric"
+	"gravel/internal/obs"
 	"gravel/internal/queue"
+	"gravel/internal/stats"
 	"gravel/internal/timemodel"
 	"gravel/internal/wire"
 )
@@ -75,6 +77,12 @@ type Aggregator struct {
 	// (AppendDirect, Flush's final drain) uses shard 0.
 	shards   []*shard
 	inFlight atomic.Int64 // drain attempts in progress (quiescence)
+
+	// Flush-reason counters (§3.4): full-queue flushes go immediately,
+	// stragglers are forced out by the end-of-step timeout flush. One
+	// atomic add per flush (~thousands of messages), so always on.
+	flushFull    stats.Counter
+	flushTimeout stats.Counter
 
 	stop chan struct{}
 	done chan struct{}
@@ -293,29 +301,30 @@ func (a *Aggregator) appendLocked(sh *shard, dest int, cmd, av, vv uint64) {
 		g := dest / a.groupSize
 		b := sh.grouped[g]
 		if b.Full() {
-			a.flushGroupLocked(sh, g)
+			a.flushGroupLocked(sh, g, false)
 		}
 		b.AppendRouted(cmd, av, vv, dest)
 		return
 	}
 	b := sh.builders[dest]
 	if b.Full() {
-		a.flushLocked(sh, dest)
+		a.flushLocked(sh, dest, false)
 	}
 	b.Append(cmd, av, vv)
 	if a.PerMessage {
 		// Message-per-lane: no combining; one packet per message.
-		a.flushLocked(sh, dest)
+		a.flushLocked(sh, dest, false)
 	}
 }
 
-func (a *Aggregator) flushGroupLocked(sh *shard, g int) {
+func (a *Aggregator) flushGroupLocked(sh *shard, g int, timeout bool) {
 	b := sh.grouped[g]
 	if b.Empty() {
 		return
 	}
 	buf, msgs := b.Take()
 	a.clock.AddAgg(a.params.AggPerFlushNs)
+	a.recordFlush(len(buf), msgs, timeout)
 	sh.ready = append(sh.ready, readyPkt{dest: b.Dest(), buf: buf, msgs: msgs, routed: true})
 }
 
@@ -331,14 +340,39 @@ func (a *Aggregator) AppendDirect(dest int, cmd, av, vv uint64, chargeNs float64
 	a.appendLocked(sh, dest, cmd, av, vv)
 }
 
-func (a *Aggregator) flushLocked(sh *shard, dest int) {
+func (a *Aggregator) flushLocked(sh *shard, dest int, timeout bool) {
 	b := sh.builders[dest]
 	if b.Empty() {
 		return
 	}
 	buf, msgs := b.Take()
 	a.clock.AddAgg(a.params.AggPerFlushNs)
+	a.recordFlush(len(buf), msgs, timeout)
 	sh.ready = append(sh.ready, readyPkt{dest: dest, buf: buf, msgs: msgs})
+}
+
+// recordFlush attributes one flush to its reason — the per-node queue
+// filled, or the end-of-step timeout flush forced it out — and emits
+// the matching trace event when the flight recorder is on.
+func (a *Aggregator) recordFlush(bytes, msgs int, timeout bool) {
+	if timeout {
+		a.flushTimeout.Inc()
+	} else {
+		a.flushFull.Inc()
+	}
+	if obs.Enabled() {
+		k := obs.KAggFlushFull
+		if timeout {
+			k = obs.KAggFlushTimeout
+		}
+		obs.Emit(k, a.node, int64(bytes), int64(msgs), "")
+	}
+}
+
+// FlushCounts returns how many flushes were triggered by a full
+// per-node queue and how many by the end-of-step timeout flush.
+func (a *Aggregator) FlushCounts() (full, timeout int64) {
+	return a.flushFull.Load(), a.flushTimeout.Load()
 }
 
 // Flush sends every non-empty per-node queue (end-of-superstep /
@@ -352,10 +386,10 @@ func (a *Aggregator) Flush() {
 	for _, sh := range a.shards {
 		sh.mu.Lock()
 		for d := range sh.builders {
-			a.flushLocked(sh, d)
+			a.flushLocked(sh, d, true)
 		}
 		for g := range sh.grouped {
-			a.flushGroupLocked(sh, g)
+			a.flushGroupLocked(sh, g, true)
 		}
 		sh.mu.Unlock()
 	}

@@ -5,18 +5,22 @@ import (
 	"testing"
 
 	"gravel/internal/fabric"
+	"gravel/internal/obs"
 	"gravel/internal/queue"
 	"gravel/internal/timemodel"
 	"gravel/internal/wire"
 )
 
-// TestFlushRoundTripAllocFree pins the pooled packet lifecycle to zero
+// TestAllocsPerRunFlushRoundTrip pins the pooled packet lifecycle to zero
 // steady-state heap allocations: staging a full per-node queue, flushing
 // it onto the fabric, applying it, and recycling with Done must reuse
 // the same pooled buffer every cycle. GC is disabled for the
 // measurement so a collection cannot clear the pool's victim cache and
 // masquerade as a hot-path allocation.
-func TestFlushRoundTripAllocFree(t *testing.T) {
+func TestAllocsPerRunFlushRoundTrip(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("flight recorder is enabled; this guard pins the disabled path")
+	}
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 
 	p := timemodel.Default()
@@ -49,10 +53,10 @@ func TestFlushRoundTripAllocFree(t *testing.T) {
 	}
 }
 
-// TestRepackDrainAllocFree is the same guard over the queue-drain path:
+// TestAllocsPerRunRepackDrain is the same guard over the queue-drain path:
 // one committed slot repacked into builders, flushed, applied, and
 // recycled.
-func TestRepackDrainAllocFree(t *testing.T) {
+func TestAllocsPerRunRepackDrain(t *testing.T) {
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 
 	p := timemodel.Default()

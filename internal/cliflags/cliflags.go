@@ -1,0 +1,169 @@
+// Package cliflags is the shared observability and profiling flag
+// surface of the gravel binaries. Before it existed, gravel-node,
+// gravel-bench, and gravel-apps each declared their own drifting subset
+// of -json/-cpuprofile/-memprofile; this package gives all three the
+// same flags with the same semantics:
+//
+//	-json       write machine-readable results to this path
+//	-trace      record a flight-recorder trace and write it as JSONL
+//	-obs-addr   serve /metrics and /healthz on this address
+//	-cpuprofile write a CPU profile
+//	-memprofile write a heap profile on exit
+//
+// Usage: call Register before flag.Parse, then Begin after it; End the
+// returned session (normally deferred) to stop profiles, drain the
+// trace, and shut the observability server down.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"gravel/internal/obs"
+	"gravel/internal/rt"
+)
+
+// Common is the shared flag set. Fields are populated by flag.Parse
+// after Register binds them.
+type Common struct {
+	JSONPath   string
+	Trace      string
+	ObsAddr    string
+	CPUProfile string
+	MemProfile string
+}
+
+// Register binds the shared flags onto fs (flag.CommandLine via
+// RegisterDefault). withJSON controls whether the binary takes -json
+// (gravel-node's workers report JSON on stdout instead).
+func (c *Common) Register(fs *flag.FlagSet, withJSON bool) {
+	if withJSON {
+		fs.StringVar(&c.JSONPath, "json", "", "also write machine-readable results to this path")
+	}
+	fs.StringVar(&c.Trace, "trace", "", "record a flight-recorder trace and write it to this path as JSONL")
+	fs.StringVar(&c.ObsAddr, "obs-addr", "", "serve Prometheus-style /metrics and /healthz on this address (e.g. :9090 or :0)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile of this process to this path")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile of this process to this path on exit")
+}
+
+// RegisterDefault is Register on the process-wide flag.CommandLine.
+func (c *Common) RegisterDefault(withJSON bool) { c.Register(flag.CommandLine, withJSON) }
+
+// Session is the running state behind the shared flags: an installed
+// flight recorder, a live observability server, an active CPU profile.
+// End releases all of it.
+type Session struct {
+	c        *Common
+	recorder *obs.Recorder
+	server   *obs.Server
+	cpuFile  *os.File
+
+	health func() error
+	stats  func() *rt.Stats
+}
+
+// Begin starts whatever the parsed flags ask for: the CPU profile, the
+// global flight recorder (-trace), and the observability server
+// (-obs-addr). It returns an error instead of exiting so callers keep
+// control of their exit paths; the session is safe to End even when
+// nothing was enabled.
+func (c *Common) Begin() (*Session, error) {
+	s := &Session{c: c}
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	// -obs-addr alone also installs the recorder: /metrics serves the
+	// event counts and latency histograms either way; the JSONL file is
+	// only written when -trace asked for it.
+	if c.Trace != "" || c.ObsAddr != "" {
+		s.recorder = obs.Start(obs.Options{})
+	}
+	if c.ObsAddr != "" {
+		srv, err := obs.NewServer(c.ObsAddr,
+			func() error {
+				if s.health != nil {
+					return s.health()
+				}
+				return nil
+			},
+			func() *rt.Stats {
+				if s.stats != nil {
+					return s.stats()
+				}
+				return nil
+			})
+		if err != nil {
+			s.End()
+			return nil, err
+		}
+		s.server = srv
+	}
+	return s, nil
+}
+
+// SetHealth wires the /healthz probe to fn (e.g. the transport's
+// failure detector). Callable any time; until then /healthz reports ok.
+func (s *Session) SetHealth(fn func() error) { s.health = fn }
+
+// SetStats wires live runtime statistics into /metrics. Until set, the
+// endpoint serves the recorder's own counters only.
+func (s *Session) SetStats(fn func() *rt.Stats) { s.stats = fn }
+
+// ObsAddr returns the bound observability address ("" when -obs-addr
+// was not given). With ":0" this is how callers learn the port.
+func (s *Session) ObsAddr() string {
+	if s.server == nil {
+		return ""
+	}
+	return s.server.Addr()
+}
+
+// End stops the CPU profile, writes the heap profile and the trace if
+// requested, and shuts the observability server down. It returns the
+// first error; partial shutdown still completes.
+func (s *Session) End() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.cpuFile.Close())
+		s.cpuFile = nil
+	}
+	if s.recorder != nil {
+		obs.Stop()
+		if s.c.Trace != "" {
+			keep(s.recorder.WriteJSONLFile(s.c.Trace))
+		}
+		s.recorder = nil
+	}
+	if s.server != nil {
+		keep(s.server.Close())
+		s.server = nil
+	}
+	if s.c.MemProfile != "" {
+		f, err := os.Create(s.c.MemProfile)
+		if err != nil {
+			keep(err)
+		} else {
+			runtime.GC()
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	return first
+}

@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"gravel/internal/agg"
 	"gravel/internal/fabric"
+	"gravel/internal/obs"
 	"gravel/internal/pgas"
 	"gravel/internal/queue"
 	"gravel/internal/rt"
@@ -27,6 +29,7 @@ import (
 	"gravel/internal/stats"
 	"gravel/internal/timemodel"
 	_ "gravel/internal/transport" // registers the "loopback" and "tcp" transports
+	"gravel/internal/transport/fault"
 	"gravel/internal/wire"
 )
 
@@ -115,8 +118,44 @@ type Cluster struct {
 	prev    []timemodel.Snapshot
 	totalNs float64
 
+	// Per-step delta capture: steps accumulates one rt.StepStats per
+	// recorded phase, prevTotals the cumulative counters at the last
+	// phase boundary, stepStart the wall clock of the last LaunchAll.
+	steps      []rt.StepStats
+	prevTotals runningTotals
+	stepStart  time.Time
+
 	netWG  sync.WaitGroup
 	closed bool
+}
+
+// runningTotals is the cumulative counter set the per-step deltas are
+// computed from. Every field is drawn from the same sources Stats uses
+// for its cumulative sections, so deltas sum back to the totals.
+type runningTotals struct {
+	localOps, remoteOps       int64
+	slotsDrained, msgsDrained int64
+	wirePkts, wireBytes       int64
+	selfPkts                  int64
+	aggBusy, aggIdle          float64
+}
+
+func (cl *Cluster) totals() runningTotals {
+	var t runningTotals
+	m := cl.fab.NetMetrics()
+	for i, n := range cl.nodes {
+		t.localOps += n.LocalOps.Load()
+		t.remoteOps += n.RemoteOps.Load()
+		snap := n.Clocks.Snapshot()
+		t.slotsDrained += snap.AggSlots
+		t.msgsDrained += snap.AggMsgs
+		t.wirePkts += snap.PktsSent
+		t.wireBytes += snap.BytesSent
+		t.aggBusy += snap.Agg
+		t.aggIdle += snap.AggIdle
+		t.selfPkts += m.SelfPkts[i].Load()
+	}
+	return t
 }
 
 // New builds and starts a cluster.
@@ -176,6 +215,7 @@ func New(cfg Config) *Cluster {
 		n.GPU.Mode = cfg.DivMode
 		n.GPU.Clock = n.Clocks
 		n.PCQ = queue.NewGravel(numSlots, wire.SlotRows, cfg.WGSize)
+		n.PCQ.Owner = i
 		n.Agg = agg.NewHierarchical(i, p, n.PCQ, cl.fab, n.Clocks, cfg.AggMode == AggPerMessage, cfg.GroupSize)
 		cl.nodes[i] = n
 	}
@@ -307,6 +347,10 @@ func (cl *Cluster) LaunchAll(grid []int, scratchPerWG int, mkCtx func(*Node, *si
 	if len(grid) != cl.cfg.Nodes {
 		panic(fmt.Sprintf("core: launch grid has %d entries for %d nodes", len(grid), cl.cfg.Nodes))
 	}
+	cl.stepStart = time.Now()
+	if obs.Enabled() {
+		obs.Emit(obs.KStepBegin, -1, int64(len(cl.steps)), 0, "")
+	}
 	var wg sync.WaitGroup
 	for i, n := range cl.nodes {
 		if grid[i] <= 0 {
@@ -384,7 +428,9 @@ func (cl *Cluster) EndPhaseSequential(name string) {
 }
 
 // RecordPhase appends a phase record: cluster phase time is the slowest
-// node plus one barrier.
+// node plus one barrier. It is the funnel every model's Step ends in,
+// so it also captures the per-step counter deltas for Stats and closes
+// the flight recorder's step span.
 func (cl *Cluster) RecordPhase(name string, nodeNs []float64) {
 	m := 0.0
 	for _, v := range nodeNs {
@@ -395,6 +441,34 @@ func (cl *Cluster) RecordPhase(name string, nodeNs []float64) {
 	phase := m + cl.params.BarrierNs
 	cl.phases = append(cl.phases, timemodel.PhaseRecord{Name: name, NodeNs: nodeNs, PhaseNs: phase})
 	cl.totalNs += phase
+
+	var wall int64
+	if !cl.stepStart.IsZero() {
+		wall = time.Since(cl.stepStart).Nanoseconds()
+		cl.stepStart = time.Time{}
+	}
+	cur := cl.totals()
+	prev := cl.prevTotals
+	cl.prevTotals = cur
+	cl.steps = append(cl.steps, rt.StepStats{
+		Index:        len(cl.steps),
+		Name:         name,
+		VirtualNs:    phase,
+		WallNs:       wall,
+		LocalOps:     cur.localOps - prev.localOps,
+		RemoteOps:    cur.remoteOps - prev.remoteOps,
+		SlotsDrained: cur.slotsDrained - prev.slotsDrained,
+		MsgsDrained:  cur.msgsDrained - prev.msgsDrained,
+		WirePackets:  cur.wirePkts - prev.wirePkts,
+		WireBytes:    cur.wireBytes - prev.wireBytes,
+		SelfPackets:  cur.selfPkts - prev.selfPkts,
+		AggBusyNs:    cur.aggBusy - prev.aggBusy,
+		AggIdleNs:    cur.aggIdle - prev.aggIdle,
+	})
+	if obs.Enabled() {
+		obs.Emit(obs.KStepEnd, -1, wall, int64(phase), name)
+		obs.ObserveStepWall(wall)
+	}
 }
 
 // HostAM implements rt.System: it initiates an active message from
@@ -426,34 +500,78 @@ func (cl *Cluster) VirtualTimeNs() float64 { return cl.totalNs }
 // Phases implements rt.System.
 func (cl *Cluster) Phases() []timemodel.PhaseRecord { return cl.phases }
 
-// NetStats implements rt.System.
-func (cl *Cluster) NetStats() rt.NetStats {
-	var s rt.NetStats
-	var aggBusy float64
-	for _, n := range cl.nodes {
-		s.LocalOps += n.LocalOps.Load()
-		s.RemoteOps += n.RemoteOps.Load()
-		snap := n.Clocks.Snapshot()
-		s.WirePackets += snap.PktsSent
-		s.WireBytes += snap.BytesSent
-		aggBusy += snap.Agg
+// Stats implements rt.System: the versioned snapshot every section of
+// the runtime reports through.
+func (cl *Cluster) Stats() rt.Stats {
+	st := rt.Stats{
+		Version:   rt.StatsVersion,
+		Model:     cl.cfg.Name,
+		Nodes:     cl.cfg.Nodes,
+		VirtualNs: cl.totalNs,
 	}
-	m := cl.fab.NetMetrics()
-	s.AvgPacketBytes = m.TotalAvgPacketBytes()
-	s.PerDest = make([]rt.DestCount, cl.cfg.Nodes)
-	for d := range s.PerDest {
-		s.PerDest[d] = rt.DestCount{Packets: m.PerDest.Packets(d), Bytes: m.PerDest.Bytes(d)}
+	cur := cl.totals()
+	st.Queue = rt.QueueStats{
+		LocalOps:     cur.localOps,
+		RemoteOps:    cur.remoteOps,
+		SlotsDrained: cur.slotsDrained,
+		MsgsDrained:  cur.msgsDrained,
 	}
-	s.Reconnects = m.Reconnects.Load()
-	s.Retries = m.Retries.Load()
-	s.Malformed = m.Malformed.Load()
-	s.CorruptFrames = m.CorruptFrames.Load()
-	// Busy fraction of the aggregator core over the run's virtual time
-	// (the paper's §8.1 metric: 65% of the core's time is polling).
+
+	threads := cl.params.AggregatorThreads
+	if threads < 1 {
+		threads = 1
+	}
+	st.Agg = rt.AggStats{BusyNs: cur.aggBusy, IdleNs: cur.aggIdle, Threads: threads}
+	// Busy fraction of the aggregator cores over the run's virtual time
+	// (the paper's §8.1 metric: 65% of the core's time is polling),
+	// weighted by drain capacity: busy time accrues on every drain
+	// thread, so the denominator scales with nodes × threads.
 	if cl.totalNs > 0 {
-		s.AggBusyFrac = aggBusy / (cl.totalNs * float64(len(cl.nodes)))
+		st.Agg.BusyFrac = cur.aggBusy / (cl.totalNs * float64(len(cl.nodes)) * float64(threads))
 	}
-	return s
+	for _, n := range cl.nodes {
+		full, timeout := n.Agg.FlushCounts()
+		st.Agg.FlushesFull += full
+		st.Agg.FlushesTimeout += timeout
+	}
+
+	m := cl.fab.NetMetrics()
+	st.Transport = rt.TransportStats{
+		WirePackets:    cur.wirePkts,
+		WireBytes:      cur.wireBytes,
+		AvgPacketBytes: m.TotalAvgPacketBytes(),
+		SelfPackets:    cur.selfPkts,
+		PerDest:        make([]rt.DestCount, cl.cfg.Nodes),
+		Reconnects:     m.Reconnects.Load(),
+		Retries:        m.Retries.Load(),
+		Malformed:      m.Malformed.Load(),
+		CorruptFrames:  m.CorruptFrames.Load(),
+	}
+	for d := range st.Transport.PerDest {
+		st.Transport.PerDest[d] = rt.DestCount{Packets: m.PerDest.Packets(d), Bytes: m.PerDest.Bytes(d)}
+	}
+
+	if fi, ok := cl.fab.(interface{ FaultInjector() *fault.Injector }); ok {
+		if in := fi.FaultInjector(); in.Enabled() {
+			st.Faults.Enabled = true
+			st.Faults.Seed = in.Config().Seed
+			c := in.Counters()
+			st.Faults.Drop, st.Faults.Dup, st.Faults.Reorder, st.Faults.Corrupt = c.Drop, c.Dup, c.Reorder, c.Corrupt
+			st.Faults.Delay, st.Faults.Stall, st.Faults.Sever, st.Faults.Blocked = c.Delay, c.Stall, c.Sever, c.Blocked
+		}
+	}
+
+	st.Steps = append([]rt.StepStats(nil), cl.steps...)
+	return st
+}
+
+// NetStats implements rt.System.
+//
+// Deprecated: NetStats is the pre-observability flat snapshot; use
+// Stats. It is derived from Stats, so the shared fields match the new
+// sections bit-for-bit.
+func (cl *Cluster) NetStats() rt.NetStats {
+	return cl.Stats().NetStats()
 }
 
 // Close implements rt.System.

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"gravel/internal/obs"
+	"gravel/internal/pgas"
+	"gravel/internal/rt"
+	"gravel/internal/timemodel"
+)
+
+// incWorkload runs a few supersteps of scattered increments so every
+// counter the stats snapshot reports (queue ops, drains, wire traffic)
+// moves through multiple step boundaries.
+func incWorkload(t *testing.T, sys rt.System, steps int) *pgas.Array {
+	t.Helper()
+	nodes := sys.Nodes()
+	arr := sys.Space().Alloc(1 << 12)
+	grid := fullGrid(nodes, 256)
+	for s := 0; s < steps; s++ {
+		sys.Step("inc", grid, 0, func(c rt.Ctx) {
+			g := c.Group()
+			idx := make([]uint64, g.Size)
+			one := make([]uint64, g.Size)
+			g.Vector(func(l int) {
+				idx[l] = uint64((g.GlobalID(l)*2654435761 + s) % (1 << 12))
+				one[l] = 1
+			})
+			c.Inc(arr, idx, one, nil)
+		})
+	}
+	return arr
+}
+
+// TestStatsStepDeltasSumToCumulative pins the Stats contract that the
+// per-step delta records add up to the cumulative section totals: both
+// are drawn from the same counters at the same point in RecordPhase, so
+// any drift means a counter was sampled in the wrong place.
+func TestStatsStepDeltasSumToCumulative(t *testing.T) {
+	cl := New(Config{Nodes: 4})
+	defer cl.Close()
+	incWorkload(t, cl, 3)
+
+	st := cl.Stats()
+	if st.Version != rt.StatsVersion {
+		t.Fatalf("Stats.Version = %d, want %d", st.Version, rt.StatsVersion)
+	}
+	if len(st.Steps) != 3 {
+		t.Fatalf("got %d step records, want 3", len(st.Steps))
+	}
+	var sum rt.StepStats
+	for i, sp := range st.Steps {
+		if sp.Index != i {
+			t.Errorf("step %d has Index %d", i, sp.Index)
+		}
+		sum.VirtualNs += sp.VirtualNs
+		sum.LocalOps += sp.LocalOps
+		sum.RemoteOps += sp.RemoteOps
+		sum.SlotsDrained += sp.SlotsDrained
+		sum.MsgsDrained += sp.MsgsDrained
+		sum.WirePackets += sp.WirePackets
+		sum.WireBytes += sp.WireBytes
+		sum.SelfPackets += sp.SelfPackets
+		sum.AggBusyNs += sp.AggBusyNs
+		sum.AggIdleNs += sp.AggIdleNs
+	}
+	if sum.LocalOps != st.Queue.LocalOps || sum.RemoteOps != st.Queue.RemoteOps {
+		t.Errorf("op deltas sum to (%d,%d), cumulative (%d,%d)",
+			sum.LocalOps, sum.RemoteOps, st.Queue.LocalOps, st.Queue.RemoteOps)
+	}
+	if sum.SlotsDrained != st.Queue.SlotsDrained || sum.MsgsDrained != st.Queue.MsgsDrained {
+		t.Errorf("drain deltas sum to (%d,%d), cumulative (%d,%d)",
+			sum.SlotsDrained, sum.MsgsDrained, st.Queue.SlotsDrained, st.Queue.MsgsDrained)
+	}
+	if sum.WirePackets != st.Transport.WirePackets || sum.WireBytes != st.Transport.WireBytes {
+		t.Errorf("wire deltas sum to (%d,%d), cumulative (%d,%d)",
+			sum.WirePackets, sum.WireBytes, st.Transport.WirePackets, st.Transport.WireBytes)
+	}
+	if sum.SelfPackets != st.Transport.SelfPackets {
+		t.Errorf("self-packet deltas sum to %d, cumulative %d", sum.SelfPackets, st.Transport.SelfPackets)
+	}
+	if sum.AggBusyNs != st.Agg.BusyNs || sum.AggIdleNs != st.Agg.IdleNs {
+		t.Errorf("agg deltas sum to (%g,%g), cumulative (%g,%g)",
+			sum.AggBusyNs, sum.AggIdleNs, st.Agg.BusyNs, st.Agg.IdleNs)
+	}
+	if sum.VirtualNs != st.VirtualNs {
+		t.Errorf("virtual-time deltas sum to %g, cumulative %g", sum.VirtualNs, st.VirtualNs)
+	}
+	if st.Queue.RemoteOps == 0 || st.Transport.WirePackets == 0 {
+		t.Errorf("workload produced no traffic (remote=%d packets=%d); test is vacuous",
+			st.Queue.RemoteOps, st.Transport.WirePackets)
+	}
+}
+
+// TestNetStatsAdapterBitForBit pins the deprecation contract: the old
+// flat NetStats is now derived from Stats, and every shared field must
+// match its sectioned counterpart exactly — no recomputation, no
+// rounding.
+func TestNetStatsAdapterBitForBit(t *testing.T) {
+	cl := New(Config{Nodes: 4})
+	defer cl.Close()
+	incWorkload(t, cl, 2)
+
+	st := cl.Stats()
+	ns := cl.NetStats()
+	if ns.LocalOps != st.Queue.LocalOps || ns.RemoteOps != st.Queue.RemoteOps {
+		t.Errorf("ops: NetStats (%d,%d) != Stats.Queue (%d,%d)",
+			ns.LocalOps, ns.RemoteOps, st.Queue.LocalOps, st.Queue.RemoteOps)
+	}
+	if ns.WirePackets != st.Transport.WirePackets || ns.WireBytes != st.Transport.WireBytes {
+		t.Errorf("wire: NetStats (%d,%d) != Stats.Transport (%d,%d)",
+			ns.WirePackets, ns.WireBytes, st.Transport.WirePackets, st.Transport.WireBytes)
+	}
+	if ns.AvgPacketBytes != st.Transport.AvgPacketBytes {
+		t.Errorf("AvgPacketBytes: %v != %v", ns.AvgPacketBytes, st.Transport.AvgPacketBytes)
+	}
+	if ns.AggBusyFrac != st.Agg.BusyFrac {
+		t.Errorf("AggBusyFrac: %v != %v", ns.AggBusyFrac, st.Agg.BusyFrac)
+	}
+	if ns.Reconnects != st.Transport.Reconnects || ns.Retries != st.Transport.Retries ||
+		ns.Malformed != st.Transport.Malformed || ns.CorruptFrames != st.Transport.CorruptFrames {
+		t.Errorf("reliability counters diverge: NetStats %+v vs Stats.Transport %+v", ns, st.Transport)
+	}
+	if len(ns.PerDest) != len(st.Transport.PerDest) {
+		t.Fatalf("PerDest length %d != %d", len(ns.PerDest), len(st.Transport.PerDest))
+	}
+	for d := range ns.PerDest {
+		if ns.PerDest[d] != st.Transport.PerDest[d] {
+			t.Errorf("PerDest[%d]: %+v != %+v", d, ns.PerDest[d], st.Transport.PerDest[d])
+		}
+	}
+}
+
+// TestAggBusyFracCapacityWeighted is the regression test for the
+// multi-thread utilization bug: busy time accrues on every drain
+// thread, so with T aggregator threads the busy fraction must divide by
+// nodes x T, not nodes alone. Before the fix a 2-thread aggregator at
+// 100% utilization reported BusyFrac 2.0.
+func TestAggBusyFracCapacityWeighted(t *testing.T) {
+	p := timemodel.Default()
+	p.AggregatorThreads = 2
+	cl := New(Config{Nodes: 2, Params: p})
+	defer cl.Close()
+
+	// Deterministic clock state: every drain thread on every node busy
+	// for the whole phase. 2 nodes x 2 threads x 1e6 ns of busy time
+	// over a 1e6+barrier ns phase.
+	const busy = 1e6
+	for _, n := range cl.nodes {
+		n.Clocks.AddAgg(busy * float64(p.AggregatorThreads))
+	}
+	cl.RecordPhase("synthetic", []float64{busy, busy})
+
+	st := cl.Stats()
+	if st.Agg.Threads != 2 {
+		t.Fatalf("Stats.Agg.Threads = %d, want 2", st.Agg.Threads)
+	}
+	want := st.Agg.BusyNs / (st.VirtualNs * 2 * 2)
+	if st.Agg.BusyFrac != want {
+		t.Errorf("BusyFrac = %v, want busy/(virtual*nodes*threads) = %v", st.Agg.BusyFrac, want)
+	}
+	// The old formula divided by nodes only, reporting ~2.0 here.
+	if st.Agg.BusyFrac > 1.0001 {
+		t.Errorf("BusyFrac %v exceeds 1 with fully-busy threads: capacity weighting lost", st.Agg.BusyFrac)
+	}
+}
+
+// TestTraceReplay is the enabled-path flight recorder test: run a real
+// workload with the recorder installed, serialize the trace to JSONL,
+// and replay it through the validator — which enforces the schema
+// (version, known kinds, node range) and monotonic timestamps — then
+// check the kinds a superstep must produce are all present.
+func TestTraceReplay(t *testing.T) {
+	rec := obs.Start(obs.Options{})
+	defer obs.Stop()
+
+	cl := New(Config{Nodes: 4})
+	incWorkload(t, cl, 2)
+	cl.Close()
+	obs.Stop()
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	events, err := obs.ValidateJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("trace failed validation: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	seen := map[obs.Kind]int{}
+	for _, ev := range events {
+		seen[ev.Kind]++
+	}
+	for _, want := range []obs.Kind{obs.KStepBegin, obs.KStepEnd, obs.KSlotReserve, obs.KSend} {
+		if seen[want] == 0 {
+			t.Errorf("trace has no %q events (kinds seen: %v)", want, seen)
+		}
+	}
+	if seen[obs.KStepBegin] != 2 || seen[obs.KStepEnd] != 2 {
+		t.Errorf("step span events: %d begin / %d end, want 2 / 2",
+			seen[obs.KStepBegin], seen[obs.KStepEnd])
+	}
+	// Flushes happen (full or timeout) whenever messages were staged.
+	if seen[obs.KAggFlushFull]+seen[obs.KAggFlushTimeout] == 0 {
+		t.Error("trace has no aggregator flush events")
+	}
+}

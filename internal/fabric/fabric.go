@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"gravel/internal/obs"
 	"gravel/internal/stats"
 	"gravel/internal/timemodel"
 	"gravel/internal/transport/fault"
@@ -114,6 +115,9 @@ func (m *Metrics) NetMetrics() *Metrics { return m }
 func (m *Metrics) ObserveWire(from, to, bytes int) {
 	m.PktSizes[from].Observe(int64(bytes))
 	m.PerDest.Observe(to, int64(bytes))
+	if obs.Enabled() {
+		obs.Emit(obs.KSend, from, int64(to), int64(bytes), "")
+	}
 }
 
 // AvgPacketBytes returns the mean wire packet size for a node, 0 if it

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaVersion is the JSONL trace schema version; every line carries
+// it as "v". Bump it when a field changes meaning.
+const SchemaVersion = 1
+
+// jsonEvent is the JSONL wire form of an Event.
+type jsonEvent struct {
+	V    int    `json:"v"`
+	TS   int64  `json:"ts"`
+	Kind string `json:"kind"`
+	Node int32  `json:"node"`
+	A    int64  `json:"a,omitempty"`
+	B    int64  `json:"b,omitempty"`
+	Tag  string `json:"tag,omitempty"`
+}
+
+// WriteJSONL drains the recorder's events (merged across rings, sorted
+// by timestamp) as one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range r.Events() {
+		if err := enc.Encode(jsonEvent{
+			V: SchemaVersion, TS: e.TS, Kind: e.Kind.String(),
+			Node: e.Node, A: e.A, B: e.B, Tag: e.Tag,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONLFile writes the trace to path (0644, truncating).
+func (r *Recorder) WriteJSONLFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ValidateJSONL replays a JSONL trace, checking every line against the
+// schema: parseable JSON, schema version, a known kind, node >= -1,
+// and non-decreasing timestamps. It returns the number of events and
+// the parsed events themselves (for further assertions in tests).
+func ValidateJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Event
+	line := 0
+	lastTS := int64(-1)
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if je.V != SchemaVersion {
+			return nil, fmt.Errorf("obs: trace line %d: schema version %d, want %d", line, je.V, SchemaVersion)
+		}
+		k, ok := KindFromString(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("obs: trace line %d: unknown kind %q", line, je.Kind)
+		}
+		if je.Node < -1 {
+			return nil, fmt.Errorf("obs: trace line %d: invalid node %d", line, je.Node)
+		}
+		if je.TS < 0 {
+			return nil, fmt.Errorf("obs: trace line %d: negative timestamp %d", line, je.TS)
+		}
+		if je.TS < lastTS {
+			return nil, fmt.Errorf("obs: trace line %d: timestamp %d before predecessor %d (not monotonic)", line, je.TS, lastTS)
+		}
+		lastTS = je.TS
+		out = append(out, Event{TS: je.TS, Kind: k, Node: je.Node, A: je.A, B: je.B, Tag: je.Tag})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ValidateJSONLFile is ValidateJSONL over a file.
+func ValidateJSONLFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ValidateJSONL(f)
+}

@@ -1,17 +1,24 @@
 package queue
 
-import "testing"
+import (
+	"testing"
+
+	"gravel/internal/obs"
+)
 
 // discard is the no-op consumer for the alloc guard, bound once so the
 // measured loop does not pay a closure allocation that the real
 // aggregator (whose consumer is prebuilt per shard) would not.
 var discard = func(payload []uint64, rows, cols, count int) {}
 
-// TestReserveCommitConsumeAllocFree pins the queue's slot protocol to
+// TestAllocsPerRunReserveCommitConsume pins the queue's slot protocol to
 // zero steady-state heap allocations: Reserve, the lane fills, Commit,
 // and TryConsume are the per-message hot path (§4.2) and must never
 // produce garbage.
-func TestReserveCommitConsumeAllocFree(t *testing.T) {
+func TestAllocsPerRunReserveCommitConsume(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("flight recorder is enabled; this guard pins the disabled path")
+	}
 	const cols = 8
 	q := NewGravel(64, 4, cols)
 	allocs := testing.AllocsPerRun(1000, func() {

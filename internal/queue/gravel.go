@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+
+	"gravel/internal/obs"
 )
 
 type pad64 struct{ _ [64]byte }
@@ -53,6 +55,10 @@ type slotHeader struct {
 // slot can hold — normally the work-group size.
 type Gravel struct {
 	Rows, Cols int
+
+	// Owner is the node the queue belongs to, used to attribute trace
+	// events; it is not part of the queue protocol.
+	Owner int
 
 	mask    uint64
 	headers []slotHeader
@@ -136,8 +142,11 @@ func (q *Gravel) Reserve(count int) Slot {
 	si := q.writeIdx.Add(1) - 1
 	hdr := &q.headers[si&q.mask]
 	tick := hdr.writeTick.Add(1) - 1
-	for spin := 0; hdr.n.Load() != tick || hdr.full.Load() != 0; spin++ {
-		backoff(spin)
+	if hdr.n.Load() != tick || hdr.full.Load() != 0 {
+		q.waitProduce(hdr, tick)
+	}
+	if obs.Enabled() {
+		obs.Emit(obs.KSlotReserve, q.Owner, int64(count), int64(si), "")
 	}
 	hdr.count = uint32(count)
 	base := int(si&q.mask) * q.Rows * q.Cols
@@ -171,14 +180,47 @@ func (q *Gravel) TryConsume(fn func(payload []uint64, rows, cols, count int)) bo
 	}
 	hdr := &q.headers[si&q.mask]
 	tick := hdr.readTick.Add(1) - 1
-	for spin := 0; hdr.n.Load() != tick || hdr.full.Load() != 1; spin++ {
-		backoff(spin)
+	if hdr.n.Load() != tick || hdr.full.Load() != 1 {
+		q.waitConsume(hdr, tick)
 	}
 	base := int(si&q.mask) * q.Rows * q.Cols
 	fn(q.payload[base:base+q.Rows*q.Cols], q.Rows, q.Cols, int(hdr.count))
 	hdr.full.Store(0)
 	hdr.n.Add(1)
 	return true
+}
+
+// waitProduce is the producer slow path: the slot is still owned by a
+// previous generation (queue effectively full for this slot). Keeping
+// the wait out of Reserve keeps the uncontended fast path branch-only;
+// the flight recorder only times waits that actually happened.
+func (q *Gravel) waitProduce(hdr *slotHeader, tick uint64) {
+	var t0 int64
+	if traced := obs.Enabled(); traced {
+		t0 = obs.Now()
+	}
+	for spin := 0; hdr.n.Load() != tick || hdr.full.Load() != 0; spin++ {
+		backoff(spin)
+	}
+	if obs.Enabled() {
+		obs.ObserveQueueWait(q.Owner, obs.Now()-t0)
+	}
+}
+
+// waitConsume is the consumer slow path: the claimed slot's reservation
+// has not been committed yet (queue momentarily empty behind a producer
+// mid-fill).
+func (q *Gravel) waitConsume(hdr *slotHeader, tick uint64) {
+	var t0 int64
+	if traced := obs.Enabled(); traced {
+		t0 = obs.Now()
+	}
+	for spin := 0; hdr.n.Load() != tick || hdr.full.Load() != 1; spin++ {
+		backoff(spin)
+	}
+	if obs.Enabled() {
+		obs.ObserveConsumeWait(q.Owner, obs.Now()-t0)
+	}
 }
 
 // spinBudget is how many iterations a slot wait burns as a pure spin

@@ -48,6 +48,11 @@ type Ctx interface {
 type Kernel func(c Ctx)
 
 // NetStats summarizes a system's communication behaviour (Table 5).
+//
+// Deprecated: NetStats is the flat, pre-observability snapshot. Use
+// Stats, which organizes the same counters into Queue/Agg/Transport/
+// Faults sections and adds per-step deltas; Stats.NetStats converts
+// back, matching these fields bit-for-bit.
 type NetStats struct {
 	// LocalOps and RemoteOps count fine-grain data accesses by
 	// destination locality; RemoteFrac is their ratio.
@@ -118,7 +123,12 @@ type System interface {
 	VirtualTimeNs() float64
 	// Phases returns the per-step time breakdown.
 	Phases() []timemodel.PhaseRecord
+	// Stats returns the versioned statistics snapshot: cumulative
+	// totals by subsystem plus per-step deltas.
+	Stats() Stats
 	// NetStats returns cumulative communication statistics.
+	//
+	// Deprecated: use Stats; this is Stats().NetStats().
 	NetStats() NetStats
 
 	// Close releases background goroutines. The system is unusable

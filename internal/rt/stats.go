@@ -1,0 +1,155 @@
+package rt
+
+// StatsVersion is the version of the Stats snapshot schema. Consumers
+// that persist or diff snapshots should check it; it bumps when a
+// field changes meaning, never for additions.
+const StatsVersion = 1
+
+// Stats is a versioned snapshot of a system's communication behaviour,
+// organized by subsystem: the producer/consumer queue, the aggregator,
+// the transport, and the fault injector. It replaces the flat NetStats
+// grab-bag; NetStats remains as a thin adapter (see Stats.NetStats).
+//
+// Cumulative totals and the per-step deltas in Steps are drawn from
+// the same counters at the same phase boundaries, so summing any
+// StepStats field over Steps reproduces the corresponding cumulative
+// total for runs whose traffic happens inside steps (all of them:
+// every message is initiated by a kernel or an AM handler running
+// within a Step).
+type Stats struct {
+	// Version is StatsVersion at snapshot time.
+	Version int
+	// Model is the networking model ("gravel", "coprocessor", ...).
+	Model string
+	// Nodes is the cluster size.
+	Nodes int
+	// VirtualNs is the total virtual time across all steps.
+	VirtualNs float64
+
+	Queue     QueueStats
+	Agg       AggStats
+	Transport TransportStats
+	Faults    FaultStats
+
+	// Steps holds one delta record per recorded phase (kernel step),
+	// in launch order.
+	Steps []StepStats
+}
+
+// QueueStats describes the fine-grain access stream entering the
+// producer/consumer queue.
+type QueueStats struct {
+	// LocalOps and RemoteOps count fine-grain data accesses by
+	// destination locality (Table 5 remote-access frequency).
+	LocalOps, RemoteOps int64
+	// SlotsDrained counts consumed queue slots; MsgsDrained the
+	// messages they carried.
+	SlotsDrained, MsgsDrained int64
+}
+
+// RemoteFrac returns the fraction of accesses that were remote.
+func (q QueueStats) RemoteFrac() float64 {
+	t := q.LocalOps + q.RemoteOps
+	if t == 0 {
+		return 0
+	}
+	return float64(q.RemoteOps) / float64(t)
+}
+
+// AggStats describes the aggregator: the CPU threads repacking queue
+// slots into per-node queues.
+type AggStats struct {
+	// BusyNs and IdleNs split the aggregator cores' virtual time into
+	// useful work and polling (§8.1), summed across nodes and threads.
+	BusyNs, IdleNs float64
+	// BusyFrac is the capacity-weighted busy fraction: busy time over
+	// the run's virtual time times the aggregate drain capacity
+	// (nodes × Threads). With one drain thread per node it reduces to
+	// the paper's §8.1 single-core metric.
+	BusyFrac float64
+	// Threads is the number of drain threads (shards) per node the
+	// capacity weighting used.
+	Threads int
+	// FlushesFull counts per-node queues sent because they filled;
+	// FlushesTimeout counts flushes forced by the end-of-step timeout
+	// flush (§3.4: full queues go immediately, stragglers on timeout).
+	FlushesFull, FlushesTimeout int64
+}
+
+// TransportStats describes the wire.
+type TransportStats struct {
+	// WirePackets and WireBytes count aggregated per-node queues that
+	// crossed the wire; AvgPacketBytes is the Table 5 "average message
+	// size".
+	WirePackets, WireBytes int64
+	AvgPacketBytes         float64
+	// SelfPackets counts node-local packets (atomics routed through
+	// the local network thread, never reaching the wire).
+	SelfPackets int64
+	// PerDest, indexed by destination node, breaks the wire totals
+	// down by destination. In a multi-process cluster each process
+	// reports the traffic its hosted node originated.
+	PerDest []DestCount
+	// Reconnects counts transport connections re-established after a
+	// drop; Retries counts failed dial attempts.
+	Reconnects, Retries int64
+	// Malformed counts received frames dropped as invalid;
+	// CorruptFrames counts frames whose payload failed the CRC and
+	// were recovered by retransmission.
+	Malformed, CorruptFrames int64
+}
+
+// FaultStats summarizes injected faults (all zero without an injector).
+type FaultStats struct {
+	// Enabled reports whether a fault injector was active.
+	Enabled bool
+	// Seed names the injected schedule for replay.
+	Seed uint64
+	// Per-kind injected fault counts (see internal/transport/fault).
+	Drop, Dup, Reorder, Corrupt, Delay, Stall, Sever, Blocked int64
+}
+
+// Total returns the total number of injected faults.
+func (f FaultStats) Total() int64 {
+	return f.Drop + f.Dup + f.Reorder + f.Corrupt + f.Delay + f.Stall + f.Sever + f.Blocked
+}
+
+// StepStats is the per-step delta of the cumulative counters: what one
+// recorded phase contributed. Fields mirror their cumulative
+// counterparts in Stats.
+type StepStats struct {
+	// Index is the step's position in launch order; Name its label.
+	Index int
+	Name  string
+	// VirtualNs is the phase's cluster virtual time (max over nodes
+	// plus barrier).
+	VirtualNs float64
+	// WallNs is the measured wall-clock duration of the step in this
+	// process, 0 when not measured.
+	WallNs int64
+
+	LocalOps, RemoteOps       int64
+	SlotsDrained, MsgsDrained int64
+	WirePackets, WireBytes    int64
+	SelfPackets               int64
+	AggBusyNs, AggIdleNs      float64
+}
+
+// NetStats converts the snapshot to the deprecated flat form. Values
+// are copied bit-for-bit from the section fields they moved to, so
+// code migrating from NetStats sees identical numbers either way.
+func (s Stats) NetStats() NetStats {
+	return NetStats{
+		LocalOps:       s.Queue.LocalOps,
+		RemoteOps:      s.Queue.RemoteOps,
+		WirePackets:    s.Transport.WirePackets,
+		WireBytes:      s.Transport.WireBytes,
+		AvgPacketBytes: s.Transport.AvgPacketBytes,
+		AggBusyFrac:    s.Agg.BusyFrac,
+		PerDest:        s.Transport.PerDest,
+		Reconnects:     s.Transport.Reconnects,
+		Retries:        s.Transport.Retries,
+		Malformed:      s.Transport.Malformed,
+		CorruptFrames:  s.Transport.CorruptFrames,
+	}
+}

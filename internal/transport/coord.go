@@ -45,10 +45,10 @@ type Coordinator struct {
 	firstJoin time.Time
 	lastSeen  map[int]time.Time
 	left      map[int]bool
-	reports  map[int]quietReport
-	prevS    int64
-	prevA    int64
-	prevOK   bool
+	reports   map[int]quietReport
+	prevS     int64
+	prevA     int64
+	prevOK    bool
 
 	reduces  map[string]*reduceState
 	barriers map[string]*barrierState

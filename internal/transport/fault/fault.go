@@ -24,6 +24,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"gravel/internal/obs"
 )
 
 // Config is a fault schedule. Probabilities are per frame written on a
@@ -204,6 +206,9 @@ func (in *Injector) link(from, to int) *linkState {
 // record appends one fault to the bounded log and its counter. in.mu
 // must be held.
 func (in *Injector) record(from, to int, kind string, frame uint64) {
+	if obs.Enabled() {
+		obs.Emit(obs.KFault, from, int64(to), int64(frame), kind)
+	}
 	e := Entry{Elapsed: time.Since(in.epoch), From: from, To: to, Kind: kind, Frame: frame}
 	if len(in.log) < logCap {
 		in.log = append(in.log, e)

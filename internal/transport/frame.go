@@ -79,6 +79,11 @@ type frame struct {
 	msgs     int
 	seq      uint64
 	payload  []byte
+
+	// sentAt is the flight recorder's timestamp of the frame's first
+	// transmission (0 when tracing was off); the cumulative ack that
+	// trims the frame closes the flush→ack RTT sample.
+	sentAt int64
 }
 
 // appendFrame encodes f onto dst and returns the extended slice. It

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gravel/internal/fabric"
+	"gravel/internal/obs"
 	"gravel/internal/timemodel"
 	"gravel/internal/transport/fault"
 	"gravel/internal/wire"
@@ -867,6 +868,11 @@ func (s *sender) trim(acked uint64) {
 	defer s.mu.Unlock()
 	i := 0
 	for i < len(s.window) && s.window[i].seq <= acked {
+		if f := s.window[i]; f.sentAt != 0 && obs.Enabled() {
+			rtt := obs.Now() - f.sentAt
+			obs.ObserveFlushRTT(rtt)
+			obs.Emit(obs.KAck, s.t.self, int64(f.seq), rtt, "")
+		}
 		putFrame(s.window[i])
 		s.window[i] = nil
 		i++
@@ -917,6 +923,9 @@ func (s *sender) writeData(f *frame) error {
 	if f.seq == 0 {
 		s.nextSeq++
 		f.seq = s.nextSeq
+		if obs.Enabled() {
+			f.sentAt = obs.Now()
+		}
 	}
 	s.push(f)
 	return s.writeCoalesced(f)
@@ -971,6 +980,9 @@ func (s *sender) connect(stop <-chan struct{}, abort <-chan time.Time, attempted
 				if c, acks, errs := s.handshake(conn); c != nil {
 					if *attempted {
 						s.t.Reconnects.Inc()
+						if obs.Enabled() {
+							obs.Emit(obs.KReconnect, s.t.self, int64(s.dest), 0, "")
+						}
 					}
 					*attempted = true
 					return c, acks, errs, false
@@ -1020,6 +1032,9 @@ func (s *sender) handshake(conn net.Conn) (net.Conn, chan uint64, chan error) {
 		s.bw.Reset(conn)
 	}
 	s.winScratch = s.appendWindow(s.winScratch[:0])
+	if len(s.winScratch) > 0 && obs.Enabled() {
+		obs.Emit(obs.KRetransmit, s.t.self, int64(s.dest), int64(len(s.winScratch)), "")
+	}
 	retransmitErr := false
 	for _, f := range s.winScratch {
 		if err := s.writeCoalesced(f); err != nil {
