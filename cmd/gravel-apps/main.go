@@ -1,15 +1,14 @@
-// Command gravel-apps runs any of the paper's six applications on any
+// Command gravel-apps runs any registered application on any
 // networking model at any cluster size, printing functional results,
-// virtual time and network statistics.
+// virtual time and network statistics. The app and model tables come
+// from internal/harness — the same registry gravel-node and
+// gravel-bench use — so the three binaries cannot drift.
 //
 // Usage:
 //
 //	gravel-apps -app=gups -nodes=8 -model=gravel [-scale=1.0]
-//	gravel-apps -app=sssp -nodes=4 -model=coprocessor
-//
-// Apps: gups, gups-mod, pagerank-1, pagerank-2, sssp-1, sssp-2,
-// color-1, color-2, kmeans, mer, mer-full. Models: gravel, coprocessor,
-// coprocessor+buf, msg-per-lane, coalesced, coalesced+agg, cpu-only.
+//	gravel-apps -app=sssp-1 -nodes=4 -model=coprocessor
+//	gravel-apps -list [-json -]
 package main
 
 import (
@@ -20,15 +19,8 @@ import (
 	"time"
 
 	"gravel"
-	"gravel/internal/apps/color"
-	"gravel/internal/apps/gups"
-	"gravel/internal/apps/kmeans"
-	"gravel/internal/apps/mer"
-	"gravel/internal/apps/pagerank"
-	"gravel/internal/apps/sssp"
 	"gravel/internal/cliflags"
-	"gravel/internal/core"
-	"gravel/internal/graph"
+	"gravel/internal/harness"
 	"gravel/internal/rt"
 )
 
@@ -46,15 +38,30 @@ type appReport struct {
 }
 
 func main() {
-	app := flag.String("app", "gups", "application to run")
-	model := flag.String("model", "gravel", "networking model")
+	app := flag.String("app", "gups", "application to run (see -list)")
+	model := flag.String("model", "gravel", "networking model (see -list)")
 	nodes := flag.Int("nodes", 8, "cluster size")
 	scale := flag.Float64("scale", 1.0, "input scale factor")
 	phases := flag.Bool("phases", false, "print the per-superstep virtual-time breakdown")
 	group := flag.Int("groupsize", 0, "two-level hierarchical aggregation group size (gravel model only)")
+	list := flag.Bool("list", false, "list registered apps, models and transports, then exit")
 	var common cliflags.Common
 	common.RegisterDefault(true)
 	flag.Parse()
+
+	if *list {
+		if err := harness.PrintList(common.JSONPath); err != nil {
+			fmt.Fprintln(os.Stderr, "gravel-apps:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	a, err := harness.LookupApp(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gravel-apps:", err)
+		os.Exit(2)
+	}
 
 	sess, err := common.Begin()
 	if err != nil {
@@ -62,19 +69,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	var sys rt.System
-	if *group > 1 {
-		if *model != "gravel" {
-			fmt.Fprintln(os.Stderr, "-groupsize requires -model=gravel")
-			os.Exit(2)
-		}
-		sys = core.New(core.Config{Nodes: *nodes, GroupSize: *group})
-	} else {
-		sys, err = gravel.NewModelChecked(*model, *nodes, nil)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gravel-apps:", err)
-			os.Exit(2)
-		}
+	sys, err := gravel.NewChecked(gravel.Config{Model: *model, Nodes: *nodes, GroupSize: *group})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gravel-apps:", err)
+		os.Exit(2)
 	}
 	sess.SetStats(func() *rt.Stats {
 		st := sys.Stats()
@@ -82,23 +80,23 @@ func main() {
 	})
 
 	start := time.Now()
-	summary := run(sys, *app, *scale)
+	res := a.Run(sys, harness.Params{Scale: *scale})
 	wall := time.Since(start)
 
 	st := sys.Stats()
 	net := st.NetStats()
 	fmt.Printf("app=%s model=%s nodes=%d scale=%g\n", *app, *model, *nodes, *scale)
-	fmt.Printf("  %s\n", summary)
+	fmt.Printf("  %s\n", res.Summary)
 	fmt.Printf("  virtual time: %.3f ms   (simulated in %v)\n", sys.VirtualTimeNs()/1e6, wall.Round(time.Millisecond))
 	fmt.Printf("  remote accesses: %.1f%%   avg wire packet: %.0f B   agg busy: %.0f%%\n",
 		100*net.RemoteFrac(), net.AvgPacketBytes, 100*net.AggBusyFrac)
 	if *phases {
-		printPhases(sys)
+		harness.PhaseReport(os.Stdout, sys)
 	}
 	if common.JSONPath != "" {
 		rep := appReport{
 			App: *app, Model: *model, Nodes: *nodes, Scale: *scale,
-			Summary: summary, VirtualNs: sys.VirtualTimeNs(), WallNs: wall.Nanoseconds(),
+			Summary: res.Summary, VirtualNs: sys.VirtualTimeNs(), WallNs: wall.Nanoseconds(),
 			Stats: st,
 		}
 		if err := writeJSON(common.JSONPath, rep); err != nil {
@@ -109,6 +107,10 @@ func main() {
 	sys.Close()
 	if err := sess.End(); err != nil {
 		fmt.Fprintln(os.Stderr, "gravel-apps:", err)
+		os.Exit(1)
+	}
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, "gravel-apps: verification failed:", res.Err)
 		os.Exit(1)
 	}
 }
@@ -125,103 +127,4 @@ func writeJSON(path string, v any) error {
 		return err
 	}
 	return f.Close()
-}
-
-// printPhases renders the superstep timeline, merging consecutive
-// phases with the same name into (count, total, max) rows.
-func printPhases(sys rt.System) {
-	type agg struct {
-		count   int
-		totalNs float64
-		maxNs   float64
-	}
-	order := []string{}
-	byName := map[string]*agg{}
-	for _, ph := range sys.Phases() {
-		a, ok := byName[ph.Name]
-		if !ok {
-			a = &agg{}
-			byName[ph.Name] = a
-			order = append(order, ph.Name)
-		}
-		a.count++
-		a.totalNs += ph.PhaseNs
-		if ph.PhaseNs > a.maxNs {
-			a.maxNs = ph.PhaseNs
-		}
-	}
-	fmt.Printf("  %-14s %8s %12s %12s %12s\n", "phase", "count", "total ms", "avg us", "max us")
-	for _, name := range order {
-		a := byName[name]
-		fmt.Printf("  %-14s %8d %12.3f %12.1f %12.1f\n",
-			name, a.count, a.totalNs/1e6, a.totalNs/float64(a.count)/1e3, a.maxNs/1e3)
-	}
-}
-
-func run(sys rt.System, app string, scale float64) string {
-	s := func(base int) int {
-		v := int(float64(base) * scale)
-		if v < 64 {
-			v = 64
-		}
-		return v
-	}
-	bubbles := func() *graph.Graph {
-		g := graph.Bubbles(s(42000), 1)
-		g.EnsureWeights()
-		return g
-	}
-	cage := func() *graph.Graph {
-		g := graph.Cage(s(40000), 1)
-		g.EnsureWeights()
-		return g
-	}
-	switch app {
-	case "gups":
-		r := gups.Run(sys, gups.Config{TableSize: s(1 << 20), UpdatesPerNode: s(1_440_000) / sys.Nodes(), Seed: 13})
-		return fmt.Sprintf("updates=%d sum=%d virtual GUPS=%.4f", r.Updates, r.Sum, r.GUPS)
-	case "gups-mod":
-		r := gups.RunMod(sys, gups.ModConfig{TableSize: s(1 << 18), WIsPerNode: s(1 << 19), Seed: 1})
-		return fmt.Sprintf("updates=%d sum=%d", r.Updates, r.Sum)
-	case "pagerank-1", "pagerank-2":
-		g := bubbles()
-		if app == "pagerank-2" {
-			g = cage()
-		}
-		r := pagerank.Run(sys, pagerank.Config{G: g, Iters: 10})
-		return fmt.Sprintf("%v rankSum=%.1f checksum=%016x", g, r.RankSum, r.Checksum)
-	case "sssp-1", "sssp-2":
-		g := bubbles()
-		if app == "sssp-2" {
-			g = cage()
-		}
-		r := sssp.Run(sys, sssp.Config{G: g, Source: 0})
-		return fmt.Sprintf("%v reached=%d supersteps=%d distSum=%d", g, r.Reached, r.Supersteps, r.DistSum)
-	case "color-1", "color-2":
-		g := bubbles()
-		if app == "color-2" {
-			g = cage()
-		}
-		r := color.Run(sys, color.Config{G: g, Seed: 7})
-		if err := color.Validate(g, r.ColorAt); err != nil {
-			return fmt.Sprintf("INVALID COLORING: %v", err)
-		}
-		return fmt.Sprintf("%v colors=%d rounds=%d (validated)", g, r.Colors, r.Rounds)
-	case "kmeans":
-		r := kmeans.Run(sys, kmeans.Config{PointsPerNode: s(160_000) / sys.Nodes(), K: 8, Dims: 2, Iters: 8, Seed: 3})
-		return fmt.Sprintf("clusters=%d iters=%d counts=%v", len(r.Counts), r.Iters, r.Counts)
-	case "mer":
-		r := mer.Run(sys, mer.Config{GenomeLen: s(100_000), ReadsPerNode: s(16_000) / sys.Nodes(), ReadLen: 80, K: 19, Seed: 9})
-		return fmt.Sprintf("kmers inserted=%d distinct=%d (expected %d)", r.Inserted, r.Distinct, r.Expected)
-	case "mer-full":
-		// Phases 1 + 2: table construction then contig traversal (the
-		// paper's future work, built on AM request/reply).
-		r1, r2 := mer.RunFull(sys, mer.Config{GenomeLen: s(100_000), ReadsPerNode: s(16_000) / sys.Nodes(), ReadLen: 80, K: 19, Seed: 9, ErrorPerMille: 3})
-		return fmt.Sprintf("phase1: %d kmers (%d distinct); phase2: %d contigs, total len %d, max %d, UU %d",
-			r1.Inserted, r1.Distinct, r2.Contigs, r2.TotalLen, r2.MaxLen, r2.UU)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown app %q\n", app)
-		os.Exit(2)
-		return ""
-	}
 }

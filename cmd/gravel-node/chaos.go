@@ -8,13 +8,12 @@ import (
 	"net"
 	"os"
 	"os/exec"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"gravel"
-	"gravel/internal/apps/gups"
+	"gravel/internal/harness"
 	"gravel/internal/transport"
 	"gravel/internal/transport/fault"
 )
@@ -60,17 +59,7 @@ func forkWorkers(coordAddr string, extra []string, kill int, killAfter time.Dura
 	out := make([]workerResult, *nodes)
 	var wg sync.WaitGroup
 	for i := 0; i < *nodes; i++ {
-		args := []string{
-			"-node", strconv.Itoa(i),
-			"-nodes", strconv.Itoa(*nodes),
-			"-coord", coordAddr,
-			"-app", "gups",
-			"-table", strconv.Itoa(*table),
-			"-updates", strconv.Itoa(*updates),
-			"-steps", strconv.Itoa(*steps),
-			"-seed", strconv.FormatUint(*seed, 10),
-		}
-		args = append(args, extra...)
+		args := append(workerArgs(i, coordAddr), extra...)
 		cmd := exec.Command(exe, args...)
 		var stderr bytes.Buffer
 		cmd.Stderr = &stderr
@@ -125,8 +114,8 @@ func startCoordinator() (*transport.Coordinator, string, func(), error) {
 	return c, ln.Addr().String(), stop, nil
 }
 
-// refSum computes (once) the GUPS sum on the in-process channel
-// fabric — the bit-exactness reference for every recoverable
+// refSum computes (once) the selected app's checksum on the in-process
+// channel fabric — the bit-exactness reference for every recoverable
 // iteration.
 var refSumOnce struct {
 	sync.Once
@@ -135,13 +124,8 @@ var refSumOnce struct {
 
 func chaosRefSum() uint64 {
 	refSumOnce.Do(func() {
-		ref := gravel.New(gravel.Config{Nodes: *nodes})
-		refSumOnce.sum = gups.Run(ref, gups.Config{
-			TableSize:      *table,
-			UpdatesPerNode: *updates,
-			Seed:           *seed,
-			Steps:          *steps,
-		}).Sum
+		ref := gravel.New(gravel.Config{Model: *model, Nodes: *nodes})
+		refSumOnce.sum = harness.MustApp(*app).Run(ref, workerParams()).Check
 		ref.Close()
 	})
 	return refSumOnce.sum

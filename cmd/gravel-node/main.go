@@ -1,8 +1,10 @@
 // Command gravel-node runs a Gravel cluster as real OS processes over
 // the TCP transport: one worker process per node plus a rendezvous
-// coordinator. The same applications that run in-process (GUPS,
-// PageRank) run unmodified; each worker launches its own node's share
-// of the work and the coordinator reduces the per-shard results.
+// coordinator. Every registered application and every networking model
+// runs unmodified — the harness registry that drives the in-process
+// binaries also drives this one — so the Figure 15 model sweep can run
+// as a real multi-process cluster. Each worker launches its own node's
+// share of the work and the coordinator reduces the per-shard results.
 //
 // Modes:
 //
@@ -14,10 +16,16 @@
 //	gravel-node -chaos -seed 1 -duration 30s      chaos harness: smoke runs
 //	                                              under seeded fault schedules
 //	                                              plus worker/coordinator kills
+//	gravel-node -list                             registered apps and models
+//
+// Any registered app (-app, see -list) and model (-model) works in
+// every mode, e.g.:
+//
+//	gravel-node -smoke -nodes 3 -model=coprocessor -app=gups
 //
 // Workers print one JSON result line on stdout. The smoke mode forks
 // one worker per node, runs the coordinator itself, and verifies that
-// the reduced distributed table sum equals the single-process run's —
+// the reduced distributed checksum equals the single-process run's —
 // the distributed fabric must be invisible to application results.
 //
 // Workers accept a fault-injection schedule via -faults (or the
@@ -42,11 +50,9 @@ import (
 	"time"
 
 	"gravel"
-	"gravel/internal/apps/gups"
-	"gravel/internal/apps/pagerank"
 	"gravel/internal/cliflags"
 	"gravel/internal/core"
-	"gravel/internal/graph"
+	"gravel/internal/harness"
 	"gravel/internal/obs"
 	"gravel/internal/rt"
 	"gravel/internal/transport"
@@ -57,6 +63,7 @@ var (
 	serve = flag.Bool("serve", false, "run the rendezvous coordinator")
 	smoke = flag.Bool("smoke", false, "fork a full localhost cluster and verify it against the in-process fabric")
 	chaos = flag.Bool("chaos", false, "run the chaos harness: repeated distributed runs under seeded fault schedules and process kills")
+	list  = flag.Bool("list", false, "list registered apps, models and transports, then exit")
 
 	node   = flag.Int("node", -1, "node this worker hosts")
 	nodes  = flag.Int("nodes", 4, "cluster size")
@@ -64,13 +71,15 @@ var (
 	listen = flag.String("listen", "127.0.0.1:0", "listen address (coordinator or worker transport)")
 	wall   = flag.Bool("wall", false, "charge measured wall-clock time for wire activity instead of the virtual cost model")
 
-	app     = flag.String("app", "gups", "application: gups or pagerank")
-	table   = flag.Int("table", 1<<16, "gups: global table size")
-	updates = flag.Int("updates", 1<<12, "gups: updates initiated per node")
-	steps   = flag.Int("steps", 2, "gups: kernel launches")
-	seed    = flag.Uint64("seed", 42, "deterministic seed")
-	verts   = flag.Int("verts", 2048, "pagerank: vertex count")
-	iters   = flag.Int("iters", 3, "pagerank: iterations")
+	app     = flag.String("app", "gups", "application to run (see -list)")
+	model   = flag.String("model", "gravel", "networking model (see -list)")
+	scale   = flag.Float64("scale", 1.0, "input scale factor for app-default sizes")
+	table   = flag.Int("table", 1<<16, "gups family: global table size (0 = app default)")
+	updates = flag.Int("updates", 1<<12, "gups family: updates/work-items per node (0 = app default)")
+	steps   = flag.Int("steps", 2, "gups: kernel launches (0 = app default)")
+	seed    = flag.Uint64("seed", 0, "deterministic seed (0 = app default)")
+	verts   = flag.Int("verts", 0, "pagerank: vertex count (0 = app default)")
+	iters   = flag.Int("iters", 0, "iterative apps: iteration count (0 = app default)")
 
 	faults = flag.String("faults", "",
 		`deterministic fault schedule, e.g. "seed=7,drop=0.02,dup=0.01,delay=0.2:5ms,sever=0.002:1" (default $GRAVEL_FAULTS; empty/off disables)`)
@@ -91,10 +100,29 @@ var (
 
 func init() { common.RegisterDefault(true) }
 
-// result is the JSON line a worker prints.
+// workerParams maps the flag surface onto the registry's parameter
+// surface; zero-valued flags resolve to each app's registered default,
+// identically in every process.
+func workerParams() harness.Params {
+	return harness.Params{
+		Scale:   *scale,
+		Seed:    *seed,
+		Table:   *table,
+		Updates: *updates,
+		Steps:   *steps,
+		Verts:   *verts,
+		Iters:   *iters,
+	}
+}
+
+// result is the JSON line a worker prints. LocalSum is the worker
+// shard's additive checksum (table sum, rank sum, insert count, ...);
+// TotalSum is the cluster-wide reduction of it.
 type result struct {
 	Node     int     `json:"node"`
 	App      string  `json:"app"`
+	Model    string  `json:"model"`
+	Summary  string  `json:"summary"`
 	LocalSum uint64  `json:"local_sum"`
 	TotalSum uint64  `json:"total_sum"`
 	Ns       float64 `json:"ns"`
@@ -112,6 +140,19 @@ func main() {
 		fmt.Printf("check-trace: %s: %d events, schema v%d, timestamps monotonic\n",
 			*checkTrace, len(ev), obs.SchemaVersion)
 		return
+	}
+	if *list {
+		if err := harness.PrintList(common.JSONPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	// Validate cross-cutting flags up front so misconfiguration is a
+	// one-line error, not a worker-side diagnostic dump.
+	if !*serve && *model != "" {
+		if err := (gravel.Config{Model: *model, Nodes: 1}).Validate(); err != nil {
+			fatal(err)
+		}
 	}
 	sess, err := common.Begin()
 	if err != nil {
@@ -169,11 +210,12 @@ func runCoordinator() error {
 }
 
 // runWorker hosts one node: it joins the cluster through the
-// coordinator, runs the selected application's shard, folds the local
-// result into the cluster-wide reduction, and prints both. On a fatal
-// transport error (a peer or the coordinator declared down, surfaced
-// as a typed error from the runtime) it exits nonzero after dumping
-// per-destination wire statistics and the injected-fault log to stderr.
+// coordinator, runs the selected application's shard on the selected
+// model, folds the local result into the cluster-wide reduction, and
+// prints both. On a fatal transport error (a peer or the coordinator
+// declared down, surfaced as a typed error from the runtime) it exits
+// nonzero after dumping per-destination wire statistics and the
+// injected-fault log to stderr.
 func runWorker(sess *cliflags.Session) (err error) {
 	if *coord == "" {
 		return fmt.Errorf("worker needs -coord")
@@ -181,8 +223,9 @@ func runWorker(sess *cliflags.Session) (err error) {
 	if *node >= *nodes {
 		return fmt.Errorf("-node %d out of range for -nodes %d", *node, *nodes)
 	}
-	if *app != "gups" && *app != "pagerank" {
-		return fmt.Errorf("unknown -app %q", *app)
+	a, err := harness.LookupApp(*app)
+	if err != nil {
+		return err
 	}
 	spec := *faults
 	if spec == "" {
@@ -219,7 +262,8 @@ func runWorker(sess *cliflags.Session) (err error) {
 			sys.Close()
 		}
 	}()
-	sys = gravel.New(gravel.Config{
+	sys, err = gravel.NewChecked(gravel.Config{
+		Model:     *model,
 		Nodes:     *nodes,
 		Transport: "tcp",
 		Faults:    fcfg,
@@ -236,6 +280,9 @@ func runWorker(sess *cliflags.Session) (err error) {
 			CoordRPCTimeout:     *coordRPCTimeout,
 		},
 	})
+	if err != nil {
+		return err
+	}
 
 	var ok bool
 	tcp, ok = sys.(interface{ Fabric() core.Fabric }).Fabric().(*transport.TCP)
@@ -251,36 +298,29 @@ func runWorker(sess *cliflags.Session) (err error) {
 		return &st
 	})
 
-	var local uint64
-	var ns float64
-	switch *app {
-	case "gups":
-		res := gups.RunOn(sys, gups.Config{
-			TableSize:      *table,
-			UpdatesPerNode: *updates,
-			Seed:           *seed,
-			Steps:          *steps,
-		}, *node)
-		local, ns = res.Sum, res.Ns
-	case "pagerank":
-		g := graph.Random(*verts, 8, int64(*seed))
-		res := pagerank.RunOn(sys, pagerank.Config{G: g, Iters: *iters}, *node)
-		local, ns = res.FixedSum, res.Ns
-	default:
-		return fmt.Errorf("unknown -app %q", *app)
-	}
+	// The shard's superstep collectives (frontier emptiness, k-means
+	// accumulators) ride the coordinator's keyed reduction.
+	p := workerParams()
+	shard := a.Shard(sys, *node, p, tcp.Reduce)
 
-	total, err := tcp.Reduce(*app+":sum", local)
+	total, err := tcp.Reduce(*app+":sum", shard.Check)
 	if err != nil {
 		return err
+	}
+	if a.VerifyTotal != nil {
+		if err := a.VerifyTotal(total, p, *nodes); err != nil {
+			return err
+		}
 	}
 	stats := sys.NetStats()
 	res := result{
 		Node:     *node,
 		App:      *app,
-		LocalSum: local,
+		Model:    *model,
+		Summary:  shard.Summary,
+		LocalSum: shard.Check,
 		TotalSum: total,
-		Ns:       ns,
+		Ns:       shard.Ns,
 		Sent:     sumPkts(stats),
 		Recon:    stats.Reconnects,
 	}
@@ -345,12 +385,36 @@ func dumpDiagnostics(sys gravel.System, tcp *transport.TCP) {
 	}
 }
 
+// workerArgs builds the base argument list forwarded to a forked
+// worker: its identity plus the full app/model/parameter surface, so
+// every process resolves the same workload.
+func workerArgs(i int, coordAddr string) []string {
+	return []string{
+		"-node", strconv.Itoa(i),
+		"-nodes", strconv.Itoa(*nodes),
+		"-coord", coordAddr,
+		"-app", *app,
+		"-model", *model,
+		"-scale", strconv.FormatFloat(*scale, 'g', -1, 64),
+		"-table", strconv.Itoa(*table),
+		"-updates", strconv.Itoa(*updates),
+		"-steps", strconv.Itoa(*steps),
+		"-seed", strconv.FormatUint(*seed, 10),
+		"-verts", strconv.Itoa(*verts),
+		"-iters", strconv.Itoa(*iters),
+	}
+}
+
 // runSmoke is the end-to-end check: it runs the coordinator in-process,
 // forks one worker per node over localhost, and verifies the reduced
-// distributed GUPS sum against the single-process channel fabric. With
-// -trace/-obs-addr the in-process reference run feeds the flight
-// recorder and the /metrics endpoint.
+// distributed checksum of the selected app and model against the
+// single-process channel fabric. With -trace/-obs-addr the in-process
+// reference run feeds the flight recorder and the /metrics endpoint.
 func runSmoke(sess *cliflags.Session) error {
+	a, err := harness.LookupApp(*app)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -370,16 +434,7 @@ func runSmoke(sess *cliflags.Session) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cmd := exec.Command(exe,
-				"-node", strconv.Itoa(i),
-				"-nodes", strconv.Itoa(*nodes),
-				"-coord", ln.Addr().String(),
-				"-app", "gups",
-				"-table", strconv.Itoa(*table),
-				"-updates", strconv.Itoa(*updates),
-				"-steps", strconv.Itoa(*steps),
-				"-seed", strconv.FormatUint(*seed, 10),
-			)
+			cmd := exec.Command(exe, workerArgs(i, ln.Addr().String())...)
 			cmd.Stderr = os.Stderr
 			out, err := cmd.Output()
 			if err != nil {
@@ -399,16 +454,17 @@ func runSmoke(sess *cliflags.Session) error {
 	}
 
 	// Reference: the identical run on the in-process channel fabric.
-	ref := gravel.New(gravel.Config{Nodes: *nodes})
-	refRes := gups.Run(ref, gups.Config{
-		TableSize:      *table,
-		UpdatesPerNode: *updates,
-		Seed:           *seed,
-		Steps:          *steps,
-	})
+	ref, err := gravel.NewChecked(gravel.Config{Model: *model, Nodes: *nodes})
+	if err != nil {
+		return err
+	}
+	refRes := a.Run(ref, workerParams())
 	refStats := ref.Stats()
 	sess.SetStats(func() *rt.Stats { return &refStats })
 	ref.Close()
+	if refRes.Err != nil {
+		return fmt.Errorf("in-process reference failed verification: %w", refRes.Err)
+	}
 
 	var localTotal uint64
 	for _, r := range results {
@@ -417,9 +473,9 @@ func runSmoke(sess *cliflags.Session) error {
 			return fmt.Errorf("workers disagree on the reduced sum: %d vs %d", r.TotalSum, results[0].TotalSum)
 		}
 	}
-	fmt.Printf("smoke: %d workers, distributed sum %d (reduced %d), in-process sum %d\n",
-		*nodes, localTotal, results[0].TotalSum, refRes.Sum)
-	if localTotal != refRes.Sum || results[0].TotalSum != refRes.Sum {
+	fmt.Printf("smoke: app=%s model=%s %d workers, distributed check %d (reduced %d), in-process check %d\n",
+		*app, *model, *nodes, localTotal, results[0].TotalSum, refRes.Check)
+	if localTotal != refRes.Check || results[0].TotalSum != refRes.Check {
 		return fmt.Errorf("distributed run diverged from the in-process fabric")
 	}
 	fmt.Println("smoke: PASS")

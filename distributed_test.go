@@ -8,6 +8,7 @@ import (
 	"gravel"
 	"gravel/internal/apps/gups"
 	"gravel/internal/core"
+	"gravel/internal/harness"
 	"gravel/internal/transport"
 )
 
@@ -55,6 +56,36 @@ func TestLoopbackMatchesChan(t *testing.T) {
 	}
 	if pkts == 0 {
 		t.Fatal("loopback run sent no wire packets — framing path not exercised")
+	}
+}
+
+// TestEveryModelMatchesOverLoopback runs every networking model over
+// the loopback transport (in-process, real wire framing) and requires
+// application results bit-identical to the default channel fabric:
+// the model × fabric axes must be fully independent.
+func TestEveryModelMatchesOverLoopback(t *testing.T) {
+	a := harness.MustApp("gups")
+	p := harness.Params{Scale: 0.02}
+	for _, model := range gravel.Models() {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			t.Parallel()
+			ref := gravel.New(gravel.Config{Model: model, Nodes: 3})
+			want := a.Run(ref, p)
+			ref.Close()
+			if want.Err != nil {
+				t.Fatalf("chan run failed: %v", want.Err)
+			}
+			lb := gravel.New(gravel.Config{Model: model, Nodes: 3, Transport: "loopback"})
+			got := a.Run(lb, p)
+			lb.Close()
+			if got.Err != nil {
+				t.Fatalf("loopback run failed: %v", got.Err)
+			}
+			if got.Check != want.Check {
+				t.Fatalf("loopback check = %d, chan fabric = %d", got.Check, want.Check)
+			}
+		})
 	}
 }
 
@@ -115,5 +146,75 @@ func TestTCPClusterMatchesChan(t *testing.T) {
 	}
 	if sum != want || totals[0] != want {
 		t.Fatalf("TCP cluster sum = %d (reduced %d), chan fabric = %d", sum, totals[0], want)
+	}
+}
+
+// TestTCPClusterCoprocessorMatchesSingle runs a baseline model — not
+// just gravel — as a real multi-process-style TCP cluster through the
+// shared harness registry's shard entry point, and requires the reduced
+// checksum to match the single-process run bit-for-bit. This pins the
+// tentpole contract: any model, any fabric, one registry.
+func TestTCPClusterCoprocessorMatchesSingle(t *testing.T) {
+	const n = 3
+	a := harness.MustApp("gups")
+	p := harness.Params{Scale: 0.02}
+
+	ref := gravel.New(gravel.Config{Model: gravel.ModelCoprocessor, Nodes: n})
+	want := a.Run(ref, p)
+	ref.Close()
+	if want.Err != nil {
+		t.Fatalf("single-process run failed: %v", want.Err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := transport.NewCoordinator(n)
+	go coord.Serve(ln)
+	defer ln.Close()
+
+	locals := make([]uint64, n)
+	totals := make([]uint64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sys := gravel.New(gravel.Config{
+				Model:     gravel.ModelCoprocessor,
+				Nodes:     n,
+				Transport: "tcp",
+				TransportOpts: gravel.TransportOptions{
+					Self:  i,
+					Coord: ln.Addr().String(),
+				},
+			})
+			defer sys.Close()
+			tcp := sys.(interface{ Fabric() core.Fabric }).Fabric().(*transport.TCP)
+			shard := a.Shard(sys, i, p, tcp.Reduce)
+			if shard.Err != nil {
+				errs[i] = shard.Err
+				return
+			}
+			locals[i] = shard.Check
+			totals[i], errs[i] = tcp.Reduce("gups:sum", shard.Check)
+		}(i)
+	}
+	wg.Wait()
+
+	var sum uint64
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+		if totals[i] != totals[0] {
+			t.Fatalf("nodes disagree on the reduced check: %d vs %d", totals[i], totals[0])
+		}
+		sum += locals[i]
+	}
+	if sum != want.Check || totals[0] != want.Check {
+		t.Fatalf("coprocessor TCP cluster check = %d (reduced %d), single-process = %d", sum, totals[0], want.Check)
 	}
 }

@@ -43,7 +43,6 @@ package gravel
 import (
 	"fmt"
 
-	"gravel/internal/core"
 	"gravel/internal/fabric"
 	"gravel/internal/models"
 	"gravel/internal/pgas"
@@ -126,6 +125,12 @@ func DefaultParams() *Params { return timemodel.Default() }
 
 // Config configures a Gravel cluster.
 type Config struct {
+	// Model selects the networking model by name: "" or ModelGravel
+	// (the paper's system), or any rival model listed by Models. Every
+	// model runs over every Transport — in-process or as a
+	// multi-process cluster — so the Figure 15 comparison works over a
+	// real fabric.
+	Model string
 	// Nodes is the cluster size (the paper evaluates 1-8).
 	Nodes int
 	// Params overrides the cost model; nil means DefaultParams.
@@ -189,6 +194,21 @@ func (cfg Config) Validate() error {
 	if cfg.Nodes <= 0 {
 		return &ConfigError{Field: "Nodes", Reason: fmt.Sprintf("cluster size %d, need at least 1", cfg.Nodes)}
 	}
+	if cfg.Model != "" && cfg.Model != ModelGravel {
+		known := false
+		for _, n := range Models() {
+			if n == cfg.Model {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return &ConfigError{Field: "Model", Reason: fmt.Sprintf("unknown model %q (have %v)", cfg.Model, Models())}
+		}
+		if cfg.GroupSize > 1 {
+			return &ConfigError{Field: "GroupSize", Reason: fmt.Sprintf("hierarchical aggregation requires the gravel model, not %q", cfg.Model)}
+		}
+	}
 	p := cfg.Params
 	if p == nil {
 		p = DefaultParams()
@@ -234,7 +254,11 @@ func NewChecked(cfg Config) (System, error) {
 	if cfg.Faults != nil && cfg.TransportOpts.Faults == nil {
 		cfg.TransportOpts.Faults = cfg.Faults
 	}
-	return core.New(core.Config{
+	model := cfg.Model
+	if model == "" {
+		model = ModelGravel
+	}
+	return models.NewSystem(model, models.Config{
 		Nodes:         cfg.Nodes,
 		Params:        cfg.Params,
 		WGSize:        cfg.WGSize,
@@ -276,20 +300,9 @@ func NewModel(name string, nodes int, params *Params) System {
 }
 
 // NewModelChecked is NewModel returning configuration errors (always a
-// *ConfigError) instead of panicking.
+// *ConfigError) instead of panicking. It is shorthand for NewChecked
+// with Config.Model set; use NewChecked directly to also pick a
+// transport.
 func NewModelChecked(name string, nodes int, params *Params) (System, error) {
-	if nodes <= 0 {
-		return nil, &ConfigError{Field: "Nodes", Reason: fmt.Sprintf("cluster size %d, need at least 1", nodes)}
-	}
-	known := name == ModelCPUOnly
-	for _, n := range models.Names() {
-		if n == name {
-			known = true
-			break
-		}
-	}
-	if !known {
-		return nil, &ConfigError{Field: "Model", Reason: fmt.Sprintf("unknown model %q (have %v)", name, Models())}
-	}
-	return models.New(name, nodes, params), nil
+	return NewChecked(Config{Model: name, Nodes: nodes, Params: params})
 }

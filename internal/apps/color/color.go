@@ -33,6 +33,10 @@ type Result struct {
 	Colors int
 	// Colored is the number of vertices colored (must equal N).
 	Colored int64
+	// ColorSum is the sum of the stored color values (color+1) over the
+	// scanned vertex range; per-shard sums add up to the full-run sum,
+	// making it the distributed-run equivalence check.
+	ColorSum uint64
 	// ColorAt reads the final coloring (color+1; 0 = uncolored).
 	ColorAt func(v uint64) uint64
 }
@@ -45,6 +49,20 @@ func prio(seed, v uint64) uint64 {
 
 // Run executes Jones–Plassmann coloring on the given system.
 func Run(sys rt.System, cfg Config) Result {
+	return run(sys, cfg, -1, nil)
+}
+
+// RunShard executes only the given node's shard of a distributed run:
+// launches happen only on node, and the per-round "is everything
+// colored?" decision reduces each shard's colored count through coll so
+// every process runs the same number of rounds. Colored and ColorSum
+// cover only the shard's vertex range and sum across shards to the
+// full-run values.
+func RunShard(sys rt.System, cfg Config, node int, coll rt.Collective) Result {
+	return run(sys, cfg, node, coll)
+}
+
+func run(sys rt.System, cfg Config, only int, coll rt.Collective) Result {
 	g := cfg.G
 	nodes := sys.Nodes()
 	part := (g.N + nodes - 1) / nodes
@@ -68,7 +86,16 @@ func Run(sys rt.System, cfg Config) Result {
 
 	grid := make([]int, nodes)
 	for i := 0; i < nodes; i++ {
+		if only >= 0 && i != only {
+			continue
+		}
 		grid[i] = vb[i+1] - vb[i]
+	}
+	// The vertex range this process scans for termination and results:
+	// everything in a single-process run, the owned shard otherwise.
+	scanLo, scanHi := uint64(0), uint64(g.N)
+	if only >= 0 {
+		scanLo, scanHi = uint64(vb[only]), uint64(vb[only+1])
 	}
 
 	// notified[v] marks vertices whose color has already been pushed to
@@ -149,13 +176,17 @@ func Run(sys rt.System, cfg Config) Result {
 		})
 		sys.ChargeHost(1000)
 
-		colored := int64(0)
-		for v := uint64(0); v < uint64(g.N); v++ {
+		colored := uint64(0)
+		for v := scanLo; v < scanHi; v++ {
 			if colorOf.Load(v) != 0 {
 				colored++
 			}
 		}
-		if colored == int64(g.N) {
+		total, err := coll.Reduce(fmt.Sprintf("color:done:%d", rounds), colored)
+		if err != nil {
+			panic(err)
+		}
+		if total == uint64(g.N) {
 			break
 		}
 		if cfg.MaxRounds > 0 && rounds >= cfg.MaxRounds {
@@ -166,16 +197,18 @@ func Run(sys rt.System, cfg Config) Result {
 
 	maxColor := uint64(0)
 	colored := int64(0)
-	for v := uint64(0); v < uint64(g.N); v++ {
+	colorSum := uint64(0)
+	for v := scanLo; v < scanHi; v++ {
 		cv := colorOf.Load(v)
 		if cv != 0 {
 			colored++
 		}
+		colorSum += cv
 		if cv > maxColor {
 			maxColor = cv
 		}
 	}
-	return Result{Ns: ns, Rounds: rounds, Colors: int(maxColor), Colored: colored, ColorAt: colorOf.Load}
+	return Result{Ns: ns, Rounds: rounds, Colors: int(maxColor), Colored: colored, ColorSum: colorSum, ColorAt: colorOf.Load}
 }
 
 // smallestFree returns the smallest color (0-based) not in the used

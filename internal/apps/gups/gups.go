@@ -122,12 +122,27 @@ type ModResult struct {
 // RunMod executes GUPS-mod: a predicated loop in which lane l performs
 // counts[l] updates, exercising diverged WG-level message offload.
 func RunMod(sys rt.System, cfg ModConfig) ModResult {
+	return runMod(sys, cfg, -1)
+}
+
+// RunModShard executes only the given node's work-items of a
+// distributed GUPS-mod run; the per-shard table Sum adds up across
+// shards to RunMod's Sum, while Updates is the global expected count
+// (identical in every process).
+func RunModShard(sys rt.System, cfg ModConfig, node int) ModResult {
+	return runMod(sys, cfg, node)
+}
+
+func runMod(sys rt.System, cfg ModConfig, only int) ModResult {
 	n := sys.Nodes()
 	A := sys.Space().Alloc(cfg.TableSize)
 
 	t0 := sys.VirtualTimeNs()
 	grid := make([]int, n)
 	for i := range grid {
+		if only >= 0 && i != only {
+			continue
+		}
 		grid[i] = cfg.WIsPerNode
 	}
 	sys.Step("gups-mod", grid, 0, func(c rt.Ctx) {

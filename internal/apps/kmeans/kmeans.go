@@ -11,6 +11,8 @@
 package kmeans
 
 import (
+	"fmt"
+
 	"gravel/internal/graph"
 	"gravel/internal/rt"
 )
@@ -66,6 +68,20 @@ func assign(pt []uint64, cent []uint64, k, dims int) int {
 
 // Run executes k-means on the given system.
 func Run(sys rt.System, cfg Config) Result {
+	return run(sys, cfg, -1, nil)
+}
+
+// RunShard executes only the given node's points in a distributed run.
+// Each process's accumulator replicas hold exactly the contributions
+// that landed on its owned clusters, so reducing each accumulator
+// through coll yields the global sums, every process recomputes
+// identical centroids, and the final Centroids/Counts match the
+// single-process run bit-for-bit in every process.
+func RunShard(sys rt.System, cfg Config, node int, coll rt.Collective) Result {
+	return run(sys, cfg, node, coll)
+}
+
+func run(sys rt.System, cfg Config, only int, coll rt.Collective) Result {
 	if cfg.Dims == 0 {
 		cfg.Dims = 2
 	}
@@ -94,6 +110,9 @@ func Run(sys rt.System, cfg Config) Result {
 
 	grid := make([]int, nodes)
 	for i := range grid {
+		if only >= 0 && i != only {
+			continue
+		}
 		grid[i] = cfg.PointsPerNode
 	}
 
@@ -134,18 +153,44 @@ func Run(sys rt.System, cfg Config) Result {
 		})
 
 		// Host: recompute centroids from the accumulators and reset them.
+		// In a distributed run each process's replica holds only its owned
+		// clusters' accumulators (the rest are zero), so the collective sum
+		// of the replicas is the global accumulator; the reduced values —
+		// and therefore the centroids — are identical in every process.
+		//
+		// Snapshot and reset BEFORE contributing to the reduces: a peer
+		// that collects the last reduction may launch the next iteration's
+		// kernel immediately, and its increments land on our replica the
+		// moment they arrive — a reset after the reduces would wipe them.
+		// Every peer is blocked in the reduces until this process has
+		// contributed, i.e. until after this reset.
 		sys.ChargeHost(5000)
+		cntSnap := make([]uint64, k)
+		sumSnap := make([]uint64, k*dims)
 		for c := 0; c < k; c++ {
-			n := cnt.Load(uint64(c))
-			if n == 0 {
-				continue
-			}
+			cntSnap[c] = cnt.Load(uint64(c))
 			for d := 0; d < dims; d++ {
-				cent[c*dims+d] = sum.Load(uint64(c*dims+d)) / n
+				sumSnap[c*dims+d] = sum.Load(uint64(c*dims + d))
 			}
 		}
 		sum.Fill(0)
 		cnt.Fill(0)
+		for c := 0; c < k; c++ {
+			n, err := coll.Reduce(fmt.Sprintf("km:%d:c:%d", it, c), cntSnap[c])
+			if err != nil {
+				panic(err)
+			}
+			if n == 0 {
+				continue
+			}
+			for d := 0; d < dims; d++ {
+				s, err := coll.Reduce(fmt.Sprintf("km:%d:s:%d", it, c*dims+d), sumSnap[c*dims+d])
+				if err != nil {
+					panic(err)
+				}
+				cent[c*dims+d] = s / n
+			}
+		}
 	}
 	ns := sys.VirtualTimeNs() - t0
 

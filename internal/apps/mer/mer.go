@@ -190,8 +190,25 @@ func Owner(kmer uint64, nodes int) int {
 
 // Run executes the distributed hash-table construction.
 func Run(sys rt.System, cfg Config) Result {
-	nodes := sys.Nodes()
-	genome := Genome(cfg.GenomeLen, cfg.Seed)
+	return run(sys, cfg, -1)
+}
+
+// RunShard executes only the given node's reads in a distributed run
+// (one process per node). Insertions land on the k-mer owner's process,
+// so Inserted and Distinct are counted from the shard's own table and
+// sum across shards to the full-run values; Expected is the global
+// k-mer count, identical in every process.
+func RunShard(sys rt.System, cfg Config, node int) Result {
+	return run(sys, cfg, node)
+}
+
+// buildTables allocates the per-node tables for a run. RunFull calls
+// it before phase 1 so that phase 2's AM handlers can never observe
+// unallocated state: in a multi-process run a faster peer's phase 2
+// messages may arrive while this process is still in host code, and
+// the only safe ordering is allocation before the previous step's
+// global barrier.
+func buildTables(cfg *Config, nodes int) []*Table {
 	kmersPerRead := cfg.ReadLen - cfg.K + 1
 	if kmersPerRead <= 0 {
 		panic("mer: ReadLen must exceed K")
@@ -207,6 +224,17 @@ func Run(sys rt.System, cfg Config) Result {
 	for i := range tables {
 		tables[i] = NewTable(slots)
 	}
+	return tables
+}
+
+func run(sys rt.System, cfg Config, only int) Result {
+	return runWithTables(sys, cfg, only, buildTables(&cfg, sys.Nodes()))
+}
+
+func runWithTables(sys rt.System, cfg Config, only int, tables []*Table) Result {
+	nodes := sys.Nodes()
+	genome := Genome(cfg.GenomeLen, cfg.Seed)
+	kmersPerRead := cfg.ReadLen - cfg.K + 1
 
 	insert := sys.RegisterAM(func(node int, a, b uint64) {
 		tables[node].Insert(a, uint8(b))
@@ -214,6 +242,9 @@ func Run(sys rt.System, cfg Config) Result {
 
 	grid := make([]int, nodes)
 	for i := range grid {
+		if only >= 0 && i != only {
+			continue
+		}
 		grid[i] = cfg.ReadsPerNode
 	}
 
@@ -268,7 +299,12 @@ func Run(sys rt.System, cfg Config) Result {
 	ns := sys.VirtualTimeNs() - t0
 
 	var inserted, distinct int64
-	for _, t := range tables {
+	for i, t := range tables {
+		// In a distributed run only the hosted node's table is populated
+		// in this process; count just it, so shard results sum cleanly.
+		if only >= 0 && i != only {
+			continue
+		}
 		for s, k := range t.keys {
 			if k != 0 {
 				distinct++

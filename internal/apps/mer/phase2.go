@@ -59,19 +59,16 @@ func firstBase(kmer uint64, k int) uint64 {
 // system. The AM handlers used here must be registered before the
 // first Step of the run, so callers use RunFull; this function is
 // internal glue exposed for tests via RunFull.
-func runPhase2(sys rt.System, cfg Config, tables []*Table, mark, walkReq, walkRep uint8, st *phase2State) Phase2Result {
+func runPhase2(sys rt.System, cfg Config, tables []*Table, mark, walkReq, walkRep uint8, st *phase2State, only int) Phase2Result {
 	nodes := sys.Nodes()
 	kmerMask := uint64(1)<<(2*cfg.K) - 1
 	k := cfg.K
 
 	grid := make([]int, nodes)
 	for i := range grid {
-		grid[i] = tables[i].Slots()
-		st.notStart[i] = make([]bool, tables[i].Slots())
-		// One walker slot per table slot: fixed addresses, so the seed
-		// kernel's writes and later reply-handler updates never race on
-		// a growing slice.
-		st.walkers[i] = make([]walker, tables[i].Slots())
+		if only < 0 || i == only {
+			grid[i] = tables[i].Slots()
+		}
 	}
 
 	t0 := sys.VirtualTimeNs()
@@ -138,7 +135,14 @@ func runPhase2(sys rt.System, cfg Config, tables []*Table, mark, walkReq, walkRe
 
 	var res Phase2Result
 	res.Ns = ns
+	// In a distributed run only the hosted node's state is populated in
+	// this process (walkers complete on their home node; tables hold only
+	// owned k-mers), so Contigs, TotalLen, and UU sum across shards to
+	// the full-run values. MaxLen is the shard-local maximum.
 	for i := 0; i < nodes; i++ {
+		if only >= 0 && i != only {
+			continue
+		}
 		res.Contigs += st.contigs[i]
 		res.TotalLen += st.totalLen[i]
 		if st.maxLen[i] > res.MaxLen {
@@ -156,10 +160,30 @@ func runPhase2(sys rt.System, cfg Config, tables []*Table, mark, walkReq, walkRe
 // RunFull executes phase 1 (table construction) and phase 2 (contig
 // traversal) on the given system.
 func RunFull(sys rt.System, cfg Config) (Result, Phase2Result) {
+	return runFull(sys, cfg, -1)
+}
+
+// RunFullShard executes both phases for one node of a distributed run.
+// The walk's request/reply active messages travel the fabric between
+// processes and each walker completes on its home node, so the shard
+// results sum across processes to the full-run values.
+func RunFullShard(sys rt.System, cfg Config, node int) (Result, Phase2Result) {
+	return runFull(sys, cfg, node)
+}
+
+func runFull(sys rt.System, cfg Config, only int) (Result, Phase2Result) {
 	nodes := sys.Nodes()
 	kmerMask := uint64(1)<<(2*cfg.K) - 1
 	k := cfg.K
 
+	// Tables and the phase-2 state are fully allocated before phase 1
+	// launches. The AM handlers below close over them and, in a
+	// multi-process run, a faster peer's mark/walk messages can arrive
+	// the moment that peer clears the preceding step's global barrier —
+	// while this process is still in host code. Allocating before our
+	// own first Step puts every allocation on the safe side of that
+	// barrier.
+	tables := buildTables(&cfg, nodes)
 	st := &phase2State{
 		notStart: make([][]bool, nodes),
 		walkers:  make([][]walker, nodes),
@@ -167,7 +191,13 @@ func RunFull(sys rt.System, cfg Config) (Result, Phase2Result) {
 		totalLen: make([]int64, nodes),
 		maxLen:   make([]int64, nodes),
 	}
-	var tables []*Table
+	for i := range tables {
+		st.notStart[i] = make([]bool, tables[i].Slots())
+		// One walker slot per table slot: fixed addresses, so the seed
+		// kernel's writes and later reply-handler updates never race on
+		// a growing slice.
+		st.walkers[i] = make([]walker, tables[i].Slots())
+	}
 
 	// mark: a=successor k-mer, b=predecessor's first base. If the
 	// successor is present, UU, and agrees that its unique left
@@ -225,9 +255,8 @@ func RunFull(sys rt.System, cfg Config) (Result, Phase2Result) {
 		sys.HostAM(node, walkRep, home, idx, reply)
 	})
 
-	res1 := Run(sys, cfg)
-	tables = res1.Tables
-	res2 := runPhase2(sys, cfg, tables, mark, walkReq, walkRep, st)
+	res1 := runWithTables(sys, cfg, only, tables)
+	res2 := runPhase2(sys, cfg, tables, mark, walkReq, walkRep, st, only)
 	return res1, res2
 }
 

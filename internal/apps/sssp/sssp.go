@@ -8,6 +8,7 @@
 package sssp
 
 import (
+	"fmt"
 	"hash/fnv"
 
 	"gravel/internal/graph"
@@ -61,6 +62,20 @@ type state struct {
 
 // Run executes SSSP on the given system.
 func Run(sys rt.System, cfg Config) Result {
+	return run(sys, cfg, -1, nil)
+}
+
+// RunShard executes only the given node's shard of a distributed run
+// (one process per node): launches happen only on node, and the
+// level-synchronous termination decision — "is the global frontier
+// empty?" — goes through coll, so every process agrees on the superstep
+// count. The per-shard Reached and DistSum sum across shards to the
+// full-run values; Checksum covers only the shard's vertex range.
+func RunShard(sys rt.System, cfg Config, node int, coll rt.Collective) Result {
+	return run(sys, cfg, node, coll)
+}
+
+func run(sys rt.System, cfg Config, only int, coll rt.Collective) Result {
 	g := cfg.G
 	g.EnsureWeights()
 	nodes := sys.Nodes()
@@ -98,10 +113,18 @@ func Run(sys rt.System, cfg Config) Result {
 	t0 := sys.VirtualTimeNs()
 	steps := 0
 	for {
-		total := 0
+		local := 0
 		for i := range frontier {
+			if only >= 0 && i != only {
+				grid[i] = 0
+				continue
+			}
 			grid[i] = len(frontier[i])
-			total += grid[i]
+			local += grid[i]
+		}
+		total, err := coll.Reduce(fmt.Sprintf("sssp:front:%d", steps), uint64(local))
+		if err != nil {
+			panic(err)
 		}
 		if total == 0 || (cfg.MaxSteps > 0 && steps >= cfg.MaxSteps) {
 			break
@@ -146,11 +169,25 @@ func Run(sys rt.System, cfg Config) Result {
 	}
 	ns := sys.VirtualTimeNs() - t0
 
+	// Scan the final distances: the full range in a single-process run,
+	// only the owned shard in a distributed one (other shards' replica
+	// entries are stale — their owners hold the real values).
+	lo, hi := uint64(0), uint64(g.N)
+	if only >= 0 {
+		lo = uint64(only * part)
+		hi = lo + uint64(part)
+		if hi > uint64(g.N) {
+			hi = uint64(g.N)
+		}
+		if lo > hi {
+			lo = hi
+		}
+	}
 	h := fnv.New64a()
 	var buf [8]byte
 	var reached int64
 	var sum uint64
-	for v := uint64(0); v < uint64(g.N); v++ {
+	for v := lo; v < hi; v++ {
 		d := dist.Load(v)
 		if d != Inf {
 			reached++

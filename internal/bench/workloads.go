@@ -1,64 +1,33 @@
 package bench
 
 import (
-	"sync"
-
-	"gravel/internal/apps/color"
-	"gravel/internal/apps/gups"
-	"gravel/internal/apps/kmeans"
-	"gravel/internal/apps/mer"
-	"gravel/internal/apps/pagerank"
-	"gravel/internal/apps/sssp"
-	"gravel/internal/graph"
+	"gravel/internal/harness"
 	"gravel/internal/rt"
 )
 
 // Workload is one of the nine Table 4 inputs, scaled down ~1000x from
 // the paper (see DESIGN.md §6). Run executes it and returns the virtual
-// nanoseconds consumed.
+// nanoseconds consumed. The workload set and its configurations come
+// from the harness registry — the same table gravel-apps and
+// gravel-node dispatch through — so the experiments cannot drift from
+// what the binaries run.
 type Workload struct {
 	Name string
 	Run  func(sys rt.System) float64
 }
 
-// graph cache: inputs are reused across node counts and systems.
-var (
-	graphMu    sync.Mutex
-	graphCache = map[string]*graph.Graph{}
-)
-
-func cachedGraph(key string, build func() *graph.Graph) *graph.Graph {
-	graphMu.Lock()
-	defer graphMu.Unlock()
-	if g, ok := graphCache[key]; ok {
-		return g
+// Workloads returns the nine Table 4 inputs at the given scale (1.0 =
+// the default ~1000x-reduced sizes).
+func Workloads(scale float64) []Workload {
+	apps := harness.BenchApps()
+	out := make([]Workload, len(apps))
+	for i, a := range apps {
+		app := a
+		out[i] = Workload{Name: app.Bench, Run: func(sys rt.System) float64 {
+			return app.Run(sys, harness.Params{Scale: scale}).Ns
+		}}
 	}
-	g := build()
-	g.EnsureWeights()
-	graphCache[key] = g
-	return g
-}
-
-// bubblesInput is the hugebubbles-00020 stand-in (PR-1, SSSP-1, color-1).
-func bubblesInput(scale float64) *graph.Graph {
-	n := int(42000 * scale)
-	if n < 256 {
-		n = 256
-	}
-	return cachedGraph(key("bubbles", n), func() *graph.Graph { return graph.Bubbles(n, 1) })
-}
-
-// cageInput is the cage15 stand-in (PR-2, SSSP-2, color-2).
-func cageInput(scale float64) *graph.Graph {
-	n := int(40000 * scale)
-	if n < 256 {
-		n = 256
-	}
-	return cachedGraph(key("cage", n), func() *graph.Graph { return graph.Cage(n, 1) })
-}
-
-func key(name string, n int) string {
-	return name + ":" + itoa(n)
+	return out
 }
 
 func itoa(n int) string {
@@ -75,55 +44,14 @@ func itoa(n int) string {
 	return string(b[i:])
 }
 
-// Workloads returns the nine Table 4 inputs at the given scale (1.0 =
-// the default ~1000x-reduced sizes).
-func Workloads(scale float64) []Workload {
-	s := func(base int) int {
-		v := int(float64(base) * scale)
-		if v < 64 {
-			v = 64
-		}
-		return v
-	}
-	return []Workload{
-		{"GUPS", func(sys rt.System) float64 {
-			return gups.Run(sys, gups.Config{
-				TableSize: s(1 << 20), UpdatesPerNode: s(1_440_000) / sys.Nodes(), Seed: 13,
-			}).Ns
-		}},
-		{"PR-1", func(sys rt.System) float64 {
-			return pagerank.Run(sys, pagerank.Config{G: bubblesInput(scale), Iters: 10}).Ns
-		}},
-		{"PR-2", func(sys rt.System) float64 {
-			return pagerank.Run(sys, pagerank.Config{G: cageInput(scale), Iters: 10}).Ns
-		}},
-		{"SSSP-1", func(sys rt.System) float64 {
-			return sssp.Run(sys, sssp.Config{G: bubblesInput(scale), Source: 0}).Ns
-		}},
-		{"SSSP-2", func(sys rt.System) float64 {
-			return sssp.Run(sys, sssp.Config{G: cageInput(scale), Source: 0}).Ns
-		}},
-		{"color-1", func(sys rt.System) float64 {
-			return color.Run(sys, color.Config{G: bubblesInput(scale), Seed: 7}).Ns
-		}},
-		{"color-2", func(sys rt.System) float64 {
-			return color.Run(sys, color.Config{G: cageInput(scale), Seed: 7}).Ns
-		}},
-		{"kmeans", func(sys rt.System) float64 {
-			return kmeans.Run(sys, kmeans.Config{
-				PointsPerNode: s(160_000) / sys.Nodes(), K: 8, Dims: 2, Iters: 8, Seed: 3,
-			}).Ns
-		}},
-		{"mer", func(sys rt.System) float64 {
-			return mer.Run(sys, mer.Config{
-				GenomeLen: s(100_000), ReadsPerNode: s(16_000) / sys.Nodes(), ReadLen: 80, K: 19, Seed: 9,
-			}).Ns
-		}},
-	}
-}
-
 // Fig13Workloads returns the Figure 13 subset (GUPS, PR-1, PR-2, mer).
 func Fig13Workloads(scale float64) []Workload {
-	all := Workloads(scale)
-	return []Workload{all[0], all[1], all[2], all[8]}
+	want := map[string]bool{"GUPS": true, "PR-1": true, "PR-2": true, "mer": true}
+	var out []Workload
+	for _, w := range Workloads(scale) {
+		if want[w.Name] {
+			out = append(out, w)
+		}
+	}
+	return out
 }

@@ -231,7 +231,33 @@ func New(cfg Config) *Cluster {
 		cl.netWG.Add(1)
 		go cl.netThread(n)
 	}
+	if hd, ok := cl.fab.(fabric.HostDrainer); ok {
+		hd.SetHostDrain(cl.drainHosted)
+	}
 	return cl
+}
+
+// drainHosted flushes every hosted node's staged messages toward the
+// wire and reports whether host-side work remains. A multi-process
+// fabric calls it (via fabric.HostDrainer) on every local-idleness
+// check: once this process has left Quiesce and is polling the quiet
+// protocol or the step barrier, an incoming active message's follow-up
+// (HostAM from a handler, staged via Agg.AppendDirect) would otherwise
+// sit in a partially-filled aggregator queue with nothing left to flush
+// it — the cluster's sent/applied counters would balance and the step
+// barrier would release with the cascade cut off mid-chain.
+func (cl *Cluster) drainHosted() bool {
+	idle := true
+	for _, n := range cl.nodes {
+		if !cl.fab.Hosts(n.ID) {
+			continue
+		}
+		n.Agg.Flush()
+		if !n.PCQ.Empty() || n.Agg.Busy() || n.Agg.Pending() {
+			idle = false
+		}
+	}
+	return idle
 }
 
 // netThread is the per-node network thread of §6: it receives per-node
@@ -328,15 +354,21 @@ func (cl *Cluster) Step(name string, grid []int, scratchPerWG int, k rt.Kernel) 
 		return &ctx{n: n, g: grp}
 	}, k)
 	cl.Quiesce()
-	// Multi-process fabrics align step boundaries across the cluster:
-	// without this, a fast process could read results (or send the next
-	// step's messages) before a skewed peer's current-step messages have
-	// been applied. In-process fabrics need no alignment — the single
-	// Step caller is the barrier.
+	cl.StepBarrier()
+	cl.EndPhaseOverlapped(name)
+}
+
+// StepBarrier aligns step boundaries across a multi-process fabric:
+// without it, a fast process could read results (or send the next
+// step's messages) before a skewed peer's current-step messages have
+// been applied. In-process fabrics need no alignment — the single Step
+// caller is the barrier — so this is a no-op for them. Baseline models
+// call it at the end of their own Steps, after Quiesce and before the
+// phase record.
+func (cl *Cluster) StepBarrier() {
 	if b, ok := cl.fab.(interface{ StepBarrier() }); ok {
 		b.StepBarrier()
 	}
-	cl.EndPhaseOverlapped(name)
 }
 
 // LaunchAll launches kernel k with grid[i] work-items on node i, using

@@ -73,6 +73,26 @@ type Fabric interface {
 	NetMetrics() *Metrics
 }
 
+// HostDrainer is implemented by multi-process transports that need the
+// runtime's help to keep active-message cascades flowing while a
+// process waits inside a collective. An AM handler's follow-up message
+// (rt.System.HostAM) is staged in the receiving node's aggregator, not
+// put on the wire — invisible to the transport's sent/applied counters.
+// Once the host thread has left its own quiescence loop (which flushes
+// the aggregator) and is polling the cluster-wide quiet or step
+// barrier, nothing would flush such a staged message: the cluster's
+// counters look balanced, the barrier releases early, and the cascade
+// is cut off. The runtime registers a drain hook that the transport
+// calls on every local-idleness check; the hook flushes host-side
+// staged messages toward the wire and reports whether any host-side
+// work remains.
+type HostDrainer interface {
+	// SetHostDrain registers the drain hook. The hook is called from
+	// host threads only (it may transmit, which can block on
+	// backpressure) and returns true when no host-side work remains.
+	SetHostDrain(func() bool)
+}
+
 // Metrics holds the wire counters every transport maintains.
 type Metrics struct {
 	// PktSizes records the size of every packet put on the wire by each

@@ -1,0 +1,431 @@
+package harness
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"gravel/internal/apps/color"
+	"gravel/internal/apps/gups"
+	"gravel/internal/apps/kmeans"
+	"gravel/internal/apps/mer"
+	"gravel/internal/apps/pagerank"
+	"gravel/internal/apps/sssp"
+	"gravel/internal/graph"
+	"gravel/internal/rt"
+)
+
+// Graph-input cache: the Table 4 graphs are reused across node counts,
+// models, and repetitions, so each (family, size) pair is built once per
+// process. Weights are materialized up front so cached graphs are
+// identical no matter which app touches them first.
+var (
+	graphMu    sync.Mutex
+	graphCache = map[string]*graph.Graph{}
+)
+
+func cachedGraph(key string, build func() *graph.Graph) *graph.Graph {
+	graphMu.Lock()
+	defer graphMu.Unlock()
+	if g, ok := graphCache[key]; ok {
+		return g
+	}
+	g := build()
+	g.EnsureWeights()
+	graphCache[key] = g
+	return g
+}
+
+// graphSize scales a graph's default vertex count with a floor of 256
+// (the historical bench floor; gravel-apps used 64, and the registry
+// unifies on the larger one so tiny -scale values still produce
+// connected inputs).
+func graphSize(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 256 {
+		n = 256
+	}
+	return n
+}
+
+// BubblesInput is the hugebubbles-00020 stand-in (PR-1, SSSP-1, color-1).
+func BubblesInput(scale float64) *graph.Graph {
+	n := graphSize(42000, scale)
+	return cachedGraph(fmt.Sprintf("bubbles:%d", n), func() *graph.Graph { return graph.Bubbles(n, 1) })
+}
+
+// CageInput is the cage15 stand-in (PR-2, SSSP-2, color-2).
+func CageInput(scale float64) *graph.Graph {
+	n := graphSize(40000, scale)
+	return cachedGraph(fmt.Sprintf("cage:%d", n), func() *graph.Graph { return graph.Cage(n, 1) })
+}
+
+// randomInput is the legacy gravel-node pagerank graph: uniform random
+// with out-degree 8.
+func randomInput(p Params) *graph.Graph {
+	verts := p.Verts
+	if verts <= 0 {
+		verts = 2048
+	}
+	g := graph.Random(verts, 8, int64(p.seedOr(42)))
+	g.EnsureWeights()
+	return g
+}
+
+func (p Params) gupsConfig(nodes int) gups.Config {
+	table := p.Table
+	if table <= 0 {
+		table = p.s(1 << 20)
+	}
+	updates := p.Updates
+	if updates <= 0 {
+		updates = p.s(1_440_000) / nodes
+	}
+	steps := p.Steps
+	if steps <= 0 {
+		steps = 1
+	}
+	return gups.Config{TableSize: table, UpdatesPerNode: updates, Seed: p.seedOr(13), Steps: steps}
+}
+
+func (p Params) gupsModConfig() gups.ModConfig {
+	table := p.Table
+	if table <= 0 {
+		table = p.s(1 << 18)
+	}
+	wis := p.Updates
+	if wis <= 0 {
+		wis = p.s(1 << 19)
+	}
+	return gups.ModConfig{TableSize: table, WIsPerNode: wis, Seed: p.seedOr(1)}
+}
+
+func (p Params) kmeansConfig(nodes int) kmeans.Config {
+	return kmeans.Config{
+		PointsPerNode: p.s(160_000) / nodes,
+		K:             8,
+		Dims:          2,
+		Iters:         p.itersOr(8),
+		Seed:          p.seedOr(3),
+	}
+}
+
+func (p Params) merConfig(nodes int, errors bool) mer.Config {
+	cfg := mer.Config{
+		GenomeLen:    p.s(100_000),
+		ReadsPerNode: p.s(16_000) / nodes,
+		ReadLen:      80,
+		K:            19,
+		Seed:         p.seedOr(9),
+	}
+	if errors {
+		cfg.ErrorPerMille = 3
+	}
+	return cfg
+}
+
+// centroidCheck hashes a k-means centroid vector; in shard mode only
+// node 0 contributes it so the shard Checks still sum to the full-run
+// value.
+func centroidCheck(cent []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, c := range cent {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(c >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// mer2Check packs the three summable phase-2 statistics into one
+// additive checksum; each field sum must stay below 2^21, comfortably
+// true at smoke and bench scales.
+func mer2Check(r mer.Phase2Result) uint64 {
+	return uint64(r.Contigs)<<42 + uint64(r.TotalLen)<<21 + uint64(r.UU)
+}
+
+func init() {
+	register(&App{
+		Name:  "gups",
+		Desc:  "random atomic increments over a distributed table (§3)",
+		Bench: "GUPS",
+		Run: func(sys rt.System, p Params) Result {
+			cfg := p.gupsConfig(sys.Nodes())
+			r := gups.Run(sys, cfg)
+			res := Result{
+				Summary: fmt.Sprintf("updates=%d sum=%d virtual GUPS=%.4f", r.Updates, r.Sum, r.GUPS),
+				Ns:      r.Ns,
+				Check:   r.Sum,
+			}
+			if r.Sum != uint64(r.Updates) {
+				res.Err = fmt.Errorf("gups: sum %d != updates %d", r.Sum, r.Updates)
+			}
+			return res
+		},
+		Shard: func(sys rt.System, node int, p Params, _ rt.Collective) Result {
+			r := gups.RunOn(sys, p.gupsConfig(sys.Nodes()), node)
+			return Result{
+				Summary: fmt.Sprintf("shard updates=%d localSum=%d", r.Updates, r.Sum),
+				Ns:      r.Ns,
+				Check:   r.Sum,
+			}
+		},
+		VerifyTotal: func(total uint64, p Params, nodes int) error {
+			cfg := p.gupsConfig(nodes)
+			want := uint64(cfg.UpdatesPerNode/cfg.Steps) * uint64(cfg.Steps) * uint64(nodes)
+			if total != want {
+				return fmt.Errorf("gups: reduced sum %d != expected updates %d", total, want)
+			}
+			return nil
+		},
+	})
+
+	register(&App{
+		Name: "gups-mod",
+		Desc: "GUPS with 95% idle work-items: diverged WG offload (§8.2)",
+		Run: func(sys rt.System, p Params) Result {
+			r := gups.RunMod(sys, p.gupsModConfig())
+			res := Result{
+				Summary: fmt.Sprintf("updates=%d sum=%d", r.Updates, r.Sum),
+				Ns:      r.Ns,
+				Check:   r.Sum,
+			}
+			if r.Sum != uint64(r.Updates) {
+				res.Err = fmt.Errorf("gups-mod: sum %d != updates %d", r.Sum, r.Updates)
+			}
+			return res
+		},
+		Shard: func(sys rt.System, node int, p Params, _ rt.Collective) Result {
+			r := gups.RunModShard(sys, p.gupsModConfig(), node)
+			return Result{
+				Summary: fmt.Sprintf("shard localSum=%d (global expected %d)", r.Sum, r.Updates),
+				Ns:      r.Ns,
+				Check:   r.Sum,
+			}
+		},
+		VerifyTotal: func(total uint64, p Params, nodes int) error {
+			cfg := p.gupsModConfig()
+			var want uint64
+			for i := 0; i < nodes; i++ {
+				for w := 0; w < cfg.WIsPerNode; w++ {
+					h := graph.Hash64(cfg.Seed ^ uint64(i)<<40 ^ uint64(w))
+					if h%33 == 0 {
+						want += 1 + (h>>8)%8
+					}
+				}
+			}
+			if total != want {
+				return fmt.Errorf("gups-mod: reduced sum %d != expected updates %d", total, want)
+			}
+			return nil
+		},
+	})
+
+	register(&App{
+		Name: "pagerank",
+		Desc: "push-style PageRank over a uniform random graph (-verts/-iters)",
+		Run: func(sys rt.System, p Params) Result {
+			g := randomInput(p)
+			r := pagerank.Run(sys, pagerank.Config{G: g, Iters: p.itersOr(3)})
+			return Result{
+				Summary: fmt.Sprintf("%v rankSum=%.1f checksum=%016x", g, r.RankSum, r.Checksum),
+				Ns:      r.Ns,
+				Check:   r.FixedSum,
+			}
+		},
+		Shard: func(sys rt.System, node int, p Params, _ rt.Collective) Result {
+			g := randomInput(p)
+			r := pagerank.RunOn(sys, pagerank.Config{G: g, Iters: p.itersOr(3)}, node)
+			return Result{
+				Summary: fmt.Sprintf("%v shard rankSum=%.1f checksum=%016x", g, r.RankSum, r.Checksum),
+				Ns:      r.Ns,
+				Check:   r.FixedSum,
+			}
+		},
+	})
+
+	registerGraphApp("pagerank-1", "PR-1", "push-style PageRank, hugebubbles stand-in (Table 4)", BubblesInput, pagerankRuns())
+	registerGraphApp("pagerank-2", "PR-2", "push-style PageRank, cage15 stand-in (Table 4)", CageInput, pagerankRuns())
+	registerGraphApp("sssp-1", "SSSP-1", "level-synchronous Bellman-Ford, hugebubbles stand-in (Table 4)", BubblesInput, ssspRuns())
+	registerGraphApp("sssp-2", "SSSP-2", "level-synchronous Bellman-Ford, cage15 stand-in (Table 4)", CageInput, ssspRuns())
+	registerGraphApp("color-1", "color-1", "Jones-Plassmann coloring, hugebubbles stand-in (Table 4)", BubblesInput, colorRuns())
+	registerGraphApp("color-2", "color-2", "Jones-Plassmann coloring, cage15 stand-in (Table 4)", CageInput, colorRuns())
+
+	register(&App{
+		Name:  "kmeans",
+		Desc:  "fixed-point Lloyd iterations, atomic accumulators (§6)",
+		Bench: "kmeans",
+		Run: func(sys rt.System, p Params) Result {
+			r := kmeans.Run(sys, p.kmeansConfig(sys.Nodes()))
+			return Result{
+				Summary: fmt.Sprintf("clusters=%d iters=%d counts=%v", len(r.Counts), r.Iters, r.Counts),
+				Ns:      r.Ns,
+				Check:   centroidCheck(r.Centroids),
+			}
+		},
+		Shard: func(sys rt.System, node int, p Params, coll rt.Collective) Result {
+			r := kmeans.RunShard(sys, p.kmeansConfig(sys.Nodes()), node, coll)
+			check := uint64(0)
+			if node == 0 {
+				check = centroidCheck(r.Centroids)
+			}
+			return Result{
+				Summary: fmt.Sprintf("clusters=%d iters=%d counts=%v", len(r.Counts), r.Iters, r.Counts),
+				Ns:      r.Ns,
+				Check:   check,
+			}
+		},
+	})
+
+	register(&App{
+		Name:  "mer",
+		Desc:  "Meraculous phase 1: distributed k-mer table build (§6)",
+		Bench: "mer",
+		Run: func(sys rt.System, p Params) Result {
+			r := mer.Run(sys, p.merConfig(sys.Nodes(), false))
+			res := Result{
+				Summary: fmt.Sprintf("kmers inserted=%d distinct=%d (expected %d)", r.Inserted, r.Distinct, r.Expected),
+				Ns:      r.Ns,
+				Check:   uint64(r.Inserted),
+			}
+			if r.Inserted != r.Expected {
+				res.Err = fmt.Errorf("mer: inserted %d != expected %d", r.Inserted, r.Expected)
+			}
+			return res
+		},
+		Shard: func(sys rt.System, node int, p Params, _ rt.Collective) Result {
+			r := mer.RunShard(sys, p.merConfig(sys.Nodes(), false), node)
+			return Result{
+				Summary: fmt.Sprintf("shard kmers inserted=%d distinct=%d (global expected %d)", r.Inserted, r.Distinct, r.Expected),
+				Ns:      r.Ns,
+				Check:   uint64(r.Inserted),
+			}
+		},
+		VerifyTotal: func(total uint64, p Params, nodes int) error {
+			cfg := p.merConfig(nodes, false)
+			want := uint64(nodes) * uint64(cfg.ReadsPerNode) * uint64(cfg.ReadLen-cfg.K+1)
+			if total != want {
+				return fmt.Errorf("mer: reduced insert count %d != expected k-mers %d", total, want)
+			}
+			return nil
+		},
+	})
+
+	register(&App{
+		Name: "mer-full",
+		Desc: "Meraculous phases 1+2: table build then AM-driven contig walk",
+		Run: func(sys rt.System, p Params) Result {
+			r1, r2 := mer.RunFull(sys, p.merConfig(sys.Nodes(), true))
+			res := Result{
+				Summary: fmt.Sprintf("phase1: %d kmers (%d distinct); phase2: %d contigs, total len %d, max %d, UU %d",
+					r1.Inserted, r1.Distinct, r2.Contigs, r2.TotalLen, r2.MaxLen, r2.UU),
+				Ns:    r1.Ns + r2.Ns,
+				Check: mer2Check(r2),
+			}
+			if r1.Inserted != r1.Expected {
+				res.Err = fmt.Errorf("mer-full: inserted %d != expected %d", r1.Inserted, r1.Expected)
+			}
+			return res
+		},
+		Shard: func(sys rt.System, node int, p Params, _ rt.Collective) Result {
+			r1, r2 := mer.RunFullShard(sys, p.merConfig(sys.Nodes(), true), node)
+			return Result{
+				Summary: fmt.Sprintf("shard phase1: %d kmers; phase2: %d contigs, total len %d, UU %d",
+					r1.Inserted, r2.Contigs, r2.TotalLen, r2.UU),
+				Ns:    r1.Ns + r2.Ns,
+				Check: mer2Check(r2),
+			}
+		},
+	})
+}
+
+// graphRuns bundles a graph app's full and shard entry points so the
+// six Table 4 graph workloads share one registration path.
+type graphRuns struct {
+	run   func(sys rt.System, g *graph.Graph, p Params) Result
+	shard func(sys rt.System, g *graph.Graph, node int, p Params, coll rt.Collective) Result
+}
+
+func registerGraphApp(name, bench, desc string, input func(scale float64) *graph.Graph, runs graphRuns) {
+	register(&App{
+		Name:  name,
+		Desc:  desc,
+		Bench: bench,
+		Run: func(sys rt.System, p Params) Result {
+			return runs.run(sys, input(p.scale()), p)
+		},
+		Shard: func(sys rt.System, node int, p Params, coll rt.Collective) Result {
+			return runs.shard(sys, input(p.scale()), node, p, coll)
+		},
+	})
+}
+
+func pagerankRuns() graphRuns {
+	return graphRuns{
+		run: func(sys rt.System, g *graph.Graph, p Params) Result {
+			r := pagerank.Run(sys, pagerank.Config{G: g, Iters: p.itersOr(10)})
+			return Result{
+				Summary: fmt.Sprintf("%v rankSum=%.1f checksum=%016x", g, r.RankSum, r.Checksum),
+				Ns:      r.Ns,
+				Check:   r.FixedSum,
+			}
+		},
+		shard: func(sys rt.System, g *graph.Graph, node int, p Params, _ rt.Collective) Result {
+			r := pagerank.RunOn(sys, pagerank.Config{G: g, Iters: p.itersOr(10)}, node)
+			return Result{
+				Summary: fmt.Sprintf("%v shard rankSum=%.1f checksum=%016x", g, r.RankSum, r.Checksum),
+				Ns:      r.Ns,
+				Check:   r.FixedSum,
+			}
+		},
+	}
+}
+
+func ssspRuns() graphRuns {
+	return graphRuns{
+		run: func(sys rt.System, g *graph.Graph, p Params) Result {
+			r := sssp.Run(sys, sssp.Config{G: g, Source: 0})
+			return Result{
+				Summary: fmt.Sprintf("%v reached=%d supersteps=%d distSum=%d", g, r.Reached, r.Supersteps, r.DistSum),
+				Ns:      r.Ns,
+				Check:   r.DistSum,
+			}
+		},
+		shard: func(sys rt.System, g *graph.Graph, node int, p Params, coll rt.Collective) Result {
+			r := sssp.RunShard(sys, sssp.Config{G: g, Source: 0}, node, coll)
+			return Result{
+				Summary: fmt.Sprintf("%v shard reached=%d supersteps=%d distSum=%d", g, r.Reached, r.Supersteps, r.DistSum),
+				Ns:      r.Ns,
+				Check:   r.DistSum,
+			}
+		},
+	}
+}
+
+func colorRuns() graphRuns {
+	return graphRuns{
+		run: func(sys rt.System, g *graph.Graph, p Params) Result {
+			r := color.Run(sys, color.Config{G: g, Seed: p.seedOr(7)})
+			res := Result{
+				Summary: fmt.Sprintf("%v colors=%d rounds=%d (validated)", g, r.Colors, r.Rounds),
+				Ns:      r.Ns,
+				Check:   r.ColorSum,
+			}
+			if err := color.Validate(g, r.ColorAt); err != nil {
+				res.Summary = fmt.Sprintf("INVALID COLORING: %v", err)
+				res.Err = err
+			}
+			return res
+		},
+		shard: func(sys rt.System, g *graph.Graph, node int, p Params, coll rt.Collective) Result {
+			r := color.RunShard(sys, color.Config{G: g, Seed: p.seedOr(7)}, node, coll)
+			return Result{
+				Summary: fmt.Sprintf("%v shard colors=%d rounds=%d colorSum=%d", g, r.Colors, r.Rounds, r.ColorSum),
+				Ns:      r.Ns,
+				Check:   r.ColorSum,
+			}
+		},
+	}
+}

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"gravel/internal/rt"
+)
+
+// PhaseReport renders a system's superstep timeline, merging
+// consecutive phases with the same name into (count, total, avg, max)
+// rows. It is the -phases output of gravel-apps and gravel-node.
+func PhaseReport(w io.Writer, sys rt.System) {
+	type agg struct {
+		count   int
+		totalNs float64
+		maxNs   float64
+	}
+	order := []string{}
+	byName := map[string]*agg{}
+	for _, ph := range sys.Phases() {
+		a, ok := byName[ph.Name]
+		if !ok {
+			a = &agg{}
+			byName[ph.Name] = a
+			order = append(order, ph.Name)
+		}
+		a.count++
+		a.totalNs += ph.PhaseNs
+		if ph.PhaseNs > a.maxNs {
+			a.maxNs = ph.PhaseNs
+		}
+	}
+	fmt.Fprintf(w, "  %-14s %8s %12s %12s %12s\n", "phase", "count", "total ms", "avg us", "max us")
+	for _, name := range order {
+		a := byName[name]
+		fmt.Fprintf(w, "  %-14s %8d %12.3f %12.1f %12.1f\n",
+			name, a.count, a.totalNs/1e6, a.totalNs/float64(a.count)/1e3, a.maxNs/1e3)
+	}
+}

@@ -25,21 +25,28 @@ type Coalesced struct {
 	sb      []*sendBuffers
 }
 
-// NewCoalesced builds the model; gpuWide enables GPU-wide aggregation.
-func NewCoalesced(nodes int, p *timemodel.Params, gpuWide bool) *Coalesced {
-	if p == nil {
-		p = timemodel.Default()
+// NewCoalesced builds the model over cfg's fabric; gpuWide enables
+// GPU-wide aggregation. Sends (per-WG packets, or repacked per-node
+// queues with gpuWide) travel through the cluster's fabric, so the
+// model runs in-process or multi-process alike; on a multi-process
+// fabric only the hosted node gets aggregation buffers.
+func NewCoalesced(cfg Config, gpuWide bool) *Coalesced {
+	if cfg.Params == nil {
+		cfg.Params = timemodel.Default()
 	}
 	name := "coalesced"
 	if gpuWide {
 		name = "coalesced+agg"
 	}
-	cl := core.New(core.Config{Name: name, Nodes: nodes, Params: p})
+	cl := core.New(cfg.coreConfig(name))
 	co := &Coalesced{Cluster: cl, gpuWide: gpuWide}
 	if gpuWide {
-		co.sb = make([]*sendBuffers, nodes)
+		co.sb = make([]*sendBuffers, cfg.Nodes)
 		for i := range co.sb {
-			co.sb[i] = newSendBuffers(cl, cl.Node(i), p.PerNodeQueueBytes, true)
+			if !cl.Fabric().Hosts(i) {
+				continue
+			}
+			co.sb[i] = newSendBuffers(cl, cl.Node(i), cfg.Params.PerNodeQueueBytes, true)
 		}
 	}
 	return co
@@ -56,10 +63,13 @@ func (co *Coalesced) Step(name string, grid []int, scratchPerWG int, k rt.Kernel
 	}, k)
 	if co.gpuWide {
 		for _, sb := range co.sb {
-			sb.flushAll()
+			if sb != nil {
+				sb.flushAll()
+			}
 		}
 	}
 	co.Quiesce()
+	co.StepBarrier()
 	co.EndPhaseOverlapped(name)
 }
 

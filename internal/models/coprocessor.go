@@ -1,6 +1,7 @@
 package models
 
 import (
+	"fmt"
 	"sync"
 
 	"gravel/internal/core"
@@ -28,23 +29,30 @@ type Coprocessor struct {
 	sb         []*sendBuffers
 }
 
-// NewCoprocessor builds the model. With extraBuffering, each per-node
-// queue gets 1 MB instead of Gravel's 64 kB (the second bar of
-// Figure 15).
-func NewCoprocessor(nodes int, p *timemodel.Params, extraBuffering bool) *Coprocessor {
-	if p == nil {
-		p = timemodel.Default()
+// NewCoprocessor builds the model over cfg's fabric. With
+// extraBuffering, each per-node queue gets 1 MB instead of Gravel's
+// 64 kB (the second bar of Figure 15). The per-node queues are filled
+// by the GPU and exchanged through the cluster's fabric, so the model
+// runs over in-process channels or real sockets alike; on a
+// multi-process fabric only the hosted node gets queues — the other
+// nodes exist for address-space symmetry and stay idle.
+func NewCoprocessor(cfg Config, extraBuffering bool) *Coprocessor {
+	if cfg.Params == nil {
+		cfg.Params = timemodel.Default()
 	}
 	name := "coprocessor"
-	qb := p.PerNodeQueueBytes
+	qb := cfg.Params.PerNodeQueueBytes
 	if extraBuffering {
 		name = "coprocessor+buf"
 		qb = 1 << 20
 	}
-	cl := core.New(core.Config{Name: name, Nodes: nodes, Params: p})
+	cl := core.New(cfg.coreConfig(name))
 	cp := &Coprocessor{Cluster: cl, name: name, queueBytes: qb}
-	cp.sb = make([]*sendBuffers, nodes)
+	cp.sb = make([]*sendBuffers, cfg.Nodes)
 	for i := range cp.sb {
+		if !cl.Fabric().Hosts(i) {
+			continue
+		}
 		cp.sb[i] = newSendBuffers(cl, cl.Node(i), qb, false)
 	}
 	return cp
@@ -74,6 +82,9 @@ func (cp *Coprocessor) Step(name string, grid []int, scratchPerWG int, k rt.Kern
 	for i := 0; i < cp.Nodes(); i++ {
 		if grid[i] <= 0 {
 			continue
+		}
+		if !cp.Fabric().Hosts(i) {
+			panic(fmt.Sprintf("models: coprocessor launch on node %d, which this process does not host", i))
 		}
 		wg.Add(1)
 		go func(i int) {
@@ -116,6 +127,7 @@ func (cp *Coprocessor) Step(name string, grid []int, scratchPerWG int, k rt.Kern
 	}
 	wg.Wait()
 	cp.Quiesce()
+	cp.StepBarrier()
 	cp.EndPhaseSequential(name)
 }
 

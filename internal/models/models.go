@@ -25,22 +25,60 @@ import (
 	"fmt"
 
 	"gravel/internal/core"
+	"gravel/internal/fabric"
 	"gravel/internal/rt"
 	"gravel/internal/simt"
 	"gravel/internal/timemodel"
 )
 
+// Config configures a model system. It carries the transport-relevant
+// subset of core.Config so every model — not just gravel — is
+// fabric-pluggable: the same coprocessor or coalesced baseline runs
+// over the in-process "chan" fabric, the framing "loopback" fabric, or
+// real "tcp" sockets spanning OS processes.
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Params is the virtual-time cost model; nil means timemodel.Default.
+	Params *timemodel.Params
+	// WGSize is the work-group size in lanes (0 = the model's default).
+	WGSize int
+	// DivMode selects diverged WG-level operation behaviour.
+	DivMode simt.DivergenceMode
+	// GroupSize > 1 enables two-level hierarchical aggregation
+	// (gravel model only).
+	GroupSize int
+	// Transport names a registered fabric transport ("" = "chan").
+	Transport string
+	// TransportOpts configures non-default transports.
+	TransportOpts fabric.Options
+}
+
+// coreConfig translates cfg into the shared core.Config fields.
+func (cfg Config) coreConfig(name string) core.Config {
+	return core.Config{
+		Name:          name,
+		Nodes:         cfg.Nodes,
+		Params:        cfg.Params,
+		WGSize:        cfg.WGSize,
+		DivMode:       cfg.DivMode,
+		GroupSize:     cfg.GroupSize,
+		Transport:     cfg.Transport,
+		TransportOpts: cfg.TransportOpts,
+	}
+}
+
 // Gravel returns the paper's system itself (package core), for use with
 // the New factory.
 func Gravel(nodes int, p *timemodel.Params) rt.System {
-	return core.New(core.Config{Name: "gravel", Nodes: nodes, Params: p})
+	return NewSystem("gravel", Config{Nodes: nodes, Params: p})
 }
 
 // MsgPerLane returns the message-per-lane baseline: Gravel's
 // producer/consumer queue (which hides SIMT issues, as the paper assumes
 // for this model) but no message combining.
 func MsgPerLane(nodes int, p *timemodel.Params) rt.System {
-	return core.New(core.Config{Name: "msg-per-lane", Nodes: nodes, Params: p, AggMode: core.AggPerMessage})
+	return NewSystem("msg-per-lane", Config{Nodes: nodes, Params: p})
 }
 
 // CPUOnly returns the Figure 13 baseline: a CPU-based distributed system
@@ -48,8 +86,7 @@ func MsgPerLane(nodes int, p *timemodel.Params) rt.System {
 // threads (one lane each); offload batches model per-thread aggregation
 // buffers.
 func CPUOnly(nodes int, p *timemodel.Params) rt.System {
-	arch := simt.CPUArch(p)
-	return core.New(core.Config{Name: "cpu-only", Nodes: nodes, Params: p, WGSize: 256, Arch: &arch})
+	return NewSystem("cpu-only", Config{Nodes: nodes, Params: p})
 }
 
 // Names lists the systems Figure 15 compares, in the paper's bar order.
@@ -64,27 +101,46 @@ func Names() []string {
 	}
 }
 
-// New builds a system by Figure 15 name. A nil p means
-// timemodel.Default.
+// New builds a system by Figure 15 name over the default in-process
+// fabric. A nil p means timemodel.Default.
 func New(name string, nodes int, p *timemodel.Params) rt.System {
-	if p == nil {
-		p = timemodel.Default()
+	return NewSystem(name, Config{Nodes: nodes, Params: p})
+}
+
+// NewSystem builds a system by name over the configured fabric. It is
+// the single construction funnel behind gravel.New/NewModel: every
+// model accepts every registered transport, so the Figure 15 sweep runs
+// in-process or as a real multi-process cluster.
+func NewSystem(name string, cfg Config) rt.System {
+	if cfg.Params == nil {
+		cfg.Params = timemodel.Default()
+	}
+	if cfg.GroupSize > 1 && name != "gravel" {
+		panic(fmt.Sprintf("models: hierarchical aggregation (GroupSize %d) requires the gravel model, not %q", cfg.GroupSize, name))
 	}
 	switch name {
 	case "gravel":
-		return Gravel(nodes, p)
+		return core.New(cfg.coreConfig("gravel"))
 	case "msg-per-lane":
-		return MsgPerLane(nodes, p)
+		c := cfg.coreConfig("msg-per-lane")
+		c.AggMode = core.AggPerMessage
+		return core.New(c)
 	case "coprocessor":
-		return NewCoprocessor(nodes, p, false)
+		return NewCoprocessor(cfg, false)
 	case "coprocessor+buf":
-		return NewCoprocessor(nodes, p, true)
+		return NewCoprocessor(cfg, true)
 	case "coalesced":
-		return NewCoalesced(nodes, p, false)
+		return NewCoalesced(cfg, false)
 	case "coalesced+agg":
-		return NewCoalesced(nodes, p, true)
+		return NewCoalesced(cfg, true)
 	case "cpu-only":
-		return CPUOnly(nodes, p)
+		arch := simt.CPUArch(cfg.Params)
+		c := cfg.coreConfig("cpu-only")
+		c.Arch = &arch
+		if c.WGSize == 0 {
+			c.WGSize = 256
+		}
+		return core.New(c)
 	default:
 		panic(fmt.Sprintf("models: unknown system %q", name))
 	}

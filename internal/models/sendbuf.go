@@ -82,15 +82,3 @@ func (s *sendBuffers) takeOverflows() int {
 	s.overflows = 0
 	return n
 }
-
-// pending reports whether any queue holds messages.
-func (s *sendBuffers) pending() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, b := range s.b {
-		if !b.Empty() {
-			return true
-		}
-	}
-	return false
-}

@@ -47,6 +47,25 @@ type Ctx interface {
 // once per work-group.
 type Kernel func(c Ctx)
 
+// Collective is a cluster-wide sum reduction available to host code
+// between steps: every participating process contributes val under the
+// same key (keys must be issued in the same order everywhere — the
+// deterministic app structure guarantees this) and receives the global
+// sum. Shard-mode application entry points use it for termination
+// detection and cross-shard accumulator exchange. In a single-process
+// run there is nothing to reduce across, so a nil Collective means
+// "identity": the local value already is the global value.
+type Collective func(key string, val uint64) (uint64, error)
+
+// Reduce applies the collective, treating nil as the identity
+// reduction of a single-process run.
+func (c Collective) Reduce(key string, val uint64) (uint64, error) {
+	if c == nil {
+		return val, nil
+	}
+	return c(key, val)
+}
+
 // NetStats summarizes a system's communication behaviour (Table 5).
 //
 // Deprecated: NetStats is the flat, pre-observability snapshot. Use

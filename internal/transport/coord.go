@@ -61,6 +61,14 @@ type barrierState struct {
 	arrived  map[int]bool
 	released bool
 	observed map[int]bool // nodes that have seen the release
+
+	// Release requires two consecutive quiescent evaluations with
+	// unchanged counter sums (same rule as quietEvalLocked): a single
+	// balanced observation can be a transient artifact of reports taken
+	// at different instants while a message is between a handler and
+	// the wire.
+	prevS, prevA int64
+	prevOK       bool
 }
 
 type quietReport struct {
@@ -306,9 +314,11 @@ func (c *Coordinator) barrierLocked(node int, key string, r quietReport) bool {
 			a += rep.applied
 			allIdle = allIdle && rep.idle
 		}
-		if allIdle && s == a {
+		candidate := allIdle && s == a
+		if candidate && st.prevOK && s == st.prevS && a == st.prevA {
 			st.released = true
 		}
+		st.prevS, st.prevA, st.prevOK = s, a, candidate
 	}
 	if !st.released {
 		return false

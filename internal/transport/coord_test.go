@@ -20,8 +20,14 @@ func TestCoordinatorReclaimsCollectiveState(t *testing.T) {
 	if barrier(0, "step:1") {
 		t.Fatal("barrier released with one node absent")
 	}
+	// Release needs two consecutive quiescent evaluations with unchanged
+	// counters (one balanced observation can be a cross-report artifact),
+	// so the first all-arrived poll must not release yet.
+	if barrier(1, "step:1") {
+		t.Fatal("barrier released on a single quiescent observation")
+	}
 	if !barrier(1, "step:1") {
-		t.Fatal("barrier not released with all nodes arrived and idle")
+		t.Fatal("barrier not released after two stable quiescent observations")
 	}
 	if !barrier(0, "step:1") {
 		t.Fatal("release not sticky for the remaining node")

@@ -130,6 +130,14 @@ type TCP struct {
 	quietSent    int64
 	quietApplied int64
 
+	// hostDrain holds the runtime's fabric.HostDrainer hook (a
+	// func() bool): it flushes host-side staged messages — AM handler
+	// follow-ups parked in the aggregator — toward the wire and reports
+	// whether host-side work remains. localIdle consults it so a
+	// process polling the quiet protocol or the step barrier keeps
+	// cascades flowing instead of letting them stall invisibly.
+	hostDrain atomic.Value
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 	handlers  sync.WaitGroup
@@ -430,10 +438,21 @@ func (t *TCP) Done(p fabric.Packet) {
 	wire.PutBuf(p.Buf)
 }
 
+// SetHostDrain implements fabric.HostDrainer.
+func (t *TCP) SetHostDrain(f func() bool) { t.hostDrain.Store(f) }
+
 // localIdle reports whether this process has nothing in flight: no
-// self-packets or received packets being applied, and every outbound
-// stream drained and acknowledged.
+// host-side staged messages, no self-packets or received packets being
+// applied, and every outbound stream drained and acknowledged. The
+// drain hook runs first so a message it flushes is caught by the
+// sender-idle check below, and so the sent/applied counters the
+// callers report afterwards include it.
 func (t *TCP) localIdle() bool {
+	if f, ok := t.hostDrain.Load().(func() bool); ok {
+		if !f() {
+			return false
+		}
+	}
 	if t.localInflight.Load() != 0 || t.recvInflight.Load() != 0 {
 		return false
 	}
@@ -443,6 +462,25 @@ func (t *TCP) localIdle() bool {
 		}
 	}
 	return true
+}
+
+// quietSnapshot produces a consistent (sent, applied, idle) report for
+// the coordinator's quiet protocol. Idleness and the counters must be
+// observed at one instant: if a frame is applied — and its cascade
+// follow-up staged and flushed — between the localIdle evaluation and
+// the counter loads, the report would claim idle with counters that
+// balance globally, and the cluster could release a barrier around the
+// in-flight cascade. When the counters move during an idle observation
+// the snapshot is retried.
+func (t *TCP) quietSnapshot() (sent, applied int64, idle bool) {
+	for {
+		s0, a0 := t.sentWire.Load(), t.appliedWire.Load()
+		idle = t.localIdle()
+		sent, applied = t.sentWire.Load(), t.appliedWire.Load()
+		if !idle || (sent == s0 && applied == a0) {
+			return
+		}
+	}
 }
 
 // Quiet implements fabric.Fabric. Local activity is checked first;
@@ -456,14 +494,14 @@ func (t *TCP) Quiet() bool {
 		// where the node runtime recovers it into a diagnosed exit.
 		panic(err)
 	}
-	if !t.localIdle() {
+	sent, applied, idle := t.quietSnapshot()
+	if !idle {
 		return false
 	}
 	if t.n == 1 {
 		return true
 	}
 	// n > 1 implies a coordinator: NewTCP rejects peers-only clusters.
-	sent, applied := t.sentWire.Load(), t.appliedWire.Load()
 	t.quietMu.Lock()
 	defer t.quietMu.Unlock()
 	if t.quietCached && sent == t.quietSent && applied == t.quietApplied {
@@ -498,7 +536,8 @@ func (t *TCP) StepBarrier() {
 		if err := t.Err(); err != nil {
 			panic(err)
 		}
-		released, err := t.coord.barrier(t.self, key, t.sentWire.Load(), t.appliedWire.Load(), t.localIdle(), t.suspect)
+		sent, applied, idle := t.quietSnapshot()
+		released, err := t.coord.barrier(t.self, key, sent, applied, idle, t.suspect)
 		if err != nil {
 			t.fail(err)
 			panic(err)
