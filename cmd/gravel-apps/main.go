@@ -12,26 +12,29 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"gravel"
+	"gravel/internal/buildinfo"
 	"gravel/internal/cliflags"
 	"gravel/internal/harness"
 	"gravel/internal/rt"
 )
 
-// appReport is the -json document: the run's identity and summary plus
-// the full versioned Stats snapshot.
+// appReport is the -json document: the run's identity, summary and
+// checksum plus the full versioned Stats snapshot. Check is the app's
+// additive checksum — the same value cluster runs reduce — so scripts
+// can compare a service or cluster result against a direct run.
 type appReport struct {
 	App       string   `json:"app"`
 	Model     string   `json:"model"`
 	Nodes     int      `json:"nodes"`
 	Scale     float64  `json:"scale"`
 	Summary   string   `json:"summary"`
+	Check     uint64   `json:"check"`
 	VirtualNs float64  `json:"virtual_ns"`
 	WallNs    int64    `json:"wall_ns"`
 	Stats     rt.Stats `json:"stats"`
@@ -45,9 +48,15 @@ func main() {
 	phases := flag.Bool("phases", false, "print the per-superstep virtual-time breakdown")
 	group := flag.Int("groupsize", 0, "two-level hierarchical aggregation group size (gravel model only)")
 	list := flag.Bool("list", false, "list registered apps, models and transports, then exit")
+	version := flag.Bool("version", false, "print the build-info string and exit")
 	var common cliflags.Common
 	common.RegisterDefault(true)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Full("gravel-apps"))
+		return
+	}
 
 	if *list {
 		if err := harness.PrintList(common.JSONPath); err != nil {
@@ -96,10 +105,11 @@ func main() {
 	if common.JSONPath != "" {
 		rep := appReport{
 			App: *app, Model: *model, Nodes: *nodes, Scale: *scale,
-			Summary: res.Summary, VirtualNs: sys.VirtualTimeNs(), WallNs: wall.Nanoseconds(),
+			Summary: res.Summary, Check: res.Check,
+			VirtualNs: sys.VirtualTimeNs(), WallNs: wall.Nanoseconds(),
 			Stats: st,
 		}
-		if err := writeJSON(common.JSONPath, rep); err != nil {
+		if err := cliflags.WriteJSON(common.JSONPath, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "gravel-apps:", err)
 			os.Exit(1)
 		}
@@ -113,18 +123,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gravel-apps: verification failed:", res.Err)
 		os.Exit(1)
 	}
-}
-
-func writeJSON(path string, v any) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

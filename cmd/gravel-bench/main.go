@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"gravel/internal/bench"
+	"gravel/internal/buildinfo"
 	"gravel/internal/cliflags"
 )
 
@@ -75,9 +76,14 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (table2, table5, fig6, fig8, fig12, fig13, fig14, fig15, sec82, hier, ablations, all)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = default reduced inputs)")
 	format := flag.String("format", "table", "output format: table or csv")
+	version := flag.Bool("version", false, "print the build-info string and exit")
 	var common cliflags.Common
 	common.RegisterDefault(true)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Full("gravel-bench"))
+		return
+	}
 	jsonPath := &common.JSONPath
 
 	sess, err := common.Begin()

@@ -1,25 +1,21 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
-	"net"
-	"os"
-	"os/exec"
 	"strings"
 	"sync"
 	"time"
 
-	"gravel"
 	"gravel/internal/harness"
-	"gravel/internal/transport"
+	"gravel/internal/noderun"
 	"gravel/internal/transport/fault"
 )
 
 // The chaos harness proves the distributed runtime's failure story
-// end to end, with real processes:
+// end to end, with real processes (noderun's exec fabric):
 //
 //   - recoverable iterations run the 4-process GUPS smoke under a
 //     seeded fault schedule (drops, duplicates, delays, reordering,
@@ -41,77 +37,11 @@ import (
 // overhead).
 const chaosSuspect = time.Second
 
-// workerResult is one forked worker's outcome.
-type workerResult struct {
-	res    result
-	err    error
-	stderr string
-}
-
-// forkWorkers runs one worker process per node against coordAddr with
-// the given extra flags and waits for them all. kill, when >= 0, names
-// a node whose process is SIGKILLed after killAfter.
-func forkWorkers(coordAddr string, extra []string, kill int, killAfter time.Duration) ([]workerResult, error) {
-	exe, err := os.Executable()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]workerResult, *nodes)
-	var wg sync.WaitGroup
-	for i := 0; i < *nodes; i++ {
-		args := append(workerArgs(i, coordAddr), extra...)
-		cmd := exec.Command(exe, args...)
-		var stderr bytes.Buffer
-		cmd.Stderr = &stderr
-		var stdout bytes.Buffer
-		cmd.Stdout = &stdout
-		if err := cmd.Start(); err != nil {
-			return nil, fmt.Errorf("worker %d: %w", i, err)
-		}
-		if i == kill {
-			go func() {
-				time.Sleep(killAfter)
-				cmd.Process.Kill()
-			}()
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			err := cmd.Wait()
-			out[i].stderr = stderr.String()
-			if err != nil {
-				out[i].err = err
-				return
-			}
-			out[i].err = unmarshalResult(stdout.Bytes(), &out[i].res)
-		}(i)
-	}
-	wg.Wait()
-	return out, nil
-}
-
-func unmarshalResult(b []byte, r *result) error {
-	if err := json.Unmarshal(b, r); err != nil {
-		return fmt.Errorf("bad worker output %q: %w", string(b), err)
-	}
-	return nil
-}
-
-// startCoordinator runs an in-process rendezvous coordinator and
-// returns it with its address and a stopper.
-func startCoordinator() (*transport.Coordinator, string, func(), error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, "", nil, err
-	}
-	c := transport.NewCoordinator(*nodes)
-	go c.Serve(ln)
-	stop := func() { ln.Close() }
-	go func() {
-		<-c.Done()
-		ln.Close()
-	}()
-	return c, ln.Addr().String(), stop, nil
+// chaosSpec is the exec-fabric spec every chaos iteration starts from.
+func chaosSpec() noderun.Spec {
+	s := specFromFlags()
+	s.Fabric = noderun.FabricExec
+	return s
 }
 
 // refSum computes (once) the selected app's checksum on the in-process
@@ -124,9 +54,13 @@ var refSumOnce struct {
 
 func chaosRefSum() uint64 {
 	refSumOnce.Do(func() {
-		ref := gravel.New(gravel.Config{Model: *model, Nodes: *nodes})
-		refSumOnce.sum = harness.MustApp(*app).Run(ref, workerParams()).Check
-		ref.Close()
+		s := chaosSpec()
+		s.Fabric = noderun.FabricLocal
+		ref, err := noderun.RunLocal(s)
+		if err != nil {
+			panic(err)
+		}
+		refSumOnce.sum = ref.Check
 	})
 	return refSumOnce.sum
 }
@@ -149,36 +83,37 @@ func chaosSchedule(iterSeed uint64) *fault.Config {
 	}
 }
 
+// workerFailures formats every failed worker's diagnosis for a chaos
+// error report.
+func workerFailures(res *noderun.RunResult) string {
+	if res == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, w := range res.Workers {
+		if w.Err == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "\nworker %d: %s\nstderr:\n%s", w.Node, w.Err, w.Stderr)
+	}
+	return b.String()
+}
+
 // chaosRecoverable runs the fault-schedule iteration: every worker
 // must exit zero and the reduced sum must match the in-process fabric
 // bit-exactly.
 func chaosRecoverable(iterSeed uint64) error {
 	fc := chaosSchedule(iterSeed)
-	_, addr, stop, err := startCoordinator()
+	s := chaosSpec()
+	s.Faults = fc.String()
+	s.Suspect = 20 * time.Second // generous: injected faults must recover, not trip detection
+	var l noderun.Launcher
+	res, err := l.Run(context.Background(), s)
 	if err != nil {
-		return err
+		return fmt.Errorf("under schedule %q: %w%s", fc.String(), err, workerFailures(res))
 	}
-	defer stop()
-	results, err := forkWorkers(addr, []string{
-		"-faults", fc.String(),
-		"-suspect", "20s", // generous: injected faults must recover, not trip detection
-	}, -1, 0)
-	if err != nil {
-		return err
-	}
-	want := chaosRefSum()
-	var localTotal uint64
-	for i, r := range results {
-		if r.err != nil {
-			return fmt.Errorf("worker %d failed under schedule %q: %v\nstderr:\n%s", i, fc.String(), r.err, r.stderr)
-		}
-		localTotal += r.res.LocalSum
-		if r.res.TotalSum != want {
-			return fmt.Errorf("worker %d reduced sum %d, want %d (schedule %q)", i, r.res.TotalSum, want, fc.String())
-		}
-	}
-	if localTotal != want {
-		return fmt.Errorf("local sums add to %d, want %d (schedule %q)", localTotal, want, fc.String())
+	if want := chaosRefSum(); res.Check != want {
+		return fmt.Errorf("reduced sum %d, want %d (schedule %q)", res.Check, want, fc.String())
 	}
 	return nil
 }
@@ -190,47 +125,55 @@ func diagnosed(stderr string) bool {
 		strings.Contains(stderr, "failed to assemble")
 }
 
+// killSpec is chaosSpec tightened for fast failure detection and a run
+// long enough that a kill lands mid-flight.
+func killSpec() noderun.Spec {
+	s := chaosSpec()
+	s.Suspect = chaosSuspect
+	s.Heartbeat = 250 * time.Millisecond
+	s.CoordTimeout = 5 * time.Second
+	s.CoordRPCTimeout = 2 * time.Second
+	s.Params.Steps = 20 // long enough that the kill lands mid-run
+	return s
+}
+
 // chaosKillWorker SIGKILLs one worker mid-run; every survivor must
-// exit nonzero with a typed diagnosis within the detection bound.
+// exit nonzero with a typed diagnosis within the detection bound (or
+// finish first, agreeing on the reduced sum — agreement is enforced by
+// the launcher).
 func chaosKillWorker(iterSeed uint64, rng *rand.Rand) error {
-	_, addr, stop, err := startCoordinator()
-	if err != nil {
-		return err
-	}
-	defer stop()
 	victim := rng.Intn(*nodes)
 	killAfter := 200*time.Millisecond + time.Duration(rng.Int63n(int64(700*time.Millisecond)))
+	l := noderun.Launcher{Hooks: noderun.Hooks{
+		WorkerStarted: func(node int, kill func()) {
+			if node == victim {
+				go func() {
+					time.Sleep(killAfter)
+					kill()
+				}()
+			}
+		},
+	}}
 	start := time.Now()
-	results, err := forkWorkers(addr, []string{
-		"-suspect", chaosSuspect.String(),
-		"-heartbeat", "250ms",
-		"-coord-timeout", "5s",
-		"-coord-rpc-timeout", "2s",
-		"-steps", "20", // long enough that the kill lands mid-run
-	}, victim, killAfter)
-	if err != nil {
+	res, err := l.Run(context.Background(), killSpec())
+	elapsed := time.Since(start)
+	if res == nil {
+		return err // the cluster never launched
+	}
+	// A *WorkerError is the expected shape (the victim, and survivors
+	// diagnosing it); any other error — reduced-sum disagreement among
+	// finished survivors — is a real failure.
+	var we *noderun.WorkerError
+	if err != nil && !errors.As(err, &we) {
 		return err
 	}
-	elapsed := time.Since(start)
-	var finishedSums []uint64
-	for i, r := range results {
-		if i == victim {
+	for _, w := range res.Workers {
+		if w.Node == victim || w.Err == "" {
 			continue
 		}
-		if r.err == nil {
-			// The whole run finished before the kill landed; nothing to
-			// diagnose, but finished survivors must agree on the sum.
-			finishedSums = append(finishedSums, r.res.TotalSum)
-			continue
-		}
-		if !diagnosed(r.stderr) {
+		if !diagnosed(w.Stderr) {
 			return fmt.Errorf("worker %d died undiagnosed after killing worker %d at %v:\n%s",
-				i, victim, killAfter, r.stderr)
-		}
-	}
-	for _, s := range finishedSums {
-		if s != finishedSums[0] {
-			return fmt.Errorf("survivors disagree on the reduced sum: %v", finishedSums)
+				w.Node, victim, killAfter, w.Stderr)
 		}
 	}
 	// The detection bound: kill + 2x suspect, plus generous process
@@ -246,37 +189,33 @@ func chaosKillWorker(iterSeed uint64, rng *rand.Rand) error {
 // closes its listener); every worker must exit nonzero with a typed
 // CoordDownError diagnosis.
 func chaosKillCoord(iterSeed uint64, rng *rand.Rand) error {
-	c, addr, stop, err := startCoordinator()
-	if err != nil {
-		return err
-	}
-	defer stop()
 	killAfter := 200*time.Millisecond + time.Duration(rng.Int63n(int64(700*time.Millisecond)))
-	go func() {
-		time.Sleep(killAfter)
-		stop()   // no new connections
-		c.Kill() // sever established ones
-	}()
+	l := noderun.Launcher{Hooks: noderun.Hooks{
+		CoordStarted: func(c *noderun.Coord) {
+			go func() {
+				time.Sleep(killAfter)
+				c.Kill() // no new connections, sever established ones
+			}()
+		},
+	}}
 	start := time.Now()
-	results, err := forkWorkers(addr, []string{
-		"-suspect", chaosSuspect.String(),
-		"-heartbeat", "250ms",
-		"-coord-timeout", "5s",
-		"-coord-rpc-timeout", "2s",
-		"-steps", "20",
-	}, -1, 0)
-	if err != nil {
+	res, err := l.Run(context.Background(), killSpec())
+	elapsed := time.Since(start)
+	if res == nil {
 		return err
 	}
-	elapsed := time.Since(start)
+	var we *noderun.WorkerError
+	if err != nil && !errors.As(err, &we) {
+		return err
+	}
 	finished := 0
-	for i, r := range results {
-		if r.err == nil {
+	for _, w := range res.Workers {
+		if w.Err == "" {
 			finished++ // run beat the kill; allowed, but not for everyone
 			continue
 		}
-		if !diagnosed(r.stderr) {
-			return fmt.Errorf("worker %d died undiagnosed after coordinator kill at %v:\n%s", i, killAfter, r.stderr)
+		if !diagnosed(w.Stderr) {
+			return fmt.Errorf("worker %d died undiagnosed after coordinator kill at %v:\n%s", w.Node, killAfter, w.Stderr)
 		}
 	}
 	if finished == *nodes {
@@ -292,6 +231,11 @@ func chaosKillCoord(iterSeed uint64, rng *rand.Rand) error {
 // always completing at least one full cycle. Iteration schedules
 // derive from -seed, so `-chaos -seed N` replays the same sequence.
 func runChaos() error {
+	// The reference run exercises the registry before any forked
+	// iteration does, so a bad -app/-model is a one-line error.
+	if _, err := harness.LookupApp(*app); err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewSource(int64(*seed)))
 	deadline := time.Now().Add(*duration)
 	iter := 0

@@ -3,8 +3,10 @@
 // coordinator. Every registered application and every networking model
 // runs unmodified — the harness registry that drives the in-process
 // binaries also drives this one — so the Figure 15 model sweep can run
-// as a real multi-process cluster. Each worker launches its own node's
-// share of the work and the coordinator reduces the per-shard results.
+// as a real multi-process cluster. The run lifecycle itself (worker
+// spawn, rendezvous, collect, teardown) lives in internal/noderun;
+// this binary is the thin flag surface over it, and gravel-server
+// schedules the same lifecycle as a service.
 //
 // Modes:
 //
@@ -39,31 +41,30 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"os"
-	"os/exec"
-	"strconv"
-	"sync"
 	"time"
 
 	"gravel"
+	"gravel/internal/buildinfo"
 	"gravel/internal/cliflags"
-	"gravel/internal/core"
 	"gravel/internal/harness"
+	"gravel/internal/noderun"
 	"gravel/internal/obs"
 	"gravel/internal/rt"
 	"gravel/internal/transport"
-	"gravel/internal/transport/fault"
 )
 
 var (
-	serve = flag.Bool("serve", false, "run the rendezvous coordinator")
-	smoke = flag.Bool("smoke", false, "fork a full localhost cluster and verify it against the in-process fabric")
-	chaos = flag.Bool("chaos", false, "run the chaos harness: repeated distributed runs under seeded fault schedules and process kills")
-	list  = flag.Bool("list", false, "list registered apps, models and transports, then exit")
+	serve   = flag.Bool("serve", false, "run the rendezvous coordinator")
+	smoke   = flag.Bool("smoke", false, "fork a full localhost cluster and verify it against the in-process fabric")
+	chaos   = flag.Bool("chaos", false, "run the chaos harness: repeated distributed runs under seeded fault schedules and process kills")
+	list    = flag.Bool("list", false, "list registered apps, models and transports, then exit")
+	version = flag.Bool("version", false, "print the build-info string and exit")
 
 	node   = flag.Int("node", -1, "node this worker hosts")
 	nodes  = flag.Int("nodes", 4, "cluster size")
@@ -115,23 +116,38 @@ func workerParams() harness.Params {
 	}
 }
 
-// result is the JSON line a worker prints. LocalSum is the worker
-// shard's additive checksum (table sum, rank sum, insert count, ...);
-// TotalSum is the cluster-wide reduction of it.
-type result struct {
-	Node     int     `json:"node"`
-	App      string  `json:"app"`
-	Model    string  `json:"model"`
-	Summary  string  `json:"summary"`
-	LocalSum uint64  `json:"local_sum"`
-	TotalSum uint64  `json:"total_sum"`
-	Ns       float64 `json:"ns"`
-	Sent     int64   `json:"wire_pkts_sent"`
-	Recon    int64   `json:"reconnects"`
+// specFromFlags is the full flag surface as a noderun Spec (fabric
+// unset; each mode picks its own).
+func specFromFlags() noderun.Spec {
+	fspec := *faults
+	if fspec == "" {
+		fspec = os.Getenv("GRAVEL_FAULTS")
+	}
+	return noderun.Spec{
+		App:             *app,
+		Model:           *model,
+		Nodes:           *nodes,
+		Params:          workerParams(),
+		Faults:          fspec,
+		WallClock:       *wall,
+		Suspect:         *suspectFlag,
+		Heartbeat:       *heartbeatFlag,
+		CoordTimeout:    *coordTimeout,
+		CoordBackoff:    *coordBackoff,
+		CoordBackoffMax: *coordBackoffMax,
+		CoordRPCTimeout: *coordRPCTimeout,
+	}
 }
 
 func main() {
+	// A process launched by a noderun exec fabric (smoke, chaos,
+	// gravel-server's worker pool) is a cluster worker, nothing else.
+	noderun.MaybeWorkerMain()
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Full("gravel-node"))
+		return
+	}
 	if *checkTrace != "" {
 		ev, err := obs.ValidateJSONLFile(*checkTrace)
 		if err != nil {
@@ -209,273 +225,85 @@ func runCoordinator() error {
 	return nil
 }
 
-// runWorker hosts one node: it joins the cluster through the
-// coordinator, runs the selected application's shard on the selected
-// model, folds the local result into the cluster-wide reduction, and
-// prints both. On a fatal transport error (a peer or the coordinator
-// declared down, surfaced as a typed error from the runtime) it exits
-// nonzero after dumping per-destination wire statistics and the
-// injected-fault log to stderr.
-func runWorker(sess *cliflags.Session) (err error) {
+// runWorker hosts one node through noderun's worker lifecycle, wiring
+// the observability session (-obs-addr) into the live runtime, and
+// prints the JSON result line.
+func runWorker(sess *cliflags.Session) error {
 	if *coord == "" {
 		return fmt.Errorf("worker needs -coord")
 	}
-	if *node >= *nodes {
-		return fmt.Errorf("-node %d out of range for -nodes %d", *node, *nodes)
-	}
-	a, err := harness.LookupApp(*app)
-	if err != nil {
-		return err
-	}
-	spec := *faults
-	if spec == "" {
-		spec = os.Getenv("GRAVEL_FAULTS")
-	}
-	fcfg, err := fault.Parse(spec)
-	if err != nil {
-		return fmt.Errorf("-faults: %w", err)
-	}
-	var (
-		sys gravel.System
-		tcp *transport.TCP
-	)
-	// Transport failures (and misconfigurations) surface as panics on
-	// the Step goroutine carrying typed errors (transport.PeerDownError,
-	// transport.CoordDownError). Recover them into a diagnosed nonzero
-	// exit. On failure the transport is killed, not closed: a graceful
-	// drain toward a dead peer would stall the exit past the failure
-	// detector's own bound.
-	defer func() {
-		if r := recover(); r != nil {
-			if e, ok := r.(error); ok {
-				err = e
-			} else {
-				err = fmt.Errorf("%v", r)
-			}
-		}
-		if err != nil {
-			dumpDiagnostics(sys, tcp)
-			if tcp != nil {
-				tcp.Kill()
-			}
-		} else if sys != nil {
-			sys.Close()
-		}
-	}()
-	sys, err = gravel.NewChecked(gravel.Config{
-		Model:     *model,
-		Nodes:     *nodes,
-		Transport: "tcp",
-		Faults:    fcfg,
-		TransportOpts: gravel.TransportOptions{
-			Self:                *node,
-			Listen:              *listen,
-			Coord:               *coord,
-			WallClock:           *wall,
-			SuspectTimeout:      *suspectFlag,
-			HeartbeatInterval:   *heartbeatFlag,
-			CoordDialTimeout:    *coordTimeout,
-			CoordDialBackoff:    *coordBackoff,
-			CoordDialBackoffMax: *coordBackoffMax,
-			CoordRPCTimeout:     *coordRPCTimeout,
+	res, err := noderun.RunWorker(noderun.WorkerConfig{
+		Node:   *node,
+		Coord:  *coord,
+		Listen: *listen,
+		Spec:   specFromFlags(),
+		OnSystem: func(sys gravel.System, tcp *transport.TCP) {
+			// /healthz surfaces the transport failure detector's verdict,
+			// /metrics the live Stats snapshot.
+			sess.SetHealth(tcp.Err)
+			sess.SetStats(func() *rt.Stats {
+				st := sys.Stats()
+				return &st
+			})
 		},
+		Diag: os.Stderr,
 	})
 	if err != nil {
 		return err
-	}
-
-	var ok bool
-	tcp, ok = sys.(interface{ Fabric() core.Fabric }).Fabric().(*transport.TCP)
-	if !ok {
-		return fmt.Errorf("fabric is not the TCP transport")
-	}
-	// Wire the observability endpoint to this worker's runtime: /healthz
-	// surfaces the transport failure detector's verdict, /metrics the
-	// live Stats snapshot.
-	sess.SetHealth(tcp.Err)
-	sess.SetStats(func() *rt.Stats {
-		st := sys.Stats()
-		return &st
-	})
-
-	// The shard's superstep collectives (frontier emptiness, k-means
-	// accumulators) ride the coordinator's keyed reduction.
-	p := workerParams()
-	shard := a.Shard(sys, *node, p, tcp.Reduce)
-
-	total, err := tcp.Reduce(*app+":sum", shard.Check)
-	if err != nil {
-		return err
-	}
-	if a.VerifyTotal != nil {
-		if err := a.VerifyTotal(total, p, *nodes); err != nil {
-			return err
-		}
-	}
-	stats := sys.NetStats()
-	res := result{
-		Node:     *node,
-		App:      *app,
-		Model:    *model,
-		Summary:  shard.Summary,
-		LocalSum: shard.Check,
-		TotalSum: total,
-		Ns:       shard.Ns,
-		Sent:     sumPkts(stats),
-		Recon:    stats.Reconnects,
 	}
 	if common.JSONPath != "" {
-		if err := writeJSON(common.JSONPath, res); err != nil {
+		if err := cliflags.WriteJSON(common.JSONPath, res); err != nil {
 			return err
 		}
 	}
 	return json.NewEncoder(os.Stdout).Encode(res)
 }
 
-// writeJSON writes v to path as one JSON document.
-func writeJSON(path string, v any) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func sumPkts(s gravel.NetStats) int64 {
-	var n int64
-	for _, d := range s.PerDest {
-		n += d.Packets
-	}
-	return n
-}
-
-// dumpDiagnostics writes the failure-time picture to stderr: per-dest
-// wire statistics and, when fault injection is on, the injected-fault
-// counters and log tail — everything needed to replay and localize a
-// failed chaos run from its seed.
-func dumpDiagnostics(sys gravel.System, tcp *transport.TCP) {
-	fmt.Fprintf(os.Stderr, "gravel-node: diagnostic dump (node %d)\n", *node)
-	if sys != nil {
-		s := sys.NetStats()
-		fmt.Fprintf(os.Stderr, "  wire: %d pkts, %d bytes; reconnects=%d retries=%d malformed=%d corrupt=%d\n",
-			s.WirePackets, s.WireBytes, s.Reconnects, s.Retries, s.Malformed, s.CorruptFrames)
-		for d, pd := range s.PerDest {
-			if pd.Packets > 0 {
-				fmt.Fprintf(os.Stderr, "  -> node %d: %d pkts, %d bytes\n", d, pd.Packets, pd.Bytes)
-			}
-		}
-	}
-	if tcp == nil {
+// printWorkerFailures relays failed workers' diagnoses (typed
+// transport errors, fault logs) to stderr.
+func printWorkerFailures(res *noderun.RunResult) {
+	if res == nil {
 		return
 	}
-	if err := tcp.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "  transport error: %v\n", err)
-	}
-	if inj := tcp.FaultInjector(); inj.Enabled() {
-		fmt.Fprintf(os.Stderr, "  faults injected: %s (seed %d)\n", inj.Counters(), inj.Config().Seed)
-		for _, e := range inj.Log() {
-			fmt.Fprintf(os.Stderr, "    %s\n", e)
+	for _, w := range res.Workers {
+		if w.Err == "" {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "worker %d: %s\n", w.Node, w.Err)
+		if w.Stderr != "" {
+			fmt.Fprintln(os.Stderr, w.Stderr)
 		}
 	}
 }
 
-// workerArgs builds the base argument list forwarded to a forked
-// worker: its identity plus the full app/model/parameter surface, so
-// every process resolves the same workload.
-func workerArgs(i int, coordAddr string) []string {
-	return []string{
-		"-node", strconv.Itoa(i),
-		"-nodes", strconv.Itoa(*nodes),
-		"-coord", coordAddr,
-		"-app", *app,
-		"-model", *model,
-		"-scale", strconv.FormatFloat(*scale, 'g', -1, 64),
-		"-table", strconv.Itoa(*table),
-		"-updates", strconv.Itoa(*updates),
-		"-steps", strconv.Itoa(*steps),
-		"-seed", strconv.FormatUint(*seed, 10),
-		"-verts", strconv.Itoa(*verts),
-		"-iters", strconv.Itoa(*iters),
-	}
-}
-
-// runSmoke is the end-to-end check: it runs the coordinator in-process,
-// forks one worker per node over localhost, and verifies the reduced
-// distributed checksum of the selected app and model against the
-// single-process channel fabric. With -trace/-obs-addr the in-process
-// reference run feeds the flight recorder and the /metrics endpoint.
+// runSmoke is the end-to-end check: it launches the exec fabric (one
+// forked worker process per node plus an in-process coordinator) and
+// verifies the reduced distributed checksum of the selected app and
+// model against the single-process channel fabric. With
+// -trace/-obs-addr the in-process reference run feeds the flight
+// recorder and the /metrics endpoint.
 func runSmoke(sess *cliflags.Session) error {
-	a, err := harness.LookupApp(*app)
+	s := specFromFlags()
+	s.Fabric = noderun.FabricExec
+	var l noderun.Launcher
+	res, err := l.Run(context.Background(), s)
 	if err != nil {
+		printWorkerFailures(res)
 		return err
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	c := transport.NewCoordinator(*nodes)
-	go c.Serve(ln)
-	defer ln.Close()
-
-	exe, err := os.Executable()
-	if err != nil {
-		return err
-	}
-	results := make([]result, *nodes)
-	errs := make([]error, *nodes)
-	var wg sync.WaitGroup
-	for i := 0; i < *nodes; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			cmd := exec.Command(exe, workerArgs(i, ln.Addr().String())...)
-			cmd.Stderr = os.Stderr
-			out, err := cmd.Output()
-			if err != nil {
-				errs[i] = fmt.Errorf("worker %d: %w", i, err)
-				return
-			}
-			if err := json.Unmarshal(out, &results[i]); err != nil {
-				errs[i] = fmt.Errorf("worker %d output: %w", i, err)
-			}
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
 	}
 
 	// Reference: the identical run on the in-process channel fabric.
-	ref, err := gravel.NewChecked(gravel.Config{Model: *model, Nodes: *nodes})
+	sref := s
+	sref.Fabric = noderun.FabricLocal
+	ref, err := noderun.RunLocal(sref)
 	if err != nil {
 		return err
 	}
-	refRes := a.Run(ref, workerParams())
-	refStats := ref.Stats()
-	sess.SetStats(func() *rt.Stats { return &refStats })
-	ref.Close()
-	if refRes.Err != nil {
-		return fmt.Errorf("in-process reference failed verification: %w", refRes.Err)
-	}
+	sess.SetStats(func() *rt.Stats { return ref.Stats })
 
-	var localTotal uint64
-	for _, r := range results {
-		localTotal += r.LocalSum
-		if r.TotalSum != results[0].TotalSum {
-			return fmt.Errorf("workers disagree on the reduced sum: %d vs %d", r.TotalSum, results[0].TotalSum)
-		}
-	}
 	fmt.Printf("smoke: app=%s model=%s %d workers, distributed check %d (reduced %d), in-process check %d\n",
-		*app, *model, *nodes, localTotal, results[0].TotalSum, refRes.Check)
-	if localTotal != refRes.Check || results[0].TotalSum != refRes.Check {
+		s.App, s.Model, s.Nodes, res.Check, res.Check, ref.Check)
+	if res.Check != ref.Check {
 		return fmt.Errorf("distributed run diverged from the in-process fabric")
 	}
 	fmt.Println("smoke: PASS")

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"gravel/internal/buildinfo"
 	"gravel/internal/queue"
 )
 
@@ -25,7 +26,12 @@ func main() {
 	producers := flag.Int("producers", 2, "producer goroutines")
 	consumers := flag.Int("consumers", 1, "consumer goroutines")
 	slots := flag.Int("slots", 128, "queue slots")
+	version := flag.Bool("version", false, "print the build-info string and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Full("gravel-queue"))
+		return
+	}
 
 	rows := (*msgBytes + 7) / 8
 	q := queue.NewGravel(*slots, rows, *wg)

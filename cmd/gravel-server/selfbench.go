@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"gravel/internal/buildinfo"
+	"gravel/internal/cliflags"
+	"gravel/internal/jobqueue"
+	"gravel/internal/server"
+)
+
+// Selfbench measures the service's own overhead: it stands up an
+// in-process gravel-server at each pool size and pushes jobs through
+// the full HTTP path (POST submit, long-poll to terminal), once with
+// distinct specs (uncached: every job executes a cluster) and once
+// with repeats of completed specs (cached: the LRU answers at submit).
+// The gap between the two is what the queue+cache machinery buys.
+
+const (
+	benchJobs  = 24
+	benchNodes = 3
+	benchScale = 0.05
+)
+
+type benchLatency struct {
+	Jobs       int     `json:"jobs"`
+	WallNs     int64   `json:"wall_ns"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	P50Ns      int64   `json:"p50_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+	MaxNs      int64   `json:"max_ns"`
+}
+
+type benchPool struct {
+	Pool     int          `json:"pool"`
+	Uncached benchLatency `json:"uncached"`
+	Cached   benchLatency `json:"cached"`
+}
+
+type benchDoc struct {
+	Benchmark string      `json:"benchmark"`
+	Build     string      `json:"build"`
+	GoVersion string      `json:"go_version"`
+	CPUs      int         `json:"cpus"`
+	App       string      `json:"app"`
+	Model     string      `json:"model"`
+	Nodes     int         `json:"nodes"`
+	Fabric    string      `json:"fabric"`
+	Scale     float64     `json:"scale"`
+	JobsPhase int         `json:"jobs_per_phase"`
+	Pools     []benchPool `json:"pools"`
+}
+
+func runSelfbench(jsonOut string) error {
+	doc := benchDoc{
+		Benchmark: "gravel-server selfbench: submit-to-result latency over HTTP",
+		Build:     buildinfo.String(),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		App:       "gups",
+		Model:     "gravel",
+		Nodes:     benchNodes,
+		Fabric:    "local",
+		Scale:     benchScale,
+		JobsPhase: benchJobs,
+	}
+	for _, p := range []int{1, 2, 4} {
+		res, err := benchPoolSize(p)
+		if err != nil {
+			return fmt.Errorf("selfbench pool %d: %w", p, err)
+		}
+		doc.Pools = append(doc.Pools, res)
+		fmt.Printf("pool %d: uncached %6.1f jobs/s (p50 %s, p99 %s)  cached %8.1f jobs/s (p50 %s, p99 %s)\n",
+			p,
+			res.Uncached.JobsPerSec, time.Duration(res.Uncached.P50Ns), time.Duration(res.Uncached.P99Ns),
+			res.Cached.JobsPerSec, time.Duration(res.Cached.P50Ns), time.Duration(res.Cached.P99Ns))
+	}
+	if jsonOut != "" {
+		if err := cliflags.WriteJSON(jsonOut, doc); err != nil {
+			return err
+		}
+		fmt.Printf("selfbench: wrote %s\n", jsonOut)
+	}
+	return nil
+}
+
+func benchPoolSize(poolSize int) (benchPool, error) {
+	srv, err := server.New("127.0.0.1:0", serverOptions(poolSize))
+	if err != nil {
+		return benchPool{}, err
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Distinct seeds force distinct cache keys: every job executes.
+	uncached, err := benchPhase(base, benchJobs, func(i int) uint64 { return uint64(1000 + i) })
+	if err != nil {
+		return benchPool{}, err
+	}
+	// The same seeds again: every job is an LRU hit, done at submit.
+	cached, err := benchPhase(base, benchJobs, func(i int) uint64 { return uint64(1000 + i) })
+	if err != nil {
+		return benchPool{}, err
+	}
+	return benchPool{Pool: poolSize, Uncached: uncached, Cached: cached}, nil
+}
+
+// benchPhase submits n jobs concurrently over HTTP and long-polls each
+// to a terminal state, returning per-job latency percentiles and
+// aggregate throughput.
+func benchPhase(base string, n int, seed func(int) uint64) (benchLatency, error) {
+	lat := make([]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			errs[i] = submitAndWait(base, seed(i))
+			lat[i] = time.Since(t0)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return benchLatency{}, err
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) int64 {
+		idx := int(p * float64(n-1))
+		return lat[idx].Nanoseconds()
+	}
+	return benchLatency{
+		Jobs:       n,
+		WallNs:     wall.Nanoseconds(),
+		JobsPerSec: float64(n) / wall.Seconds(),
+		P50Ns:      pct(0.50),
+		P99Ns:      pct(0.99),
+		MaxNs:      lat[n-1].Nanoseconds(),
+	}, nil
+}
+
+func submitAndWait(base string, seed uint64) error {
+	req := server.SubmitRequest{
+		App: "gups", Model: "gravel", Nodes: benchNodes,
+		Fabric: "local", Scale: benchScale, Seed: seed,
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var sub server.SubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decode submit: %w", err)
+	}
+	if sub.Job.ID == "" {
+		return fmt.Errorf("submit rejected (status %d)", resp.StatusCode)
+	}
+	if sub.Job.State.Terminal() {
+		if sub.Job.State != jobqueue.StateDone {
+			return fmt.Errorf("job %s: %s at submit", sub.Job.ID, sub.Job.State)
+		}
+		return nil // cache hit: done at submit time
+	}
+	wresp, err := http.Get(base + "/api/v1/jobs/" + sub.Job.ID + "?wait=60s")
+	if err != nil {
+		return err
+	}
+	var view jobqueue.View
+	err = json.NewDecoder(wresp.Body).Decode(&view)
+	wresp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decode wait: %w", err)
+	}
+	if view.State != jobqueue.StateDone {
+		return fmt.Errorf("job %s finished %s: %s", view.ID, view.State, view.Err)
+	}
+	return nil
+}

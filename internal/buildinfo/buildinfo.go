@@ -1,0 +1,54 @@
+// Package buildinfo identifies what a gravel binary was built from.
+// Every binary exposes it through -version, and the observability
+// server reports it in the /healthz payload so an operator can check
+// what a long-lived gravel-server deployment is actually running
+// without shelling into the box.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the release identifier, overridable at link time:
+//
+//	go build -ldflags "-X gravel/internal/buildinfo.Version=v1.2.3"
+var Version = "dev"
+
+// String is the one-line build description: version, Go toolchain, and
+// — when built from a version-controlled checkout — the VCS revision
+// and commit time stamped by the Go toolchain.
+func String() string {
+	s := Version + " " + runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return s
+	}
+	var rev, at, dirty string
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.time":
+			at = kv.Value
+		case "vcs.modified":
+			if kv.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev + dirty
+		if at != "" {
+			s += " " + at
+		}
+	}
+	return s
+}
+
+// Full is the -version output of the named binary.
+func Full(binary string) string { return fmt.Sprintf("%s %s", binary, String()) }

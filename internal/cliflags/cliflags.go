@@ -16,15 +16,54 @@
 package cliflags
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
 	"gravel/internal/obs"
 	"gravel/internal/rt"
 )
+
+// WriteJSON writes v to path as one indented JSON document,
+// atomically: the document lands under a temporary name in path's
+// directory and is renamed into place. A process that crashes mid-write
+// (a SIGKILLed worker, a chaos iteration) can therefore never leave a
+// truncated document at path for a reader — such as the job server's
+// retry logic parsing worker result files — to misparse: the path
+// either holds the previous complete document or the new one.
+func WriteJSON(path string, v any) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	cleanup := func() {
+		f.Close()
+		os.Remove(f.Name())
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
 
 // Common is the shared flag set. Fields are populated by flag.Parse
 // after Register binds them.

@@ -1,0 +1,193 @@
+package cliflags
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gravel/internal/rt"
+)
+
+func TestRegisterBindsSharedFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var c Common
+	c.Register(fs, true)
+	err := fs.Parse([]string{
+		"-json", "out.json",
+		"-trace", "trace.jsonl",
+		"-obs-addr", ":0",
+		"-cpuprofile", "cpu.pprof",
+		"-memprofile", "mem.pprof",
+	})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := Common{
+		JSONPath:   "out.json",
+		Trace:      "trace.jsonl",
+		ObsAddr:    ":0",
+		CPUProfile: "cpu.pprof",
+		MemProfile: "mem.pprof",
+	}
+	if c != want {
+		t.Fatalf("parsed %+v, want %+v", c, want)
+	}
+}
+
+func TestRegisterWithoutJSON(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(&strings.Builder{}) // silence usage on the expected error
+	var c Common
+	c.Register(fs, false)
+	if err := fs.Parse([]string{"-json", "x"}); err == nil {
+		t.Fatal("-json parsed on a binary registered without it")
+	}
+}
+
+// TestSessionIdle: a session with nothing enabled begins and ends
+// cleanly — the common path for binaries run without observability
+// flags.
+func TestSessionIdle(t *testing.T) {
+	var c Common
+	sess, err := c.Begin()
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	if addr := sess.ObsAddr(); addr != "" {
+		t.Fatalf("idle session has obs addr %q", addr)
+	}
+	if err := sess.End(); err != nil {
+		t.Fatalf("end: %v", err)
+	}
+}
+
+// TestSessionProfilesAndTrace drives the full lifecycle: CPU and heap
+// profiles plus a trace land on disk, non-empty, after End.
+func TestSessionProfilesAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	c := Common{
+		Trace:      filepath.Join(dir, "trace.jsonl"),
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+	}
+	sess, err := c.Begin()
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	if err := sess.End(); err != nil {
+		t.Fatalf("end: %v", err)
+	}
+	for _, p := range []string{c.Trace, c.CPUProfile, c.MemProfile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		// The trace of an idle recorder may legitimately be empty; the
+		// profiles must not be.
+		if p != c.Trace && st.Size() == 0 {
+			t.Errorf("%s: empty", p)
+		}
+	}
+}
+
+// TestSessionObsServer: -obs-addr :0 binds a real port whose /healthz
+// follows the wired health function.
+func TestSessionObsServer(t *testing.T) {
+	c := Common{ObsAddr: "127.0.0.1:0"}
+	sess, err := c.Begin()
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	defer sess.End()
+
+	addr := sess.ObsAddr()
+	if addr == "" {
+		t.Fatal("no obs addr with -obs-addr set")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d, want 200", resp.StatusCode)
+	}
+
+	sess.SetStats(func() *rt.Stats { return &rt.Stats{} })
+	mresp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d, want 200", mresp.StatusCode)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	doc := map[string]int{"a": 1, "b": 2}
+	if err := WriteJSON(path, doc); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	var got map[string]int
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got["a"] != 1 || got["b"] != 2 {
+		t.Fatalf("round trip: %v", got)
+	}
+	if !strings.Contains(string(raw), "\n  ") {
+		t.Fatalf("not indented: %q", raw)
+	}
+}
+
+// TestWriteJSONAtomic: a failed write must leave the previous document
+// intact and no temp droppings behind.
+func TestWriteJSONAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteJSON(path, map[string]string{"v": "old"}); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+	// json.Encoder cannot marshal a channel: the encode fails after the
+	// temp file exists.
+	if err := WriteJSON(path, map[string]any{"bad": make(chan int)}); err == nil {
+		t.Fatal("encoding a channel succeeded")
+	}
+	var got map[string]string
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if err := json.Unmarshal(raw, &got); err != nil || got["v"] != "old" {
+		t.Fatalf("previous document damaged: %q (err %v)", raw, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp droppings left behind: %v", names)
+	}
+}
+
+func TestWriteJSONBadDir(t *testing.T) {
+	if err := WriteJSON(filepath.Join(t.TempDir(), "missing", "out.json"), 1); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

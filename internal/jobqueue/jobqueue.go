@@ -1,0 +1,609 @@
+// Package jobqueue is the scheduling core of gravel-server: a priority
+// queue of cluster-run jobs with three properties a long-lived
+// multi-tenant service needs that a one-shot binary does not:
+//
+//   - dedup: identical in-flight requests — same (app, model, scale,
+//     seed, fabric, ...) tuple, i.e. the same noderun Spec.Key() —
+//     collapse onto one execution, and every submitter polls the same
+//     job;
+//   - bounded retries: a job whose workers die (a SIGKILLed process, a
+//     tripped failure detector) is re-queued with exponential backoff
+//     up to a retry budget before it is declared failed;
+//   - result cache: completed results are kept in an LRU keyed by the
+//     same tuple, so a repeated request is answered without launching
+//     anything.
+//
+// The queue knows nothing about HTTP or worker pools: internal/server
+// pulls jobs with Claim and settles them with Complete/Fail.
+package jobqueue
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gravel/internal/noderun"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued" // in the heap, or waiting out a retry backoff
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Transition is one step of a job's history, streamed to progress
+// watchers.
+type Transition struct {
+	At      time.Time `json:"at"`
+	State   State     `json:"state"`
+	Attempt int       `json:"attempt"`
+	Note    string    `json:"note,omitempty"`
+}
+
+// Job is one submitted cluster run. All fields are guarded by the
+// owning queue's lock; callers outside the package see snapshots
+// (View).
+type Job struct {
+	id       string
+	key      string
+	spec     noderun.Spec
+	priority int
+	seq      uint64 // FIFO tiebreak within a priority
+	index    int    // heap position, -1 when not in the heap
+
+	state     State
+	attempts  int // executions started
+	dedup     int // extra submissions folded onto this job
+	cached    bool
+	canceled  bool // cancel requested (may still be running)
+	result    *noderun.RunResult
+	errMsg    string
+	history   []Transition
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done      chan struct{}      // closed on any terminal state
+	cancelRun context.CancelFunc // live while running
+	timer     *time.Timer        // live while waiting out a retry backoff
+}
+
+// View is a Job snapshot, safe to serialize.
+type View struct {
+	ID       string             `json:"id"`
+	Key      string             `json:"key"`
+	Spec     noderun.Spec       `json:"spec"`
+	Priority int                `json:"priority"`
+	State    State              `json:"state"`
+	Attempts int                `json:"attempts"`
+	Dedup    int                `json:"dedup"`
+	Cached   bool               `json:"cached"`
+	Err      string             `json:"err,omitempty"`
+	Result   *noderun.RunResult `json:"result,omitempty"`
+	History  []Transition       `json:"history"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	WaitNs      int64     `json:"wait_ns"` // submit -> first execution (or now)
+	RunNs       int64     `json:"run_ns"`  // first execution -> terminal (or now)
+}
+
+// Outcome tells a submitter how its request was absorbed.
+type Outcome string
+
+const (
+	OutcomeQueued  Outcome = "queued"  // a new execution was scheduled
+	OutcomeDeduped Outcome = "deduped" // folded onto an identical in-flight job
+	OutcomeCached  Outcome = "cached"  // served from the result cache, nothing launched
+)
+
+// Options tune a Queue. The zero value is usable.
+type Options struct {
+	// MaxRetries is how many times a failed job is re-executed before
+	// being declared failed (default 2; <0 disables retries).
+	MaxRetries int
+	// RetryBackoff is the delay before the first re-execution, doubling
+	// each retry up to RetryBackoffMax (defaults 100ms, 5s).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// CacheSize is the LRU result-cache capacity in entries (default
+	// 256; <0 disables caching).
+	CacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	if o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = 5 * time.Second
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.CacheSize < 0 {
+		o.CacheSize = 0
+	}
+	return o
+}
+
+// Stats is the queue's admin snapshot.
+type Stats struct {
+	Depth   int `json:"depth"`   // jobs in the heap, runnable now
+	Backoff int `json:"backoff"` // jobs waiting out a retry backoff
+	Running int `json:"running"`
+
+	Submitted int64 `json:"submitted"`
+	Deduped   int64 `json:"deduped"`
+	CacheHits int64 `json:"cache_hits"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Retries   int64 `json:"retries"`
+	Canceled  int64 `json:"canceled"`
+
+	CacheLen int `json:"cache_len"`
+	CacheCap int `json:"cache_cap"`
+}
+
+// ErrClosed is returned by Claim and Submit after Close.
+var ErrClosed = errors.New("jobqueue: closed")
+
+// Queue is the job queue. Create with New.
+type Queue struct {
+	opt Options
+
+	mu       sync.Mutex
+	heap     jobHeap
+	inflight map[string]*Job // key -> queued or running job
+	jobs     map[string]*Job // id -> every job ever submitted
+	order    []*Job          // submission order, for listing
+	cache    *lru
+	wake     chan struct{} // closed and replaced whenever work arrives
+	closed   bool
+	seq      uint64
+	running  int
+	backoff  int
+
+	submitted, deduped, cacheHits         int64
+	completed, failed, retries, canceledN int64
+}
+
+// New builds an empty queue.
+func New(opt Options) *Queue {
+	opt = opt.withDefaults()
+	return &Queue{
+		opt:      opt,
+		inflight: make(map[string]*Job),
+		jobs:     make(map[string]*Job),
+		cache:    newLRU(opt.CacheSize),
+		wake:     make(chan struct{}),
+	}
+}
+
+// Submit absorbs one request: served from cache, folded onto an
+// identical in-flight job, or queued as a new one. priority orders the
+// heap (higher first; FIFO within a priority). The returned view names
+// the job to poll.
+func (q *Queue) Submit(spec noderun.Spec, priority int) (View, Outcome, error) {
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return View{}, "", err
+	}
+	key := spec.Key()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return View{}, "", ErrClosed
+	}
+	q.submitted++
+	now := time.Now()
+
+	if res, ok := q.cache.get(key); ok {
+		q.cacheHits++
+		j := q.newJobLocked(spec, key, priority, now)
+		j.state = StateDone
+		j.cached = true
+		j.result = res
+		j.finished = now
+		j.transitionLocked(now, StateDone, "served from cache")
+		close(j.done)
+		return j.viewLocked(), OutcomeCached, nil
+	}
+
+	if j, ok := q.inflight[key]; ok {
+		q.deduped++
+		j.dedup++
+		// A higher-priority duplicate drags the shared job up the heap.
+		if priority > j.priority {
+			j.priority = priority
+			if j.index >= 0 {
+				heap.Fix(&q.heap, j.index)
+			}
+		}
+		return j.viewLocked(), OutcomeDeduped, nil
+	}
+
+	j := q.newJobLocked(spec, key, priority, now)
+	j.transitionLocked(now, StateQueued, "")
+	q.inflight[key] = j
+	heap.Push(&q.heap, j)
+	q.wakeLocked()
+	return j.viewLocked(), OutcomeQueued, nil
+}
+
+func (q *Queue) newJobLocked(spec noderun.Spec, key string, priority int, now time.Time) *Job {
+	q.seq++
+	j := &Job{
+		id:        fmt.Sprintf("j%06d", q.seq),
+		key:       key,
+		spec:      spec,
+		priority:  priority,
+		seq:       q.seq,
+		index:     -1,
+		state:     StateQueued,
+		submitted: now,
+		done:      make(chan struct{}),
+	}
+	q.jobs[j.id] = j
+	q.order = append(q.order, j)
+	return j
+}
+
+// wakeLocked signals every Claim waiter that the heap changed.
+func (q *Queue) wakeLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// Claim blocks until a job is runnable, marks it running, and hands it
+// to the caller together with the job's cancellation context (canceled
+// by Cancel or Close). The caller must settle the job with Complete or
+// Fail.
+func (q *Queue) Claim(ctx context.Context) (*Job, context.Context, error) {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return nil, nil, ErrClosed
+		}
+		if q.heap.Len() > 0 {
+			j := heap.Pop(&q.heap).(*Job)
+			now := time.Now()
+			j.attempts++
+			j.state = StateRunning
+			if j.started.IsZero() {
+				j.started = now
+			}
+			runCtx, cancel := context.WithCancel(context.Background())
+			j.cancelRun = cancel
+			j.transitionLocked(now, StateRunning, fmt.Sprintf("attempt %d", j.attempts))
+			q.running++
+			q.mu.Unlock()
+			return j, runCtx, nil
+		}
+		wake := q.wake
+		q.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+}
+
+// Complete settles a claimed job as done and publishes its result to
+// the cache.
+func (q *Queue) Complete(j *Job, res *noderun.RunResult) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j.state != StateRunning {
+		return
+	}
+	now := time.Now()
+	q.running--
+	j.cancelRun = nil
+	j.result = res
+	j.finished = now
+	j.state = StateDone
+	j.transitionLocked(now, StateDone, "")
+	q.completed++
+	delete(q.inflight, j.key)
+	q.cache.add(j.key, res)
+	close(j.done)
+}
+
+// Fail settles a claimed job's failed attempt: re-queued with backoff
+// while the retry budget lasts (and the job was not canceled),
+// terminally failed otherwise.
+func (q *Queue) Fail(j *Job, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j.state != StateRunning {
+		return
+	}
+	now := time.Now()
+	q.running--
+	j.cancelRun = nil
+	j.errMsg = err.Error()
+
+	if j.canceled || q.closed {
+		q.finalizeLocked(j, StateCanceled, now, "canceled")
+		return
+	}
+	if j.attempts > q.opt.MaxRetries {
+		q.finalizeLocked(j, StateFailed, now, fmt.Sprintf("failed after %d attempts", j.attempts))
+		return
+	}
+	// Exponential backoff: RetryBackoff << (attempt-1), capped.
+	delay := q.opt.RetryBackoff << (j.attempts - 1)
+	if delay > q.opt.RetryBackoffMax || delay <= 0 {
+		delay = q.opt.RetryBackoffMax
+	}
+	q.retries++
+	q.backoff++
+	j.state = StateQueued
+	j.transitionLocked(now, StateQueued, fmt.Sprintf("retry %d in %v: %v", j.attempts, delay, err))
+	j.timer = time.AfterFunc(delay, func() { q.requeue(j) })
+}
+
+// requeue moves a backoff job back into the heap (or finalizes it if
+// it was canceled or the queue closed meanwhile).
+func (q *Queue) requeue(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j.timer == nil || j.state != StateQueued {
+		return
+	}
+	j.timer = nil
+	q.backoff--
+	now := time.Now()
+	if j.canceled || q.closed {
+		q.finalizeLocked(j, StateCanceled, now, "canceled during backoff")
+		return
+	}
+	heap.Push(&q.heap, j)
+	q.wakeLocked()
+}
+
+// finalizeLocked moves a job to a terminal state.
+func (q *Queue) finalizeLocked(j *Job, s State, now time.Time, note string) {
+	j.state = s
+	j.finished = now
+	j.transitionLocked(now, s, note)
+	switch s {
+	case StateFailed:
+		q.failed++
+	case StateCanceled:
+		q.canceledN++
+	}
+	delete(q.inflight, j.key)
+	close(j.done)
+}
+
+// Cancel requests cancellation: a queued job is canceled immediately
+// (removed from the heap or its backoff timer stopped); a running
+// job's context is canceled and it finalizes when its runner returns.
+// Canceling a terminal job is a no-op. The returned view reflects the
+// state after the request; ok is false for unknown ids.
+func (q *Queue) Cancel(id string) (View, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	if j.state.Terminal() {
+		return j.viewLocked(), true
+	}
+	j.canceled = true
+	now := time.Now()
+	switch j.state {
+	case StateQueued:
+		if j.index >= 0 {
+			heap.Remove(&q.heap, j.index)
+		} else if j.timer != nil {
+			j.timer.Stop()
+			j.timer = nil
+			q.backoff--
+		}
+		q.finalizeLocked(j, StateCanceled, now, "canceled while queued")
+	case StateRunning:
+		if j.cancelRun != nil {
+			j.cancelRun()
+		}
+		j.transitionLocked(now, StateRunning, "cancel requested")
+	}
+	return j.viewLocked(), true
+}
+
+// Get snapshots a job by id.
+func (q *Queue) Get(id string) (View, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	return j.viewLocked(), true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires,
+// returning the final (or latest) view.
+func (q *Queue) Wait(ctx context.Context, id string) (View, bool) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return View{}, false
+	}
+	done := j.done
+	q.mu.Unlock()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	return q.Get(id)
+}
+
+// Done exposes the job's terminal-state channel (closed when the job
+// finishes); nil for unknown ids.
+func (q *Queue) Done(id string) <-chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j, ok := q.jobs[id]; ok {
+		return j.done
+	}
+	return nil
+}
+
+// List snapshots every job in submission order.
+func (q *Queue) List() []View {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]View, len(q.order))
+	for i, j := range q.order {
+		out[i] = j.viewLocked()
+	}
+	return out
+}
+
+// Stats snapshots the queue counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Depth:     q.heap.Len(),
+		Backoff:   q.backoff,
+		Running:   q.running,
+		Submitted: q.submitted,
+		Deduped:   q.deduped,
+		CacheHits: q.cacheHits,
+		Completed: q.completed,
+		Failed:    q.failed,
+		Retries:   q.retries,
+		Canceled:  q.canceledN,
+		CacheLen:  q.cache.len(),
+		CacheCap:  q.cache.cap,
+	}
+}
+
+// Close shuts the queue down: queued jobs cancel immediately, running
+// jobs get their contexts canceled, and every Claim returns ErrClosed.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	now := time.Now()
+	for q.heap.Len() > 0 {
+		j := heap.Pop(&q.heap).(*Job)
+		q.finalizeLocked(j, StateCanceled, now, "queue closed")
+	}
+	for _, j := range q.jobs {
+		switch j.state {
+		case StateRunning:
+			if j.cancelRun != nil {
+				j.cancelRun()
+			}
+		case StateQueued: // backoff jobs; their timers observe closed
+			if j.timer != nil {
+				j.timer.Stop()
+				j.timer = nil
+				q.backoff--
+				q.finalizeLocked(j, StateCanceled, now, "queue closed")
+			}
+		}
+	}
+	q.wakeLocked()
+}
+
+// ID returns the claimed job's id (stable, lock-free).
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the claimed job's spec (immutable after submit).
+func (j *Job) Spec() noderun.Spec { return j.spec }
+
+func (j *Job) transitionLocked(at time.Time, s State, note string) {
+	j.history = append(j.history, Transition{At: at, State: s, Attempt: j.attempts, Note: note})
+}
+
+func (j *Job) viewLocked() View {
+	v := View{
+		ID:          j.id,
+		Key:         j.key,
+		Spec:        j.spec,
+		Priority:    j.priority,
+		State:       j.state,
+		Attempts:    j.attempts,
+		Dedup:       j.dedup,
+		Cached:      j.cached,
+		Err:         j.errMsg,
+		Result:      j.result,
+		History:     append([]Transition(nil), j.history...),
+		SubmittedAt: j.submitted,
+	}
+	now := time.Now()
+	switch {
+	case !j.started.IsZero():
+		v.WaitNs = j.started.Sub(j.submitted).Nanoseconds()
+		end := now
+		if !j.finished.IsZero() {
+			end = j.finished
+		}
+		v.RunNs = end.Sub(j.started).Nanoseconds()
+	case !j.finished.IsZero(): // cached or canceled before running
+		v.WaitNs = j.finished.Sub(j.submitted).Nanoseconds()
+	default:
+		v.WaitNs = now.Sub(j.submitted).Nanoseconds()
+	}
+	return v
+}
+
+// jobHeap orders by priority (higher first), then submission order.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, k int) bool {
+	if h[i].priority != h[k].priority {
+		return h[i].priority > h[k].priority
+	}
+	return h[i].seq < h[k].seq
+}
+func (h jobHeap) Swap(i, k int) {
+	h[i], h[k] = h[k], h[i]
+	h[i].index = i
+	h[k].index = k
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*Job)
+	j.index = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	j := old[len(old)-1]
+	old[len(old)-1] = nil
+	j.index = -1
+	*h = old[:len(old)-1]
+	return j
+}

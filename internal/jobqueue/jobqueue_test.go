@@ -1,0 +1,296 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gravel/internal/noderun"
+)
+
+// spec returns a valid, cheap spec; seed varies the dedup/cache key.
+func spec(seed uint64) noderun.Spec {
+	s := noderun.Spec{App: "gups", Model: "gravel", Nodes: 2, Fabric: noderun.FabricLocal}
+	s.Params.Scale = 0.02
+	s.Params.Seed = seed
+	return s
+}
+
+func result(s noderun.Spec) *noderun.RunResult {
+	return &noderun.RunResult{Spec: s.Normalized(), Check: 42, Summary: "test"}
+}
+
+func mustClaim(t *testing.T, q *Queue) (*Job, context.Context) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	j, runCtx, err := q.Claim(ctx)
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	return j, runCtx
+}
+
+func TestSubmitClaimComplete(t *testing.T) {
+	q := New(Options{})
+	defer q.Close()
+	v, out, err := q.Submit(spec(1), 0)
+	if err != nil || out != OutcomeQueued {
+		t.Fatalf("Submit = %v, %v; want queued", out, err)
+	}
+	if v.State != StateQueued {
+		t.Fatalf("state = %s", v.State)
+	}
+	j, _ := mustClaim(t, q)
+	if j.ID() != v.ID {
+		t.Fatalf("claimed %s, submitted %s", j.ID(), v.ID)
+	}
+	q.Complete(j, result(j.Spec()))
+	got, ok := q.Wait(context.Background(), v.ID)
+	if !ok || got.State != StateDone || got.Result == nil || got.Result.Check != 42 {
+		t.Fatalf("after complete: %+v", got)
+	}
+	st := q.Stats()
+	if st.Submitted != 1 || st.Completed != 1 || st.Depth != 0 || st.Running != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	q := New(Options{})
+	defer q.Close()
+	s := spec(1)
+	s.App = "no-such-app"
+	if _, _, err := q.Submit(s, 0); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestDedupInflight(t *testing.T) {
+	q := New(Options{})
+	defer q.Close()
+	a, out, _ := q.Submit(spec(7), 0)
+	if out != OutcomeQueued {
+		t.Fatalf("first submit: %v", out)
+	}
+	b, out, _ := q.Submit(spec(7), 0)
+	if out != OutcomeDeduped || b.ID != a.ID {
+		t.Fatalf("identical submit = %v id %s, want deduped onto %s", out, b.ID, a.ID)
+	}
+	// Dedup holds while the job is running, too.
+	j, _ := mustClaim(t, q)
+	c, out, _ := q.Submit(spec(7), 0)
+	if out != OutcomeDeduped || c.ID != a.ID {
+		t.Fatalf("submit while running = %v id %s", out, c.ID)
+	}
+	if c.Dedup != 2 {
+		t.Fatalf("dedup count = %d, want 2", c.Dedup)
+	}
+	q.Complete(j, result(j.Spec()))
+	if st := q.Stats(); st.Deduped != 2 || st.Completed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheHit(t *testing.T) {
+	q := New(Options{})
+	defer q.Close()
+	a, _, _ := q.Submit(spec(9), 0)
+	j, _ := mustClaim(t, q)
+	q.Complete(j, result(j.Spec()))
+
+	b, out, _ := q.Submit(spec(9), 0)
+	if out != OutcomeCached {
+		t.Fatalf("repeat submit = %v, want cached", out)
+	}
+	if b.ID == a.ID {
+		t.Fatal("cached submission reused the original job id")
+	}
+	if b.State != StateDone || !b.Cached || b.Result == nil || b.Result.Check != 42 {
+		t.Fatalf("cached view: %+v", b)
+	}
+	// The cached job is already terminal: Wait returns immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if got, ok := q.Wait(ctx, b.ID); !ok || got.State != StateDone {
+		t.Fatalf("wait on cached job: %+v ok=%v", got, ok)
+	}
+	if st := q.Stats(); st.CacheHits != 1 || st.CacheLen != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// A different seed misses.
+	if _, out, _ := q.Submit(spec(10), 0); out != OutcomeQueued {
+		t.Fatalf("different seed = %v, want queued", out)
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	q := New(Options{})
+	defer q.Close()
+	lo1, _, _ := q.Submit(spec(1), 0)
+	lo2, _, _ := q.Submit(spec(2), 0)
+	hi, _, _ := q.Submit(spec(3), 5)
+	want := []string{hi.ID, lo1.ID, lo2.ID}
+	for i, w := range want {
+		j, _ := mustClaim(t, q)
+		if j.ID() != w {
+			t.Fatalf("claim %d = %s, want %s", i, j.ID(), w)
+		}
+		q.Complete(j, result(j.Spec()))
+	}
+}
+
+func TestDedupPriorityBump(t *testing.T) {
+	q := New(Options{})
+	defer q.Close()
+	a, _, _ := q.Submit(spec(1), 0)
+	b, _, _ := q.Submit(spec(2), 0)
+	// A high-priority duplicate of b drags it above a.
+	if _, out, _ := q.Submit(spec(2), 9); out != OutcomeDeduped {
+		t.Fatal("expected dedup")
+	}
+	j, _ := mustClaim(t, q)
+	if j.ID() != b.ID {
+		t.Fatalf("first claim = %s, want bumped %s", j.ID(), b.ID)
+	}
+	q.Complete(j, result(j.Spec()))
+	j, _ = mustClaim(t, q)
+	if j.ID() != a.ID {
+		t.Fatalf("second claim = %s, want %s", j.ID(), a.ID)
+	}
+	q.Complete(j, result(j.Spec()))
+}
+
+func TestRetryThenSucceed(t *testing.T) {
+	q := New(Options{MaxRetries: 2, RetryBackoff: 10 * time.Millisecond})
+	defer q.Close()
+	v, _, _ := q.Submit(spec(1), 0)
+	j, _ := mustClaim(t, q)
+	q.Fail(j, errors.New("worker killed"))
+
+	if got, _ := q.Get(v.ID); got.State != StateQueued {
+		t.Fatalf("after first failure state = %s, want queued (backoff)", got.State)
+	}
+	if st := q.Stats(); st.Backoff != 1 || st.Retries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The same job comes back after the backoff.
+	j2, _ := mustClaim(t, q)
+	if j2.ID() != v.ID {
+		t.Fatalf("retried claim = %s, want %s", j2.ID(), v.ID)
+	}
+	q.Complete(j2, result(j2.Spec()))
+	got, _ := q.Get(v.ID)
+	if got.State != StateDone || got.Attempts != 2 {
+		t.Fatalf("final: state=%s attempts=%d", got.State, got.Attempts)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	q := New(Options{MaxRetries: 1, RetryBackoff: time.Millisecond})
+	defer q.Close()
+	v, _, _ := q.Submit(spec(1), 0)
+	for i := 0; i < 2; i++ {
+		j, _ := mustClaim(t, q)
+		q.Fail(j, errors.New("boom"))
+	}
+	got, _ := q.Wait(context.Background(), v.ID)
+	if got.State != StateFailed || got.Attempts != 2 || got.Err == "" {
+		t.Fatalf("final: %+v", got)
+	}
+	if st := q.Stats(); st.Failed != 1 || st.Retries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	q := New(Options{})
+	defer q.Close()
+	v, _, _ := q.Submit(spec(1), 0)
+	got, ok := q.Cancel(v.ID)
+	if !ok || got.State != StateCanceled {
+		t.Fatalf("cancel: %+v ok=%v", got, ok)
+	}
+	// The slot is free again: an identical submit is a fresh job, not a
+	// dedup onto a corpse.
+	if _, out, _ := q.Submit(spec(1), 0); out != OutcomeQueued {
+		t.Fatalf("submit after cancel = %v, want queued", out)
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	q := New(Options{MaxRetries: 5})
+	defer q.Close()
+	v, _, _ := q.Submit(spec(1), 0)
+	j, runCtx := mustClaim(t, q)
+	if _, ok := q.Cancel(v.ID); !ok {
+		t.Fatal("cancel failed")
+	}
+	select {
+	case <-runCtx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("cancel did not cancel the run context")
+	}
+	// The runner observes the canceled context and reports failure; the
+	// job must finalize canceled, not enter the retry loop.
+	q.Fail(j, runCtx.Err())
+	got, _ := q.Get(v.ID)
+	if got.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", got.State)
+	}
+}
+
+func TestCancelDuringBackoff(t *testing.T) {
+	q := New(Options{MaxRetries: 3, RetryBackoff: time.Hour})
+	defer q.Close()
+	v, _, _ := q.Submit(spec(1), 0)
+	j, _ := mustClaim(t, q)
+	q.Fail(j, errors.New("boom"))
+	got, ok := q.Cancel(v.ID)
+	if !ok || got.State != StateCanceled {
+		t.Fatalf("cancel during backoff: %+v", got)
+	}
+}
+
+func TestCloseUnblocksClaim(t *testing.T) {
+	q := New(Options{})
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := q.Claim(context.Background())
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("claim after close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Claim did not unblock on Close")
+	}
+	if _, _, err := q.Submit(spec(1), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	r := &noderun.RunResult{Check: 1}
+	c.add("a", r)
+	c.add("b", r)
+	if _, ok := c.get("a"); !ok { // refresh a
+		t.Fatal("a missing")
+	}
+	c.add("c", r) // evicts b (LRU), not a
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+}

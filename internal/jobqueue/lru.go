@@ -1,0 +1,57 @@
+package jobqueue
+
+import (
+	"container/list"
+
+	"gravel/internal/noderun"
+)
+
+// lru is the result cache: spec key -> completed RunResult, evicting
+// the least recently used entry at capacity. A capacity of 0 disables
+// it (every get misses, adds are dropped).
+type lru struct {
+	cap     int
+	order   *list.List // front = most recent; values are *lruEntry
+	entries map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res *noderun.RunResult
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func (c *lru) get(key string) (*noderun.RunResult, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *lru) add(key string, res *noderun.RunResult) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) len() int { return c.order.Len() }

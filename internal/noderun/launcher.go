@@ -1,0 +1,315 @@
+// Launcher-side lifecycle: realize a Spec as a running cluster —
+// coordinator up, one worker per node, results collected and
+// cross-checked. Extracted from cmd/gravel-node's smoke/chaos modes so
+// gravel-server (and tests) can launch the same clusters through a Go
+// API.
+package noderun
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"gravel"
+	"gravel/internal/transport"
+)
+
+// Coord is an in-process rendezvous coordinator bound to a live
+// listener. Its listener closes itself once every worker has said
+// goodbye.
+type Coord struct {
+	c  *transport.Coordinator
+	ln net.Listener
+}
+
+// StartCoordinator listens on 127.0.0.1 and serves a rendezvous
+// coordinator for a cluster of the given size.
+func StartCoordinator(nodes int) (*Coord, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	c := transport.NewCoordinator(nodes)
+	go c.Serve(ln)
+	go func() {
+		<-c.Done()
+		ln.Close()
+	}()
+	return &Coord{c: c, ln: ln}, nil
+}
+
+// Addr is the coordinator's dialable address.
+func (c *Coord) Addr() string { return c.ln.Addr().String() }
+
+// Stop closes the listener: no new connections.
+func (c *Coord) Stop() { c.ln.Close() }
+
+// Kill stops the listener and severs every established coordinator
+// connection — the chaos harness's coordinator-failure injection.
+func (c *Coord) Kill() {
+	c.ln.Close()
+	c.c.Kill()
+}
+
+// Hooks observe a launched cluster while it runs. The chaos harness
+// and the retry tests use them to kill pieces mid-run.
+type Hooks struct {
+	// CoordStarted fires once the rendezvous coordinator is serving.
+	CoordStarted func(c *Coord)
+	// WorkerStarted fires per launched worker with a kill switch:
+	// SIGKILL for FabricExec workers, a transport kill for FabricTCP
+	// worker goroutines.
+	WorkerStarted func(node int, kill func())
+}
+
+// Launcher runs cluster Specs. The zero value is ready to use: exec
+// workers re-exec the current binary (which must call MaybeWorkerMain
+// at the top of main).
+type Launcher struct {
+	// Exe is the worker binary for FabricExec (default: this
+	// executable).
+	Exe string
+	// Stderr capped per worker in RunResult (default 4 KiB).
+	StderrCap int
+	Hooks     Hooks
+}
+
+// Runner is anything that can execute a cluster run; the job-queue
+// worker pool schedules onto one.
+type Runner interface {
+	Run(ctx context.Context, spec Spec) (*RunResult, error)
+}
+
+// Run executes the spec to completion on its fabric. The RunResult is
+// non-nil whenever the cluster launched, even if workers failed — the
+// per-worker statuses carry the diagnosis; the returned error is then
+// the first *WorkerError.
+func (l *Launcher) Run(ctx context.Context, spec Spec) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	switch spec.Fabric {
+	case FabricLocal:
+		return RunLocal(spec)
+	case FabricTCP:
+		return l.runGoroutines(ctx, spec)
+	default:
+		return l.runExec(ctx, spec)
+	}
+}
+
+// workerOutcome is the collection slot both fabrics fill per node.
+type workerOutcome struct {
+	res    WorkerResult
+	err    error
+	stderr string
+}
+
+// runExec forks one OS process per node, each re-execing the worker
+// binary with the spec in WorkerEnv, and harvests their JSON result
+// lines.
+func (l *Launcher) runExec(ctx context.Context, spec Spec) (*RunResult, error) {
+	exe := l.Exe
+	if exe == "" {
+		var err error
+		exe, err = os.Executable()
+		if err != nil {
+			return nil, err
+		}
+	}
+	coord, err := StartCoordinator(spec.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Stop()
+	if l.Hooks.CoordStarted != nil {
+		l.Hooks.CoordStarted(coord)
+	}
+	start := time.Now()
+	out := make([]workerOutcome, spec.Nodes)
+	var wg sync.WaitGroup
+	for i := 0; i < spec.Nodes; i++ {
+		env, err := json.Marshal(workerEnvDoc{Node: i, Coord: coord.Addr(), Spec: spec})
+		if err != nil {
+			return nil, err
+		}
+		cmd := exec.CommandContext(ctx, exe)
+		cmd.Env = append(os.Environ(), WorkerEnv+"="+string(env))
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("noderun: worker %d: %w", i, err)
+		}
+		if l.Hooks.WorkerStarted != nil {
+			proc := cmd.Process
+			l.Hooks.WorkerStarted(i, func() { proc.Kill() })
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := cmd.Wait()
+			out[i].stderr = tail(stderr.Bytes(), l.stderrCap())
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			if jerr := json.Unmarshal(stdout.Bytes(), &out[i].res); jerr != nil {
+				out[i].err = fmt.Errorf("bad worker output %q: %w", stdout.String(), jerr)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return assemble(spec, out, time.Since(start))
+}
+
+// runGoroutines hosts every worker as a goroutine in this process,
+// joined over the real TCP transport.
+func (l *Launcher) runGoroutines(ctx context.Context, spec Spec) (*RunResult, error) {
+	coord, err := StartCoordinator(spec.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Stop()
+	if l.Hooks.CoordStarted != nil {
+		l.Hooks.CoordStarted(coord)
+	}
+	start := time.Now()
+	out := make([]workerOutcome, spec.Nodes)
+	killers := make([]*killer, spec.Nodes)
+	var wg sync.WaitGroup
+	for i := 0; i < spec.Nodes; i++ {
+		k := &killer{}
+		killers[i] = k
+		if l.Hooks.WorkerStarted != nil {
+			l.Hooks.WorkerStarted(i, k.kill)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var diag bytes.Buffer
+			res, err := RunWorker(WorkerConfig{
+				Node:  i,
+				Coord: coord.Addr(),
+				Spec:  spec,
+				Diag:  &diag,
+				OnSystem: func(_ gravel.System, tcp *transport.TCP) {
+					k.bind(func() { tcp.Kill() })
+				},
+			})
+			out[i] = workerOutcome{res: res, err: err, stderr: tail(diag.Bytes(), l.stderrCap())}
+		}(i)
+	}
+	// A context cancellation kills every worker's transport, unwinding
+	// their Step goroutines with typed errors within the detector bound.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			for _, k := range killers {
+				k.kill()
+			}
+		case <-stop:
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	return assemble(spec, out, time.Since(start))
+}
+
+func (l *Launcher) stderrCap() int {
+	if l.StderrCap > 0 {
+		return l.StderrCap
+	}
+	return 4096
+}
+
+func tail(b []byte, n int) string {
+	if len(b) > n {
+		b = b[len(b)-n:]
+	}
+	return string(b)
+}
+
+// killer is a kill switch that may be pulled before its target exists:
+// binding a target after the switch was pulled fires immediately.
+type killer struct {
+	mu     sync.Mutex
+	fn     func()
+	killed bool
+}
+
+func (k *killer) kill() {
+	k.mu.Lock()
+	k.killed = true
+	fn := k.fn
+	k.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+func (k *killer) bind(fn func()) {
+	k.mu.Lock()
+	k.fn = fn
+	killed := k.killed
+	k.mu.Unlock()
+	if killed {
+		fn()
+	}
+}
+
+// assemble cross-checks the collected worker outcomes and folds them
+// into one RunResult: every finished worker must report the same
+// reduced sum, and when all finished their local sums must add to it.
+func assemble(spec Spec, out []workerOutcome, wall time.Duration) (*RunResult, error) {
+	res := &RunResult{Spec: spec, WallNs: wall.Nanoseconds()}
+	var firstErr error
+	var localTotal uint64
+	succeeded := 0
+	for i := range out {
+		o := &out[i]
+		ws := WorkerStatus{Node: i}
+		if o.err != nil {
+			ws.Err = o.err.Error()
+			ws.Stderr = o.stderr
+			if firstErr == nil {
+				firstErr = &WorkerError{Node: i, Stderr: o.stderr, Err: o.err}
+			}
+		} else {
+			r := o.res
+			ws.Result = &r
+			localTotal += r.LocalSum
+			res.WirePackets += r.Sent
+			res.Reconnects += r.Recon
+			if r.Ns > res.Ns {
+				res.Ns = r.Ns
+			}
+			if succeeded == 0 {
+				res.Check = r.TotalSum
+				res.Summary = r.Summary
+			} else if r.TotalSum != res.Check {
+				return res, fmt.Errorf("noderun: workers disagree on the reduced sum: %d vs %d", r.TotalSum, res.Check)
+			}
+			succeeded++
+		}
+		res.Workers = append(res.Workers, ws)
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	if succeeded == len(out) && localTotal != res.Check {
+		return res, fmt.Errorf("noderun: local sums add to %d, reduced sum is %d", localTotal, res.Check)
+	}
+	return res, nil
+}

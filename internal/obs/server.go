@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -9,16 +10,20 @@ import (
 	"sync"
 	"time"
 
+	"gravel/internal/buildinfo"
 	"gravel/internal/rt"
 	"gravel/internal/stats"
 )
 
 // Server is the live observability endpoint: Prometheus-style text
 // metrics on /metrics and a liveness probe on /healthz wired to the
-// transport failure detectors.
+// transport failure detectors. Other subsystems share it — Handle
+// mounts additional routes on the same listener, which is how
+// gravel-server serves its job API alongside /metrics and /healthz.
 type Server struct {
 	ln     net.Listener
 	srv    *http.Server
+	mux    *http.ServeMux
 	health func() error
 	stats  func() *rt.Stats
 
@@ -40,6 +45,7 @@ func NewServer(addr string, health func() error, statsFn func() *rt.Stats) (*Ser
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		s.srv.Serve(ln)
@@ -51,6 +57,11 @@ func NewServer(addr string, health func() error, statsFn func() *rt.Stats) (*Ser
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// Handle mounts an additional route on the server's mux. Register
+// everything before traffic arrives (ServeMux registration is not
+// synchronized with serving).
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
 // Close shuts the server down.
 func (s *Server) Close() error {
 	s.mu.Lock()
@@ -60,15 +71,27 @@ func (s *Server) Close() error {
 	return err
 }
 
+// healthzDoc is the /healthz payload. Build lets an operator verify
+// what a long-lived server is actually running.
+type healthzDoc struct {
+	Status string `json:"status"`
+	Err    string `json:"err,omitempty"`
+	Build  string `json:"build"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	doc := healthzDoc{Status: "ok", Build: buildinfo.String()}
+	code := http.StatusOK
 	if s.health != nil {
 		if err := s.health(); err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
+			doc.Status = "unhealthy"
+			doc.Err = err.Error()
+			code = http.StatusServiceUnavailable
 		}
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(doc)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"gravel/internal/jobqueue"
+	"gravel/internal/noderun"
+)
+
+// SlotView is one worker slot's admin snapshot.
+type SlotView struct {
+	ID    int    `json:"id"`
+	Busy  bool   `json:"busy"`
+	JobID string `json:"job_id,omitempty"`
+	// BusyNs is how long the current job has been running (0 when
+	// idle).
+	BusyNs   int64 `json:"busy_ns,omitempty"`
+	Runs     int64 `json:"runs"`
+	Failures int64 `json:"failures"`
+}
+
+// PoolView is the worker pool's admin snapshot.
+type PoolView struct {
+	Size      int        `json:"size"`
+	WorkerBin string     `json:"worker_bin,omitempty"`
+	Slots     []SlotView `json:"slots"`
+}
+
+// pool is a fixed set of warm worker slots multiplexing queued jobs
+// onto a shared Runner. "Warm" is literal: the worker binary is
+// resolved once at startup and every slot's scheduling goroutine stays
+// parked on the queue, so a job's spawn cost is only its own cluster,
+// never service setup.
+type pool struct {
+	q      *jobqueue.Queue
+	runner noderun.Runner
+	bin    string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	slots []slot
+}
+
+type slot struct {
+	busy     bool
+	jobID    string
+	started  time.Time
+	runs     int64
+	failures int64
+}
+
+func newPool(q *jobqueue.Queue, runner noderun.Runner, size int, bin string) *pool {
+	if size < 1 {
+		size = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &pool{q: q, runner: runner, bin: bin, ctx: ctx, cancel: cancel, slots: make([]slot, size)}
+	for i := 0; i < size; i++ {
+		p.wg.Add(1)
+		go p.loop(i)
+	}
+	return p
+}
+
+// loop is one slot's scheduling cycle: claim, run, settle, repeat
+// until the pool stops.
+func (p *pool) loop(i int) {
+	defer p.wg.Done()
+	for {
+		j, runCtx, err := p.q.Claim(p.ctx)
+		if err != nil {
+			return // pool stopped or queue closed
+		}
+		p.mu.Lock()
+		p.slots[i].busy = true
+		p.slots[i].jobID = j.ID()
+		p.slots[i].started = time.Now()
+		p.mu.Unlock()
+
+		res, err := p.runner.Run(runCtx, j.Spec())
+
+		p.mu.Lock()
+		p.slots[i].busy = false
+		p.slots[i].jobID = ""
+		p.slots[i].runs++
+		if err != nil {
+			p.slots[i].failures++
+		}
+		p.mu.Unlock()
+
+		if err != nil {
+			p.q.Fail(j, err)
+		} else {
+			p.q.Complete(j, res)
+		}
+	}
+}
+
+// stop parks the pool: no new claims; running jobs finish or are
+// canceled by the queue's Close.
+func (p *pool) stop() {
+	p.cancel()
+	p.wg.Wait()
+}
+
+func (p *pool) view() PoolView {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v := PoolView{Size: len(p.slots), WorkerBin: p.bin}
+	now := time.Now()
+	for i, s := range p.slots {
+		sv := SlotView{ID: i, Busy: s.busy, JobID: s.jobID, Runs: s.runs, Failures: s.failures}
+		if s.busy {
+			sv.BusyNs = now.Sub(s.started).Nanoseconds()
+		}
+		v.Slots = append(v.Slots, sv)
+	}
+	return v
+}

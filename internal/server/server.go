@@ -1,0 +1,87 @@
+// Package server is gravel-as-a-service: a long-lived, multi-tenant
+// job service over the harness registry. It accepts cluster-run jobs
+// as HTTP/JSON, queues them through internal/jobqueue (priorities,
+// dedup of identical in-flight requests, bounded retries, LRU result
+// cache), schedules them across a pool of warm noderun worker sets,
+// and streams progress from the flight recorder. The job API shares
+// the observability server, so one address serves /api/v1/... next to
+// /metrics and /healthz.
+package server
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"gravel/internal/jobqueue"
+	"gravel/internal/noderun"
+	"gravel/internal/obs"
+)
+
+// Options configure a Server. The zero value serves on an ephemeral
+// port with a 2-slot pool and default queue tuning.
+type Options struct {
+	// Queue tunes retries and the result cache.
+	Queue jobqueue.Options
+	// Pool is the number of warm worker slots (default 2).
+	Pool int
+	// Runner executes claimed jobs (default: a noderun.Launcher whose
+	// exec fabric re-execs WorkerBin). Tests inject wrappers here.
+	Runner noderun.Runner
+	// WorkerBin is the binary exec-fabric workers re-exec (default:
+	// this executable, which must call noderun.MaybeWorkerMain).
+	WorkerBin string
+}
+
+// Server is the running service.
+type Server struct {
+	obs     *obs.Server
+	q       *jobqueue.Queue
+	pool    *pool
+	started time.Time
+}
+
+// New starts a server on addr (":0" picks a free port). The returned
+// server is live: its pool is claiming and the HTTP API is mounted.
+func New(addr string, opt Options) (*Server, error) {
+	if opt.Pool < 1 {
+		opt.Pool = 2
+	}
+	bin := opt.WorkerBin
+	if opt.Runner == nil {
+		if bin == "" {
+			exe, err := os.Executable()
+			if err != nil {
+				return nil, fmt.Errorf("server: resolve worker binary: %w", err)
+			}
+			bin = exe
+		}
+		opt.Runner = &noderun.Launcher{Exe: bin}
+	}
+	s := &Server{q: jobqueue.New(opt.Queue), started: time.Now()}
+	// The service is healthy while it can accept jobs; the per-job
+	// failure story lives in job state, not the liveness probe.
+	osrv, err := obs.NewServer(addr, func() error { return nil }, nil)
+	if err != nil {
+		s.q.Close()
+		return nil, err
+	}
+	s.obs = osrv
+	s.mountAPI()
+	s.pool = newPool(s.q, opt.Runner, opt.Pool, bin)
+	return s, nil
+}
+
+// Addr is the bound listen address.
+func (s *Server) Addr() string { return s.obs.Addr() }
+
+// Queue exposes the underlying job queue (selfbench and tests).
+func (s *Server) Queue() *jobqueue.Queue { return s.q }
+
+// Close drains the service: the queue closes (canceling queued and
+// running jobs), the pool parks, and the HTTP server shuts down.
+func (s *Server) Close() error {
+	s.q.Close()
+	s.pool.stop()
+	return s.obs.Close()
+}

@@ -1,0 +1,438 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gravel/internal/jobqueue"
+	"gravel/internal/noderun"
+	"gravel/internal/obs"
+)
+
+// TestMain lets this test binary double as the exec-fabric worker the
+// service re-execs for cluster jobs. The flight recorder mirrors what
+// gravel-server's main starts, so /metrics and the events stream have
+// a live recorder behind them.
+func TestMain(m *testing.M) {
+	noderun.MaybeWorkerMain()
+	obs.Start(obs.Options{})
+	code := m.Run()
+	obs.Stop()
+	os.Exit(code)
+}
+
+func testExe(t *testing.T) string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("executable: %v", err)
+	}
+	return exe
+}
+
+func startServer(t *testing.T, opt Options) *Server {
+	t.Helper()
+	if opt.WorkerBin == "" {
+		opt.WorkerBin = testExe(t)
+	}
+	s, err := New("127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func submit(t *testing.T, base string, req SubmitRequest) SubmitResponse {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, raw)
+	}
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	return sub
+}
+
+func waitDone(t *testing.T, base, id string) jobqueue.View {
+	t.Helper()
+	resp, err := http.Get(base + "/api/v1/jobs/" + id + "?wait=60s")
+	if err != nil {
+		t.Fatalf("wait %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var view jobqueue.View
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatalf("decode wait %s: %v", id, err)
+	}
+	if !view.State.Terminal() {
+		t.Fatalf("job %s not terminal after wait: %s", id, view.State)
+	}
+	return view
+}
+
+// refCheck runs the spec on the single-process chan fabric — the same
+// path as a direct `gravel-node -fabric local` run — and returns its
+// checksum.
+func refCheck(t *testing.T, spec noderun.Spec) uint64 {
+	t.Helper()
+	spec.Fabric = noderun.FabricLocal
+	ref, err := noderun.RunLocal(spec.Normalized())
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return ref.Check
+}
+
+// TestServiceEndToEnd is the acceptance gate: concurrent HTTP
+// submissions of mixed apps over real cluster fabrics complete with
+// checksums bit-identical to direct single-process runs.
+func TestServiceEndToEnd(t *testing.T) {
+	s := startServer(t, Options{Pool: 3})
+	base := "http://" + s.Addr()
+
+	reqs := []SubmitRequest{
+		{App: "gups", Model: "gravel", Nodes: 3, Fabric: "tcp", Scale: 0.02, Seed: 11},
+		{App: "gups", Model: "coprocessor", Nodes: 3, Fabric: "tcp", Scale: 0.02, Seed: 12},
+		{App: "pagerank", Model: "gravel", Nodes: 3, Fabric: "tcp", Scale: 0.02, Seed: 13, Verts: 512, Iters: 2},
+		{App: "kmeans", Model: "gravel", Nodes: 3, Fabric: "tcp", Scale: 0.02, Seed: 14},
+		{App: "mer", Model: "gravel", Nodes: 3, Fabric: "tcp", Scale: 0.02, Seed: 15},
+		// One job through the exec fabric: forked OS processes
+		// re-execing this test binary.
+		{App: "gups", Model: "gravel", Nodes: 3, Fabric: "exec", Scale: 0.02, Seed: 16},
+	}
+
+	var wg sync.WaitGroup
+	views := make([]jobqueue.View, len(reqs))
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req SubmitRequest) {
+			defer wg.Done()
+			sub := submit(t, base, req)
+			views[i] = waitDone(t, base, sub.Job.ID)
+		}(i, req)
+	}
+	wg.Wait()
+
+	for i, view := range views {
+		if view.State != jobqueue.StateDone {
+			t.Errorf("job %d (%s/%s): state %s err %q", i, reqs[i].App, reqs[i].Fabric, view.State, view.Err)
+			continue
+		}
+		if view.Result == nil {
+			t.Errorf("job %d: done without result", i)
+			continue
+		}
+		if want := refCheck(t, reqs[i].Spec()); view.Result.Check != want {
+			t.Errorf("job %d (%s over %s): check %#x != direct-run reference %#x",
+				i, reqs[i].App, reqs[i].Fabric, view.Result.Check, want)
+		}
+	}
+}
+
+// gateRunner wraps a Runner, counting executions and optionally holding
+// them at the gate so tests can observe in-flight state.
+type gateRunner struct {
+	inner   noderun.Runner
+	gate    chan struct{} // if non-nil, Run blocks until closed
+	started chan struct{} // buffered; signaled when a run begins
+
+	mu   sync.Mutex
+	runs int
+}
+
+func (g *gateRunner) Run(ctx context.Context, spec noderun.Spec) (*noderun.RunResult, error) {
+	g.mu.Lock()
+	g.runs++
+	g.mu.Unlock()
+	if g.started != nil {
+		select {
+		case g.started <- struct{}{}:
+		default:
+		}
+	}
+	if g.gate != nil {
+		select {
+		case <-g.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return g.inner.Run(ctx, spec)
+}
+
+func (g *gateRunner) count() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.runs
+}
+
+// TestDedupAndCache covers the two absorption paths: identical
+// in-flight submissions fold onto one execution, and a repeated
+// completed request is served from the cache without spawning anything.
+func TestDedupAndCache(t *testing.T) {
+	runner := &gateRunner{
+		inner:   &noderun.Launcher{Exe: testExe(t)},
+		gate:    make(chan struct{}),
+		started: make(chan struct{}, 1),
+	}
+	s := startServer(t, Options{Pool: 2, Runner: runner})
+	base := "http://" + s.Addr()
+
+	req := SubmitRequest{App: "gups", Model: "gravel", Nodes: 3, Fabric: "tcp", Scale: 0.02, Seed: 77}
+	first := submit(t, base, req)
+	if first.Outcome != jobqueue.OutcomeQueued {
+		t.Fatalf("first submit: outcome %s, want queued", first.Outcome)
+	}
+	<-runner.started // execution has begun and is held at the gate
+
+	second := submit(t, base, req)
+	if second.Outcome != jobqueue.OutcomeDeduped {
+		t.Fatalf("identical in-flight submit: outcome %s, want deduped", second.Outcome)
+	}
+	if second.Job.ID != first.Job.ID {
+		t.Fatalf("dedup produced a different job: %s vs %s", second.Job.ID, first.Job.ID)
+	}
+
+	close(runner.gate)
+	view := waitDone(t, base, first.Job.ID)
+	if view.State != jobqueue.StateDone {
+		t.Fatalf("job %s: state %s err %q", view.ID, view.State, view.Err)
+	}
+	if got := runner.count(); got != 1 {
+		t.Fatalf("deduped pair executed %d times, want 1", got)
+	}
+
+	// The same request again, now completed: a cache hit, done at
+	// submit time, nothing launched.
+	third := submit(t, base, req)
+	if third.Outcome != jobqueue.OutcomeCached {
+		t.Fatalf("repeat of completed request: outcome %s, want cached", third.Outcome)
+	}
+	if third.Job.State != jobqueue.StateDone || third.Job.Result == nil {
+		t.Fatalf("cached job not done-with-result: state %s", third.Job.State)
+	}
+	if third.Job.Result.Check != view.Result.Check {
+		t.Fatalf("cached check %#x != original %#x", third.Job.Result.Check, view.Result.Check)
+	}
+	if got := runner.count(); got != 1 {
+		t.Fatalf("cache hit spawned a run: %d executions, want 1", got)
+	}
+}
+
+// killOnceRunner sabotages a job's first execution by killing worker 1
+// mid-run; later attempts run clean. It exercises the service's retry
+// path end to end on the exec fabric.
+type killOnceRunner struct {
+	exe string
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (k *killOnceRunner) Run(ctx context.Context, spec noderun.Spec) (*noderun.RunResult, error) {
+	k.mu.Lock()
+	k.calls++
+	sabotage := k.calls == 1
+	k.mu.Unlock()
+	// Tight failure detection so the sabotaged attempt fails in
+	// fractions of a second instead of the production timeouts. These
+	// knobs do not affect the result checksum.
+	spec.Suspect = 500 * time.Millisecond
+	spec.Heartbeat = 100 * time.Millisecond
+	spec.CoordTimeout = 3 * time.Second
+	spec.CoordRPCTimeout = time.Second
+	l := &noderun.Launcher{Exe: k.exe}
+	if sabotage {
+		l.Hooks.WorkerStarted = func(node int, kill func()) {
+			if node == 1 {
+				go func() {
+					time.Sleep(50 * time.Millisecond)
+					kill()
+				}()
+			}
+		}
+	}
+	return l.Run(ctx, spec)
+}
+
+// TestKillWorkerRetried: a job whose worker dies mid-run is retried by
+// the queue and still returns the correct checksum.
+func TestKillWorkerRetried(t *testing.T) {
+	runner := &killOnceRunner{exe: testExe(t)}
+	s := startServer(t, Options{
+		Pool:   1,
+		Queue:  jobqueue.Options{MaxRetries: 2, RetryBackoff: 20 * time.Millisecond},
+		Runner: runner,
+	})
+	base := "http://" + s.Addr()
+
+	// Enough steps that the kill lands mid-run rather than after the
+	// victim already finished.
+	req := SubmitRequest{App: "gups", Model: "gravel", Nodes: 3, Fabric: "exec", Scale: 0.02, Seed: 99, Steps: 20}
+	sub := submit(t, base, req)
+	view := waitDone(t, base, sub.Job.ID)
+	if view.State != jobqueue.StateDone {
+		t.Fatalf("job %s: state %s err %q (attempts %d)", view.ID, view.State, view.Err, view.Attempts)
+	}
+	runner.mu.Lock()
+	calls := runner.calls
+	runner.mu.Unlock()
+	if calls < 2 {
+		// The kill can lose the race with a fast run; that is still a
+		// correct completion, but the retry path went unexercised.
+		t.Logf("worker kill lost the race (1 attempt); retry path not exercised this run")
+	} else if view.Attempts < 2 {
+		t.Fatalf("runner ran %d times but job records %d attempts", calls, view.Attempts)
+	}
+	if want := refCheck(t, req.Spec()); view.Result.Check != want {
+		t.Fatalf("retried job check %#x != reference %#x", view.Result.Check, want)
+	}
+}
+
+// TestAPISurface walks the remaining endpoints: registry, list, admin
+// queue/workers, cancel, events stream, and the shared /healthz and
+// /metrics.
+func TestAPISurface(t *testing.T) {
+	runner := &gateRunner{
+		inner:   &noderun.Launcher{Exe: testExe(t)},
+		gate:    make(chan struct{}),
+		started: make(chan struct{}, 1),
+	}
+	s := startServer(t, Options{Pool: 1, Runner: runner})
+	base := "http://" + s.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	if code, body := get("/api/v1/registry"); code != 200 || !strings.Contains(body, "gups") {
+		t.Fatalf("registry: code %d body %.120s", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "\"ok\"") {
+		t.Fatalf("healthz: code %d body %.120s", code, body)
+	}
+
+	// Occupy the single slot, then queue a second job behind it.
+	running := submit(t, base, SubmitRequest{App: "gups", Nodes: 3, Fabric: "tcp", Scale: 0.02, Seed: 1})
+	<-runner.started
+	queued := submit(t, base, SubmitRequest{App: "gups", Nodes: 3, Fabric: "tcp", Scale: 0.02, Seed: 2})
+
+	var admin AdminQueue
+	if code, body := get("/api/v1/admin/queue"); code != 200 {
+		t.Fatalf("admin/queue: code %d", code)
+	} else if err := json.Unmarshal([]byte(body), &admin); err != nil {
+		t.Fatalf("admin/queue decode: %v", err)
+	}
+	if admin.Queue.Depth != 1 || admin.Queue.Running != 1 {
+		t.Fatalf("admin/queue: depth=%d running=%d, want 1/1", admin.Queue.Depth, admin.Queue.Running)
+	}
+
+	var workers PoolView
+	if _, body := get("/api/v1/admin/workers"); true {
+		if err := json.Unmarshal([]byte(body), &workers); err != nil {
+			t.Fatalf("admin/workers decode: %v", err)
+		}
+	}
+	if workers.Size != 1 || !workers.Slots[0].Busy || workers.Slots[0].JobID != running.Job.ID {
+		t.Fatalf("admin/workers: %+v, want slot 0 busy on %s", workers, running.Job.ID)
+	}
+
+	if code, body := get("/api/v1/jobs"); code != 200 || !strings.Contains(body, running.Job.ID) || !strings.Contains(body, queued.Job.ID) {
+		t.Fatalf("jobs list: code %d body %.200s", code, body)
+	}
+
+	// Cancel the queued job before it ever runs.
+	creq, _ := http.NewRequest(http.MethodDelete, base+"/api/v1/jobs/"+queued.Job.ID, nil)
+	cresp, err := http.DefaultClient.Do(creq)
+	if err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	var canceled jobqueue.View
+	json.NewDecoder(cresp.Body).Decode(&canceled)
+	cresp.Body.Close()
+	if canceled.State != jobqueue.StateCanceled {
+		t.Fatalf("cancel: state %s, want canceled", canceled.State)
+	}
+
+	// Stream the running job's events while releasing the gate; the
+	// stream must end with a done frame.
+	type frame struct {
+		Type  string         `json:"type"`
+		State jobqueue.State `json:"state"`
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/api/v1/jobs/" + running.Job.ID + "/events")
+		if err != nil {
+			done <- err
+			return
+		}
+		defer resp.Body.Close()
+		dec := json.NewDecoder(resp.Body)
+		sawTransition := false
+		for {
+			var f frame
+			if err := dec.Decode(&f); err != nil {
+				done <- fmt.Errorf("stream ended without done frame: %w", err)
+				return
+			}
+			if f.Type == "transition" {
+				sawTransition = true
+			}
+			if f.Type == "done" {
+				if !sawTransition {
+					done <- fmt.Errorf("done frame with no transitions")
+					return
+				}
+				if f.State != jobqueue.StateDone {
+					done <- fmt.Errorf("done frame state %s", f.State)
+					return
+				}
+				done <- nil
+				return
+			}
+		}
+	}()
+	close(runner.gate)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("events stream: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("events stream did not finish")
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "gravel_trace_events_total") {
+		t.Fatalf("metrics: code %d body %.120s", code, body)
+	}
+
+	if code, _ := get("/api/v1/jobs/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown job: code %d, want 404", code)
+	}
+}
