@@ -27,7 +27,11 @@ import (
 //     the failure detector's bound — an unrecoverable fault must
 //     fail fast, not hang;
 //   - kill-coordinator iterations sever every coordinator connection
-//     mid-run and require the same of all workers.
+//     mid-run and require the same of all workers;
+//   - heal-worker iterations (apps with an elastic entry point)
+//     SIGKILL one worker of an elastic run and require the launcher to
+//     recover from the latest checkpoint and finish bit-exact — the
+//     failure story must extend past diagnosis into repair.
 //
 // Every iteration's fault schedule derives deterministically from
 // -seed, so a failure report names the exact schedule to replay.
@@ -185,6 +189,79 @@ func chaosKillWorker(iterSeed uint64, rng *rand.Rand) error {
 	return nil
 }
 
+// healSpec is killSpec with elastic recovery on: the same mid-run
+// SIGKILL, but the run must heal instead of failing fast.
+func healSpec() noderun.Spec {
+	s := killSpec()
+	s.Elastic = true
+	return s
+}
+
+// healRef computes (once) the heal spec's undisturbed checksum on the
+// in-process fabric — the bit-exactness bar a healed run must clear.
+var healRefOnce struct {
+	sync.Once
+	sum uint64
+	err error
+}
+
+func chaosHealRef() (uint64, error) {
+	healRefOnce.Do(func() {
+		s := healSpec()
+		s.Fabric = noderun.FabricLocal
+		s.Elastic = false
+		ref, err := noderun.RunLocal(s)
+		if err != nil {
+			healRefOnce.err = err
+			return
+		}
+		healRefOnce.sum = ref.Check
+	})
+	return healRefOnce.sum, healRefOnce.err
+}
+
+// chaosHealWorker SIGKILLs one worker mid-run of an elastic run. Where
+// the kill-worker iteration demands fast typed failure, this one
+// demands recovery: the launcher must start a new generation restored
+// from the latest complete checkpoint, finish the run, and produce a
+// reduced sum bit-identical to the undisturbed in-process reference.
+func chaosHealWorker(iterSeed uint64, rng *rand.Rand) error {
+	victim := rng.Intn(*nodes)
+	killAfter := 200*time.Millisecond + time.Duration(rng.Int63n(int64(700*time.Millisecond)))
+	var once sync.Once
+	l := noderun.Launcher{Hooks: noderun.Hooks{
+		WorkerStarted: func(node int, kill func()) {
+			if node == victim {
+				// First epoch only: the healed generations must survive.
+				once.Do(func() {
+					go func() {
+						time.Sleep(killAfter)
+						kill()
+					}()
+				})
+			}
+		},
+	}}
+	res, err := l.Run(context.Background(), healSpec())
+	if err != nil {
+		return fmt.Errorf("elastic run did not heal after killing worker %d at %v: %w%s",
+			victim, killAfter, err, workerFailures(res))
+	}
+	want, err := chaosHealRef()
+	if err != nil {
+		return err
+	}
+	if res.Check != want {
+		return fmt.Errorf("healed reduced sum %d, undisturbed reference %d (killed worker %d at %v)",
+			res.Check, want, victim, killAfter)
+	}
+	if res.Recovered < 1 {
+		return fmt.Errorf("kill of worker %d at %v landed after the run finished (epochs=%d); run too short",
+			victim, killAfter, res.Epochs)
+	}
+	return nil
+}
+
 // chaosKillCoord severs every coordinator connection mid-run (and
 // closes its listener); every worker must exit nonzero with a typed
 // CoordDownError diagnosis.
@@ -227,14 +304,31 @@ func chaosKillCoord(iterSeed uint64, rng *rand.Rand) error {
 	return nil
 }
 
-// runChaos iterates the three chaos modes until -duration expires,
-// always completing at least one full cycle. Iteration schedules
-// derive from -seed, so `-chaos -seed N` replays the same sequence.
+// runChaos iterates the chaos modes until -duration expires, always
+// completing at least one full cycle. Apps with an elastic entry point
+// get a fourth, heal-worker kind: the same mid-run kill, but the run
+// must recover instead of failing fast. Iteration schedules derive
+// from -seed, so `-chaos -seed N` replays the same sequence.
 func runChaos() error {
 	// The reference run exercises the registry before any forked
 	// iteration does, so a bad -app/-model is a one-line error.
-	if _, err := harness.LookupApp(*app); err != nil {
+	a, err := harness.LookupApp(*app)
+	if err != nil {
 		return err
+	}
+	type kind struct {
+		name string
+		run  func(uint64, *rand.Rand) error
+	}
+	kinds := []kind{
+		{"recoverable", func(s uint64, _ *rand.Rand) error { return chaosRecoverable(s) }},
+		{"kill-worker", chaosKillWorker},
+		{"kill-coordinator", chaosKillCoord},
+	}
+	if a.Elastic != nil {
+		kinds = append(kinds, kind{"heal-worker", chaosHealWorker})
+	} else {
+		fmt.Printf("chaos: app %q has no elastic entry point; skipping heal-worker iterations\n", *app)
 	}
 	rng := rand.New(rand.NewSource(int64(*seed)))
 	deadline := time.Now().Add(*duration)
@@ -242,24 +336,12 @@ func runChaos() error {
 	for {
 		iter++
 		iterSeed := *seed*1_000_003 + uint64(iter)
-		var err error
-		var kind string
-		switch iter % 3 {
-		case 1:
-			kind = "recoverable"
-			err = chaosRecoverable(iterSeed)
-		case 2:
-			kind = "kill-worker"
-			err = chaosKillWorker(iterSeed, rng)
-		default:
-			kind = "kill-coordinator"
-			err = chaosKillCoord(iterSeed, rng)
+		k := kinds[(iter-1)%len(kinds)]
+		if err := k.run(iterSeed, rng); err != nil {
+			return fmt.Errorf("chaos iteration %d (%s, seed %d): %w", iter, k.name, iterSeed, err)
 		}
-		if err != nil {
-			return fmt.Errorf("chaos iteration %d (%s, seed %d): %w", iter, kind, iterSeed, err)
-		}
-		fmt.Printf("chaos: iteration %d (%s, seed %d) ok\n", iter, kind, iterSeed)
-		if iter >= 3 && !time.Now().Before(deadline) {
+		fmt.Printf("chaos: iteration %d (%s, seed %d) ok\n", iter, k.name, iterSeed)
+		if iter >= len(kinds) && !time.Now().Before(deadline) {
 			break
 		}
 	}

@@ -18,6 +18,9 @@
 //	gravel-node -chaos -seed 1 -duration 30s      chaos harness: smoke runs
 //	                                              under seeded fault schedules
 //	                                              plus worker/coordinator kills
+//	                                              and healed elastic kills
+//	gravel-node -scaleout -json BENCH_PR7.json    live 2->4 elastic scale-out
+//	                                              with per-epoch throughput
 //	gravel-node -list                             registered apps and models
 //
 // Any registered app (-app, see -list) and model (-model) works in
@@ -35,9 +38,10 @@
 // failure-detection cadence via -suspect / -heartbeat. A worker whose
 // peer or coordinator dies exits nonzero with the typed error and a
 // per-destination stats + fault-log dump on stderr. The chaos mode
-// cycles three iteration kinds — recoverable schedules that must stay
-// bit-exact, a SIGKILLed worker, a killed coordinator — with every
-// schedule derived from -seed so failures replay exactly.
+// cycles four iteration kinds — recoverable schedules that must stay
+// bit-exact, a SIGKILLed worker, a killed coordinator, and a SIGKILLed
+// worker under an elastic spec that the run must heal from — with
+// every schedule derived from -seed so failures replay exactly.
 package main
 
 import (
@@ -60,11 +64,12 @@ import (
 )
 
 var (
-	serve   = flag.Bool("serve", false, "run the rendezvous coordinator")
-	smoke   = flag.Bool("smoke", false, "fork a full localhost cluster and verify it against the in-process fabric")
-	chaos   = flag.Bool("chaos", false, "run the chaos harness: repeated distributed runs under seeded fault schedules and process kills")
-	list    = flag.Bool("list", false, "list registered apps, models and transports, then exit")
-	version = flag.Bool("version", false, "print the build-info string and exit")
+	serve    = flag.Bool("serve", false, "run the rendezvous coordinator")
+	smoke    = flag.Bool("smoke", false, "fork a full localhost cluster and verify it against the in-process fabric")
+	chaos    = flag.Bool("chaos", false, "run the chaos harness: repeated distributed runs under seeded fault schedules and process kills")
+	scaleout = flag.Bool("scaleout", false, "bench a live 2->4 elastic scale-out and write per-epoch throughput (-json, default BENCH_PR7.json)")
+	list     = flag.Bool("list", false, "list registered apps, models and transports, then exit")
+	version  = flag.Bool("version", false, "print the build-info string and exit")
 
 	node   = flag.Int("node", -1, "node this worker hosts")
 	nodes  = flag.Int("nodes", 4, "cluster size")
@@ -194,6 +199,8 @@ func dispatch(sess *cliflags.Session) error {
 		return runSmoke(sess)
 	case *chaos:
 		return runChaos()
+	case *scaleout:
+		return runScaleOut(common.JSONPath)
 	case *node >= 0:
 		return runWorker(sess)
 	default:

@@ -48,6 +48,7 @@ var (
 	retryBackoff = flag.Duration("retry-backoff", 100*time.Millisecond, "delay before the first retry (doubles per retry)")
 	backoffMax   = flag.Duration("retry-backoff-max", 5*time.Second, "retry backoff ceiling")
 	workerBin    = flag.String("worker-bin", "", "binary exec-fabric workers re-exec (default: this executable)")
+	drainFor     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget: how long SIGINT/SIGTERM waits for in-flight jobs before forcing")
 	version      = flag.Bool("version", false, "print the build-info string and exit")
 	selfbench    = flag.Bool("selfbench", false, "benchmark the service against itself (jobs/sec, submit-to-result latency) and exit")
 	jsonPath     = flag.String("json", "", "selfbench: also write machine-readable results to this path")
@@ -80,13 +81,23 @@ func main() {
 	fmt.Printf("gravel-server: listening on %s (pool %d, cache %d, retries %d, build %s)\n",
 		srv.Addr(), *pool, *cacheSize, *retries, buildinfo.String())
 
-	sig := make(chan os.Signal, 1)
+	// Graceful shutdown: the first signal starts a drain — new submits
+	// are refused with 503 while queued and running jobs finish within
+	// the -drain budget; a second signal (or the budget expiring) forces
+	// the close, canceling whatever remains.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("gravel-server: shutting down")
-	if err := srv.Close(); err != nil {
+	fmt.Printf("gravel-server: draining for up to %v (signal again to force)\n", *drainFor)
+	go func() {
+		<-sig
+		fmt.Println("gravel-server: forced shutdown")
+		srv.Close()
+	}()
+	if err := srv.Shutdown(*drainFor); err != nil {
 		fatal(err)
 	}
+	fmt.Println("gravel-server: drained")
 }
 
 func serverOptions(poolSize int) server.Options {

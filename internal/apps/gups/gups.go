@@ -10,7 +10,11 @@
 package gups
 
 import (
+	"fmt"
+
+	"gravel/internal/ckpt"
 	"gravel/internal/graph"
+	"gravel/internal/pgas"
 	"gravel/internal/rt"
 )
 
@@ -55,6 +59,37 @@ func RunOn(sys rt.System, cfg Config, node int) Result {
 }
 
 func run(sys rt.System, cfg Config, only int) Result {
+	r, err := RunElastic(sys, cfg, only, ElasticOpts{})
+	if err != nil {
+		// Impossible without a resume payload or a Save hook.
+		panic(err)
+	}
+	return r
+}
+
+// ElasticOpts configures a checkpoint-aware shard run (RunElastic).
+type ElasticOpts struct {
+	// Resume holds every shard's payload from the restore point, in
+	// shard order. Nil means a cold start. GUPS derives its update
+	// stream from per-node counts, so a restore point is only valid at
+	// the node count that saved it (the app is not reshardable); the
+	// payloads must cover the whole table.
+	Resume [][]byte
+	// Every is the checkpoint cadence in steps (<= 0 means every step).
+	Every int
+	// Save, when non-nil, persists this shard's payload at the step
+	// barrier just crossed. The barrier is a proven-quiescent instant —
+	// no update of steps <= step is still in flight — so the union of
+	// all shards' payloads for the same step is a consistent cut.
+	Save func(step uint64, data []byte) error
+}
+
+// RunElastic executes the given node's shard with checkpoint/restore:
+// it restores the table and resumes at the first unfinished step when
+// opt.Resume is set, and saves this shard's slice of the table every
+// opt.Every step barriers when opt.Save is set. The final Sum is
+// bit-identical to an undisturbed RunOn of the same Config.
+func RunElastic(sys rt.System, cfg Config, only int, opt ElasticOpts) (Result, error) {
 	if cfg.Steps <= 0 {
 		cfg.Steps = 1
 	}
@@ -62,9 +97,33 @@ func run(sys rt.System, cfg Config, only int) Result {
 	A := sys.Space().Alloc(cfg.TableSize)
 	perStep := cfg.UpdatesPerNode / cfg.Steps
 
+	elastic := opt.Save != nil || len(opt.Resume) > 0
+	start := 0
+	if len(opt.Resume) > 0 {
+		if only < 0 {
+			return Result{}, fmt.Errorf("gups: restore requires a shard run")
+		}
+		step, err := restoreTable(A, only, opt.Resume)
+		if err != nil {
+			return Result{}, err
+		}
+		start = int(step)
+	}
+	if elastic {
+		// Zero-work sync step: its barrier guarantees every worker has
+		// allocated (and restored) before any worker's first increment
+		// can arrive — a fast peer's wire writes would otherwise race a
+		// slow peer's array allocation.
+		sys.Step("gups-start-sync", make([]int, n), 0, func(rt.Ctx) {})
+	}
+	every := opt.Every
+	if every <= 0 {
+		every = 1
+	}
+
 	t0 := sys.VirtualTimeNs()
 	grid := make([]int, n)
-	for s := 0; s < cfg.Steps; s++ {
+	for s := start; s < cfg.Steps; s++ {
 		for i := range grid {
 			if only < 0 || i == only {
 				grid[i] = perStep
@@ -87,6 +146,16 @@ func run(sys rt.System, cfg Config, only int) Result {
 			})
 			c.Inc(A, idx, one, nil)
 		})
+		if opt.Save != nil && (s+1)%every == 0 && s+1 < cfg.Steps {
+			if err := opt.Save(uint64(s+1), EncodeShard(A, only, uint64(s+1))); err != nil {
+				return Result{}, err
+			}
+			// Quiet save window: no worker may start step s+1 (whose
+			// increments land in peers' replicas) until every worker has
+			// encoded its payload — otherwise the cut is polluted and a
+			// restore double-applies the in-flight updates.
+			sys.Step("gups-ckpt-sync", make([]int, n), 0, func(rt.Ctx) {})
+		}
 	}
 
 	ns := sys.VirtualTimeNs() - t0
@@ -100,7 +169,49 @@ func run(sys rt.System, cfg Config, only int) Result {
 		Updates: updates,
 		GUPS:    float64(updates) / ns,
 		Sum:     A.Sum(),
+	}, nil
+}
+
+// EncodeShard builds node's checkpoint payload: the step the shard has
+// completed, the global range it owns, and the owned table values.
+func EncodeShard(A *pgas.Array, node int, step uint64) []byte {
+	lo, hi := A.LocalRange(node)
+	p := ckpt.EncodeU64s([]uint64{step, uint64(lo), uint64(hi - lo)}, hi-lo)
+	for _, v := range A.Local(node) {
+		p = ckpt.AppendU64(p, v)
 	}
+	return p
+}
+
+// restoreTable replays the node's own saved values into A and returns
+// the step the checkpoint was taken at. Only the owned range is
+// restored: in a distributed run each process's replica holds exactly
+// the updates that landed on elements it owns (remote increments route
+// to the owner), and the per-shard Sum checksums must keep adding up
+// to the cluster total after a restore. Same node count only — shard
+// `node` of the checkpoint must cover exactly this node's range.
+func restoreTable(A *pgas.Array, node int, shards [][]byte) (uint64, error) {
+	if node >= len(shards) {
+		return 0, fmt.Errorf("gups: restore has %d shards, node %d needs its own", len(shards), node)
+	}
+	w, err := ckpt.DecodeU64s(shards[node])
+	if err != nil {
+		return 0, fmt.Errorf("gups: shard %d: %w", node, err)
+	}
+	if len(w) < 3 || uint64(len(w)-3) != w[2] {
+		return 0, fmt.Errorf("gups: shard %d: malformed payload (%d words, count %d)", node, len(w), w[2])
+	}
+	lo, hi := A.LocalRange(node)
+	if int(w[1]) != lo || int(w[2]) != hi-lo {
+		return 0, fmt.Errorf("gups: shard %d saved range [%d,+%d), own range is [%d,+%d) — node count changed?",
+			node, w[1], w[2], lo, hi-lo)
+	}
+	for j, v := range w[3:] {
+		if v != 0 {
+			A.Store(uint64(lo+j), v)
+		}
+	}
+	return w[0], nil
 }
 
 // ModConfig parameterizes GUPS-mod (§8.2).

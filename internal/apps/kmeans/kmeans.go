@@ -13,6 +13,7 @@ package kmeans
 import (
 	"fmt"
 
+	"gravel/internal/ckpt"
 	"gravel/internal/graph"
 	"gravel/internal/rt"
 )
@@ -82,6 +83,35 @@ func RunShard(sys rt.System, cfg Config, node int, coll rt.Collective) Result {
 }
 
 func run(sys rt.System, cfg Config, only int, coll rt.Collective) Result {
+	r, err := RunElastic(sys, cfg, only, coll, ElasticOpts{})
+	if err != nil {
+		// Impossible without a resume payload or a Save hook.
+		panic(err)
+	}
+	return r
+}
+
+// ElasticOpts configures a checkpoint-aware shard run (RunElastic).
+type ElasticOpts struct {
+	// Resume holds every shard's payload from the restore point. Nil
+	// means a cold start. The payload is the centroid vector — identical
+	// in every shard — so restoring reads shard 0. Points are generated
+	// per (node, index), so a restore point is only valid at the node
+	// count that saved it (not reshardable).
+	Resume [][]byte
+	// Every is the checkpoint cadence in iterations (<= 0 = every one).
+	Every int
+	// Save, when non-nil, persists this shard's payload after the
+	// iteration's reduces complete. The accumulators are deliberately
+	// excluded: they are zero at the cut (reset before the reduces), and
+	// the next iteration regenerates every increment from cent alone.
+	Save func(iter uint64, data []byte) error
+}
+
+// RunElastic executes the given node's shard with checkpoint/restore;
+// final Centroids and Counts are bit-identical to an undisturbed
+// RunShard of the same Config.
+func RunElastic(sys rt.System, cfg Config, only int, coll rt.Collective, opt ElasticOpts) (Result, error) {
 	if cfg.Dims == 0 {
 		cfg.Dims = 2
 	}
@@ -108,6 +138,26 @@ func run(sys rt.System, cfg Config, only int, coll rt.Collective) Result {
 		}
 	}
 
+	start := 0
+	if len(opt.Resume) > 0 {
+		iter, err := restoreCentroids(cent, opt.Resume)
+		if err != nil {
+			return Result{}, err
+		}
+		start = int(iter)
+	}
+	if opt.Save != nil || len(opt.Resume) > 0 {
+		// Zero-work sync step: its barrier guarantees every worker has
+		// allocated (and restored) before any worker's first increment
+		// can arrive — a fast peer's wire writes would otherwise race a
+		// slow peer's array allocation.
+		sys.Step("kmeans-start-sync", make([]int, nodes), 0, func(rt.Ctx) {})
+	}
+	every := opt.Every
+	if every <= 0 {
+		every = 1
+	}
+
 	grid := make([]int, nodes)
 	for i := range grid {
 		if only >= 0 && i != only {
@@ -117,7 +167,7 @@ func run(sys rt.System, cfg Config, only int, coll rt.Collective) Result {
 	}
 
 	t0 := sys.VirtualTimeNs()
-	for it := 0; it < cfg.Iters; it++ {
+	for it := start; it < cfg.Iters; it++ {
 		centSnap := append([]uint64(nil), cent...) // read-only during kernel
 		sys.Step("kmeans-assign", grid, 0, func(c rt.Ctx) {
 			wg := c.Group()
@@ -191,6 +241,12 @@ func run(sys rt.System, cfg Config, only int, coll rt.Collective) Result {
 				cent[c*dims+d] = s / n
 			}
 		}
+
+		if opt.Save != nil && (it+1)%every == 0 && it+1 < cfg.Iters {
+			if err := opt.Save(uint64(it+1), EncodeShard(cent, uint64(it+1))); err != nil {
+				return Result{}, err
+			}
+		}
 	}
 	ns := sys.VirtualTimeNs() - t0
 
@@ -205,7 +261,53 @@ func run(sys rt.System, cfg Config, only int, coll rt.Collective) Result {
 			counts[assign(pt, cent, k, dims)]++
 		}
 	}
-	return Result{Ns: ns, Centroids: cent, Counts: counts, Iters: cfg.Iters}
+	return Result{Ns: ns, Centroids: cent, Counts: counts, Iters: cfg.Iters}, nil
+}
+
+// EncodeShard builds a checkpoint payload: the iteration the run has
+// completed followed by the centroid vector. Every shard saves the
+// same payload (centroids are identical in every process after the
+// iteration's reduces), which doubles as a cross-shard consistency
+// check at restore.
+func EncodeShard(cent []uint64, iter uint64) []byte {
+	p := ckpt.EncodeU64s([]uint64{iter, uint64(len(cent))}, len(cent))
+	for _, v := range cent {
+		p = ckpt.AppendU64(p, v)
+	}
+	return p
+}
+
+// restoreCentroids loads the centroid vector from a restore point and
+// returns the iteration it was taken at, verifying that every shard
+// saved an identical payload.
+func restoreCentroids(cent []uint64, shards [][]byte) (uint64, error) {
+	var iter uint64
+	for i, p := range shards {
+		w, err := ckpt.DecodeU64s(p)
+		if err != nil {
+			return 0, fmt.Errorf("kmeans: shard %d: %w", i, err)
+		}
+		if len(w) < 2 || uint64(len(w)-2) != w[1] {
+			return 0, fmt.Errorf("kmeans: shard %d: malformed payload (%d words, count %d)", i, len(w), w[1])
+		}
+		if len(w)-2 != len(cent) {
+			return 0, fmt.Errorf("kmeans: shard %d saved %d centroid words, want %d", i, len(w)-2, len(cent))
+		}
+		if i == 0 {
+			iter = w[0]
+			copy(cent, w[2:])
+			continue
+		}
+		if w[0] != iter {
+			return 0, fmt.Errorf("kmeans: shard %d saved iter %d, shard 0 saved iter %d (inconsistent cut)", i, w[0], iter)
+		}
+		for j, v := range w[2:] {
+			if v != cent[j] {
+				return 0, fmt.Errorf("kmeans: shard %d centroid word %d diverges from shard 0", i, j)
+			}
+		}
+	}
+	return iter, nil
 }
 
 // Reference runs the same fixed-point Lloyd iterations sequentially over

@@ -10,9 +10,12 @@
 package pagerank
 
 import (
+	"fmt"
 	"hash/fnv"
 
+	"gravel/internal/ckpt"
 	"gravel/internal/graph"
+	"gravel/internal/pgas"
 	"gravel/internal/rt"
 )
 
@@ -82,6 +85,37 @@ func RunOn(sys rt.System, cfg Config, node int) Result {
 }
 
 func run(sys rt.System, cfg Config, only int) Result {
+	r, err := RunElastic(sys, cfg, only, ElasticOpts{})
+	if err != nil {
+		// Impossible without a resume payload or a Save hook.
+		panic(err)
+	}
+	return r
+}
+
+// ElasticOpts configures a checkpoint-aware shard run (RunElastic).
+type ElasticOpts struct {
+	// Resume holds every shard's payload from the restore point, in
+	// shard order. Nil means a cold start. Rank payloads carry their
+	// global vertex range, and every in-slot is rewritten by the first
+	// pr-push after a restore, so PageRank is reshardable: a checkpoint
+	// saved by N workers restores correctly under any node count.
+	Resume [][]byte
+	// Every is the checkpoint cadence in iterations (<= 0 means every
+	// iteration).
+	Every int
+	// Save, when non-nil, persists this shard's rank slice at the
+	// iteration boundary just crossed (the pr-gather step barrier — a
+	// proven-quiescent instant).
+	Save func(iter uint64, data []byte) error
+}
+
+// RunElastic executes the given node's shard with checkpoint/restore.
+// A restored run's FixedSum, RankSum and Checksum are bit-identical to
+// an undisturbed run over the shard's vertex range; because the rank
+// vector is the complete state at an iteration boundary, the reduced
+// FixedSum is also identical across *different* node counts.
+func RunElastic(sys rt.System, cfg Config, only int, opt ElasticOpts) (Result, error) {
 	g := cfg.G
 	nodes := sys.Nodes()
 	vb := vertexBounds(g.N, nodes)
@@ -92,6 +126,29 @@ func run(sys rt.System, cfg Config, only int) Result {
 
 	rank.Fill(Scale) // every vertex starts at rank 1.0
 
+	start := 0
+	if len(opt.Resume) > 0 {
+		if only < 0 {
+			return Result{}, fmt.Errorf("pagerank: restore requires a shard run")
+		}
+		iter, err := restoreRanks(rank, vb[only], vb[only+1], opt.Resume)
+		if err != nil {
+			return Result{}, err
+		}
+		start = int(iter)
+	}
+	if opt.Save != nil || len(opt.Resume) > 0 {
+		// Zero-work sync step: its barrier guarantees every worker has
+		// allocated (and restored) before any worker's first push can
+		// arrive — a fast peer's wire writes would otherwise race a slow
+		// peer's array allocation.
+		sys.Step("pr-start-sync", make([]int, nodes), 0, func(rt.Ctx) {})
+	}
+	every := opt.Every
+	if every <= 0 {
+		every = 1
+	}
+
 	grid := make([]int, nodes)
 	for i := 0; i < nodes; i++ {
 		if only < 0 || i == only {
@@ -100,7 +157,7 @@ func run(sys rt.System, cfg Config, only int) Result {
 	}
 
 	t0 := sys.VirtualTimeNs()
-	for it := 0; it < cfg.Iters; it++ {
+	for it := start; it < cfg.Iters; it++ {
 		// Phase 1: every vertex pushes rank*damping/deg to each
 		// out-neighbor's in-slot.
 		sys.Step("pr-push", grid, 0, func(c rt.Ctx) {
@@ -158,6 +215,12 @@ func run(sys rt.System, cfg Config, only int) Result {
 				rank.Store(v, acc[l])
 			})
 		})
+
+		if opt.Save != nil && (it+1)%every == 0 && it+1 < cfg.Iters {
+			if err := opt.Save(uint64(it+1), EncodeShard(rank, vb, only, uint64(it+1))); err != nil {
+				return Result{}, err
+			}
+		}
 	}
 	ns := sys.VirtualTimeNs() - t0
 
@@ -180,7 +243,60 @@ func run(sys rt.System, cfg Config, only int) Result {
 		FixedSum: sum,
 		Checksum: h.Sum64(),
 		Iters:    cfg.Iters,
+	}, nil
+}
+
+// EncodeShard builds node's checkpoint payload: the iteration the
+// shard has completed, the global vertex range it owns, and the owned
+// rank values. Per-edge in-slots are deliberately excluded — every
+// in-slot is fully rewritten by the next pr-push (each in-edge's
+// source vertex pushes into it every iteration), so the rank vector at
+// an iteration boundary is the complete state.
+func EncodeShard(rank *pgas.Array, vb []int, node int, iter uint64) []byte {
+	lo, hi := vb[node], vb[node+1]
+	p := ckpt.EncodeU64s([]uint64{iter, uint64(lo), uint64(hi - lo)}, hi-lo)
+	for v := lo; v < hi; v++ {
+		p = ckpt.AppendU64(p, rank.Load(uint64(v)))
 	}
+	return p
+}
+
+// restoreRanks replays saved rank values falling in this node's vertex
+// range [vlo, vhi) and returns the iteration the checkpoint was taken
+// at. Only the owned range is restored (a process only ever reads and
+// checksums its own vertices' ranks, and restoring more would break
+// the additive per-shard FixedSum). The shards may come from an epoch
+// with a *different* node count: payloads carry explicit global vertex
+// ranges, so this node gathers its range from whichever old shards
+// overlap it — the resharding path of a live scale-out.
+func restoreRanks(rank *pgas.Array, vlo, vhi int, shards [][]byte) (uint64, error) {
+	var iter uint64
+	covered := 0
+	for i, p := range shards {
+		w, err := ckpt.DecodeU64s(p)
+		if err != nil {
+			return 0, fmt.Errorf("pagerank: shard %d: %w", i, err)
+		}
+		if len(w) < 3 || uint64(len(w)-3) != w[2] {
+			return 0, fmt.Errorf("pagerank: shard %d: malformed payload (%d words, count %d)", i, len(w), w[2])
+		}
+		if i == 0 {
+			iter = w[0]
+		} else if w[0] != iter {
+			return 0, fmt.Errorf("pagerank: shard %d saved iter %d, shard 0 saved iter %d (inconsistent cut)", i, w[0], iter)
+		}
+		lo := int(w[1])
+		for j, v := range w[3:] {
+			if g := lo + j; g >= vlo && g < vhi {
+				rank.Store(uint64(g), v)
+				covered++
+			}
+		}
+	}
+	if covered != vhi-vlo {
+		return 0, fmt.Errorf("pagerank: restore covers %d of %d owned vertices", covered, vhi-vlo)
+	}
+	return iter, nil
 }
 
 // Reference computes the same fixed-point PageRank sequentially; Run

@@ -1,0 +1,41 @@
+// Package ckpt is the tiny codec shared by app checkpoint payloads: a
+// shard's state is a vector of uint64 words (a table slice, a rank
+// vector, a centroid set, plus a short header) encoded little-endian.
+// Keeping the codec in one place means every app's payload is
+// byte-stable across epochs — the restore side of a checkpoint must
+// decode exactly what a possibly differently-sharded epoch encoded.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendU64 appends one word to a payload being built.
+func AppendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// EncodeU64s encodes a word vector, with cap reserved for extra words
+// the caller will append.
+func EncodeU64s(words []uint64, extra int) []byte {
+	dst := make([]byte, 0, 8*(len(words)+extra))
+	for _, v := range words {
+		dst = AppendU64(dst, v)
+	}
+	return dst
+}
+
+// DecodeU64s decodes a whole payload back into words.
+func DecodeU64s(p []byte) ([]uint64, error) {
+	if len(p)%8 != 0 {
+		return nil, fmt.Errorf("ckpt: %d-byte payload is not a whole number of words", len(p))
+	}
+	out := make([]uint64, len(p)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(p[i*8:])
+	}
+	return out, nil
+}

@@ -203,6 +203,13 @@ type Options struct {
 	// exchange; an expired deadline yields a typed CoordDownError.
 	// Zero means 15s; negative disables the deadline.
 	CoordRPCTimeout time.Duration
+
+	// Generation is the membership generation this process belongs to
+	// (elastic clusters stamp it on coordinator RPCs and peer stream
+	// handshakes; a newer-generation receiver rejects the message with
+	// a typed StaleGenerationError instead of misdelivering it). Zero
+	// means unstamped — the fixed-membership default.
+	Generation uint32
 }
 
 // Factory builds a fabric over the given per-node clocks.

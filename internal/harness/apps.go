@@ -124,6 +124,14 @@ func (p Params) merConfig(nodes int, errors bool) mer.Config {
 	return cfg
 }
 
+// resumeShards unwraps a CkptRun's restore payloads (nil on cold start).
+func resumeShards(ck CkptRun) [][]byte {
+	if ck.Resume == nil {
+		return nil
+	}
+	return ck.Resume.Shards
+}
+
 // centroidCheck hashes a k-means centroid vector; in shard mode only
 // node 0 contributes it so the shard Checks still sum to the full-run
 // value.
@@ -166,6 +174,21 @@ func init() {
 		},
 		Shard: func(sys rt.System, node int, p Params, _ rt.Collective) Result {
 			r := gups.RunOn(sys, p.gupsConfig(sys.Nodes()), node)
+			return Result{
+				Summary: fmt.Sprintf("shard updates=%d localSum=%d", r.Updates, r.Sum),
+				Ns:      r.Ns,
+				Check:   r.Sum,
+			}
+		},
+		Elastic: func(sys rt.System, node int, p Params, _ rt.Collective, ck CkptRun) Result {
+			r, err := gups.RunElastic(sys, p.gupsConfig(sys.Nodes()), node, gups.ElasticOpts{
+				Resume: resumeShards(ck),
+				Every:  ck.Every,
+				Save:   ck.Save,
+			})
+			if err != nil {
+				return Result{Summary: "elastic shard failed", Err: err}
+			}
 			return Result{
 				Summary: fmt.Sprintf("shard updates=%d localSum=%d", r.Updates, r.Sum),
 				Ns:      r.Ns,
@@ -244,6 +267,26 @@ func init() {
 				Check:   r.FixedSum,
 			}
 		},
+		Elastic: func(sys rt.System, node int, p Params, _ rt.Collective, ck CkptRun) Result {
+			g := randomInput(p)
+			r, err := pagerank.RunElastic(sys, pagerank.Config{G: g, Iters: p.itersOr(3)}, node, pagerank.ElasticOpts{
+				Resume: resumeShards(ck),
+				Every:  ck.Every,
+				Save:   ck.Save,
+			})
+			if err != nil {
+				return Result{Summary: "elastic shard failed", Err: err}
+			}
+			return Result{
+				Summary: fmt.Sprintf("%v shard rankSum=%.1f checksum=%016x", g, r.RankSum, r.Checksum),
+				Ns:      r.Ns,
+				Check:   r.FixedSum,
+			}
+		},
+		// Rank payloads carry global vertex ranges and per-shard work
+		// derives from global vertex IDs, so a checkpoint saved by N
+		// workers restores under any node count.
+		Reshardable: true,
 	})
 
 	registerGraphApp("pagerank-1", "PR-1", "push-style PageRank, hugebubbles stand-in (Table 4)", BubblesInput, pagerankRuns())
@@ -267,6 +310,25 @@ func init() {
 		},
 		Shard: func(sys rt.System, node int, p Params, coll rt.Collective) Result {
 			r := kmeans.RunShard(sys, p.kmeansConfig(sys.Nodes()), node, coll)
+			check := uint64(0)
+			if node == 0 {
+				check = centroidCheck(r.Centroids)
+			}
+			return Result{
+				Summary: fmt.Sprintf("clusters=%d iters=%d counts=%v", len(r.Counts), r.Iters, r.Counts),
+				Ns:      r.Ns,
+				Check:   check,
+			}
+		},
+		Elastic: func(sys rt.System, node int, p Params, coll rt.Collective, ck CkptRun) Result {
+			r, err := kmeans.RunElastic(sys, p.kmeansConfig(sys.Nodes()), node, coll, kmeans.ElasticOpts{
+				Resume: resumeShards(ck),
+				Every:  ck.Every,
+				Save:   ck.Save,
+			})
+			if err != nil {
+				return Result{Summary: "elastic shard failed", Err: err}
+			}
 			check := uint64(0)
 			if node == 0 {
 				check = centroidCheck(r.Centroids)

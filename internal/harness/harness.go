@@ -91,6 +91,32 @@ type Result struct {
 	Err error
 }
 
+// Checkpoint is one consistent cut of a distributed run: every shard's
+// payload saved at the same step barrier by the same epoch.
+type Checkpoint struct {
+	// Step is the step/iteration count the run had completed.
+	Step uint64
+	// Nodes is the node count of the epoch that saved the checkpoint.
+	Nodes int
+	// Shards holds one payload per node of the saving epoch, in node
+	// order. Payload layout is app-private (see the apps' EncodeShard).
+	Shards [][]byte
+}
+
+// CkptRun wires an elastic shard run to the cluster's checkpoint
+// store. The zero value is a cold start that never saves.
+type CkptRun struct {
+	// Resume, when non-nil, is the restore point the run continues
+	// from. For non-Reshardable apps the launcher guarantees
+	// Resume.Nodes equals the current node count.
+	Resume *Checkpoint
+	// Every is the checkpoint cadence in steps (<= 0 = every step).
+	Every int
+	// Save persists one shard payload for the step barrier just
+	// crossed (nil = don't checkpoint).
+	Save func(step uint64, data []byte) error
+}
+
 // App is one registered application.
 type App struct {
 	// Name is the registry key (-app value).
@@ -107,6 +133,18 @@ type App struct {
 	// supersteps (sssp, color, kmeans) reduce through coll; the rest
 	// ignore it. Shard Check values sum to the full-run Check.
 	Shard func(sys rt.System, node int, p Params, coll rt.Collective) Result
+	// Elastic, when non-nil, is the checkpoint-aware variant of Shard:
+	// it restores from ck.Resume, saves through ck.Save at step
+	// barriers, and otherwise behaves exactly like Shard (a zero
+	// CkptRun makes them identical). Elastic runs must be bit-identical
+	// to undisturbed runs.
+	Elastic func(sys rt.System, node int, p Params, coll rt.Collective, ck CkptRun) Result
+	// Reshardable marks an Elastic app whose checkpoints restore
+	// correctly under a *different* node count than the one that saved
+	// them (its payloads are keyed by global index and its per-shard
+	// work derives from global IDs, not per-node counts). Required for
+	// live rescaling; same-count recovery only needs Elastic.
+	Reshardable bool
 	// VerifyTotal, when non-nil, checks a distributed run's reduced
 	// Check total without needing a reference run (nil: callers
 	// compare against an in-process reference instead).

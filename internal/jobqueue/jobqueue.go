@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -115,9 +116,16 @@ type Options struct {
 	// being declared failed (default 2; <0 disables retries).
 	MaxRetries int
 	// RetryBackoff is the delay before the first re-execution, doubling
-	// each retry up to RetryBackoffMax (defaults 100ms, 5s).
+	// each retry up to RetryBackoffMax (defaults 100ms, 5s). The actual
+	// delay is jittered uniformly over [delay/2, delay] so a burst of
+	// jobs failed by one event does not re-launch in lockstep.
 	RetryBackoff    time.Duration
 	RetryBackoffMax time.Duration
+	// RetryDeadline caps the total time from a job's first execution to
+	// its last scheduled retry: when the next backoff would end past
+	// the deadline, the job fails instead of retrying. Zero means no
+	// deadline (only MaxRetries bounds retrying).
+	RetryDeadline time.Duration
 	// CacheSize is the LRU result-cache capacity in entries (default
 	// 256; <0 disables caching).
 	CacheSize int
@@ -158,6 +166,10 @@ type Stats struct {
 	Failed    int64 `json:"failed"`
 	Retries   int64 `json:"retries"`
 	Canceled  int64 `json:"canceled"`
+	// Recovered counts in-run recoveries reported by completed jobs
+	// (elastic runs that healed from a checkpoint instead of failing
+	// the attempt — they never burn a retry, so Retries stays flat).
+	Recovered int64 `json:"recovered"`
 
 	CacheLen int `json:"cache_len"`
 	CacheCap int `json:"cache_cap"`
@@ -184,6 +196,7 @@ type Queue struct {
 
 	submitted, deduped, cacheHits         int64
 	completed, failed, retries, canceledN int64
+	recovered                             int64
 }
 
 // New builds an empty queue.
@@ -323,7 +336,15 @@ func (q *Queue) Complete(j *Job, res *noderun.RunResult) {
 	j.result = res
 	j.finished = now
 	j.state = StateDone
-	j.transitionLocked(now, StateDone, "")
+	note := ""
+	if res != nil && res.Recovered > 0 {
+		// The run healed itself from a checkpoint (elastic recovery):
+		// surface it in the history and the stats, but do not charge the
+		// retry budget — no attempt failed.
+		q.recovered += int64(res.Recovered)
+		note = fmt.Sprintf("healed in-run: %d recoveries across %d epochs", res.Recovered, res.Epochs)
+	}
+	j.transitionLocked(now, StateDone, note)
 	q.completed++
 	delete(q.inflight, j.key)
 	q.cache.add(j.key, res)
@@ -352,10 +373,17 @@ func (q *Queue) Fail(j *Job, err error) {
 		q.finalizeLocked(j, StateFailed, now, fmt.Sprintf("failed after %d attempts", j.attempts))
 		return
 	}
-	// Exponential backoff: RetryBackoff << (attempt-1), capped.
+	// Exponential backoff: RetryBackoff << (attempt-1), capped, then
+	// jittered over [delay/2, delay] to decorrelate retry bursts.
 	delay := q.opt.RetryBackoff << (j.attempts - 1)
 	if delay > q.opt.RetryBackoffMax || delay <= 0 {
 		delay = q.opt.RetryBackoffMax
+	}
+	delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+	if q.opt.RetryDeadline > 0 && now.Sub(j.started)+delay > q.opt.RetryDeadline {
+		q.finalizeLocked(j, StateFailed,
+			now, fmt.Sprintf("retry deadline %v exceeded after %d attempts", q.opt.RetryDeadline, j.attempts))
+		return
 	}
 	q.retries++
 	q.backoff++
@@ -500,6 +528,7 @@ func (q *Queue) Stats() Stats {
 		Failed:    q.failed,
 		Retries:   q.retries,
 		Canceled:  q.canceledN,
+		Recovered: q.recovered,
 		CacheLen:  q.cache.len(),
 		CacheCap:  q.cache.cap,
 	}

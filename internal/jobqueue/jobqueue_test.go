@@ -3,6 +3,7 @@ package jobqueue
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -292,5 +293,80 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Fatalf("len = %d", c.len())
+	}
+}
+
+// TestRetryDeadlineCapsRetrying pins the total-retry-deadline: a job
+// whose next backoff would end past the deadline fails instead of
+// retrying, even with retry budget left.
+func TestRetryDeadlineCapsRetrying(t *testing.T) {
+	q := New(Options{MaxRetries: 100, RetryBackoff: 40 * time.Millisecond, RetryDeadline: 60 * time.Millisecond})
+	defer q.Close()
+	if _, _, err := q.Submit(spec(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, _ := mustClaim(t, q)
+		q.Fail(j, errors.New("boom"))
+		if v, _ := q.Get(j.ID()); v.State == StateFailed {
+			if note := v.History[len(v.History)-1].Note; !strings.Contains(note, "retry deadline") {
+				t.Fatalf("failed without the deadline note: %q", note)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job kept retrying past the retry deadline")
+		}
+	}
+}
+
+// TestRetryBackoffJitterBounded pins the jitter window: the scheduled
+// delay must stay within [delay/2, delay] of the exponential schedule,
+// so retries decorrelate without ballooning the backoff.
+func TestRetryBackoffJitterBounded(t *testing.T) {
+	q := New(Options{MaxRetries: 1, RetryBackoff: 80 * time.Millisecond})
+	defer q.Close()
+	if _, _, err := q.Submit(spec(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := mustClaim(t, q)
+	start := time.Now()
+	q.Fail(j, errors.New("boom"))
+	if st := q.Stats(); st.Backoff != 1 {
+		t.Fatalf("backoff gauge = %d, want 1", st.Backoff)
+	}
+	j2, _ := mustClaim(t, q) // blocks until the jittered timer requeues
+	if j2.ID() != j.ID() {
+		t.Fatalf("claimed %s, want the retried %s", j2.ID(), j.ID())
+	}
+	if waited := time.Since(start); waited < 40*time.Millisecond {
+		t.Fatalf("retry fired after %v, want >= half the 80ms backoff", waited)
+	}
+	q.Complete(j2, result(j2.Spec()))
+}
+
+// TestRecoveredJobsCounted pins the elastic-recovery accounting: a job
+// whose run healed in-flight completes normally, reports the recovery
+// count in Stats and its history, and burns no retries.
+func TestRecoveredJobsCounted(t *testing.T) {
+	q := New(Options{})
+	defer q.Close()
+	v, _, err := q.Submit(spec(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := mustClaim(t, q)
+	res := result(j.Spec())
+	res.Recovered = 2
+	res.Epochs = 3
+	q.Complete(j, res)
+	st := q.Stats()
+	if st.Recovered != 2 || st.Retries != 0 || st.Completed != 1 {
+		t.Fatalf("stats = %+v, want recovered=2 retries=0 completed=1", st)
+	}
+	got, _ := q.Get(v.ID)
+	if note := got.History[len(got.History)-1].Note; !strings.Contains(note, "healed in-run") {
+		t.Fatalf("done transition note = %q, want a healed in-run note", note)
 	}
 }

@@ -1,0 +1,213 @@
+package noderun_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"gravel/internal/noderun"
+	"gravel/internal/obs"
+)
+
+// elasticSpec is the shared shape of the recovery tests: a real TCP
+// cluster with a tight failure detector and per-barrier checkpoints.
+func elasticSpec(app string, nodes int) noderun.Spec {
+	s := noderun.Spec{App: app, Model: "gravel", Nodes: nodes, Fabric: noderun.FabricTCP, Elastic: true}
+	s.Params.Scale = 0.02
+	s.Suspect = time.Second
+	s.Heartbeat = 100 * time.Millisecond
+	s.CoordTimeout = 5 * time.Second
+	s.CoordRPCTimeout = 2 * time.Second
+	return s
+}
+
+// TestElasticRecoveryBitIdentical is the pinned chaos-recovery check:
+// a worker is killed mid-run, after the cluster has completed at least
+// one full checkpoint cut; the launcher must heal the run by starting
+// a new generation restored from that checkpoint, and the healed run's
+// reduced checksum must be bit-identical to the undisturbed local
+// reference.
+func TestElasticRecoveryBitIdentical(t *testing.T) {
+	s := elasticSpec("gups", 3)
+	s.Params.Steps = 20
+
+	ref := refWithSteps(t, s)
+
+	rec := obs.Start(obs.Options{})
+	defer obs.Stop()
+
+	// Kill node 1's first-epoch transport as soon as every worker has
+	// saved its shard for some step — a complete cut exists, so the
+	// recovery must restore (not cold-start) and still finish 19-ish of
+	// the 20 steps.
+	var killMu sync.Mutex
+	var killGen1 func()
+	killed := false
+	l := noderun.Launcher{
+		Hooks: noderun.Hooks{
+			WorkerStarted: func(node int, kill func()) {
+				killMu.Lock()
+				defer killMu.Unlock()
+				if node == 1 && killGen1 == nil {
+					killGen1 = kill
+				}
+			},
+		},
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+			if rec.Count(obs.KCheckpoint) >= int64(s.Nodes) {
+				killMu.Lock()
+				if killGen1 != nil && !killed {
+					killed = true
+					killGen1()
+				}
+				killMu.Unlock()
+				return
+			}
+		}
+	}()
+
+	res, err := l.Run(context.Background(), s)
+	if err != nil {
+		t.Fatalf("elastic run did not heal: %v", err)
+	}
+	if res.Check != ref.Check {
+		t.Fatalf("healed checksum = %d, undisturbed reference = %d", res.Check, ref.Check)
+	}
+	if res.Recovered < 1 {
+		t.Fatalf("run recorded %d recoveries, want >= 1 (kill fired: %v)", res.Recovered, killed)
+	}
+	if res.Epochs != len(res.EpochLog) || res.Epochs < 2 {
+		t.Fatalf("epochs = %d, epoch log = %v", res.Epochs, res.EpochLog)
+	}
+	last := res.EpochLog[len(res.EpochLog)-1]
+	if last.Outcome != "completed" {
+		t.Fatalf("final epoch outcome = %q, want completed", last.Outcome)
+	}
+	for i, e := range res.EpochLog[:len(res.EpochLog)-1] {
+		if e.Outcome != "recovered" {
+			t.Fatalf("epoch %d outcome = %q, want recovered", i, e.Outcome)
+		}
+		if res.EpochLog[i+1].Gen <= e.Gen {
+			t.Fatalf("generations did not increase: %v", res.EpochLog)
+		}
+	}
+	if rec.Count(obs.KRestore) < 1 {
+		t.Fatal("no restore events: the healed epoch cold-started despite a complete checkpoint")
+	}
+}
+
+// TestElasticRescaleScaleOut drives a planned 2 -> 4 scale-out of a
+// pagerank run mid-flight: the first epoch is asked to rescale once a
+// complete checkpoint cut exists, the second epoch re-shards the saved
+// ranks over 4 workers, and the final reduced FixedSum must equal the
+// undisturbed reference (pagerank's reduction is partition-invariant).
+func TestElasticRescaleScaleOut(t *testing.T) {
+	s := elasticSpec("pagerank", 2)
+	s.Params.Verts = 512
+	s.Params.Iters = 10
+
+	ref := refWithSteps(t, s)
+
+	rec := obs.Start(obs.Options{})
+	defer obs.Stop()
+
+	var once sync.Once
+	l := noderun.Launcher{
+		Hooks: noderun.Hooks{
+			EpochStarted: func(gen uint32, nodes int, rescale func(int)) {
+				if nodes != 2 {
+					return
+				}
+				go func() {
+					for rec.Count(obs.KCheckpoint) < 2 {
+						time.Sleep(200 * time.Microsecond)
+					}
+					once.Do(func() { rescale(4) })
+				}()
+			},
+		},
+	}
+	res, err := l.Run(context.Background(), s)
+	if err != nil {
+		t.Fatalf("scale-out run failed: %v", err)
+	}
+	if res.Check != ref.Check {
+		t.Fatalf("scaled-out checksum = %d, undisturbed reference = %d", res.Check, ref.Check)
+	}
+	if res.Recovered != 0 {
+		t.Fatalf("planned rescale was charged as %d recoveries", res.Recovered)
+	}
+	if len(res.EpochLog) != 2 {
+		t.Fatalf("epoch log = %+v, want exactly 2 epochs", res.EpochLog)
+	}
+	if res.EpochLog[0].Outcome != "rescaled" || res.EpochLog[0].Nodes != 2 {
+		t.Fatalf("first epoch = %+v, want a rescaled 2-node epoch", res.EpochLog[0])
+	}
+	if res.EpochLog[1].Outcome != "completed" || res.EpochLog[1].Nodes != 4 {
+		t.Fatalf("second epoch = %+v, want a completed 4-node epoch", res.EpochLog[1])
+	}
+	if len(res.Workers) != 4 {
+		t.Fatalf("final epoch reported %d workers, want 4", len(res.Workers))
+	}
+}
+
+// TestElasticUndisturbedMatchesPlain verifies the elastic entry points
+// are bit-identical to the plain shard path when nothing goes wrong,
+// for every app that has one.
+func TestElasticUndisturbedMatchesPlain(t *testing.T) {
+	for _, app := range []string{"gups", "pagerank", "kmeans"} {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			s := elasticSpec(app, 2)
+			s.Params.Steps = 4
+			s.Params.Iters = 3
+			ref := refWithSteps(t, s)
+			var l noderun.Launcher
+			res, err := l.Run(context.Background(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Check != ref.Check {
+				t.Fatalf("elastic checksum = %d, plain local = %d", res.Check, ref.Check)
+			}
+			if res.Epochs != 1 || res.Recovered != 0 {
+				t.Fatalf("undisturbed run reported epochs=%d recovered=%d", res.Epochs, res.Recovered)
+			}
+		})
+	}
+}
+
+// TestElasticValidate pins the spec-level rules: elastic needs a
+// cluster fabric and an app with an Elastic entry point.
+func TestElasticValidate(t *testing.T) {
+	s := elasticSpec("gups", 2)
+	s.Fabric = noderun.FabricLocal
+	if s.Validate() == nil {
+		t.Fatal("elastic validated on the local fabric")
+	}
+	s = elasticSpec("sssp-1", 2)
+	if s.Validate() == nil {
+		t.Fatal("elastic validated for an app with no elastic entry point")
+	}
+	a := elasticSpec("gups", 2)
+	b := a
+	b.Elastic = false
+	if a.Key() == b.Key() {
+		t.Fatal("elastic and non-elastic specs share a Key")
+	}
+	b = a
+	b.CkptEvery = 5
+	if a.Key() == b.Key() {
+		t.Fatal("different checkpoint cadences share a Key")
+	}
+}

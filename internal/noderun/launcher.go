@@ -14,9 +14,11 @@ import (
 	"os"
 	"os/exec"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gravel"
+	"gravel/internal/obs"
 	"gravel/internal/transport"
 )
 
@@ -47,6 +49,18 @@ func StartCoordinator(nodes int) (*Coord, error) {
 // Addr is the coordinator's dialable address.
 func (c *Coord) Addr() string { return c.ln.Addr().String() }
 
+// Generation is the coordinator's current membership generation.
+func (c *Coord) Generation() uint32 { return c.c.Generation() }
+
+// BeginEpoch starts the next membership epoch with the given worker
+// count, freezing the newest complete checkpoint as the epoch's
+// restore point, and returns the new generation.
+func (c *Coord) BeginEpoch(nodes int) uint32 { return c.c.BeginEpoch(nodes) }
+
+// Rescale asks the running epoch to unwind at its next step barrier so
+// the cluster can re-form with the given worker count.
+func (c *Coord) Rescale(nodes int) uint32 { return c.c.Rescale(nodes) }
+
 // Stop closes the listener: no new connections.
 func (c *Coord) Stop() { c.ln.Close() }
 
@@ -64,8 +78,15 @@ type Hooks struct {
 	CoordStarted func(c *Coord)
 	// WorkerStarted fires per launched worker with a kill switch:
 	// SIGKILL for FabricExec workers, a transport kill for FabricTCP
-	// worker goroutines.
+	// worker goroutines. In an elastic run it fires again for every
+	// relaunch of the node in a later epoch.
 	WorkerStarted func(node int, kill func())
+	// EpochStarted fires as each elastic epoch's workers launch, with
+	// the epoch's generation and node count plus a rescale trigger:
+	// calling rescale(n) asks the cluster to unwind at the next step
+	// barrier and re-form with n workers (a planned epoch change, not
+	// charged against the recovery budget).
+	EpochStarted func(gen uint32, nodes int, rescale func(newNodes int))
 }
 
 // Launcher runs cluster Specs. The zero value is ready to use: exec
@@ -98,6 +119,9 @@ func (l *Launcher) Run(ctx context.Context, spec Spec) (*RunResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.Elastic {
+		return l.runElastic(ctx, spec)
+	}
 	switch spec.Fabric {
 	case FabricLocal:
 		return RunLocal(spec)
@@ -119,13 +143,9 @@ type workerOutcome struct {
 // binary with the spec in WorkerEnv, and harvests their JSON result
 // lines.
 func (l *Launcher) runExec(ctx context.Context, spec Spec) (*RunResult, error) {
-	exe := l.Exe
-	if exe == "" {
-		var err error
-		exe, err = os.Executable()
-		if err != nil {
-			return nil, err
-		}
+	exe, err := l.exe()
+	if err != nil {
+		return nil, err
 	}
 	coord, err := StartCoordinator(spec.Nodes)
 	if err != nil {
@@ -136,10 +156,20 @@ func (l *Launcher) runExec(ctx context.Context, spec Spec) (*RunResult, error) {
 		l.Hooks.CoordStarted(coord)
 	}
 	start := time.Now()
+	out, err := l.execEpoch(ctx, exe, spec, coord.Addr(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(spec, out, time.Since(start))
+}
+
+// execEpoch launches one gang of OS-process workers (one per
+// spec.Nodes, stamped with gen) and waits for all of them.
+func (l *Launcher) execEpoch(ctx context.Context, exe string, spec Spec, coordAddr string, gen uint32) ([]workerOutcome, error) {
 	out := make([]workerOutcome, spec.Nodes)
 	var wg sync.WaitGroup
 	for i := 0; i < spec.Nodes; i++ {
-		env, err := json.Marshal(workerEnvDoc{Node: i, Coord: coord.Addr(), Spec: spec})
+		env, err := json.Marshal(workerEnvDoc{Node: i, Coord: coordAddr, Spec: spec, Gen: gen})
 		if err != nil {
 			return nil, err
 		}
@@ -170,7 +200,7 @@ func (l *Launcher) runExec(ctx context.Context, spec Spec) (*RunResult, error) {
 		}(i)
 	}
 	wg.Wait()
-	return assemble(spec, out, time.Since(start))
+	return out, nil
 }
 
 // runGoroutines hosts every worker as a goroutine in this process,
@@ -185,6 +215,16 @@ func (l *Launcher) runGoroutines(ctx context.Context, spec Spec) (*RunResult, er
 		l.Hooks.CoordStarted(coord)
 	}
 	start := time.Now()
+	out := l.tcpEpoch(ctx, spec, coord.Addr(), 0)
+	return assemble(spec, out, time.Since(start))
+}
+
+// tcpEpoch launches one gang of worker goroutines (one per spec.Nodes,
+// stamped with gen) over the real TCP transport and waits for all of
+// them. A context cancellation kills every worker's transport,
+// unwinding their Step goroutines with typed errors within the
+// detector bound.
+func (l *Launcher) tcpEpoch(ctx context.Context, spec Spec, coordAddr string, gen uint32) []workerOutcome {
 	out := make([]workerOutcome, spec.Nodes)
 	killers := make([]*killer, spec.Nodes)
 	var wg sync.WaitGroup
@@ -200,8 +240,9 @@ func (l *Launcher) runGoroutines(ctx context.Context, spec Spec) (*RunResult, er
 			var diag bytes.Buffer
 			res, err := RunWorker(WorkerConfig{
 				Node:  i,
-				Coord: coord.Addr(),
+				Coord: coordAddr,
 				Spec:  spec,
+				Gen:   gen,
 				Diag:  &diag,
 				OnSystem: func(_ gravel.System, tcp *transport.TCP) {
 					k.bind(func() { tcp.Kill() })
@@ -210,8 +251,6 @@ func (l *Launcher) runGoroutines(ctx context.Context, spec Spec) (*RunResult, er
 			out[i] = workerOutcome{res: res, err: err, stderr: tail(diag.Bytes(), l.stderrCap())}
 		}(i)
 	}
-	// A context cancellation kills every worker's transport, unwinding
-	// their Step goroutines with typed errors within the detector bound.
 	stop := make(chan struct{})
 	go func() {
 		select {
@@ -224,7 +263,157 @@ func (l *Launcher) runGoroutines(ctx context.Context, spec Spec) (*RunResult, er
 	}()
 	wg.Wait()
 	close(stop)
-	return assemble(spec, out, time.Since(start))
+	return out
+}
+
+func (l *Launcher) exe() (string, error) {
+	if l.Exe != "" {
+		return l.Exe, nil
+	}
+	return os.Executable()
+}
+
+// runElastic executes an elastic run as a sequence of membership
+// epochs. Each epoch launches a full gang of generation-stamped
+// workers; within an epoch, workers checkpoint their shards to the
+// coordinator at step barriers. When an epoch ends early — a worker
+// died (the gang unwinds with typed transport errors) or a planned
+// rescale was requested — the launcher begins a new epoch: the
+// coordinator freezes the newest *complete* checkpoint as the restore
+// point, bumps the generation (so stragglers of the dead epoch are
+// rejected with typed StaleGenerationErrors rather than polluting the
+// new one), and a fresh gang restores and continues. Determinism of
+// the apps makes the healed run's reduced checksum bit-identical to an
+// undisturbed run's.
+func (l *Launcher) runElastic(ctx context.Context, spec Spec) (*RunResult, error) {
+	var exe string
+	if spec.Fabric == FabricExec {
+		var err error
+		if exe, err = l.exe(); err != nil {
+			return nil, err
+		}
+	}
+	coord, err := StartCoordinator(spec.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Stop()
+	if l.Hooks.CoordStarted != nil {
+		l.Hooks.CoordStarted(coord)
+	}
+
+	maxRec := spec.MaxRecoveries
+	if maxRec == 0 {
+		maxRec = 3
+	} else if maxRec < 0 {
+		maxRec = 0
+	}
+
+	// The launcher owns rescale intent: when an epoch unwinds after
+	// wantNodes was set, the unwind is the planned membership change,
+	// not a failure — no error-sniffing of worker exits needed.
+	var wantNodes atomic.Int64
+
+	start := time.Now()
+	var epochLog []EpochStat
+	recovered := 0
+	nodes := spec.Nodes
+	for {
+		gen := coord.Generation()
+		espec := spec
+		espec.Nodes = nodes
+		if l.Hooks.EpochStarted != nil {
+			l.Hooks.EpochStarted(gen, nodes, func(n int) {
+				if n > 0 {
+					wantNodes.Store(int64(n))
+					coord.Rescale(n)
+				}
+			})
+		}
+		epochStart := time.Now()
+		var out []workerOutcome
+		if spec.Fabric == FabricExec {
+			if out, err = l.execEpoch(ctx, exe, espec, coord.Addr(), gen); err != nil {
+				return nil, err
+			}
+		} else {
+			out = l.tcpEpoch(ctx, espec, coord.Addr(), gen)
+		}
+		stat := EpochStat{Gen: gen, Nodes: nodes, WallNs: time.Since(epochStart).Nanoseconds()}
+
+		if !anyFailed(out) {
+			stat.Outcome = "completed"
+			epochLog = append(epochLog, stat)
+			res, err := assemble(espec, out, time.Since(start))
+			if res != nil {
+				res.Spec = spec
+				res.Epochs = len(epochLog)
+				res.Recovered = recovered
+				res.EpochLog = epochLog
+			}
+			if err == nil && recovered > 0 && obs.Enabled() {
+				obs.Emit(obs.KRecover, -1, int64(gen), int64(len(epochLog)), "")
+			}
+			return res, err
+		}
+		if ctx.Err() != nil {
+			res, _ := assemble(espec, out, time.Since(start))
+			if res != nil {
+				res.Spec = spec
+				res.Epochs = len(epochLog) + 1
+				res.Recovered = recovered
+				res.EpochLog = epochLog
+			}
+			return res, ctx.Err()
+		}
+
+		if want := int(wantNodes.Swap(0)); want > 0 {
+			// Planned rescale: the epoch unwound at a step barrier with
+			// typed RescaleErrors. Re-form at the new size.
+			nodes = want
+			stat.Outcome = "rescaled"
+			epochLog = append(epochLog, stat)
+			newGen := coord.BeginEpoch(nodes)
+			if obs.Enabled() {
+				obs.Emit(obs.KEpoch, -1, int64(newGen), int64(nodes), "rescale")
+			}
+			continue
+		}
+
+		// Unplanned loss: a worker died mid-step and the surviving gang
+		// unwound with typed errors. Heal from the latest complete
+		// checkpoint unless the recovery budget is spent.
+		recovered++
+		if recovered > maxRec {
+			res, aerr := assemble(espec, out, time.Since(start))
+			if res != nil {
+				res.Spec = spec
+				res.Epochs = len(epochLog) + 1
+				res.Recovered = recovered - 1
+				res.EpochLog = append(epochLog, stat)
+			}
+			if aerr == nil {
+				aerr = fmt.Errorf("noderun: elastic run failed after %d recoveries", recovered-1)
+			}
+			return res, fmt.Errorf("noderun: recovery budget exhausted (%d): %w", maxRec, aerr)
+		}
+		stat.Outcome = "recovered"
+		epochLog = append(epochLog, stat)
+		newGen := coord.BeginEpoch(nodes)
+		if obs.Enabled() {
+			obs.Emit(obs.KEpoch, -1, int64(newGen), int64(nodes), "recover")
+		}
+	}
+}
+
+// anyFailed reports whether any worker of an epoch failed.
+func anyFailed(out []workerOutcome) bool {
+	for i := range out {
+		if out[i].err != nil {
+			return true
+		}
+	}
+	return false
 }
 
 func (l *Launcher) stderrCap() int {

@@ -67,6 +67,20 @@ type Spec struct {
 	CoordBackoff    time.Duration `json:"coord_backoff,omitempty"`
 	CoordBackoffMax time.Duration `json:"coord_backoff_max,omitempty"`
 	CoordRPCTimeout time.Duration `json:"coord_rpc_timeout,omitempty"`
+
+	// Elastic enables checkpoint/restore and recovery orchestration:
+	// workers save shard checkpoints at step barriers, and the launcher
+	// heals a worker loss by starting a new membership epoch restored
+	// from the latest complete checkpoint instead of failing the run.
+	// Requires an app with an Elastic entry point.
+	Elastic bool `json:"elastic,omitempty"`
+	// CkptEvery is the checkpoint cadence in step barriers (0 = every
+	// barrier). Elastic runs only.
+	CkptEvery int `json:"ckpt_every,omitempty"`
+	// MaxRecoveries bounds unplanned epoch recoveries before the run is
+	// declared failed (0 = 3; negative = none allowed). Planned
+	// rescales are not charged against it.
+	MaxRecoveries int `json:"max_recoveries,omitempty"`
 }
 
 // Normalized fills the defaulted fields: gups on the gravel model, 4
@@ -109,6 +123,15 @@ func (s Spec) Validate() error {
 	if _, err := fault.Parse(s.Faults); err != nil {
 		return fmt.Errorf("noderun: faults: %w", err)
 	}
+	if s.Elastic {
+		if s.Fabric == FabricLocal {
+			return fmt.Errorf("noderun: elastic runs need a cluster fabric (%s or %s)", FabricTCP, FabricExec)
+		}
+		a, _ := harness.LookupApp(s.App)
+		if a.Elastic == nil {
+			return fmt.Errorf("noderun: app %q has no elastic (checkpoint/restore) entry point", s.App)
+		}
+	}
 	return nil
 }
 
@@ -118,10 +141,17 @@ func (s Spec) Validate() error {
 func (s Spec) Key() string {
 	s = s.Normalized()
 	p := s.Params
-	return fmt.Sprintf("app=%s model=%s nodes=%d fabric=%s scale=%g seed=%d table=%d updates=%d steps=%d verts=%d iters=%d faults=%s wall=%t",
+	key := fmt.Sprintf("app=%s model=%s nodes=%d fabric=%s scale=%g seed=%d table=%d updates=%d steps=%d verts=%d iters=%d faults=%s wall=%t",
 		s.App, s.Model, s.Nodes, s.Fabric,
 		p.Scale, p.Seed, p.Table, p.Updates, p.Steps, p.Verts, p.Iters,
 		s.Faults, s.WallClock)
+	if s.Elastic {
+		// Elastic changes execution shape (checkpoints, epoch loop) even
+		// though results stay bit-identical; appended only when set so
+		// pre-elastic cache keys stay valid.
+		key += fmt.Sprintf(" elastic=true ckpt=%d", s.CkptEvery)
+	}
+	return key
 }
 
 // WorkerResult is one worker's outcome — the JSON line a gravel-node
@@ -162,9 +192,34 @@ type RunResult struct {
 	WallNs      int64          `json:"wall_ns"`
 	Workers     []WorkerStatus `json:"workers,omitempty"`
 
+	// Epochs is the number of membership epochs the run spanned
+	// (elastic runs; 1 = undisturbed, 0 = non-elastic).
+	Epochs int `json:"epochs,omitempty"`
+	// Recovered counts unplanned recoveries: epochs that ended in a
+	// worker loss and were healed from a checkpoint instead of failing
+	// the run. Planned rescales are not counted.
+	Recovered int `json:"recovered,omitempty"`
+	// EpochLog records each epoch of an elastic run in order.
+	EpochLog []EpochStat `json:"epoch_log,omitempty"`
+
 	// Stats is the full runtime snapshot, populated on the local fabric
 	// (remote fabrics report per-worker wire counters instead).
 	Stats *rt.Stats `json:"stats,omitempty"`
+}
+
+// EpochStat is one membership epoch of an elastic run.
+type EpochStat struct {
+	// Gen is the epoch's membership generation.
+	Gen uint32 `json:"gen"`
+	// Nodes is the epoch's worker count.
+	Nodes int `json:"nodes"`
+	// WallNs is the epoch's wall-clock duration.
+	WallNs int64 `json:"wall_ns"`
+	// Outcome is "completed" (the run finished in this epoch),
+	// "recovered" (a worker died; the next epoch healed from a
+	// checkpoint), or "rescaled" (a planned membership change ended the
+	// epoch at a step barrier).
+	Outcome string `json:"outcome"`
 }
 
 // WorkerError is a worker's failure inside a cluster run, carrying its

@@ -98,6 +98,7 @@ func TestExecKillWorkerDiagnosed(t *testing.T) {
 func refWithSteps(t *testing.T, s noderun.Spec) *noderun.RunResult {
 	t.Helper()
 	s.Fabric = noderun.FabricLocal
+	s.Elastic = false
 	s.Suspect, s.Heartbeat, s.CoordTimeout, s.CoordRPCTimeout = 0, 0, 0, 0
 	ref, err := noderun.RunLocal(s)
 	if err != nil {

@@ -30,6 +30,11 @@ type WorkerConfig struct {
 	// Spec is the run this worker takes part in. Fabric is ignored: a
 	// worker always joins over the TCP transport.
 	Spec Spec
+	// Gen is the membership generation this worker belongs to (elastic
+	// runs; 0 = unstamped fixed membership). Stamped on every
+	// coordinator RPC and peer handshake — a stale-generation worker is
+	// rejected with a typed error instead of polluting the new epoch.
+	Gen uint32
 
 	// OnSystem, if non-nil, observes the constructed runtime before the
 	// shard runs — gravel-node wires /healthz and /metrics here.
@@ -109,6 +114,7 @@ func RunWorker(cfg WorkerConfig) (res WorkerResult, err error) {
 			CoordDialBackoff:    spec.CoordBackoff,
 			CoordDialBackoffMax: spec.CoordBackoffMax,
 			CoordRPCTimeout:     spec.CoordRPCTimeout,
+			Generation:          cfg.Gen,
 		},
 	})
 	if err != nil {
@@ -125,13 +131,40 @@ func RunWorker(cfg WorkerConfig) (res WorkerResult, err error) {
 
 	// The shard's superstep collectives (frontier emptiness, k-means
 	// accumulators) ride the coordinator's keyed reduction.
-	shard := a.Shard(sys, cfg.Node, spec.Params, tcp.Reduce)
+	var shard harness.Result
+	resharded := false
+	if spec.Elastic && a.Elastic != nil {
+		ck := harness.CkptRun{
+			Every: spec.CkptEvery,
+			Save:  tcp.SaveCheckpoint,
+		}
+		rp, found, ferr := tcp.FetchCheckpoint()
+		if ferr != nil {
+			return res, ferr
+		}
+		if found {
+			if rp.Nodes != spec.Nodes && !a.Reshardable {
+				return res, fmt.Errorf("noderun: app %q cannot restore a %d-node checkpoint on %d nodes", spec.App, rp.Nodes, spec.Nodes)
+			}
+			resharded = rp.Nodes != spec.Nodes
+			ck.Resume = &harness.Checkpoint{Step: rp.Step, Nodes: rp.Nodes, Shards: rp.Shards}
+		}
+		shard = a.Elastic(sys, cfg.Node, spec.Params, tcp.Reduce, ck)
+		if shard.Err != nil {
+			return res, shard.Err
+		}
+	} else {
+		shard = a.Shard(sys, cfg.Node, spec.Params, tcp.Reduce)
+	}
 
 	total, err := tcp.Reduce(spec.App+":sum", shard.Check)
 	if err != nil {
 		return res, err
 	}
-	if a.VerifyTotal != nil {
+	// A restore that crossed node counts invalidates per-node-count
+	// expectations (VerifyTotal derives them from the *current* count);
+	// the launcher still cross-checks shard agreement and additivity.
+	if a.VerifyTotal != nil && !resharded {
 		if err := a.VerifyTotal(total, spec.Params, spec.Nodes); err != nil {
 			return res, err
 		}
@@ -195,6 +228,7 @@ type workerEnvDoc struct {
 	Node  int    `json:"node"`
 	Coord string `json:"coord"`
 	Spec  Spec   `json:"spec"`
+	Gen   uint32 `json:"gen,omitempty"`
 }
 
 // MaybeWorkerMain turns the current process into a cluster worker if
@@ -216,6 +250,7 @@ func MaybeWorkerMain() {
 		Node:  doc.Node,
 		Coord: doc.Coord,
 		Spec:  doc.Spec,
+		Gen:   doc.Gen,
 		Diag:  os.Stderr,
 	})
 	if err != nil {

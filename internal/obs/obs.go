@@ -66,6 +66,19 @@ const (
 	// KFault is one injected fault (tag = fault kind): A = peer,
 	// B = per-link frame index.
 	KFault
+	// KEpoch is a membership epoch transition (tag = "recover" or
+	// "rescale"): A = new generation, B = new node count.
+	KEpoch
+	// KCheckpoint is one shard checkpoint saved at a step barrier:
+	// A = step, B = payload bytes.
+	KCheckpoint
+	// KRestore is one shard restored from a checkpoint: A = restored
+	// step, B = saving epoch's node count.
+	KRestore
+	// KRecover is a completed recovery: the run healed from a worker
+	// loss instead of aborting. A = generation that recovered,
+	// B = epochs consumed so far.
+	KRecover
 )
 
 var kindNames = [...]string{
@@ -81,6 +94,10 @@ var kindNames = [...]string{
 	KRetransmit:      "retransmit",
 	KReconnect:       "reconnect",
 	KFault:           "fault",
+	KEpoch:           "epoch",
+	KCheckpoint:      "checkpoint",
+	KRestore:         "restore",
+	KRecover:         "recover",
 }
 
 // String returns the JSONL name of the kind.

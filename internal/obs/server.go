@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -27,6 +28,9 @@ type Server struct {
 	health func() error
 	stats  func() *rt.Stats
 
+	extraMu sync.Mutex
+	extra   []func(io.Writer)
+
 	mu   sync.Mutex
 	done chan struct{}
 }
@@ -41,17 +45,35 @@ func NewServer(addr string, health func() error, statsFn func() *rt.Stats) (*Ser
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, health: health, stats: statsFn, done: make(chan struct{})}
+	s := &Server{ln: sndbufListener{ln}, health: health, stats: statsFn, done: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux = mux
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
-		s.srv.Serve(ln)
+		s.srv.Serve(s.ln)
 		close(s.done)
 	}()
 	return s, nil
+}
+
+// sndbufListener caps each accepted connection's kernel send buffer.
+// Without the cap, TCP autotuning lets a client that stops reading (a
+// hung /events stream, a stalled scraper) absorb megabytes of buffered
+// writes before the server's write deadline can ever trip; bounding the
+// buffer bounds both that memory and the time to evict the client.
+type sndbufListener struct{ net.Listener }
+
+func (l sndbufListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetWriteBuffer(32 << 10)
+	}
+	return c, nil
 }
 
 // Addr returns the bound address (useful with ":0").
@@ -61,6 +83,16 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // everything before traffic arrives (ServeMux registration is not
 // synchronized with serving).
 func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// AppendMetrics registers fn to run on every /metrics scrape, after
+// the recorder and runtime-stats sections. Subsystems sharing the
+// listener (gravel-server's job queue, for one) export their own
+// Prometheus-style counters this way.
+func (s *Server) AppendMetrics(fn func(w io.Writer)) {
+	s.extraMu.Lock()
+	defer s.extraMu.Unlock()
+	s.extra = append(s.extra, fn)
+}
 
 // Close shuts the server down.
 func (s *Server) Close() error {
@@ -103,6 +135,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		if st := s.stats(); st != nil {
 			writeStatsMetrics(&b, st)
 		}
+	}
+	s.extraMu.Lock()
+	extra := append([]func(io.Writer){}, s.extra...)
+	s.extraMu.Unlock()
+	for _, fn := range extra {
+		fn(&b)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())

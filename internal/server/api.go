@@ -6,6 +6,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -96,6 +97,10 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("server draining: not accepting new jobs"))
+		return
+	}
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad submit body: %w", err))
@@ -177,9 +182,10 @@ func (s *Server) handleAdminWorkers(w http.ResponseWriter, _ *http.Request) {
 // Event is one frame of the progress stream (JSON lines on
 // /api/v1/jobs/{id}/events): job transitions as they happen,
 // interleaved with flight-recorder counter deltas while the job runs,
-// closed by a terminal frame.
+// periodic keepalives when nothing else flows, closed by a terminal
+// frame.
 type Event struct {
-	Type  string         `json:"type"` // "transition" | "stats" | "done"
+	Type  string         `json:"type"` // "transition" | "stats" | "keepalive" | "done"
 	JobID string         `json:"job_id"`
 	State jobqueue.State `json:"state,omitempty"`
 	// Transition carries one new history entry (type "transition").
@@ -189,28 +195,50 @@ type Event struct {
 	Recorder map[string]int64 `json:"recorder,omitempty"`
 }
 
-// handleEvents streams a job's progress as JSON lines until it
-// reaches a terminal state or the client goes away.
+// Stream pacing. Vars, not consts, so tests can shrink them: the
+// keepalive period bounds how long an idle stream stays silent, and
+// the write timeout bounds how long a hung reader (a client that keeps
+// the connection open but stops consuming) can pin a handler before it
+// is evicted.
+var (
+	eventsTick         = 150 * time.Millisecond
+	eventsKeepalive    = 10 * time.Second
+	eventsWriteTimeout = 10 * time.Second
+)
+
+// handleEvents streams a job's progress as JSON lines until it reaches
+// a terminal state or the client goes away. Idle periods are bridged
+// with keepalive frames; every write carries a deadline so a reader
+// that stops consuming is disconnected instead of pinning the handler
+// (and its buffers) forever.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.q.Get(id); !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
-	flusher, _ := w.(http.Flusher)
+	s.eventStreams.Add(1)
+	defer s.eventStreams.Add(-1)
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
-	emit := func(e Event) {
-		enc.Encode(e)
-		if flusher != nil {
-			flusher.Flush()
+	lastEmit := time.Now()
+	emit := func(e Event) bool {
+		rc.SetWriteDeadline(time.Now().Add(eventsWriteTimeout))
+		if err := enc.Encode(e); err != nil {
+			return false
 		}
+		if err := rc.Flush(); err != nil {
+			return false
+		}
+		lastEmit = time.Now()
+		return true
 	}
 
 	sent := 0 // history entries already streamed
 	last := recorderCounts()
-	ticker := time.NewTicker(150 * time.Millisecond)
+	ticker := time.NewTicker(eventsTick)
 	defer ticker.Stop()
 	statsEvery := 0
 	for {
@@ -220,7 +248,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		for ; sent < len(view.History); sent++ {
 			tr := view.History[sent]
-			emit(Event{Type: "transition", JobID: id, State: tr.State, Transition: &tr})
+			if !emit(Event{Type: "transition", JobID: id, State: tr.State, Transition: &tr}) {
+				return
+			}
 		}
 		if view.State.Terminal() {
 			emit(Event{Type: "done", JobID: id, State: view.State})
@@ -231,9 +261,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if statsEvery++; statsEvery%7 == 0 {
 			cur := recorderCounts()
 			if delta := countsDelta(last, cur); len(delta) > 0 {
-				emit(Event{Type: "stats", JobID: id, State: view.State, Recorder: delta})
+				if !emit(Event{Type: "stats", JobID: id, State: view.State, Recorder: delta}) {
+					return
+				}
 			}
 			last = cur
+		}
+		if time.Since(lastEmit) >= eventsKeepalive {
+			if !emit(Event{Type: "keepalive", JobID: id, State: view.State}) {
+				return
+			}
 		}
 		select {
 		case <-ticker.C:

@@ -10,7 +10,10 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gravel/internal/jobqueue"
@@ -39,6 +42,11 @@ type Server struct {
 	q       *jobqueue.Queue
 	pool    *pool
 	started time.Time
+
+	draining     atomic.Bool
+	eventStreams atomic.Int64 // live /events handlers (shutdown + tests)
+	closeOnce    sync.Once
+	closeErr     error
 }
 
 // New starts a server on addr (":0" picks a free port). The returned
@@ -68,8 +76,32 @@ func New(addr string, opt Options) (*Server, error) {
 	}
 	s.obs = osrv
 	s.mountAPI()
+	s.obs.AppendMetrics(s.queueMetrics)
 	s.pool = newPool(s.q, opt.Runner, opt.Pool, bin)
 	return s, nil
+}
+
+// queueMetrics renders the job queue's counters into every /metrics
+// scrape, next to the flight recorder's sections.
+func (s *Server) queueMetrics(w io.Writer) {
+	st := s.q.Stats()
+	g := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	g("gravel_jobs_depth", "Jobs in the heap, runnable now.", st.Depth)
+	g("gravel_jobs_backoff", "Jobs waiting out a retry backoff.", st.Backoff)
+	g("gravel_jobs_running", "Jobs currently executing.", st.Running)
+	c("gravel_jobs_submitted_total", "Job submissions accepted.", st.Submitted)
+	c("gravel_jobs_deduped_total", "Submissions folded onto identical in-flight jobs.", st.Deduped)
+	c("gravel_jobs_cache_hits_total", "Submissions served from the result cache.", st.CacheHits)
+	c("gravel_jobs_completed_total", "Jobs finished successfully.", st.Completed)
+	c("gravel_jobs_failed_total", "Jobs terminally failed.", st.Failed)
+	c("gravel_jobs_retries_total", "Failed attempts re-queued with backoff.", st.Retries)
+	c("gravel_jobs_recovered_total", "In-run recoveries reported by completed elastic jobs.", st.Recovered)
+	c("gravel_jobs_canceled_total", "Jobs canceled.", st.Canceled)
 }
 
 // Addr is the bound listen address.
@@ -78,10 +110,43 @@ func (s *Server) Addr() string { return s.obs.Addr() }
 // Queue exposes the underlying job queue (selfbench and tests).
 func (s *Server) Queue() *jobqueue.Queue { return s.q }
 
-// Close drains the service: the queue closes (canceling queued and
-// running jobs), the pool parks, and the HTTP server shuts down.
+// Close stops the service immediately: the queue closes (canceling
+// queued and running jobs), the pool parks, and the HTTP server shuts
+// down. Idempotent — later calls return the first call's error.
 func (s *Server) Close() error {
-	s.q.Close()
-	s.pool.stop()
-	return s.obs.Close()
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.q.Close()
+		s.pool.stop()
+		s.closeErr = s.obs.Close()
+	})
+	return s.closeErr
 }
+
+// Shutdown drains the service gracefully: new submits are refused with
+// 503 from the moment it is called, in-flight and queued jobs get up
+// to deadline to finish, then everything closes (canceling whatever
+// remains). This is the SIGINT/SIGTERM path of gravel-server's main.
+func (s *Server) Shutdown(deadline time.Duration) error {
+	s.draining.Store(true)
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		for {
+			st := s.q.Stats()
+			if st.Depth == 0 && st.Backoff == 0 && st.Running == 0 {
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}()
+	select {
+	case <-idle:
+	case <-time.After(deadline):
+	}
+	return s.Close()
+}
+
+// Draining reports whether Shutdown (or Close) has begun; new submits
+// are refused while true.
+func (s *Server) Draining() bool { return s.draining.Load() }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -435,4 +436,149 @@ func TestAPISurface(t *testing.T) {
 	if code, _ := get("/api/v1/jobs/nope"); code != http.StatusNotFound {
 		t.Fatalf("unknown job: code %d, want 404", code)
 	}
+}
+
+// TestShutdownDrains pins the graceful-shutdown contract: once
+// Shutdown begins, new submits are refused with 503, but the in-flight
+// job is given time to finish and completes with a result instead of
+// being canceled.
+func TestShutdownDrains(t *testing.T) {
+	runner := &gateRunner{
+		inner:   &noderun.Launcher{Exe: testExe(t)},
+		gate:    make(chan struct{}),
+		started: make(chan struct{}, 1),
+	}
+	s := startServer(t, Options{Pool: 1, Runner: runner})
+	base := "http://" + s.Addr()
+
+	req := SubmitRequest{App: "gups", Model: "gravel", Nodes: 2, Fabric: "tcp", Scale: 0.02, Seed: 41}
+	first := submit(t, base, req)
+	<-runner.started
+
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(30 * time.Second) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("Shutdown never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	req.Seed = 42
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit during drain: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %d, want 503", resp.StatusCode)
+	}
+
+	close(runner.gate)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	view, ok := s.Queue().Get(first.Job.ID)
+	if !ok || view.State != jobqueue.StateDone || view.Result == nil {
+		t.Fatalf("drained job = %+v, want done with a result", view)
+	}
+}
+
+// TestEventsStreamKeepalive pins the idle-stream contract: while a job
+// runs without emitting transitions, the NDJSON stream must carry
+// periodic keepalive frames so proxies and clients see a live
+// connection.
+func TestEventsStreamKeepalive(t *testing.T) {
+	savedKeep := eventsKeepalive
+	eventsKeepalive = 50 * time.Millisecond
+	defer func() { eventsKeepalive = savedKeep }()
+
+	runner := &gateRunner{
+		inner:   &noderun.Launcher{Exe: testExe(t)},
+		gate:    make(chan struct{}),
+		started: make(chan struct{}, 1),
+	}
+	s := startServer(t, Options{Pool: 1, Runner: runner})
+	base := "http://" + s.Addr()
+	first := submit(t, base, SubmitRequest{App: "gups", Model: "gravel", Nodes: 2, Fabric: "tcp", Scale: 0.02, Seed: 43})
+	<-runner.started
+	defer close(runner.gate)
+
+	resp, err := http.Get(base + "/api/v1/jobs/" + first.Job.ID + "/events")
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("decoding event stream: %v", err)
+		}
+		if e.Type == "keepalive" {
+			if e.JobID != first.Job.ID || e.State != jobqueue.StateRunning {
+				t.Fatalf("keepalive frame = %+v", e)
+			}
+			return
+		}
+	}
+	t.Fatal("no keepalive frame within 10s on an idle running job")
+}
+
+// TestEventsHungReaderEvicted pins the cleanup contract: a client that
+// opens the events stream and then stops reading (connection alive,
+// nothing consumed) must not pin the handler — the per-write deadline
+// evicts it once the socket buffers fill.
+func TestEventsHungReaderEvicted(t *testing.T) {
+	savedTick, savedKeep, savedTimeout := eventsTick, eventsKeepalive, eventsWriteTimeout
+	eventsTick = time.Millisecond
+	eventsKeepalive = time.Millisecond
+	eventsWriteTimeout = 300 * time.Millisecond
+	defer func() { eventsTick, eventsKeepalive, eventsWriteTimeout = savedTick, savedKeep, savedTimeout }()
+
+	runner := &gateRunner{
+		inner:   &noderun.Launcher{Exe: testExe(t)},
+		gate:    make(chan struct{}),
+		started: make(chan struct{}, 1),
+	}
+	s := startServer(t, Options{Pool: 1, Runner: runner})
+	base := "http://" + s.Addr()
+	first := submit(t, base, SubmitRequest{App: "gups", Model: "gravel", Nodes: 2, Fabric: "tcp", Scale: 0.02, Seed: 44})
+	<-runner.started
+	defer close(runner.gate)
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Clamp the receive buffer so the TCP window closes after a few KB
+	// instead of autotuning to megabytes — otherwise the kernel absorbs
+	// the stream for minutes before the server's write ever blocks.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetReadBuffer(4096)
+	}
+	fmt.Fprintf(conn, "GET /api/v1/jobs/%s/events HTTP/1.1\r\nHost: gravel\r\n\r\n", first.Job.ID)
+	// Deliberately never read: the stream backs up into the socket
+	// buffers until the server's write deadline trips.
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.eventStreams.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("events handler never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for s.eventStreams.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hung reader still pins the events handler after 30s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = base
 }

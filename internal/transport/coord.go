@@ -30,6 +30,14 @@ import (
 // evaluation — also a candidate — saw identical sums. Counters only
 // grow, so two consecutive matching candidates imply no frame was in
 // flight between them.
+// Membership is epoch-based: the coordinator stamps every epoch with a
+// generation (starting at 1) and every worker RPC carries its
+// generation. A worker from a dead epoch — one the launcher has moved
+// past with BeginEpoch — gets a typed stale-generation rejection
+// instead of silently polluting the new epoch's collectives. The
+// coordinator also doubles as the cluster's checkpoint store: workers
+// save per-shard state at step barriers ("ckpt") and a relaunched
+// epoch fetches the latest complete restore point ("restore").
 type Coordinator struct {
 	nodes int
 
@@ -41,6 +49,7 @@ type Coordinator struct {
 
 	mu sync.Mutex
 
+	gen       uint32
 	peers     map[int]string
 	firstJoin time.Time
 	lastSeen  map[int]time.Time
@@ -54,7 +63,34 @@ type Coordinator struct {
 	barriers map[string]*barrierState
 	done     chan struct{}
 
+	// ckpts accumulates the running epoch's per-step checkpoints;
+	// restore is the point frozen at the last BeginEpoch (the newest
+	// checkpoint every current-epoch shard had saved). pendingRescale,
+	// when nonzero, is a planned membership change: op responses carry
+	// it so every worker unwinds with a typed RescaleError at its next
+	// collective.
+	ckpts          map[uint64]*ckptState
+	restore        *RestorePoint
+	pendingRescale int
+
 	conns map[net.Conn]struct{} // live worker connections (for Kill)
+}
+
+// ckptState is one step's checkpoint being assembled: complete once
+// every node of the saving epoch has stored its shard.
+type ckptState struct {
+	nodes  int
+	shards map[int][]byte
+}
+
+// RestorePoint is a complete cluster checkpoint: every shard of one
+// epoch, at one step barrier. Shards are indexed by the saving epoch's
+// node ids — a restoring epoch with a different node count replays all
+// of them (shard payloads are keyed by global indices).
+type RestorePoint struct {
+	Step   uint64
+	Nodes  int
+	Shards [][]byte
 }
 
 type barrierState struct {
@@ -88,18 +124,26 @@ type reduceState struct {
 type coordMsg struct {
 	Op      string   `json:"op,omitempty"`
 	Node    int      `json:"node"`
+	Gen     uint32   `json:"gen,omitempty"` // sender's membership generation (0 = unstamped)
 	Addr    string   `json:"addr,omitempty"`
 	Sent    int64    `json:"sent,omitempty"`
 	Applied int64    `json:"applied,omitempty"`
 	Idle    bool     `json:"idle,omitempty"`
 	Key     string   `json:"key,omitempty"`
 	Val     uint64   `json:"val,omitempty"`
+	Step    uint64   `json:"step,omitempty"`    // checkpoint step ("ckpt"/"restore")
+	Data    []byte   `json:"data,omitempty"`    // checkpoint shard payload
 	Suspect int64    `json:"suspect,omitempty"` // joiner's suspect timeout, ns
 	OK      bool     `json:"ok"`
 	Err     string   `json:"err,omitempty"`
+	Stale   uint32   `json:"stale,omitempty"`   // rejection: coordinator's newer generation
+	Rescale int      `json:"rescale,omitempty"` // planned next-epoch node count
+	RGen    uint32   `json:"rgen,omitempty"`    // generation the rescaled epoch will get
 	Quiet   bool     `json:"quiet,omitempty"`
 	Ready   bool     `json:"ready,omitempty"` // polled op (join/reduce) completed
 	Total   uint64   `json:"total,omitempty"`
+	Nodes   int      `json:"nodes,omitempty"`  // restore point's saving node count
+	Shards  [][]byte `json:"shards,omitempty"` // restore point's per-node payloads
 	Peers   []string `json:"peers,omitempty"`
 	Down    []int    `json:"down,omitempty"` // workers silent past the suspect timeout
 }
@@ -109,12 +153,14 @@ type coordMsg struct {
 func NewCoordinator(nodes int) *Coordinator {
 	return &Coordinator{
 		nodes:    nodes,
+		gen:      1,
 		peers:    make(map[int]string),
 		lastSeen: make(map[int]time.Time),
 		left:     make(map[int]bool),
 		reports:  make(map[int]quietReport),
 		reduces:  make(map[string]*reduceState),
 		barriers: make(map[string]*barrierState),
+		ckpts:    make(map[uint64]*ckptState),
 		done:     make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 	}
@@ -122,6 +168,88 @@ func NewCoordinator(nodes int) *Coordinator {
 
 // Done is closed once every worker has said goodbye.
 func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Generation is the current epoch's generation stamp.
+func (c *Coordinator) Generation() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Nodes is the current epoch's expected worker count.
+func (c *Coordinator) Nodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes
+}
+
+// BeginEpoch moves the cluster to a fresh epoch with the given worker
+// count: the generation bumps, membership / quiescence / barrier /
+// reduce state resets, any pending rescale signal clears, and the
+// restore point freezes at the newest complete checkpoint. Workers of
+// the dead epoch that are still talking get stale-generation
+// rejections from here on. Returns the new generation.
+func (c *Coordinator) BeginEpoch(nodes int) uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rp := c.latestCompleteLocked(); rp != nil {
+		c.restore = rp
+	}
+	c.ckpts = make(map[uint64]*ckptState)
+	c.gen++
+	c.nodes = nodes
+	c.peers = make(map[int]string)
+	c.firstJoin = time.Time{}
+	c.lastSeen = make(map[int]time.Time)
+	c.left = make(map[int]bool)
+	c.reports = make(map[int]quietReport)
+	c.prevS, c.prevA, c.prevOK = 0, 0, false
+	c.reduces = make(map[string]*reduceState)
+	c.barriers = make(map[string]*barrierState)
+	c.pendingRescale = 0
+	return c.gen
+}
+
+// Rescale schedules a planned membership change to the given node
+// count: every worker's next collective RPC carries the signal and
+// unwinds with a typed RescaleError, after which the launcher calls
+// BeginEpoch(nodes) and relaunches from the restore point. Returns the
+// generation the rescaled epoch will be given.
+func (c *Coordinator) Rescale(nodes int) uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pendingRescale = nodes
+	return c.gen + 1
+}
+
+// Restore returns the current restore point (nil before any complete
+// checkpoint has been frozen by BeginEpoch).
+func (c *Coordinator) Restore() *RestorePoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.restore
+}
+
+// latestCompleteLocked picks the newest step for which every node of
+// the saving epoch stored a shard; falls back to nil (caller keeps the
+// previous restore point) when the dead epoch never completed one.
+func (c *Coordinator) latestCompleteLocked() *RestorePoint {
+	best := uint64(0)
+	var bestSt *ckptState
+	for step, st := range c.ckpts {
+		if len(st.shards) == st.nodes && (bestSt == nil || step > best) {
+			best, bestSt = step, st
+		}
+	}
+	if bestSt == nil {
+		return nil
+	}
+	rp := &RestorePoint{Step: best, Nodes: bestSt.nodes, Shards: make([][]byte, bestSt.nodes)}
+	for i := 0; i < bestSt.nodes; i++ {
+		rp.Shards[i] = bestSt.shards[i]
+	}
+	return rp
+}
 
 // Serve accepts worker connections until the listener closes. Call
 // `ln.Close()` after Done() fires (or on error) to end it.
@@ -174,11 +302,19 @@ func (c *Coordinator) handle(conn net.Conn) {
 }
 
 func (c *Coordinator) dispatch(req *coordMsg) *coordMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Generation gate: an op stamped with a dead epoch's generation is
+	// rejected before it can touch membership or collective state (a
+	// stale worker must not refresh a new-epoch node's liveness, arrive
+	// at its barriers, or pollute its reductions). Unstamped ops (gen 0)
+	// pass — single-epoch clusters never stamp.
+	if req.Gen != 0 && req.Gen != c.gen {
+		return &coordMsg{Stale: c.gen}
+	}
 	if req.Node < 0 || req.Node >= c.nodes {
 		return &coordMsg{Err: fmt.Sprintf("node %d out of range [0,%d)", req.Node, c.nodes)}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.lastSeen[req.Node] = time.Now()
 	switch req.Op {
 	case "join":
@@ -189,20 +325,64 @@ func (c *Coordinator) dispatch(req *coordMsg) *coordMsg {
 		return &coordMsg{OK: true, Ready: ready, Peers: peers}
 	case "quiet":
 		q := c.quietEvalLocked(req.Node, quietReport{sent: req.Sent, applied: req.Applied, idle: req.Idle})
-		return &coordMsg{OK: true, Quiet: q, Down: c.downLocked()}
+		return c.annotateLocked(&coordMsg{OK: true, Quiet: q, Down: c.downLocked()})
 	case "reduce":
 		total, ready := c.reduceLocked(req.Node, req.Key, req.Val)
-		return &coordMsg{OK: true, Ready: ready, Total: total, Down: c.downLocked()}
+		return c.annotateLocked(&coordMsg{OK: true, Ready: ready, Total: total, Down: c.downLocked()})
 	case "barrier":
 		rel := c.barrierLocked(req.Node, req.Key, quietReport{sent: req.Sent, applied: req.Applied, idle: req.Idle})
-		return &coordMsg{OK: true, Quiet: rel, Down: c.downLocked()}
+		return c.annotateLocked(&coordMsg{OK: true, Quiet: rel, Down: c.downLocked()})
 	case "ping":
-		return &coordMsg{OK: true, Down: c.downLocked()}
+		return c.annotateLocked(&coordMsg{OK: true, Down: c.downLocked()})
+	case "ckpt":
+		c.ckptLocked(req.Node, req.Step, req.Data)
+		return c.annotateLocked(&coordMsg{OK: true, Down: c.downLocked()})
+	case "restore":
+		if c.restore == nil {
+			return &coordMsg{OK: true}
+		}
+		return &coordMsg{OK: true, Ready: true, Step: c.restore.Step, Nodes: c.restore.Nodes, Shards: c.restore.Shards}
 	case "bye":
 		c.byeLocked(req.Node)
 		return &coordMsg{OK: true}
 	default:
 		return &coordMsg{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// annotateLocked stamps a pending planned rescale onto an op response,
+// so every worker learns about the membership change at its next
+// collective and unwinds cooperatively.
+func (c *Coordinator) annotateLocked(resp *coordMsg) *coordMsg {
+	if c.pendingRescale != 0 {
+		resp.Rescale = c.pendingRescale
+		resp.RGen = c.gen + 1
+	}
+	return resp
+}
+
+// ckptLocked stores one shard of the named step's checkpoint. The
+// shard payload is opaque to the coordinator; a step's checkpoint is
+// complete (restorable) once every node of the saving epoch has
+// stored, and only the newest complete step survives an epoch change.
+func (c *Coordinator) ckptLocked(node int, step uint64, data []byte) {
+	st := c.ckpts[step]
+	if st == nil {
+		st = &ckptState{nodes: c.nodes, shards: make(map[int][]byte)}
+		c.ckpts[step] = st
+	}
+	if _, dup := st.shards[node]; dup {
+		return // idempotent: a retried save keeps the first copy
+	}
+	st.shards[node] = append([]byte(nil), data...)
+	if len(st.shards) == st.nodes {
+		// A newly complete step supersedes older checkpoints; dropping
+		// them bounds the store for long runs.
+		for s := range c.ckpts {
+			if s < step && len(c.ckpts[s].shards) == c.ckpts[s].nodes {
+				delete(c.ckpts, s)
+			}
+		}
 	}
 }
 
@@ -416,6 +596,7 @@ func (o coordDialOpts) withDefaults() coordDialOpts {
 type coordClient struct {
 	addr       string
 	rpcTimeout time.Duration
+	gen        uint32 // stamped onto every request (0 = unstamped)
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -452,6 +633,7 @@ func dialCoord(addr string, o coordDialOpts) (*coordClient, error) {
 }
 
 func (c *coordClient) call(req *coordMsg) (*coordMsg, error) {
+	req.Gen = c.gen
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.rpcTimeout > 0 {
@@ -467,6 +649,9 @@ func (c *coordClient) call(req *coordMsg) (*coordMsg, error) {
 	if c.rpcTimeout > 0 {
 		c.conn.SetDeadline(time.Time{})
 	}
+	if resp.Stale != 0 {
+		return nil, &StaleGenerationError{Have: c.gen, Want: resp.Stale, Source: "coordinator"}
+	}
 	if resp.Err != "" {
 		return nil, fmt.Errorf("transport: coordinator: %s", resp.Err)
 	}
@@ -474,8 +659,13 @@ func (c *coordClient) call(req *coordMsg) (*coordMsg, error) {
 }
 
 // peerDown converts a response's Down list into the typed error, or
-// nil. Any down peer dooms the run; the first is reported.
+// nil. Any down peer dooms the run; the first is reported. A planned
+// rescale outranks it — if the coordinator is rescaling, unwinding
+// cooperatively is the point, whether or not a peer also died.
 func (c *coordClient) peerDown(resp *coordMsg, suspect time.Duration) error {
+	if resp.Rescale != 0 {
+		return &RescaleError{Nodes: resp.Rescale, Gen: resp.RGen}
+	}
 	if len(resp.Down) == 0 {
 		return nil
 	}
@@ -549,6 +739,30 @@ func (c *coordClient) ping(node int, suspect time.Duration) error {
 		return err
 	}
 	return c.peerDown(resp, suspect)
+}
+
+// saveCkpt stores this node's shard of the step checkpoint at the
+// coordinator. Called at a step barrier (a quiescent instant), so the
+// saved cluster state is consistent by construction.
+func (c *coordClient) saveCkpt(node int, step uint64, data []byte, suspect time.Duration) error {
+	resp, err := c.call(&coordMsg{Op: "ckpt", Node: node, Step: step, Data: data})
+	if err != nil {
+		return err
+	}
+	return c.peerDown(resp, suspect)
+}
+
+// fetchCkpt retrieves the epoch's restore point; ok is false when no
+// complete checkpoint predates this epoch (a cold start).
+func (c *coordClient) fetchCkpt(node int) (*RestorePoint, bool, error) {
+	resp, err := c.call(&coordMsg{Op: "restore", Node: node})
+	if err != nil {
+		return nil, false, err
+	}
+	if !resp.Ready {
+		return nil, false, nil
+	}
+	return &RestorePoint{Step: resp.Step, Nodes: resp.Nodes, Shards: resp.Shards}, true, nil
 }
 
 func (c *coordClient) bye(node int) error {

@@ -42,3 +42,41 @@ func (e *CoordDownError) Error() string {
 }
 
 func (e *CoordDownError) Unwrap() error { return e.Cause }
+
+// StaleGenerationError reports that this transport belongs to a
+// membership generation the cluster has moved past: a peer or the
+// coordinator is already on a newer generation and refused the
+// connection or operation. The process is evicted — its state is from
+// a dead epoch — so the error unwinds Step() like a failure, but the
+// launcher recognizes it as membership churn rather than a crash.
+type StaleGenerationError struct {
+	// Have is the generation this transport was configured with.
+	Have uint32
+	// Want is the newer generation observed on the cluster.
+	Want uint32
+	// Source names what rejected us: "peer" (evict frame during the
+	// stream handshake) or "coordinator" (generation-checked RPC).
+	Source string
+}
+
+func (e *StaleGenerationError) Error() string {
+	return fmt.Sprintf("transport: stale generation %d (cluster %s is at generation %d); evicted",
+		e.Have, e.Source, e.Want)
+}
+
+// RescaleError reports a planned membership change: the coordinator
+// signaled that the cluster is rescaling to a new node count, so the
+// current epoch must unwind at the next collective and relaunch from
+// checkpoint under the new generation. It is cooperative, not a
+// failure — the launcher's elastic loop treats it as a scheduled epoch
+// boundary and does not charge it against the recovery budget.
+type RescaleError struct {
+	// Nodes is the node count the next epoch will run with.
+	Nodes int
+	// Gen is the generation the coordinator will assign the new epoch.
+	Gen uint32
+}
+
+func (e *RescaleError) Error() string {
+	return fmt.Sprintf("transport: cluster rescaling to %d nodes (generation %d); epoch unwinding", e.Nodes, e.Gen)
+}

@@ -26,7 +26,7 @@ var errCorruptPayload = errors.New("transport: frame CRC mismatch")
 //	0       4     magic "GRVL"
 //	4       1     version (1)
 //	5       1     type
-//	6       2     reserved (0)
+//	6       2     membership generation (0 = not generation-stamped)
 //	8       4     from node
 //	12      4     to node
 //	16      4     message count
@@ -68,9 +68,15 @@ const (
 	// with a cumulative frameAck, so liveness and ack progress share one
 	// signal. Pings carry no payload and no sequence number.
 	framePing
+	// frameEvict rejects a stale-generation hello: the receiver is on a
+	// newer membership generation than the sender's stamp, so instead of
+	// a helloAck it replies frameEvict (seq carries the receiver's
+	// generation) and drops the connection. The sender surfaces a typed
+	// *StaleGenerationError rather than retrying forever.
+	frameEvict
 )
 
-func (t frameType) valid() bool { return t >= frameData && t <= framePing }
+func (t frameType) valid() bool { return t >= frameData && t <= frameEvict }
 
 // frame is one transport protocol unit.
 type frame struct {
@@ -78,6 +84,7 @@ type frame struct {
 	from, to int
 	msgs     int
 	seq      uint64
+	gen      uint16 // membership generation stamp (0 = unstamped)
 	payload  []byte
 
 	// sentAt is the flight recorder's timestamp of the frame's first
@@ -99,6 +106,7 @@ func appendFrame(dst []byte, f *frame) []byte {
 	binary.LittleEndian.PutUint32(h[0:4], frameMagic)
 	h[4] = frameVersion
 	h[5] = byte(f.typ)
+	binary.LittleEndian.PutUint16(h[6:8], f.gen)
 	binary.LittleEndian.PutUint32(h[8:12], uint32(f.from))
 	binary.LittleEndian.PutUint32(h[12:16], uint32(f.to))
 	binary.LittleEndian.PutUint32(h[16:20], uint32(f.msgs))
@@ -169,6 +177,7 @@ func readFrameInto(r *bufio.Reader, f *frame) error {
 		to:   int(binary.LittleEndian.Uint32(h[12:16])),
 		msgs: int(binary.LittleEndian.Uint32(h[16:20])),
 		seq:  binary.LittleEndian.Uint64(h[24:32]),
+		gen:  binary.LittleEndian.Uint16(h[6:8]),
 	}
 	if plen > 0 {
 		f.payload = wire.GetBuf(int(plen))[:plen]

@@ -80,6 +80,7 @@ type TCP struct {
 	n      int
 	self   int
 	wall   bool
+	gen    uint32 // membership generation (0 = fixed-membership, unstamped)
 
 	ln      net.Listener
 	coord   *coordClient
@@ -196,6 +197,7 @@ func NewTCP(params *timemodel.Params, clocks []*timemodel.Clocks, opt fabric.Opt
 		n:         n,
 		self:      opt.Self,
 		wall:      opt.WallClock,
+		gen:       opt.Generation,
 		ln:        ln,
 		inj:       inj,
 		suspect:   suspect,
@@ -223,6 +225,7 @@ func NewTCP(params *timemodel.Params, clocks []*timemodel.Clocks, opt fabric.Opt
 			ln.Close()
 			return nil, err
 		}
+		coord.gen = opt.Generation
 		t.coord = coord
 		peers, err = coord.join(t.self, ln.Addr().String(), suspect)
 		if err != nil {
@@ -396,6 +399,7 @@ func (t *TCP) send(from, to int, buf []byte, msgs int, routed bool) {
 	}
 	f := getFrame()
 	f.typ, f.from, f.to, f.msgs, f.payload = typ, from, to, msgs, buf
+	f.gen = t.wireGen()
 	t.sentWire.Add(1)
 	if t.wall {
 		t0 := time.Now()
@@ -573,6 +577,56 @@ func (t *TCP) Barrier(key string) error {
 	return err
 }
 
+// Generation is the membership generation this transport was built
+// with (0 when the cluster is not elastic).
+func (t *TCP) Generation() uint32 { return t.gen }
+
+// wireGen is the generation stamp for frame headers (the header has 16
+// bits; the launcher's epoch counter never approaches that).
+func (t *TCP) wireGen() uint16 { return uint16(t.gen) }
+
+// SaveCheckpoint stores this process's shard of the step checkpoint at
+// the coordinator's checkpoint store. Call it at a step barrier — a
+// proven quiescent instant — so the assembled cluster checkpoint is
+// consistent. A no-op without a coordinator.
+func (t *TCP) SaveCheckpoint(step uint64, data []byte) error {
+	if t.coord == nil {
+		return nil
+	}
+	if err := t.Err(); err != nil {
+		return err
+	}
+	if err := t.coord.saveCkpt(t.self, step, data, t.suspect); err != nil {
+		t.fail(err)
+		return err
+	}
+	if obs.Enabled() {
+		obs.Emit(obs.KCheckpoint, t.self, int64(step), int64(len(data)), "")
+	}
+	return nil
+}
+
+// FetchCheckpoint retrieves the epoch's restore point from the
+// coordinator; ok is false on a cold start (no complete checkpoint
+// predates this epoch) or without a coordinator.
+func (t *TCP) FetchCheckpoint() (rp *RestorePoint, ok bool, err error) {
+	if t.coord == nil {
+		return nil, false, nil
+	}
+	if err := t.Err(); err != nil {
+		return nil, false, err
+	}
+	rp, ok, err = t.coord.fetchCkpt(t.self)
+	if err != nil {
+		t.fail(err)
+		return nil, false, err
+	}
+	if ok && obs.Enabled() {
+		obs.Emit(obs.KRestore, t.self, int64(rp.Step), int64(rp.Nodes), "")
+	}
+	return rp, ok, nil
+}
+
 // Close runs the drain/close handshake: every sender flushes its queue
 // and window, FINs its stream, and awaits the FIN-ACK; inbound streams
 // are given time to FIN symmetrically; then all inboxes close so the
@@ -689,8 +743,20 @@ func (t *TCP) serveConn(conn net.Conn) {
 		t.Malformed.Inc()
 		return
 	}
+	// Generation gate: a hello stamped with another membership
+	// generation is from an evicted (or not-yet-evicted stale) peer.
+	// Reply frameEvict carrying our generation so the sender fails with
+	// a typed StaleGenerationError instead of retrying forever, and
+	// never let its frames near the dedup/deliver path. Unstamped
+	// hellos (gen 0 on either side) pass: fixed-membership clusters
+	// never stamp.
+	if hello.gen != t.wireGen() && hello.gen != 0 && t.gen != 0 {
+		writeFrame(conn, &frame{typ: frameEvict, from: t.self, to: hello.from, seq: uint64(t.gen), gen: t.wireGen()})
+		return
+	}
 	conn.SetReadDeadline(time.Time{})
 	from := hello.from
+	peerGen := hello.gen
 	pr := t.recv[from]
 	// Supersede any previous connection from this peer before acking
 	// the resume point: the old handler may still be draining frames
@@ -769,7 +835,8 @@ func (t *TCP) serveConn(conn net.Conn) {
 			last := pr.seq
 			switch {
 			case f.from != from || f.to != t.self,
-				f.seq > last+1, // gap: protocol violation
+				f.gen != peerGen, // generation drift mid-stream: reject, not misdeliver
+				f.seq > last+1,   // gap: protocol violation
 				wire.CheckBuf(f.payload, routed, t.n) != nil:
 				pr.mu.Unlock()
 				t.Malformed.Inc()
@@ -1032,6 +1099,12 @@ func (s *sender) connect(stop <-chan struct{}, abort <-chan time.Time, attempted
 		if s.suspectCheck() {
 			return nil, nil, nil, false
 		}
+		if s.t.Err() != nil {
+			// The transport failed while we were (re)dialing — e.g. the
+			// handshake above was refused with a stale-generation evict.
+			// Redialing cannot help; let the writer loop exit.
+			return nil, nil, nil, false
+		}
 		sleep := backoff + time.Duration(rand.Int63n(int64(backoff)))
 		if backoff < backoffMax {
 			backoff *= 2
@@ -1052,13 +1125,21 @@ func (s *sender) connect(stop <-chan struct{}, abort <-chan time.Time, attempted
 // trims the window after a reconnect), retransmits whatever remains,
 // and starts the ack reader.
 func (s *sender) handshake(conn net.Conn) (net.Conn, chan uint64, chan error) {
-	if err := writeFrame(conn, &frame{typ: frameHello, from: s.t.self, to: s.dest}); err != nil {
+	if err := writeFrame(conn, &frame{typ: frameHello, from: s.t.self, to: s.dest, gen: s.t.wireGen()}); err != nil {
 		conn.Close()
 		return nil, nil, nil
 	}
 	br := bufio.NewReaderSize(conn, 16<<10)
 	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
 	ack, err := readFrame(br)
+	if err == nil && ack.typ == frameEvict {
+		// The receiver is on a newer membership generation: this process
+		// was evicted. Fail the whole transport with the typed error —
+		// retrying the handshake could never succeed.
+		conn.Close()
+		s.t.fail(&StaleGenerationError{Have: s.t.gen, Want: uint32(ack.seq), Source: "peer"})
+		return nil, nil, nil
+	}
 	if err != nil || ack.typ != frameAck {
 		conn.Close()
 		return nil, nil, nil
@@ -1249,7 +1330,7 @@ func (s *sender) run() {
 			if s.suspectCheck() {
 				return
 			}
-			ping := frame{typ: framePing, from: s.t.self, to: s.dest}
+			ping := frame{typ: framePing, from: s.t.self, to: s.dest, gen: s.t.wireGen()}
 			if s.writeCoalesced(&ping) != nil || s.bw.Flush() != nil {
 				disconnect()
 			}
@@ -1279,7 +1360,7 @@ func (s *sender) fin(conn net.Conn, acks chan uint64) {
 	if s.bw != nil && s.bw.Flush() != nil {
 		return
 	}
-	if err := writeFrame(conn, &frame{typ: frameFin, from: s.t.self, to: s.dest}); err != nil {
+	if err := writeFrame(conn, &frame{typ: frameFin, from: s.t.self, to: s.dest, gen: s.t.wireGen()}); err != nil {
 		return
 	}
 	timeout := time.After(finAckTimeout)

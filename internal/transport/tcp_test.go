@@ -269,8 +269,9 @@ func TestTCPCloseInterruptsReconnect(t *testing.T) {
 
 // newRecvOnlyTCP assembles the receive side of a TCP fabric without
 // senders or a coordinator, so tests can drive its wire protocol with
-// hand-rolled connections.
-func newRecvOnlyTCP(t *testing.T, n, self int) *TCP {
+// hand-rolled connections. gen is the membership generation (0 =
+// fixed-membership, unstamped).
+func newRecvOnlyTCP(t *testing.T, n, self int, gen uint32) *TCP {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -282,6 +283,7 @@ func newRecvOnlyTCP(t *testing.T, n, self int) *TCP {
 		clocks:  newClocks(n),
 		n:       n,
 		self:    self,
+		gen:     gen,
 		ln:      ln,
 		inbox:   make([]chan fabric.Packet, n),
 		recv:    make([]*peerRecv, n),
@@ -301,7 +303,7 @@ func newRecvOnlyTCP(t *testing.T, n, self int) *TCP {
 // must retire the old connection before the resume point is acked, and
 // a retransmitted frame must be re-acked without a second delivery.
 func TestTCPSupersedesStaleInboundConn(t *testing.T) {
-	tr := newRecvOnlyTCP(t, 2, 1)
+	tr := newRecvOnlyTCP(t, 2, 1, 0)
 	defer tr.Close()
 
 	dial := func() (net.Conn, *bufio.Reader) {
