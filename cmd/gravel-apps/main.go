@@ -78,7 +78,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	sys, err := gravel.NewChecked(gravel.Config{Model: *model, Nodes: *nodes, GroupSize: *group})
+	sys, err := gravel.NewChecked(gravel.Config{Model: *model, Nodes: *nodes, GroupSize: *group, ResolverShards: common.ResolverShards})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gravel-apps:", err)
 		os.Exit(2)

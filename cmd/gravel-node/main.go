@@ -135,6 +135,7 @@ func specFromFlags() noderun.Spec {
 		Params:          workerParams(),
 		Faults:          fspec,
 		WallClock:       *wall,
+		ResolverShards:  common.ResolverShards,
 		Suspect:         *suspectFlag,
 		Heartbeat:       *heartbeatFlag,
 		CoordTimeout:    *coordTimeout,
@@ -171,7 +172,7 @@ func main() {
 	// Validate cross-cutting flags up front so misconfiguration is a
 	// one-line error, not a worker-side diagnostic dump.
 	if !*serve && *model != "" {
-		if err := (gravel.Config{Model: *model, Nodes: 1}).Validate(); err != nil {
+		if err := (gravel.Config{Model: *model, Nodes: 1, ResolverShards: common.ResolverShards}).Validate(); err != nil {
 			fatal(err)
 		}
 	}

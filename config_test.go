@@ -26,6 +26,10 @@ func TestConfigValidate(t *testing.T) {
 		{"groupsize-negative", gravel.Config{Nodes: 2, GroupSize: -1}, "GroupSize"},
 		{"unknown-transport", gravel.Config{Nodes: 2, Transport: "rdma"}, "Transport"},
 		{"chan-alias-ok", gravel.Config{Nodes: 2, Transport: "chan"}, ""},
+		{"resolver-shards-ok", gravel.Config{Nodes: 2, ResolverShards: 4}, ""},
+		{"resolver-shards-not-pow2", gravel.Config{Nodes: 2, ResolverShards: 3}, "ResolverShards"},
+		{"resolver-shards-too-many", gravel.Config{Nodes: 2, ResolverShards: 128}, "ResolverShards"},
+		{"resolver-shards-negative", gravel.Config{Nodes: 2, ResolverShards: -2}, "ResolverShards"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,6 +1,7 @@
 package gravel_test
 
 import (
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -36,26 +37,32 @@ func TestTransportsRegistered(t *testing.T) {
 
 // TestLoopbackMatchesChan swaps the default channel fabric for the
 // loopback transport (real wire framing, in-process) through the public
-// Config and expects bit-identical application results.
+// Config and expects bit-identical application results — at one
+// resolver shard (the serial network thread) and at four (banked
+// receive-side resolution), which must also agree with each other.
 func TestLoopbackMatchesChan(t *testing.T) {
 	ref := gravel.New(gravel.Config{Nodes: 4})
 	want := gups.Run(ref, distGUPS).Sum
 	ref.Close()
 
-	lb := gravel.New(gravel.Config{Nodes: 4, Transport: "loopback"})
-	got := gups.Run(lb, distGUPS).Sum
-	stats := lb.NetStats()
-	lb.Close()
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			lb := gravel.New(gravel.Config{Nodes: 4, Transport: "loopback", ResolverShards: shards})
+			got := gups.Run(lb, distGUPS).Sum
+			stats := lb.NetStats()
+			lb.Close()
 
-	if got != want {
-		t.Fatalf("loopback GUPS sum = %d, chan fabric = %d", got, want)
-	}
-	var pkts int64
-	for _, d := range stats.PerDest {
-		pkts += d.Packets
-	}
-	if pkts == 0 {
-		t.Fatal("loopback run sent no wire packets — framing path not exercised")
+			if got != want {
+				t.Fatalf("loopback GUPS sum = %d, chan fabric = %d", got, want)
+			}
+			var pkts int64
+			for _, d := range stats.PerDest {
+				pkts += d.Packets
+			}
+			if pkts == 0 {
+				t.Fatal("loopback run sent no wire packets — framing path not exercised")
+			}
+		})
 	}
 }
 
@@ -102,50 +109,58 @@ func TestTCPClusterMatchesChan(t *testing.T) {
 	want := gups.Run(ref, distGUPS).Sum
 	ref.Close()
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	coord := transport.NewCoordinator(n)
-	go coord.Serve(ln)
-	defer ln.Close()
+	// Run the cluster twice: once with the serial network thread and
+	// once with four resolver banks per node. Both must match the chan
+	// fabric bit-for-bit — sharding may only change wall time.
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			coord := transport.NewCoordinator(n)
+			go coord.Serve(ln)
+			defer ln.Close()
 
-	locals := make([]uint64, n)
-	totals := make([]uint64, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sys := gravel.New(gravel.Config{
-				Nodes:     n,
-				Transport: "tcp",
-				TransportOpts: gravel.TransportOptions{
-					Self:  i,
-					Coord: ln.Addr().String(),
-				},
-			})
-			defer sys.Close()
-			locals[i] = gups.RunOn(sys, distGUPS, i).Sum
-			tcp := sys.(interface{ Fabric() core.Fabric }).Fabric().(*transport.TCP)
-			totals[i], errs[i] = tcp.Reduce("gups:sum", locals[i])
-		}(i)
-	}
-	wg.Wait()
+			locals := make([]uint64, n)
+			totals := make([]uint64, n)
+			errs := make([]error, n)
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					sys := gravel.New(gravel.Config{
+						Nodes:          n,
+						Transport:      "tcp",
+						ResolverShards: shards,
+						TransportOpts: gravel.TransportOptions{
+							Self:  i,
+							Coord: ln.Addr().String(),
+						},
+					})
+					defer sys.Close()
+					locals[i] = gups.RunOn(sys, distGUPS, i).Sum
+					tcp := sys.(interface{ Fabric() core.Fabric }).Fabric().(*transport.TCP)
+					totals[i], errs[i] = tcp.Reduce("gups:sum", locals[i])
+				}(i)
+			}
+			wg.Wait()
 
-	var sum uint64
-	for i := 0; i < n; i++ {
-		if errs[i] != nil {
-			t.Fatalf("node %d reduce: %v", i, errs[i])
-		}
-		if totals[i] != totals[0] {
-			t.Fatalf("nodes disagree on the reduced sum: %d vs %d", totals[i], totals[0])
-		}
-		sum += locals[i]
-	}
-	if sum != want || totals[0] != want {
-		t.Fatalf("TCP cluster sum = %d (reduced %d), chan fabric = %d", sum, totals[0], want)
+			var sum uint64
+			for i := 0; i < n; i++ {
+				if errs[i] != nil {
+					t.Fatalf("node %d reduce: %v", i, errs[i])
+				}
+				if totals[i] != totals[0] {
+					t.Fatalf("nodes disagree on the reduced sum: %d vs %d", totals[i], totals[0])
+				}
+				sum += locals[i]
+			}
+			if sum != want || totals[0] != want {
+				t.Fatalf("TCP cluster sum = %d (reduced %d), chan fabric = %d", sum, totals[0], want)
+			}
+		})
 	}
 }
 

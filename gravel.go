@@ -79,6 +79,8 @@ const StatsVersion = rt.StatsVersion
 type (
 	QueueStats     = rt.QueueStats
 	AggStats       = rt.AggStats
+	ResolverStats  = rt.ResolverStats
+	BankCount      = rt.BankCount
 	TransportStats = rt.TransportStats
 	FaultStats     = rt.FaultStats
 	StepStats      = rt.StepStats
@@ -143,6 +145,12 @@ type Config struct {
 	// GroupSize > 1 enables two-level hierarchical aggregation over
 	// groups of this many nodes (the paper's §10 scaling proposal).
 	GroupSize int
+	// ResolverShards splits each node's receive-side resolution into
+	// this many concurrent per-bank resolvers, keyed by destination
+	// address (same word → same bank, so per-word ordering survives).
+	// 0 or 1 is the paper's serial network thread, bit-identical to
+	// the unsharded runtime; more must be a power of two, at most 64.
+	ResolverShards int
 	// Transport selects the fabric implementation by registered name:
 	// "" or "chan" (in-process channels, the default), "loopback"
 	// (in-process with real wire framing), or "tcp" (real sockets; one
@@ -219,6 +227,9 @@ func (cfg Config) Validate() error {
 	if cfg.GroupSize < 0 {
 		return &ConfigError{Field: "GroupSize", Reason: fmt.Sprintf("negative group size %d", cfg.GroupSize)}
 	}
+	if cfg.ResolverShards != 0 && !fabric.ValidBanks(cfg.ResolverShards) {
+		return &ConfigError{Field: "ResolverShards", Reason: fmt.Sprintf("resolver shard count %d must be a power of two in [1, %d]", cfg.ResolverShards, fabric.MaxResolverBanks)}
+	}
 	if cfg.Transport != "" && cfg.Transport != "chan" {
 		known := false
 		for _, n := range fabric.Names() {
@@ -259,13 +270,14 @@ func NewChecked(cfg Config) (System, error) {
 		model = ModelGravel
 	}
 	return models.NewSystem(model, models.Config{
-		Nodes:         cfg.Nodes,
-		Params:        cfg.Params,
-		WGSize:        cfg.WGSize,
-		DivMode:       cfg.DivMode,
-		GroupSize:     cfg.GroupSize,
-		Transport:     cfg.Transport,
-		TransportOpts: cfg.TransportOpts,
+		Nodes:          cfg.Nodes,
+		Params:         cfg.Params,
+		WGSize:         cfg.WGSize,
+		DivMode:        cfg.DivMode,
+		GroupSize:      cfg.GroupSize,
+		ResolverShards: cfg.ResolverShards,
+		Transport:      cfg.Transport,
+		TransportOpts:  cfg.TransportOpts,
 	}), nil
 }
 

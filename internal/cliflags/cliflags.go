@@ -73,6 +73,10 @@ type Common struct {
 	ObsAddr    string
 	CPUProfile string
 	MemProfile string
+
+	// ResolverShards is the per-node receive-side resolver bank count
+	// (-resolver-shards; 0 or 1 = the paper's serial network thread).
+	ResolverShards int
 }
 
 // Register binds the shared flags onto fs (flag.CommandLine via
@@ -86,6 +90,8 @@ func (c *Common) Register(fs *flag.FlagSet, withJSON bool) {
 	fs.StringVar(&c.ObsAddr, "obs-addr", "", "serve Prometheus-style /metrics and /healthz on this address (e.g. :9090 or :0)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile of this process to this path")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile of this process to this path on exit")
+	fs.IntVar(&c.ResolverShards, "resolver-shards", 0,
+		"receive-side resolver banks per node (power of two, max 64; 0 or 1 = the serial network thread)")
 }
 
 // RegisterDefault is Register on the process-wide flag.CommandLine.

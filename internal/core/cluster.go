@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gravel/internal/agg"
@@ -73,6 +74,12 @@ type Config struct {
 	// leaving the sender's group travel in per-group queues to a gateway
 	// member of the destination group, which re-aggregates them.
 	GroupSize int
+	// ResolverShards splits each node's receive-side resolution into
+	// this many concurrent per-bank resolvers (see resolver.go). 0 or 1
+	// is the paper's serial network thread, bit-identical to the
+	// pre-sharding runtime; more must be a power of two, at most
+	// fabric.MaxResolverBanks.
+	ResolverShards int
 	// Transport names a registered fabric transport: "" or "chan" (the
 	// default in-process channel fabric), "loopback" (in-process with
 	// real framing), or "tcp" (real sockets; the cluster spans OS
@@ -114,6 +121,16 @@ type Cluster struct {
 
 	handlers []rt.AMHandler
 
+	// Receive-side resolution (resolver.go): shards is the per-node
+	// resolver bank count; bankMu serializes applies per (node, bank);
+	// resv and bypass count resolver and bypass work; decodeErr holds
+	// the first wire decode failure for Quiesce to surface.
+	shards    int
+	bankMu    [][]sync.Mutex
+	resv      [][]bankCounters
+	bypass    []bankCounters
+	decodeErr atomic.Pointer[WireDecodeError]
+
 	phases  []timemodel.PhaseRecord
 	prev    []timemodel.Snapshot
 	totalNs float64
@@ -133,11 +150,13 @@ type Cluster struct {
 // computed from. Every field is drawn from the same sources Stats uses
 // for its cumulative sections, so deltas sum back to the totals.
 type runningTotals struct {
-	localOps, remoteOps       int64
-	slotsDrained, msgsDrained int64
-	wirePkts, wireBytes       int64
-	selfPkts                  int64
-	aggBusy, aggIdle          float64
+	localOps, remoteOps         int64
+	slotsDrained, msgsDrained   int64
+	wirePkts, wireBytes         int64
+	selfPkts                    int64
+	aggBusy, aggIdle            float64
+	resvPkts, resvMsgs, resvAMs int64
+	bypassPkts, bypassMsgs      int64
 }
 
 func (cl *Cluster) totals() runningTotals {
@@ -154,6 +173,14 @@ func (cl *Cluster) totals() runningTotals {
 		t.aggBusy += snap.Agg
 		t.aggIdle += snap.AggIdle
 		t.selfPkts += m.SelfPkts[i].Load()
+		for b := range cl.resv[i] {
+			ctr := &cl.resv[i][b]
+			t.resvPkts += ctr.pkts.Load()
+			t.resvMsgs += ctr.msgs.Load()
+			t.resvAMs += ctr.ams.Load()
+		}
+		t.bypassPkts += cl.bypass[i].pkts.Load()
+		t.bypassMsgs += cl.bypass[i].msgs.Load()
 	}
 	return t
 }
@@ -179,22 +206,42 @@ func New(cfg Config) *Cluster {
 	if cfg.Name == "" {
 		cfg.Name = "gravel"
 	}
+	shards := cfg.ResolverShards
+	if shards == 0 {
+		shards = 1
+	}
+	if !fabric.ValidBanks(shards) {
+		panic(fmt.Sprintf("core: ResolverShards %d must be a power of two in [1, %d]",
+			shards, fabric.MaxResolverBanks))
+	}
 	p := cfg.Params
 
-	cl := &Cluster{cfg: cfg, params: p, space: pgas.NewSpace(cfg.Nodes)}
+	cl := &Cluster{cfg: cfg, params: p, space: pgas.NewSpace(cfg.Nodes), shards: shards}
 
 	clocks := make([]*timemodel.Clocks, cfg.Nodes)
 	for i := range clocks {
 		clocks[i] = &timemodel.Clocks{}
+		if shards > 1 {
+			clocks[i].ConfigureNetBanks(shards)
+		}
 	}
 	if cfg.Transport == "" || cfg.Transport == "chan" {
-		cl.fab = fabric.New(p, clocks)
+		cl.fab = fabric.NewBanked(p, clocks, shards)
 	} else {
-		fab, err := fabric.NewByName(cfg.Transport, p, clocks, cfg.TransportOpts)
+		opts := cfg.TransportOpts
+		opts.ResolverBanks = shards
+		fab, err := fabric.NewByName(cfg.Transport, p, clocks, opts)
 		if err != nil {
 			panic(err)
 		}
 		cl.fab = fab
+	}
+	cl.bankMu = make([][]sync.Mutex, cfg.Nodes)
+	cl.resv = make([][]bankCounters, cfg.Nodes)
+	cl.bypass = make([]bankCounters, cfg.Nodes)
+	for i := range cl.bankMu {
+		cl.bankMu[i] = make([]sync.Mutex, shards)
+		cl.resv[i] = make([]bankCounters, shards)
 	}
 
 	arch := simt.GPUArch(p)
@@ -221,6 +268,9 @@ func New(cfg Config) *Cluster {
 	}
 
 	cl.prev = make([]timemodel.Snapshot, cfg.Nodes)
+	// Resolvers (and the local bypass registration) come up before the
+	// aggregators so the bypass hook happens-before the first Send.
+	cl.startResolvers()
 	for _, n := range cl.nodes {
 		// A multi-process transport hosts one node per process; the
 		// others exist only for address-space symmetry and stay idle.
@@ -228,8 +278,6 @@ func New(cfg Config) *Cluster {
 			continue
 		}
 		n.Agg.Start()
-		cl.netWG.Add(1)
-		go cl.netThread(n)
 	}
 	if hd, ok := cl.fab.(fabric.HostDrainer); ok {
 		hd.SetHostDrain(cl.drainHosted)
@@ -260,57 +308,6 @@ func (cl *Cluster) drainHosted() bool {
 	return idle
 }
 
-// netThread is the per-node network thread of §6: it receives per-node
-// queues and resolves each message as a local memory operation; atomics
-// and active messages execute here, serialized.
-func (cl *Cluster) netThread(n *Node) {
-	defer cl.netWG.Done()
-	p := cl.params
-	for pkt := range cl.fab.Inbox(n.ID) {
-		amExtra := 0
-		apply := func(cmd, a, v uint64) {
-			op, h, arr := wire.UnpackCmd(cmd)
-			switch op {
-			case wire.OpPut:
-				cl.space.Array(arr).Store(a, v)
-			case wire.OpInc:
-				cl.space.Array(arr).Add(a, v)
-			case wire.OpAM:
-				amExtra++
-				cl.handlers[h](n.ID, a, v)
-			default:
-				panic(fmt.Sprintf("core: bad op %v in packet", op))
-			}
-		}
-		var err error
-		relayed := 0
-		if pkt.Routed {
-			// Gateway role (§10): records for this node apply locally;
-			// the rest are re-aggregated into per-node queues for this
-			// group's members.
-			err = wire.DecodeRouted(pkt.Buf, func(cmd, a, v uint64, dest int) {
-				if dest == n.ID {
-					apply(cmd, a, v)
-					return
-				}
-				relayed++
-				n.Agg.AppendDirect(dest, cmd, a, v, p.AggPerMsgNs)
-			})
-		} else {
-			err = wire.Decode(pkt.Buf, apply)
-		}
-		if err != nil {
-			panic(err)
-		}
-		n.Clocks.AddNet(p.NetThreadPerPacketNs +
-			float64(pkt.Msgs)*p.NetThreadPerMsgNs +
-			float64(len(pkt.Buf))*p.NetThreadPerByteNs +
-			float64(amExtra)*p.NetThreadAMExtraNs)
-		n.Clocks.CountNetMsgs(pkt.Msgs - relayed)
-		cl.fab.Done(pkt)
-	}
-}
-
 // Name implements rt.System.
 func (cl *Cluster) Name() string { return cl.cfg.Name }
 
@@ -332,6 +329,9 @@ func (cl *Cluster) Node(i int) *Node { return cl.nodes[i] }
 // Fabric returns the interconnect (exported for the baseline models and
 // the multi-process node runtime).
 func (cl *Cluster) Fabric() Fabric { return cl.fab }
+
+// ResolverShards returns the per-node resolver bank count in effect.
+func (cl *Cluster) ResolverShards() int { return cl.shards }
 
 // RegisterAM implements rt.System. Handlers must be registered before
 // the first Step.
@@ -409,6 +409,7 @@ func (cl *Cluster) LaunchAll(grid []int, scratchPerWG int, mkCtx func(*Node, *si
 func (cl *Cluster) Quiesce() {
 	stable := 0
 	for stable < 2 {
+		cl.checkDecodeErr()
 		for _, n := range cl.nodes {
 			for !n.PCQ.Empty() {
 				runtime.Gosched()
@@ -433,6 +434,7 @@ func (cl *Cluster) Quiesce() {
 			stable = 0
 		}
 	}
+	cl.checkDecodeErr()
 }
 
 // EndPhaseOverlapped snapshots per-node clocks since the previous phase
@@ -496,6 +498,12 @@ func (cl *Cluster) RecordPhase(name string, nodeNs []float64) {
 		SelfPackets:  cur.selfPkts - prev.selfPkts,
 		AggBusyNs:    cur.aggBusy - prev.aggBusy,
 		AggIdleNs:    cur.aggIdle - prev.aggIdle,
+
+		ResolvedPackets: cur.resvPkts - prev.resvPkts,
+		ResolvedMsgs:    cur.resvMsgs - prev.resvMsgs,
+		ResolvedAMs:     cur.resvAMs - prev.resvAMs,
+		BypassPackets:   cur.bypassPkts - prev.bypassPkts,
+		BypassMsgs:      cur.bypassMsgs - prev.bypassMsgs,
 	})
 	if obs.Enabled() {
 		obs.Emit(obs.KStepEnd, -1, wall, int64(phase), name)
@@ -510,7 +518,10 @@ func (cl *Cluster) RecordPhase(name string, nodeNs []float64) {
 // (the quiescence protocol iterates until no messages remain anywhere).
 func (cl *Cluster) HostAM(from int, h uint8, dest int, a, b uint64) {
 	n := cl.nodes[from]
-	n.Clocks.AddNet(cl.params.NetThreadPerMsgNs)
+	// Charge the initiation to the bank that will resolve the message,
+	// so banked NetBound (max over banks) still sees it; at one shard
+	// this is exactly AddNet.
+	n.Clocks.AddNetBank(fabric.BankOf(a, cl.shards), cl.params.NetThreadPerMsgNs)
 	if dest == from {
 		n.LocalOps.Inc()
 	} else {
@@ -565,6 +576,24 @@ func (cl *Cluster) Stats() rt.Stats {
 		full, timeout := n.Agg.FlushCounts()
 		st.Agg.FlushesFull += full
 		st.Agg.FlushesTimeout += timeout
+	}
+
+	st.Resolver = rt.ResolverStats{
+		Shards:        cl.shards,
+		Packets:       cur.resvPkts,
+		Msgs:          cur.resvMsgs,
+		AMs:           cur.resvAMs,
+		BypassPackets: cur.bypassPkts,
+		BypassMsgs:    cur.bypassMsgs,
+		PerBank:       make([]rt.BankCount, cl.shards),
+	}
+	for i := range cl.resv {
+		for b := range cl.resv[i] {
+			ctr := &cl.resv[i][b]
+			st.Resolver.PerBank[b].Packets += ctr.pkts.Load()
+			st.Resolver.PerBank[b].Msgs += ctr.msgs.Load()
+			st.Resolver.PerBank[b].AMs += ctr.ams.Load()
+		}
 	}
 
 	m := cl.fab.NetMetrics()

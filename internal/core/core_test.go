@@ -328,6 +328,8 @@ func TestConfigValidation(t *testing.T) {
 		{Nodes: 0},
 		{Nodes: 2, WGSize: 100}, // not a WF multiple
 		{Nodes: 2, GroupSize: -1},
+		{Nodes: 2, ResolverShards: 3},   // not a power of two
+		{Nodes: 2, ResolverShards: 128}, // above MaxResolverBanks
 	} {
 		func() {
 			defer func() {

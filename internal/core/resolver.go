@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gravel/internal/fabric"
+	"gravel/internal/obs"
+	"gravel/internal/wire"
+)
+
+// Sharded receive-side resolution. The paper (§6) resolves every
+// received message — and every atomic, local or not — on one serial
+// network thread per node. That thread is the scaling wall the paper's
+// projections hit first, so the runtime can split it: with
+// Config.ResolverShards > 1 the fabric demuxes each received per-node
+// queue by destination address into per-bank sub-packets
+// (fabric.BankOf), and one resolver goroutine per bank applies them.
+// Two messages touching the same word always land on the same bank, so
+// per-word ordering survives; messages to different words were never
+// ordered to begin with (the aggregator already reorders them).
+//
+// With one shard the resolver is the paper's network thread delivered
+// through the identical single-inbox path: same packets, same apply
+// order source, one AddNet charge per packet with the same formula —
+// bit-identical results and clocks.
+//
+// Node-local packets take a second shortcut regardless of shard count:
+// the fabric hands them back synchronously (fabric.LocalApplier) and
+// applyLocal resolves them on the sending goroutine, skipping the inbox
+// round trip. Time-model charges are unchanged, so modeled figures do
+// not drift; only wall time does. Per-node per-bank mutexes serialize
+// resolver applies against bypass applies, preserving the paper's
+// serialized-atomics semantics within each bank.
+
+// WireDecodeError reports a received packet whose payload failed to
+// decode. It unwinds Step() — via the quiescence path — like a
+// transport PeerDownError, so one corrupt payload fails the run with a
+// diagnosis instead of crashing the resolver goroutine in a way no
+// caller can recover.
+type WireDecodeError struct {
+	// Node is the node whose resolver rejected the payload.
+	Node int
+	// From is the sending node.
+	From int
+	// Routed reports whether the packet was a routed (§10 gateway)
+	// queue.
+	Routed bool
+	// Bytes is the undecodable payload's length.
+	Bytes int
+	// Err is the underlying wire decode error.
+	Err error
+}
+
+func (e *WireDecodeError) Error() string {
+	kind := "packet"
+	if e.Routed {
+		kind = "routed packet"
+	}
+	return fmt.Sprintf("core: node %d received undecodable %d-byte %s from node %d: %v",
+		e.Node, e.Bytes, kind, e.From, e.Err)
+}
+
+func (e *WireDecodeError) Unwrap() error { return e.Err }
+
+// bankCounters is one resolver bank's (or one node's bypass path's)
+// cumulative work, read by Stats at quiescent phase boundaries.
+type bankCounters struct {
+	pkts atomic.Int64
+	msgs atomic.Int64
+	ams  atomic.Int64
+}
+
+// failDecode records the first decode failure; later ones lose the race
+// and are dropped (they are almost certainly the same corruption). The
+// packet is still Done'd by the caller, so quiescence completes and
+// Quiesce surfaces the error.
+func (cl *Cluster) failDecode(e *WireDecodeError) {
+	cl.decodeErr.CompareAndSwap(nil, e)
+}
+
+// checkDecodeErr panics with the recorded decode failure, if any. It
+// runs inside Quiesce, so the error unwinds Step on the goroutine that
+// called it (where noderun's typed-error recovery can see it) instead
+// of killing a resolver goroutine.
+func (cl *Cluster) checkDecodeErr() {
+	if e := cl.decodeErr.Load(); e != nil {
+		panic(e)
+	}
+}
+
+// startResolvers registers the node-local bypass and spawns the
+// per-bank resolver goroutines for every hosted node. It must run
+// before the aggregators start: SetLocalApply must happen-before the
+// first Send.
+func (cl *Cluster) startResolvers() {
+	if la, ok := cl.fab.(fabric.LocalApplier); ok {
+		la.SetLocalApply(cl.applyLocal)
+	}
+	banked, _ := cl.fab.(fabric.Banked)
+	if cl.shards > 1 && (banked == nil || banked.Banks() != cl.shards) {
+		panic(fmt.Sprintf("core: transport %q cannot shard resolution %d ways", cl.cfg.Transport, cl.shards))
+	}
+	for _, n := range cl.nodes {
+		if !cl.fab.Hosts(n.ID) {
+			continue
+		}
+		if banked != nil && banked.Banks() > 1 {
+			for b := 0; b < banked.Banks(); b++ {
+				cl.netWG.Add(1)
+				go cl.resolve(n, b, banked.BankInbox(n.ID, b))
+			}
+			continue
+		}
+		cl.netWG.Add(1)
+		go cl.resolve(n, 0, cl.fab.Inbox(n.ID))
+	}
+}
+
+// resolve is one resolver bank of a node's receive side — at one shard,
+// exactly the per-node network thread of §6. It receives (sub-)packets
+// and resolves each message as a local memory operation; atomics and
+// active messages execute here, serialized per bank by the bank mutex
+// (which also fences out the node-local bypass).
+func (cl *Cluster) resolve(n *Node, bank int, inbox <-chan fabric.Packet) {
+	defer cl.netWG.Done()
+	p := cl.params
+	mu := &cl.bankMu[n.ID][bank]
+	ctr := &cl.resv[n.ID][bank]
+	for pkt := range inbox {
+		amExtra := 0
+		apply := func(cmd, a, v uint64) {
+			op, h, arr := wire.UnpackCmd(cmd)
+			switch op {
+			case wire.OpPut:
+				cl.space.Array(arr).Store(a, v)
+			case wire.OpInc:
+				cl.space.Array(arr).Add(a, v)
+			case wire.OpAM:
+				amExtra++
+				cl.handlers[h](n.ID, a, v)
+			default:
+				panic(fmt.Sprintf("core: bad op %v in packet", op))
+			}
+		}
+		var err error
+		relayed := 0
+		if pkt.Routed {
+			// Gateway role (§10): routed queues always arrive whole on
+			// bank 0, so relays leave in arrival order. Records for this
+			// node apply under their own bank's lock; the rest are
+			// re-aggregated into per-node queues for this group's
+			// members.
+			err = wire.DecodeRouted(pkt.Buf, func(cmd, a, v uint64, dest int) {
+				if dest == n.ID {
+					bm := &cl.bankMu[n.ID][fabric.BankOf(a, cl.shards)]
+					bm.Lock()
+					apply(cmd, a, v)
+					bm.Unlock()
+					return
+				}
+				relayed++
+				n.Agg.AppendDirect(dest, cmd, a, v, p.AggPerMsgNs)
+			})
+		} else {
+			mu.Lock()
+			err = wire.Decode(pkt.Buf, apply)
+			mu.Unlock()
+		}
+		if err != nil {
+			// Decode validates before applying, so nothing was applied;
+			// record the failure for Quiesce to surface and retire the
+			// packet so quiescence still completes.
+			cl.failDecode(&WireDecodeError{Node: n.ID, From: pkt.From, Routed: pkt.Routed, Bytes: len(pkt.Buf), Err: err})
+			cl.fab.Done(pkt)
+			continue
+		}
+		n.Clocks.AddNetBank(bank, p.NetThreadPerPacketNs+
+			float64(pkt.Msgs)*p.NetThreadPerMsgNs+
+			float64(len(pkt.Buf))*p.NetThreadPerByteNs+
+			float64(amExtra)*p.NetThreadAMExtraNs)
+		n.Clocks.CountNetMsgs(pkt.Msgs - relayed)
+		ctr.pkts.Add(1)
+		ctr.msgs.Add(int64(pkt.Msgs - relayed))
+		ctr.ams.Add(int64(amExtra))
+		if obs.Enabled() {
+			obs.Emit(obs.KResolve, n.ID, int64(bank), int64(pkt.Msgs), "")
+		}
+		cl.fab.Done(pkt)
+	}
+}
+
+// applyLocal is the fabric's node-local bypass (fabric.LocalApplier): a
+// from == to packet resolves synchronously on the sending goroutine
+// instead of round-tripping through an inbox. The caller (an aggregator
+// pump) holds the aggregator's in-flight guard for the duration, so
+// quiescence cannot observe the node idle mid-apply. Charges mirror the
+// resolver exactly: at one shard, one AddNet call with the network
+// thread's formula (bit-identical ticks); at more, each touched bank is
+// charged as if the packet had been demuxed to it.
+func (cl *Cluster) applyLocal(pkt fabric.Packet) {
+	n := cl.nodes[pkt.To]
+	p := cl.params
+	id := n.ID
+	amExtra := 0
+	if cl.shards == 1 {
+		mu := &cl.bankMu[id][0]
+		mu.Lock()
+		err := wire.Decode(pkt.Buf, func(cmd, a, v uint64) {
+			op, h, arr := wire.UnpackCmd(cmd)
+			switch op {
+			case wire.OpPut:
+				cl.space.Array(arr).Store(a, v)
+			case wire.OpInc:
+				cl.space.Array(arr).Add(a, v)
+			case wire.OpAM:
+				amExtra++
+				cl.handlers[h](id, a, v)
+			default:
+				panic(fmt.Sprintf("core: bad op %v in packet", op))
+			}
+		})
+		mu.Unlock()
+		if err != nil {
+			cl.failDecode(&WireDecodeError{Node: id, From: pkt.From, Bytes: len(pkt.Buf), Err: err})
+			return
+		}
+		n.Clocks.AddNet(p.NetThreadPerPacketNs +
+			float64(pkt.Msgs)*p.NetThreadPerMsgNs +
+			float64(len(pkt.Buf))*p.NetThreadPerByteNs +
+			float64(amExtra)*p.NetThreadAMExtraNs)
+	} else {
+		// Apply each record under its bank's lock, batching consecutive
+		// same-bank runs so a sorted stream pays one handoff.
+		var msgs, ams [fabric.MaxResolverBanks]int
+		cur := -1
+		err := wire.Decode(pkt.Buf, func(cmd, a, v uint64) {
+			b := fabric.BankOf(a, cl.shards)
+			if b != cur {
+				if cur >= 0 {
+					cl.bankMu[id][cur].Unlock()
+				}
+				cl.bankMu[id][b].Lock()
+				cur = b
+			}
+			msgs[b]++
+			op, h, arr := wire.UnpackCmd(cmd)
+			switch op {
+			case wire.OpPut:
+				cl.space.Array(arr).Store(a, v)
+			case wire.OpInc:
+				cl.space.Array(arr).Add(a, v)
+			case wire.OpAM:
+				ams[b]++
+				cl.handlers[h](id, a, v)
+			default:
+				panic(fmt.Sprintf("core: bad op %v in packet", op))
+			}
+		})
+		if cur >= 0 {
+			cl.bankMu[id][cur].Unlock()
+		}
+		if err != nil {
+			cl.failDecode(&WireDecodeError{Node: id, From: pkt.From, Bytes: len(pkt.Buf), Err: err})
+			return
+		}
+		for b := 0; b < cl.shards; b++ {
+			if msgs[b] == 0 {
+				continue
+			}
+			amExtra += ams[b]
+			n.Clocks.AddNetBank(b, p.NetThreadPerPacketNs+
+				float64(msgs[b])*p.NetThreadPerMsgNs+
+				float64(msgs[b]*wire.MsgWireBytes)*p.NetThreadPerByteNs+
+				float64(ams[b])*p.NetThreadAMExtraNs)
+		}
+	}
+	n.Clocks.CountNetMsgs(pkt.Msgs)
+	bp := &cl.bypass[id]
+	bp.pkts.Add(1)
+	bp.msgs.Add(int64(pkt.Msgs))
+	bp.ams.Add(int64(amExtra))
+	if obs.Enabled() {
+		obs.Emit(obs.KResolveBypass, id, int64(pkt.Msgs), int64(amExtra), "")
+	}
+}

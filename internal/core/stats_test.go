@@ -38,7 +38,15 @@ func incWorkload(t *testing.T, sys rt.System, steps int) *pgas.Array {
 // are drawn from the same counters at the same point in RecordPhase, so
 // any drift means a counter was sampled in the wrong place.
 func TestStatsStepDeltasSumToCumulative(t *testing.T) {
-	cl := New(Config{Nodes: 4})
+	for _, shards := range []int{1, 4} {
+		t.Run(map[int]string{1: "shards=1", 4: "shards=4"}[shards], func(t *testing.T) {
+			testStatsStepDeltas(t, shards)
+		})
+	}
+}
+
+func testStatsStepDeltas(t *testing.T, shards int) {
+	cl := New(Config{Nodes: 4, ResolverShards: shards})
 	defer cl.Close()
 	incWorkload(t, cl, 3)
 
@@ -64,6 +72,11 @@ func TestStatsStepDeltasSumToCumulative(t *testing.T) {
 		sum.SelfPackets += sp.SelfPackets
 		sum.AggBusyNs += sp.AggBusyNs
 		sum.AggIdleNs += sp.AggIdleNs
+		sum.ResolvedPackets += sp.ResolvedPackets
+		sum.ResolvedMsgs += sp.ResolvedMsgs
+		sum.ResolvedAMs += sp.ResolvedAMs
+		sum.BypassPackets += sp.BypassPackets
+		sum.BypassMsgs += sp.BypassMsgs
 	}
 	if sum.LocalOps != st.Queue.LocalOps || sum.RemoteOps != st.Queue.RemoteOps {
 		t.Errorf("op deltas sum to (%d,%d), cumulative (%d,%d)",
@@ -83,6 +96,19 @@ func TestStatsStepDeltasSumToCumulative(t *testing.T) {
 	if sum.AggBusyNs != st.Agg.BusyNs || sum.AggIdleNs != st.Agg.IdleNs {
 		t.Errorf("agg deltas sum to (%g,%g), cumulative (%g,%g)",
 			sum.AggBusyNs, sum.AggIdleNs, st.Agg.BusyNs, st.Agg.IdleNs)
+	}
+	if sum.ResolvedPackets != st.Resolver.Packets || sum.ResolvedMsgs != st.Resolver.Msgs ||
+		sum.ResolvedAMs != st.Resolver.AMs {
+		t.Errorf("resolver deltas sum to (%d,%d,%d), cumulative (%d,%d,%d)",
+			sum.ResolvedPackets, sum.ResolvedMsgs, sum.ResolvedAMs,
+			st.Resolver.Packets, st.Resolver.Msgs, st.Resolver.AMs)
+	}
+	if sum.BypassPackets != st.Resolver.BypassPackets || sum.BypassMsgs != st.Resolver.BypassMsgs {
+		t.Errorf("bypass deltas sum to (%d,%d), cumulative (%d,%d)",
+			sum.BypassPackets, sum.BypassMsgs, st.Resolver.BypassPackets, st.Resolver.BypassMsgs)
+	}
+	if st.Resolver.Shards != shards {
+		t.Errorf("Stats.Resolver.Shards = %d, want %d", st.Resolver.Shards, shards)
 	}
 	if sum.VirtualNs != st.VirtualNs {
 		t.Errorf("virtual-time deltas sum to %g, cumulative %g", sum.VirtualNs, st.VirtualNs)

@@ -1,0 +1,79 @@
+package fabric
+
+import (
+	"encoding/binary"
+
+	"gravel/internal/wire"
+)
+
+// Receive-side resolver banks. The paper (§6) resolves every message —
+// even node-local atomics — on one serial network thread per node; a
+// banked fabric splits that stream by destination address so the
+// runtime can run one resolver goroutine per bank. The bank of a
+// record is a pure function of its address (BankOf), so two messages
+// touching the same word always resolve on the same bank and per-word
+// ordering survives the fan-out.
+
+// MaxResolverBanks bounds the bank count: the demux scatter uses a
+// fixed-size scratch table so the receive hot path stays off the heap.
+const MaxResolverBanks = 64
+
+// BankOf maps a PGAS address (or AM argument 0) to a resolver bank.
+// banks must be a power of two; the low bits are used so that
+// neighbouring addresses spread across banks.
+func BankOf(a uint64, banks int) int { return int(a & uint64(banks-1)) }
+
+// Banked is implemented by fabrics that deliver each node's traffic
+// into per-bank inboxes. Fabric.Inbox(node) remains valid and is bank
+// 0's inbox; routed packets (whose records carry mixed final
+// destinations) always arrive whole on bank 0, preserving the §10
+// gateway's relay order.
+type Banked interface {
+	// Banks returns the per-node bank count (>= 1).
+	Banks() int
+	// BankInbox returns the receive channel for one bank of a node.
+	// BankInbox(node, 0) == Inbox(node).
+	BankInbox(node, bank int) <-chan Packet
+}
+
+// LocalApplier is implemented by fabrics that can hand node-local
+// (from == to) packets straight back to the runtime instead of
+// round-tripping them through an inbox. The hook applies the packet
+// synchronously on the calling goroutine and must not retain the
+// buffer; the fabric recycles it when the hook returns and never
+// counts the packet as in flight. SelfPkts metrics and the time-model
+// charges are unchanged, so modeled figures do not drift.
+type LocalApplier interface {
+	SetLocalApply(func(Packet))
+}
+
+// ScatterBanks splits a direct per-node queue buffer into per-bank
+// buffers by record address and calls emit for each non-empty bank in
+// ascending order, with the bank's record count. Buffers handed to
+// emit are drawn from the wire packet pool (ownership transfers to the
+// callee); the input buffer is left untouched for the caller to
+// recycle. banks must be in (1, MaxResolverBanks].
+func ScatterBanks(buf []byte, banks int, emit func(bank int, buf []byte, msgs int)) {
+	var out [MaxResolverBanks][]byte
+	var msgs [MaxResolverBanks]int
+	for off := 0; off < len(buf); off += wire.MsgWireBytes {
+		a := binary.LittleEndian.Uint64(buf[off+8 : off+16])
+		b := BankOf(a, banks)
+		if out[b] == nil {
+			out[b] = wire.GetBuf(len(buf))
+		}
+		out[b] = append(out[b], buf[off:off+wire.MsgWireBytes]...)
+		msgs[b]++
+	}
+	for b := 0; b < banks; b++ {
+		if out[b] != nil {
+			emit(b, out[b], msgs[b])
+		}
+	}
+}
+
+// ValidBanks reports whether a configured bank count is usable: a
+// power of two in [1, MaxResolverBanks].
+func ValidBanks(banks int) bool {
+	return banks >= 1 && banks <= MaxResolverBanks && banks&(banks-1) == 0
+}

@@ -1,0 +1,202 @@
+package fabric
+
+import (
+	"testing"
+
+	"gravel/internal/timemodel"
+	"gravel/internal/wire"
+)
+
+func TestValidBanks(t *testing.T) {
+	for _, tc := range []struct {
+		banks int
+		ok    bool
+	}{
+		{0, false}, {1, true}, {2, true}, {3, false}, {4, true},
+		{6, false}, {8, true}, {16, true}, {64, true}, {128, false}, {-4, false},
+	} {
+		if got := ValidBanks(tc.banks); got != tc.ok {
+			t.Errorf("ValidBanks(%d) = %v, want %v", tc.banks, got, tc.ok)
+		}
+	}
+}
+
+func TestBankOf(t *testing.T) {
+	for _, a := range []uint64{0, 1, 7, 1 << 20, ^uint64(0)} {
+		if BankOf(a, 1) != 0 {
+			t.Errorf("BankOf(%d, 1) = %d, want 0", a, BankOf(a, 1))
+		}
+	}
+	// Power-of-two masking: the low bits select the bank, so
+	// neighbouring addresses spread and same-address always repeats.
+	for _, banks := range []int{2, 4, 64} {
+		seen := map[int]bool{}
+		for a := uint64(0); a < uint64(2*banks); a++ {
+			b := BankOf(a, banks)
+			if b < 0 || b >= banks {
+				t.Fatalf("BankOf(%d, %d) = %d out of range", a, banks, b)
+			}
+			if b != BankOf(a, banks) {
+				t.Fatalf("BankOf not deterministic")
+			}
+			seen[b] = true
+		}
+		if len(seen) != banks {
+			t.Errorf("banks=%d: sequential addresses hit only %d banks", banks, len(seen))
+		}
+	}
+}
+
+// TestScatterBanksPartition pins the demux contract: every record lands
+// on BankOf of its address, records keep their relative order within a
+// bank, per-bank message counts are exact, banks are emitted in
+// ascending order, and no record is lost or duplicated.
+func TestScatterBanksPartition(t *testing.T) {
+	const banks = 4
+	b := wire.NewBuilder(1, 1<<16)
+	type rec struct{ cmd, a, v uint64 }
+	var want []rec
+	for i := 0; i < 100; i++ {
+		r := rec{
+			cmd: wire.PackCmd(wire.OpInc, 0, 0),
+			a:   uint64(i*2654435761) % 512,
+			v:   uint64(i + 1),
+		}
+		want = append(want, r)
+		b.Append(r.cmd, r.a, r.v)
+	}
+	buf, msgs := b.Take()
+	defer wire.PutBuf(buf)
+	if msgs != len(want) {
+		t.Fatalf("builder msgs = %d, want %d", msgs, len(want))
+	}
+
+	var got [banks][]rec
+	lastBank := -1
+	total := 0
+	ScatterBanks(buf, banks, func(bank int, sub []byte, m int) {
+		if bank <= lastBank {
+			t.Fatalf("banks emitted out of order: %d after %d", bank, lastBank)
+		}
+		lastBank = bank
+		n := 0
+		if err := wire.Decode(sub, func(cmd, a, v uint64) {
+			got[bank] = append(got[bank], rec{cmd, a, v})
+			n++
+		}); err != nil {
+			t.Fatalf("bank %d sub-buffer undecodable: %v", bank, err)
+		}
+		if n != m {
+			t.Fatalf("bank %d reported %d msgs, decoded %d", bank, m, n)
+		}
+		total += m
+		wire.PutBuf(sub)
+	})
+	if total != len(want) {
+		t.Fatalf("scattered %d records, want %d", total, len(want))
+	}
+
+	// Replaying the input in order against per-bank cursors must match
+	// exactly: partition by BankOf with per-bank order preserved.
+	var cursor [banks]int
+	for i, r := range want {
+		bk := BankOf(r.a, banks)
+		if cursor[bk] >= len(got[bk]) {
+			t.Fatalf("record %d missing from bank %d", i, bk)
+		}
+		if got[bk][cursor[bk]] != r {
+			t.Fatalf("bank %d record %d = %+v, want %+v (reordered?)", bk, cursor[bk], got[bk][cursor[bk]], r)
+		}
+		cursor[bk]++
+	}
+}
+
+// TestChanBankedDemux: a banked channel fabric carves a multi-record
+// packet into per-bank sub-packets, all counted in flight until each
+// bank's Done.
+func TestChanBankedDemux(t *testing.T) {
+	clocks := []*timemodel.Clocks{{}, {}}
+	f := NewBanked(timemodel.Default(), clocks, 4)
+	b := wire.NewBuilder(1, 1<<12)
+	// Addresses 1, 3, 5: banks 1, 3, 1.
+	for _, a := range []uint64{1, 3, 5} {
+		b.Append(wire.PackCmd(wire.OpInc, 0, 0), a, 1)
+	}
+	buf, msgs := b.Take()
+	f.Send(0, 1, buf, msgs)
+
+	p1 := <-f.BankInbox(1, 1)
+	if !p1.Sub || p1.Bank != 1 || p1.Msgs != 2 {
+		t.Fatalf("bank-1 sub-packet wrong: %+v", p1)
+	}
+	p3 := <-f.BankInbox(1, 3)
+	if !p3.Sub || p3.Bank != 3 || p3.Msgs != 1 {
+		t.Fatalf("bank-3 sub-packet wrong: %+v", p3)
+	}
+	if f.Quiet() {
+		t.Fatal("Quiet with sub-packets still out")
+	}
+	f.Done(p1)
+	if f.Quiet() {
+		t.Fatal("Quiet after one of two sub-packets")
+	}
+	f.Done(p3)
+	if !f.Quiet() {
+		t.Fatal("not Quiet after all sub-packets Done")
+	}
+	select {
+	case p := <-f.BankInbox(1, 0):
+		t.Fatalf("unexpected bank-0 packet %+v", p)
+	default:
+	}
+}
+
+// TestChanSelfSendBypass pins the node-local fast path: with a local
+// applier registered, a from == to Send resolves synchronously on the
+// sending goroutine — applied before Send returns, never in flight,
+// still counted as a self packet and never as a wire packet.
+func TestChanSelfSendBypass(t *testing.T) {
+	clocks := []*timemodel.Clocks{{}, {}}
+	f := NewBanked(timemodel.Default(), clocks, 4)
+	var applied []uint64
+	f.SetLocalApply(func(p Packet) {
+		if p.From != 1 || p.To != 1 {
+			t.Fatalf("bypass packet endpoints wrong: %+v", p)
+		}
+		if err := wire.Decode(p.Buf, func(cmd, a, v uint64) {
+			applied = append(applied, a)
+		}); err != nil {
+			t.Fatalf("bypass payload undecodable: %v", err)
+		}
+	})
+
+	b := wire.NewBuilder(1, 1<<12)
+	b.Append(wire.PackCmd(wire.OpInc, 0, 0), 7, 1)
+	b.Append(wire.PackCmd(wire.OpInc, 0, 0), 9, 1)
+	buf, msgs := b.Take()
+	f.Send(1, 1, buf, msgs)
+
+	// Synchronous: fully applied when Send returns, nothing in flight.
+	if len(applied) != 2 || applied[0] != 7 || applied[1] != 9 {
+		t.Fatalf("bypass applied %v, want [7 9] before Send returned", applied)
+	}
+	if !f.Quiet() {
+		t.Fatal("self-send bypass left the fabric non-quiet")
+	}
+	for bank := 0; bank < 4; bank++ {
+		select {
+		case p := <-f.BankInbox(1, bank):
+			t.Fatalf("bypassed packet reached bank %d inbox: %+v", bank, p)
+		default:
+		}
+	}
+	if f.SelfPkts[1].Load() != 1 {
+		t.Fatalf("SelfPkts = %d, want 1", f.SelfPkts[1].Load())
+	}
+	if f.PktSizes[1].Count() != 0 {
+		t.Fatal("self packet counted as a wire packet")
+	}
+	if clocks[1].Snapshot().WireSend != 0 {
+		t.Fatal("self-send charged wire time")
+	}
+}

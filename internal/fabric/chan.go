@@ -18,33 +18,63 @@ import (
 // bounded channel, and senders block when a receiver falls behind.
 // Network threads must never send while processing (true for all
 // workloads here), so this cannot deadlock.
+//
+// With more than one resolver bank the fabric scatters each direct
+// packet's records into per-bank sub-packets at the send boundary
+// (same address -> same bank, so per-word ordering survives); routed
+// packets always land whole on bank 0. One bank is the paper's serial
+// network thread, delivered through the identical single-channel path.
 type Chan struct {
 	*Metrics
 	params *timemodel.Params
 	clocks []*timemodel.Clocks
-	inbox  []chan Packet
+	banks  int
+	inbox  [][]chan Packet // [node][bank]
+
+	// localApply, when set (SetLocalApply, before the first Send),
+	// resolves from == to packets synchronously instead of
+	// round-tripping them through an inbox.
+	localApply func(Packet)
 
 	inflight atomic.Int64
 }
 
-// New creates a channel fabric over the given per-node clocks.
+// New creates a channel fabric over the given per-node clocks with a
+// single resolver bank (the paper's serial network thread).
 func New(params *timemodel.Params, clocks []*timemodel.Clocks) *Chan {
+	return NewBanked(params, clocks, 1)
+}
+
+// NewBanked creates a channel fabric with the given number of resolver
+// banks per node (0 means 1; must be a power of two, max
+// MaxResolverBanks).
+func NewBanked(params *timemodel.Params, clocks []*timemodel.Clocks, banks int) *Chan {
 	n := len(clocks)
 	if n == 0 {
 		panic("fabric: no nodes")
+	}
+	if banks == 0 {
+		banks = 1
+	}
+	if !ValidBanks(banks) {
+		panic(fmt.Sprintf("fabric: resolver banks %d must be a power of two in [1, %d]", banks, MaxResolverBanks))
 	}
 	f := &Chan{
 		Metrics: NewMetrics(n),
 		params:  params,
 		clocks:  clocks,
-		inbox:   make([]chan Packet, n),
+		banks:   banks,
+		inbox:   make([][]chan Packet, n),
 	}
 	depth := params.QueuesPerDest * n
 	if depth < 4 {
 		depth = 4
 	}
 	for i := range f.inbox {
-		f.inbox[i] = make(chan Packet, depth)
+		f.inbox[i] = make([]chan Packet, banks)
+		for b := range f.inbox[i] {
+			f.inbox[i][b] = make(chan Packet, depth)
+		}
 	}
 	return f
 }
@@ -54,6 +84,16 @@ func (f *Chan) Nodes() int { return len(f.inbox) }
 
 // Hosts implements Fabric: every node lives in this process.
 func (f *Chan) Hosts(int) bool { return true }
+
+// Banks implements Banked.
+func (f *Chan) Banks() int { return f.banks }
+
+// BankInbox implements Banked.
+func (f *Chan) BankInbox(node, bank int) <-chan Packet { return f.inbox[node][bank] }
+
+// SetLocalApply implements LocalApplier. It must be called before the
+// first Send.
+func (f *Chan) SetLocalApply(fn func(Packet)) { f.localApply = fn }
 
 // Send transmits one per-node queue from node `from` to node `to`,
 // charging wire time to both endpoints. It blocks if the receiver's
@@ -76,6 +116,16 @@ func (f *Chan) send(from, to int, buf []byte, msgs int, routed bool) {
 		// Local atomics are routed through the local network thread but
 		// never touch the wire (§6).
 		f.SelfPkts[from].Inc()
+		if la := f.localApply; la != nil && !routed {
+			// Bypass: resolve directly against the banks on this
+			// goroutine. No inbox hop, no in-flight accounting — the
+			// packet is fully applied when Send returns, which is
+			// strictly earlier than the quiescence protocol could have
+			// observed it.
+			la(Packet{From: from, To: to, Buf: buf, Msgs: msgs})
+			wire.PutBuf(buf)
+			return
+		}
 	} else {
 		ns := f.params.WireNs(len(buf))
 		f.clocks[from].AddWireSend(ns)
@@ -83,13 +133,33 @@ func (f *Chan) send(from, to int, buf []byte, msgs int, routed bool) {
 		f.clocks[from].CountPacket(len(buf))
 		f.ObserveWire(from, to, len(buf))
 	}
+	if f.banks > 1 && !routed && len(buf)%wire.MsgWireBytes == 0 {
+		// (A misaligned buffer skips the demux and lands whole on bank
+		// 0, whose resolver reports it as a typed decode failure.)
+		// Count every sub-packet in flight before pushing the first:
+		// otherwise a fast bank could apply and Done its share while a
+		// sibling is still unpushed, dipping the in-flight count to
+		// zero mid-delivery.
+		var subs [MaxResolverBanks]Packet
+		nsub := 0
+		ScatterBanks(buf, f.banks, func(bank int, sub []byte, m int) {
+			subs[nsub] = Packet{From: from, To: to, Buf: sub, Msgs: m, Bank: bank, Sub: true}
+			nsub++
+		})
+		wire.PutBuf(buf)
+		f.inflight.Add(int64(nsub))
+		for i := 0; i < nsub; i++ {
+			f.inbox[to][subs[i].Bank] <- subs[i]
+		}
+		return
+	}
 	f.inflight.Add(1)
-	f.inbox[to] <- Packet{From: from, To: to, Buf: buf, Msgs: msgs, Routed: routed}
+	f.inbox[to][0] <- Packet{From: from, To: to, Buf: buf, Msgs: msgs, Routed: routed}
 }
 
-// Inbox returns node's receive channel; the node's network thread ranges
-// over it.
-func (f *Chan) Inbox(node int) <-chan Packet { return f.inbox[node] }
+// Inbox returns node's bank-0 receive channel; with one bank this is
+// the node's whole traffic and the network thread ranges over it.
+func (f *Chan) Inbox(node int) <-chan Packet { return f.inbox[node][0] }
 
 // Done must be called by the network thread after fully applying a
 // packet; quiescence detection depends on it. It recycles the packet's
@@ -105,9 +175,15 @@ func (f *Chan) Quiet() bool { return f.inflight.Load() == 0 }
 
 // Close closes all inboxes; network threads drain and exit.
 func (f *Chan) Close() {
-	for _, ch := range f.inbox {
-		close(ch)
+	for _, node := range f.inbox {
+		for _, ch := range node {
+			close(ch)
+		}
 	}
 }
 
-var _ Fabric = (*Chan)(nil)
+var (
+	_ Fabric       = (*Chan)(nil)
+	_ Banked       = (*Chan)(nil)
+	_ LocalApplier = (*Chan)(nil)
+)

@@ -36,6 +36,14 @@ type Packet struct {
 	Buf      []byte
 	Msgs     int
 	Routed   bool
+	// Bank is the resolver bank this packet resolves on (always 0 on an
+	// unbanked fabric; routed packets always resolve on bank 0).
+	Bank int
+	// Sub marks a demuxed sub-packet: one of several carved out of a
+	// single wire frame by a banked transport. Transports use it to
+	// keep per-frame quiescence counters exact (the frame is counted
+	// applied once, not once per bank).
+	Sub bool
 }
 
 // Fabric is the interconnect interface the runtime depends on. A fabric
@@ -159,8 +167,15 @@ func (m *Metrics) TotalAvgPacketBytes() float64 {
 }
 
 // Options configures a transport built through the registry. The
-// in-process transports ("chan", "loopback") ignore every field.
+// in-process transports ("chan", "loopback") ignore every field except
+// ResolverBanks.
 type Options struct {
+	// ResolverBanks splits each node's receive-side resolution into
+	// this many per-bank inboxes (power of two, max MaxResolverBanks;
+	// 0 or 1 = the paper's single serial network thread). All
+	// registered transports implement Banked and honor it.
+	ResolverBanks int
+
 	// Self is the node this process hosts (multi-process transports).
 	Self int
 	// Listen is the address to accept peer connections on; an explicit
@@ -255,7 +270,7 @@ func Names() []string {
 }
 
 func init() {
-	Register("chan", func(p *timemodel.Params, clocks []*timemodel.Clocks, _ Options) (Fabric, error) {
-		return New(p, clocks), nil
+	Register("chan", func(p *timemodel.Params, clocks []*timemodel.Clocks, opt Options) (Fabric, error) {
+		return NewBanked(p, clocks, opt.ResolverBanks), nil
 	})
 }

@@ -48,6 +48,9 @@ type Config struct {
 	// GroupSize > 1 enables two-level hierarchical aggregation
 	// (gravel model only).
 	GroupSize int
+	// ResolverShards splits each node's receive-side resolution into
+	// per-bank resolvers (0 or 1 = the serial network thread).
+	ResolverShards int
 	// Transport names a registered fabric transport ("" = "chan").
 	Transport string
 	// TransportOpts configures non-default transports.
@@ -57,14 +60,15 @@ type Config struct {
 // coreConfig translates cfg into the shared core.Config fields.
 func (cfg Config) coreConfig(name string) core.Config {
 	return core.Config{
-		Name:          name,
-		Nodes:         cfg.Nodes,
-		Params:        cfg.Params,
-		WGSize:        cfg.WGSize,
-		DivMode:       cfg.DivMode,
-		GroupSize:     cfg.GroupSize,
-		Transport:     cfg.Transport,
-		TransportOpts: cfg.TransportOpts,
+		Name:           name,
+		Nodes:          cfg.Nodes,
+		Params:         cfg.Params,
+		WGSize:         cfg.WGSize,
+		DivMode:        cfg.DivMode,
+		GroupSize:      cfg.GroupSize,
+		ResolverShards: cfg.ResolverShards,
+		Transport:      cfg.Transport,
+		TransportOpts:  cfg.TransportOpts,
 	}
 }
 

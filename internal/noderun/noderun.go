@@ -58,6 +58,9 @@ type Spec struct {
 	// WallClock charges measured wall time for wire activity instead of
 	// the virtual cost model.
 	WallClock bool `json:"wall_clock,omitempty"`
+	// ResolverShards is the per-node receive-side resolver bank count
+	// (0 or 1 = the serial network thread; otherwise a power of two).
+	ResolverShards int `json:"resolver_shards,omitempty"`
 
 	// Failure-detection cadence and coordinator deadlines; zero values
 	// resolve to the transport defaults.
@@ -111,7 +114,7 @@ func (s Spec) Validate() error {
 	if s.Nodes < 1 {
 		return fmt.Errorf("noderun: %d nodes", s.Nodes)
 	}
-	if err := (gravel.Config{Model: s.Model, Nodes: s.Nodes}).Validate(); err != nil {
+	if err := (gravel.Config{Model: s.Model, Nodes: s.Nodes, ResolverShards: s.ResolverShards}).Validate(); err != nil {
 		return err
 	}
 	switch s.Fabric {
@@ -150,6 +153,12 @@ func (s Spec) Key() string {
 		// though results stay bit-identical; appended only when set so
 		// pre-elastic cache keys stay valid.
 		key += fmt.Sprintf(" elastic=true ckpt=%d", s.CkptEvery)
+	}
+	if s.ResolverShards > 1 {
+		// Sharded resolution changes modeled time (NetBound is the
+		// busiest bank); appended only when sharded so pre-sharding
+		// cache keys stay valid.
+		key += fmt.Sprintf(" shards=%d", s.ResolverShards)
 	}
 	return key
 }
@@ -249,7 +258,7 @@ func RunLocal(spec Spec) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys, err := gravel.NewChecked(gravel.Config{Model: spec.Model, Nodes: spec.Nodes})
+	sys, err := gravel.NewChecked(gravel.Config{Model: spec.Model, Nodes: spec.Nodes, ResolverShards: spec.ResolverShards})
 	if err != nil {
 		return nil, err
 	}

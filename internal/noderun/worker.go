@@ -99,10 +99,11 @@ func RunWorker(cfg WorkerConfig) (res WorkerResult, err error) {
 		}
 	}()
 	sys, err = gravel.NewChecked(gravel.Config{
-		Model:     spec.Model,
-		Nodes:     spec.Nodes,
-		Transport: "tcp",
-		Faults:    fcfg,
+		Model:          spec.Model,
+		Nodes:          spec.Nodes,
+		ResolverShards: spec.ResolverShards,
+		Transport:      "tcp",
+		Faults:         fcfg,
 		TransportOpts: gravel.TransportOptions{
 			Self:                cfg.Node,
 			Listen:              listen,

@@ -79,6 +79,13 @@ const (
 	// loss instead of aborting. A = generation that recovered,
 	// B = epochs consumed so far.
 	KRecover
+	// KResolve is one packet applied by a resolver bank: A = bank,
+	// B = messages applied.
+	KResolve
+	// KResolveBypass is one node-local packet resolved synchronously on
+	// the sending goroutine (the from == to fast path): A = messages
+	// applied, B = active messages among them.
+	KResolveBypass
 )
 
 var kindNames = [...]string{
@@ -98,6 +105,8 @@ var kindNames = [...]string{
 	KCheckpoint:      "checkpoint",
 	KRestore:         "restore",
 	KRecover:         "recover",
+	KResolve:         "resolve",
+	KResolveBypass:   "resolve-bypass",
 }
 
 // String returns the JSONL name of the kind.

@@ -191,6 +191,19 @@ func writeStatsMetrics(b *strings.Builder, st *rt.Stats) {
 	g("gravel_agg_busy_frac", "Capacity-weighted aggregator busy fraction.", st.Agg.BusyFrac)
 	c("gravel_agg_flushes_full_total", "Per-node queue flushes triggered by a full buffer.", st.Agg.FlushesFull)
 	c("gravel_agg_flushes_timeout_total", "Per-node queue flushes forced at end of step.", st.Agg.FlushesTimeout)
+	g("gravel_resolver_shards", "Resolver banks per node (1 = the serial network thread).", float64(st.Resolver.Shards))
+	c("gravel_resolver_packets_total", "Packets applied by resolver banks.", st.Resolver.Packets)
+	c("gravel_resolver_msgs_total", "Messages applied by resolver banks.", st.Resolver.Msgs)
+	c("gravel_resolver_ams_total", "Active messages executed by resolver banks.", st.Resolver.AMs)
+	c("gravel_resolver_bypass_packets_total", "Node-local packets resolved on the sending goroutine.", st.Resolver.BypassPackets)
+	c("gravel_resolver_bypass_msgs_total", "Messages resolved via the node-local bypass.", st.Resolver.BypassMsgs)
+	if len(st.Resolver.PerBank) > 1 {
+		fmt.Fprintf(b, "# HELP gravel_resolver_bank_msgs_total Messages applied, by resolver bank.\n")
+		fmt.Fprintf(b, "# TYPE gravel_resolver_bank_msgs_total counter\n")
+		for bank, bc := range st.Resolver.PerBank {
+			fmt.Fprintf(b, "gravel_resolver_bank_msgs_total{bank=\"%d\"} %d\n", bank, bc.Msgs)
+		}
+	}
 	c("gravel_wire_packets_total", "Aggregated packets sent on the wire.", st.Transport.WirePackets)
 	c("gravel_wire_bytes_total", "Bytes sent on the wire.", st.Transport.WireBytes)
 	c("gravel_self_packets_total", "Node-local packets (never on the wire).", st.Transport.SelfPackets)

@@ -28,6 +28,7 @@ type Stats struct {
 
 	Queue     QueueStats
 	Agg       AggStats
+	Resolver  ResolverStats
 	Transport TransportStats
 	Faults    FaultStats
 
@@ -74,6 +75,35 @@ type AggStats struct {
 	// FlushesTimeout counts flushes forced by the end-of-step timeout
 	// flush (§3.4: full queues go immediately, stragglers on timeout).
 	FlushesFull, FlushesTimeout int64
+}
+
+// ResolverStats describes the receive side: the per-node resolvers
+// that apply received messages as local memory operations. With one
+// shard this is the paper's serial network thread; with more, each
+// node's stream is split by destination address into Shards concurrent
+// banks, and node-local packets bypass the inbox entirely.
+type ResolverStats struct {
+	// Shards is the per-node resolver bank count (1 = the paper's
+	// serial network thread).
+	Shards int
+	// Packets and Msgs count packets (sub-packets, when sharded) and
+	// messages applied by resolver banks; AMs the active messages among
+	// them. Relayed gateway records count at the gateway they are
+	// re-aggregated on, not here.
+	Packets, Msgs, AMs int64
+	// BypassPackets and BypassMsgs count node-local packets resolved
+	// synchronously on the sending goroutine (the from == to fast
+	// path), never entering an inbox.
+	BypassPackets, BypassMsgs int64
+	// PerBank breaks the resolver totals down by bank, summed across
+	// nodes; len(PerBank) == Shards. Bypass work is not per-bank (one
+	// packet may span banks).
+	PerBank []BankCount
+}
+
+// BankCount is one resolver bank's applied totals.
+type BankCount struct {
+	Packets, Msgs, AMs int64
 }
 
 // TransportStats describes the wire.
@@ -133,6 +163,12 @@ type StepStats struct {
 	WirePackets, WireBytes    int64
 	SelfPackets               int64
 	AggBusyNs, AggIdleNs      float64
+
+	// ResolvedPackets/Msgs/AMs are the resolver-bank deltas this step;
+	// BypassPackets/Msgs the node-local fast-path deltas. They mirror
+	// the cumulative ResolverStats fields.
+	ResolvedPackets, ResolvedMsgs, ResolvedAMs int64
+	BypassPackets, BypassMsgs                  int64
 }
 
 // NetStats converts the snapshot to the deprecated flat form. Values

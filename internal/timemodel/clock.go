@@ -21,6 +21,13 @@ type Clocks struct {
 	netMsgs   atomic.Int64
 	pktsSent  atomic.Int64
 	bytesSent atomic.Int64
+
+	// netBanks, when non-nil, splits the net accumulator by resolver
+	// bank: banked resolution runs the bank goroutines concurrently, so
+	// the phase bound is the busiest bank, not the serial sum. Nil (the
+	// single-bank default) leaves every composition bit-identical to
+	// the serial network thread.
+	netBanks []atomic.Int64
 }
 
 // ClockScale converts nanoseconds to internal fixed-point ticks.
@@ -39,6 +46,27 @@ func (c *Clocks) AddAggIdle(ns float64) { c.aggIdle.Add(toTicks(ns)) }
 
 // AddNet charges ns to the network thread clock.
 func (c *Clocks) AddNet(ns float64) { c.net.Add(toTicks(ns)) }
+
+// ConfigureNetBanks enables per-bank net accounting with the given
+// bank count. It must be called before any concurrent clock use;
+// banks <= 1 leaves the serial single-accumulator behaviour.
+func (c *Clocks) ConfigureNetBanks(banks int) {
+	if banks > 1 {
+		c.netBanks = make([]atomic.Int64, banks)
+	}
+}
+
+// AddNetBank charges ns of resolver work to one bank. Without
+// ConfigureNetBanks it is exactly AddNet — same single accumulator,
+// same one-call tick rounding — so a single-bank run stays
+// bit-identical to the serial network thread.
+func (c *Clocks) AddNetBank(bank int, ns float64) {
+	t := toTicks(ns)
+	c.net.Add(t)
+	if c.netBanks != nil {
+		c.netBanks[bank].Add(t)
+	}
+}
 
 // AddWireSend charges ns of send-side wire occupancy.
 func (c *Clocks) AddWireSend(ns float64) { c.wireSend.Add(toTicks(ns)) }
@@ -69,12 +97,15 @@ func (c *Clocks) CountPacket(bytes int) {
 type Snapshot struct {
 	GPU, Agg, AggIdle, Net, WireSend, WireRecv, Host float64
 	AggSlots, AggMsgs, NetMsgs, PktsSent, BytesSent  int64
+	// NetBanks is the per-bank split of Net, nil unless the node runs
+	// banked resolution (ConfigureNetBanks).
+	NetBanks []float64
 }
 
 // Snapshot returns the current clock values. It is only exact when the
 // node is quiescent.
 func (c *Clocks) Snapshot() Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		GPU:       float64(c.gpu.Load()) / ClockScale,
 		Agg:       float64(c.agg.Load()) / ClockScale,
 		AggIdle:   float64(c.aggIdle.Load()) / ClockScale,
@@ -88,11 +119,37 @@ func (c *Clocks) Snapshot() Snapshot {
 		PktsSent:  c.pktsSent.Load(),
 		BytesSent: c.bytesSent.Load(),
 	}
+	c.snapshotBanks(&s)
+	return s
 }
 
-// Sub returns s - prev, field by field.
+// snapshotBanks fills s.NetBanks when banked accounting is on.
+func (c *Clocks) snapshotBanks(s *Snapshot) {
+	if c.netBanks == nil {
+		return
+	}
+	s.NetBanks = make([]float64, len(c.netBanks))
+	for i := range c.netBanks {
+		s.NetBanks[i] = float64(c.netBanks[i].Load()) / ClockScale
+	}
+}
+
+// Sub returns s - prev, field by field. NetBanks subtracts
+// element-wise (prev may be shorter, e.g. the zero Snapshot before the
+// first phase).
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	var banks []float64
+	if s.NetBanks != nil {
+		banks = make([]float64, len(s.NetBanks))
+		for i, v := range s.NetBanks {
+			if i < len(prev.NetBanks) {
+				v -= prev.NetBanks[i]
+			}
+			banks[i] = v
+		}
+	}
 	return Snapshot{
+		NetBanks:  banks,
 		GPU:       s.GPU - prev.GPU,
 		Agg:       s.Agg - prev.Agg,
 		AggIdle:   s.AggIdle - prev.AggIdle,
@@ -108,13 +165,29 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	}
 }
 
+// NetBound is the network-thread contribution to a phase: the serial
+// net time, or — under banked resolution, where the bank goroutines
+// run concurrently — the busiest bank.
+func (s Snapshot) NetBound() float64 {
+	if s.NetBanks == nil {
+		return s.Net
+	}
+	m := 0.0
+	for _, v := range s.NetBanks {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
 // Overlapped composes the phase time for networking models that overlap
 // communication with computation (Gravel, message-per-lane, coalesced
 // APIs): the phase is bounded by the busiest resource, plus any host
 // serial time.
 func (s Snapshot) Overlapped() float64 {
 	m := s.GPU
-	for _, v := range []float64{s.Agg, s.Net, s.WireSend, s.WireRecv} {
+	for _, v := range []float64{s.Agg, s.NetBound(), s.WireSend, s.WireRecv} {
 		if v > m {
 			m = v
 		}
@@ -123,9 +196,10 @@ func (s Snapshot) Overlapped() float64 {
 }
 
 // Sequential composes the phase time for the bulk-synchronous coprocessor
-// model: nothing overlaps.
+// model: nothing overlaps between resources, but the resolver banks
+// within the net resource still run concurrently with each other.
 func (s Snapshot) Sequential() float64 {
-	return s.GPU + s.Agg + s.Net + s.WireSend + s.WireRecv + s.Host
+	return s.GPU + s.Agg + s.NetBound() + s.WireSend + s.WireRecv + s.Host
 }
 
 // PhaseRecord describes one superstep of a run: the per-node phase times

@@ -23,27 +23,47 @@ type Loopback struct {
 	*fabric.Metrics
 	params *timemodel.Params
 	clocks []*timemodel.Clocks
+	banks  int
 
-	wires []chan []byte // encoded frames, one bounded queue per destination
-	inbox []chan fabric.Packet
+	wires []chan []byte          // encoded frames, one bounded queue per destination
+	inbox [][]chan fabric.Packet // [node][bank]
+
+	// localApply, when set, resolves from == to packets synchronously
+	// (no framing round trip, no in-flight accounting).
+	localApply func(fabric.Packet)
 
 	inflight atomic.Int64
 	decoders sync.WaitGroup
 	closed   atomic.Bool
 }
 
-// NewLoopback creates a loopback transport over the given clocks.
+// NewLoopback creates a loopback transport over the given clocks with
+// a single resolver bank.
 func NewLoopback(params *timemodel.Params, clocks []*timemodel.Clocks) *Loopback {
+	return NewLoopbackBanked(params, clocks, 1)
+}
+
+// NewLoopbackBanked creates a loopback transport whose decoders demux
+// each validated frame into per-bank sub-packets (0 means 1 bank; must
+// be a power of two, max fabric.MaxResolverBanks).
+func NewLoopbackBanked(params *timemodel.Params, clocks []*timemodel.Clocks, banks int) *Loopback {
 	n := len(clocks)
 	if n == 0 {
 		panic("transport: no nodes")
+	}
+	if banks == 0 {
+		banks = 1
+	}
+	if !fabric.ValidBanks(banks) {
+		panic(fmt.Sprintf("transport: resolver banks %d must be a power of two in [1, %d]", banks, fabric.MaxResolverBanks))
 	}
 	l := &Loopback{
 		Metrics: fabric.NewMetrics(n),
 		params:  params,
 		clocks:  clocks,
+		banks:   banks,
 		wires:   make([]chan []byte, n),
-		inbox:   make([]chan fabric.Packet, n),
+		inbox:   make([][]chan fabric.Packet, n),
 	}
 	depth := params.QueuesPerDest * n
 	if depth < 4 {
@@ -51,7 +71,10 @@ func NewLoopback(params *timemodel.Params, clocks []*timemodel.Clocks) *Loopback
 	}
 	for i := range l.wires {
 		l.wires[i] = make(chan []byte, depth)
-		l.inbox[i] = make(chan fabric.Packet, depth)
+		l.inbox[i] = make([]chan fabric.Packet, banks)
+		for b := range l.inbox[i] {
+			l.inbox[i][b] = make(chan fabric.Packet, depth)
+		}
 	}
 	l.decoders.Add(n)
 	for i := 0; i < n; i++ {
@@ -59,6 +82,16 @@ func NewLoopback(params *timemodel.Params, clocks []*timemodel.Clocks) *Loopback
 	}
 	return l
 }
+
+// Banks implements fabric.Banked.
+func (l *Loopback) Banks() int { return l.banks }
+
+// BankInbox implements fabric.Banked.
+func (l *Loopback) BankInbox(node, bank int) <-chan fabric.Packet { return l.inbox[node][bank] }
+
+// SetLocalApply implements fabric.LocalApplier. It must be called
+// before the first Send.
+func (l *Loopback) SetLocalApply(fn func(fabric.Packet)) { l.localApply = fn }
 
 // Nodes returns the node count.
 func (l *Loopback) Nodes() int { return len(l.inbox) }
@@ -82,6 +115,16 @@ func (l *Loopback) send(f *frame) {
 	}
 	if f.from == f.to {
 		l.SelfPkts[f.from].Inc()
+		if la := l.localApply; la != nil && f.typ != frameRouted {
+			// Bypass: a node-local packet skips the framing round trip
+			// entirely and resolves synchronously on this goroutine.
+			// The loopback codec is faithful (encode/decode round-trips
+			// bit-exactly), so skipping it for self traffic cannot
+			// change results — only wall time.
+			la(fabric.Packet{From: f.from, To: f.to, Buf: f.payload, Msgs: f.msgs})
+			wire.PutBuf(f.payload)
+			return
+		}
 	} else {
 		ns := l.params.WireNs(len(f.payload))
 		l.clocks[f.from].AddWireSend(ns)
@@ -104,7 +147,11 @@ func (l *Loopback) send(f *frame) {
 // parsed), so one buffer never backs two packets.
 func (l *Loopback) decode(node int) {
 	defer l.decoders.Done()
-	defer close(l.inbox[node])
+	defer func() {
+		for _, ch := range l.inbox[node] {
+			close(ch)
+		}
+	}()
 	var (
 		f  frame
 		rd bytes.Reader
@@ -133,12 +180,31 @@ func (l *Loopback) decode(node int) {
 			l.inflight.Add(-1)
 			continue
 		}
-		l.inbox[node] <- fabric.Packet{From: f.from, To: node, Buf: f.payload, Msgs: f.msgs, Routed: routed}
+		if l.banks > 1 && !routed {
+			// Demux into per-bank sub-packets, counting every one in
+			// flight before pushing the first (a fast bank finishing
+			// early must not dip the count to zero mid-delivery). The
+			// frame itself already holds one in-flight credit; adjust
+			// by the difference.
+			var subs [fabric.MaxResolverBanks]fabric.Packet
+			nsub := 0
+			fabric.ScatterBanks(f.payload, l.banks, func(bank int, sub []byte, m int) {
+				subs[nsub] = fabric.Packet{From: f.from, To: node, Buf: sub, Msgs: m, Bank: bank, Sub: true}
+				nsub++
+			})
+			wire.PutBuf(f.payload)
+			l.inflight.Add(int64(nsub) - 1)
+			for i := 0; i < nsub; i++ {
+				l.inbox[node][subs[i].Bank] <- subs[i]
+			}
+			continue
+		}
+		l.inbox[node][0] <- fabric.Packet{From: f.from, To: node, Buf: f.payload, Msgs: f.msgs, Routed: routed}
 	}
 }
 
-// Inbox implements fabric.Fabric.
-func (l *Loopback) Inbox(node int) <-chan fabric.Packet { return l.inbox[node] }
+// Inbox implements fabric.Fabric: the node's bank-0 receive channel.
+func (l *Loopback) Inbox(node int) <-chan fabric.Packet { return l.inbox[node][0] }
 
 // Done implements fabric.Fabric: it recycles the packet's buffer and
 // retires it from quiescence accounting.
@@ -161,4 +227,8 @@ func (l *Loopback) Close() {
 	l.decoders.Wait()
 }
 
-var _ fabric.Fabric = (*Loopback)(nil)
+var (
+	_ fabric.Fabric       = (*Loopback)(nil)
+	_ fabric.Banked       = (*Loopback)(nil)
+	_ fabric.LocalApplier = (*Loopback)(nil)
+)

@@ -284,14 +284,15 @@ func newRecvOnlyTCP(t *testing.T, n, self int, gen uint32) *TCP {
 		n:       n,
 		self:    self,
 		gen:     gen,
+		banks:   1,
 		ln:      ln,
-		inbox:   make([]chan fabric.Packet, n),
+		inbox:   make([][]chan fabric.Packet, n),
 		recv:    make([]*peerRecv, n),
 		conns:   make(map[net.Conn]struct{}),
 		senders: make([]*sender, n),
 	}
 	for i := range tr.inbox {
-		tr.inbox[i] = make(chan fabric.Packet, recvQueueFrames)
+		tr.inbox[i] = []chan fabric.Packet{make(chan fabric.Packet, recvQueueFrames)}
 		tr.recv[i] = &peerRecv{}
 	}
 	go tr.acceptLoop()

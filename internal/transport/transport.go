@@ -29,8 +29,8 @@ import (
 )
 
 func init() {
-	fabric.Register("loopback", func(p *timemodel.Params, clocks []*timemodel.Clocks, _ fabric.Options) (fabric.Fabric, error) {
-		return NewLoopback(p, clocks), nil
+	fabric.Register("loopback", func(p *timemodel.Params, clocks []*timemodel.Clocks, opt fabric.Options) (fabric.Fabric, error) {
+		return NewLoopbackBanked(p, clocks, opt.ResolverBanks), nil
 	})
 	fabric.Register("tcp", func(p *timemodel.Params, clocks []*timemodel.Clocks, opt fabric.Options) (fabric.Fabric, error) {
 		return NewTCP(p, clocks, opt)
