@@ -6,7 +6,7 @@
 //	gravel-bench -exp=all [-json=results.json] [-cpuprofile=cpu.pprof]
 //
 // Experiments: table2, table5, fig6, fig8, fig12, fig13, fig14, fig15,
-// sec82, hier, ablations, resolver, all.
+// sec82, hier, ablations, resolver, pgas, all.
 //
 // With -json, every experiment's table is also written to the given
 // path as machine-readable JSON, with per-experiment wall time and
@@ -73,7 +73,7 @@ func headline(t *bench.Table) (metric string, value float64) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table2, table5, fig6, fig8, fig12, fig13, fig14, fig15, sec82, hier, ablations, resolver, all)")
+	exp := flag.String("exp", "all", "experiment to run (table2, table5, fig6, fig8, fig12, fig13, fig14, fig15, sec82, hier, ablations, resolver, pgas, all)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = default reduced inputs)")
 	format := flag.String("format", "table", "output format: table or csv")
 	version := flag.Bool("version", false, "print the build-info string and exit")
@@ -144,6 +144,7 @@ func main() {
 	run("hier", func() *bench.Table { return bench.Hier(*scale, nil) })
 	run("ablations", func() *bench.Table { return bench.Ablations(*scale, nil) })
 	run("resolver", func() *bench.Table { return bench.Resolver(*scale, nil, common.ResolverShards) })
+	run("pgas", func() *bench.Table { return bench.PGAS(*scale, nil) })
 
 	if *jsonPath != "" {
 		out, err := json.MarshalIndent(&rep, "", "  ")

@@ -208,7 +208,7 @@ func TestTCPClusterCoprocessorMatchesSingle(t *testing.T) {
 			})
 			defer sys.Close()
 			tcp := sys.(interface{ Fabric() core.Fabric }).Fabric().(*transport.TCP)
-			shard := a.Shard(sys, i, p, tcp.Reduce)
+			shard := a.Shard(sys, i, p, tcp.Collectives())
 			if shard.Err != nil {
 				errs[i] = shard.Err
 				return

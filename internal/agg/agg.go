@@ -48,6 +48,18 @@ type shard struct {
 	ready    []readyPkt      // flushed queues awaiting transmission
 	spare    []readyPkt      // drained batch recycled for the next swap
 
+	// Destinations that took a PUT_SIGNAL during the batch being
+	// repacked. Signals must not sit in a part-filled builder until the
+	// end-of-step flush (a remote waiter spinning on the signal cell
+	// keeps its step from ending), but they need not go out one packet
+	// per signal either: flushing once at the end of the drained batch
+	// preserves liveness and lets a batch's worth of signalled puts to
+	// one destination share a packet.
+	sigNodes     []int
+	sigGroups    []int
+	sigNodeMark  []bool
+	sigGroupMark []bool
+
 	// repackFn is the shard-bound queue consumer, built once so the hot
 	// TryConsume path passes a preallocated closure.
 	repackFn func(payload []uint64, rows, cols, count int)
@@ -125,13 +137,14 @@ func NewHierarchical(node int, params *timemodel.Params, q *queue.Gravel, fab fa
 	}
 	a.shards = make([]*shard, threads)
 	for i := range a.shards {
-		sh := &shard{builders: make([]*wire.Builder, n)}
+		sh := &shard{builders: make([]*wire.Builder, n), sigNodeMark: make([]bool, n)}
 		for d := 0; d < n; d++ {
 			sh.builders[d] = wire.NewBuilder(d, capBytes)
 		}
 		if groupSize > 0 {
 			groups := (n + groupSize - 1) / groupSize
 			sh.grouped = make([]*wire.Builder, groups)
+			sh.sigGroupMark = make([]bool, groups)
 			for g := 0; g < groups; g++ {
 				gw := a.gatewayOf(g)
 				sh.grouped[g] = wire.NewRoutedBuilder(gw, capBytes)
@@ -292,6 +305,24 @@ func (a *Aggregator) repack(sh *shard, payload []uint64, rows, cols, count int) 
 	for m := 0; m < count; m++ {
 		a.appendLocked(sh, int(destRow[m]), cmdRow[m], aRow[m], bRow[m])
 	}
+	a.flushSignalsLocked(sh)
+}
+
+// flushSignalsLocked sends every builder that took a PUT_SIGNAL during
+// the batch just staged; sh.mu must be held. See the shard fields for
+// why signals flush at batch boundaries rather than per message or at
+// end of step.
+func (a *Aggregator) flushSignalsLocked(sh *shard) {
+	for _, g := range sh.sigGroups {
+		sh.sigGroupMark[g] = false
+		a.flushGroupLocked(sh, g, false)
+	}
+	sh.sigGroups = sh.sigGroups[:0]
+	for _, d := range sh.sigNodes {
+		sh.sigNodeMark[d] = false
+		a.flushLocked(sh, d, false)
+	}
+	sh.sigNodes = sh.sigNodes[:0]
 }
 
 // appendLocked stages one message toward dest, choosing a per-node or
@@ -304,6 +335,10 @@ func (a *Aggregator) appendLocked(sh *shard, dest int, cmd, av, vv uint64) {
 			a.flushGroupLocked(sh, g, false)
 		}
 		b.AppendRouted(cmd, av, vv, dest)
+		if wire.Op(cmd&0xff) == wire.OpPutSignal && !sh.sigGroupMark[g] {
+			sh.sigGroupMark[g] = true
+			sh.sigGroups = append(sh.sigGroups, g)
+		}
 		return
 	}
 	b := sh.builders[dest]
@@ -314,6 +349,9 @@ func (a *Aggregator) appendLocked(sh *shard, dest int, cmd, av, vv uint64) {
 	if a.PerMessage {
 		// Message-per-lane: no combining; one packet per message.
 		a.flushLocked(sh, dest, false)
+	} else if wire.Op(cmd&0xff) == wire.OpPutSignal && !sh.sigNodeMark[dest] {
+		sh.sigNodeMark[dest] = true
+		sh.sigNodes = append(sh.sigNodes, dest)
 	}
 }
 
@@ -338,6 +376,7 @@ func (a *Aggregator) AppendDirect(dest int, cmd, av, vv uint64, chargeNs float64
 	defer sh.mu.Unlock()
 	a.clock.AddAgg(chargeNs)
 	a.appendLocked(sh, dest, cmd, av, vv)
+	a.flushSignalsLocked(sh)
 }
 
 func (a *Aggregator) flushLocked(sh *shard, dest int, timeout bool) {

@@ -58,11 +58,11 @@ func Run(sys rt.System, cfg Config) Result {
 // every process runs the same number of rounds. Colored and ColorSum
 // cover only the shard's vertex range and sum across shards to the
 // full-run values.
-func RunShard(sys rt.System, cfg Config, node int, coll rt.Collective) Result {
+func RunShard(sys rt.System, cfg Config, node int, coll rt.Collectives) Result {
 	return run(sys, cfg, node, coll)
 }
 
-func run(sys rt.System, cfg Config, only int, coll rt.Collective) Result {
+func run(sys rt.System, cfg Config, only int, coll rt.Collectives) Result {
 	g := cfg.G
 	nodes := sys.Nodes()
 	part := (g.N + nodes - 1) / nodes
@@ -182,7 +182,7 @@ func run(sys rt.System, cfg Config, only int, coll rt.Collective) Result {
 				colored++
 			}
 		}
-		total, err := coll.Reduce(fmt.Sprintf("color:done:%d", rounds), colored)
+		total, err := rt.AllReduce(coll, fmt.Sprintf("color:done:%d", rounds), rt.WorldTeam, rt.OpSum, colored)
 		if err != nil {
 			panic(err)
 		}

@@ -78,11 +78,11 @@ func Run(sys rt.System, cfg Config) Result {
 // through coll yields the global sums, every process recomputes
 // identical centroids, and the final Centroids/Counts match the
 // single-process run bit-for-bit in every process.
-func RunShard(sys rt.System, cfg Config, node int, coll rt.Collective) Result {
+func RunShard(sys rt.System, cfg Config, node int, coll rt.Collectives) Result {
 	return run(sys, cfg, node, coll)
 }
 
-func run(sys rt.System, cfg Config, only int, coll rt.Collective) Result {
+func run(sys rt.System, cfg Config, only int, coll rt.Collectives) Result {
 	r, err := RunElastic(sys, cfg, only, coll, ElasticOpts{})
 	if err != nil {
 		// Impossible without a resume payload or a Save hook.
@@ -111,7 +111,7 @@ type ElasticOpts struct {
 // RunElastic executes the given node's shard with checkpoint/restore;
 // final Centroids and Counts are bit-identical to an undisturbed
 // RunShard of the same Config.
-func RunElastic(sys rt.System, cfg Config, only int, coll rt.Collective, opt ElasticOpts) (Result, error) {
+func RunElastic(sys rt.System, cfg Config, only int, coll rt.Collectives, opt ElasticOpts) (Result, error) {
 	if cfg.Dims == 0 {
 		cfg.Dims = 2
 	}
@@ -226,7 +226,7 @@ func RunElastic(sys rt.System, cfg Config, only int, coll rt.Collective, opt Ela
 		sum.Fill(0)
 		cnt.Fill(0)
 		for c := 0; c < k; c++ {
-			n, err := coll.Reduce(fmt.Sprintf("km:%d:c:%d", it, c), cntSnap[c])
+			n, err := rt.AllReduce(coll, fmt.Sprintf("km:%d:c:%d", it, c), rt.WorldTeam, rt.OpSum, cntSnap[c])
 			if err != nil {
 				panic(err)
 			}
@@ -234,7 +234,7 @@ func RunElastic(sys rt.System, cfg Config, only int, coll rt.Collective, opt Ela
 				continue
 			}
 			for d := 0; d < dims; d++ {
-				s, err := coll.Reduce(fmt.Sprintf("km:%d:s:%d", it, c*dims+d), sumSnap[c*dims+d])
+				s, err := rt.AllReduce(coll, fmt.Sprintf("km:%d:s:%d", it, c*dims+d), rt.WorldTeam, rt.OpSum, sumSnap[c*dims+d])
 				if err != nil {
 					panic(err)
 				}

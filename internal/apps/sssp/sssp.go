@@ -71,11 +71,11 @@ func Run(sys rt.System, cfg Config) Result {
 // empty?" — goes through coll, so every process agrees on the superstep
 // count. The per-shard Reached and DistSum sum across shards to the
 // full-run values; Checksum covers only the shard's vertex range.
-func RunShard(sys rt.System, cfg Config, node int, coll rt.Collective) Result {
+func RunShard(sys rt.System, cfg Config, node int, coll rt.Collectives) Result {
 	return run(sys, cfg, node, coll)
 }
 
-func run(sys rt.System, cfg Config, only int, coll rt.Collective) Result {
+func run(sys rt.System, cfg Config, only int, coll rt.Collectives) Result {
 	g := cfg.G
 	g.EnsureWeights()
 	nodes := sys.Nodes()
@@ -122,7 +122,7 @@ func run(sys rt.System, cfg Config, only int, coll rt.Collective) Result {
 			grid[i] = len(frontier[i])
 			local += grid[i]
 		}
-		total, err := coll.Reduce(fmt.Sprintf("sssp:front:%d", steps), uint64(local))
+		total, err := rt.AllReduce(coll, fmt.Sprintf("sssp:front:%d", steps), rt.WorldTeam, rt.OpSum, uint64(local))
 		if err != nil {
 			panic(err)
 		}

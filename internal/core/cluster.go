@@ -106,6 +106,8 @@ type Node struct {
 	// LocalOps / RemoteOps count fine-grain accesses by locality
 	// (Table 5 remote-access frequency).
 	LocalOps, RemoteOps stats.Counter
+	// Waits counts WaitUntil verb calls by this node's work-groups.
+	Waits stats.Counter
 
 	cl *Cluster
 }
@@ -157,6 +159,7 @@ type runningTotals struct {
 	aggBusy, aggIdle            float64
 	resvPkts, resvMsgs, resvAMs int64
 	bypassPkts, bypassMsgs      int64
+	signals, waits              int64
 }
 
 func (cl *Cluster) totals() runningTotals {
@@ -178,9 +181,12 @@ func (cl *Cluster) totals() runningTotals {
 			t.resvPkts += ctr.pkts.Load()
 			t.resvMsgs += ctr.msgs.Load()
 			t.resvAMs += ctr.ams.Load()
+			t.signals += ctr.sigs.Load()
 		}
 		t.bypassPkts += cl.bypass[i].pkts.Load()
 		t.bypassMsgs += cl.bypass[i].msgs.Load()
+		t.signals += cl.bypass[i].sigs.Load()
+		t.waits += n.Waits.Load()
 	}
 	return t
 }
@@ -504,6 +510,8 @@ func (cl *Cluster) RecordPhase(name string, nodeNs []float64) {
 		ResolvedAMs:     cur.resvAMs - prev.resvAMs,
 		BypassPackets:   cur.bypassPkts - prev.bypassPkts,
 		BypassMsgs:      cur.bypassMsgs - prev.bypassMsgs,
+		Signals:         cur.signals - prev.signals,
+		Waits:           cur.waits - prev.waits,
 	})
 	if obs.Enabled() {
 		obs.Emit(obs.KStepEnd, -1, wall, int64(phase), name)
@@ -518,10 +526,11 @@ func (cl *Cluster) RecordPhase(name string, nodeNs []float64) {
 // (the quiescence protocol iterates until no messages remain anywhere).
 func (cl *Cluster) HostAM(from int, h uint8, dest int, a, b uint64) {
 	n := cl.nodes[from]
-	// Charge the initiation to the bank that will resolve the message,
-	// so banked NetBound (max over banks) still sees it; at one shard
-	// this is exactly AddNet.
-	n.Clocks.AddNetBank(fabric.BankOf(a, cl.shards), cl.params.NetThreadPerMsgNs)
+	// Charge the initiation to the bank that will resolve the message —
+	// always bank 0 for AMs (fabric.BankOfRecord) — so banked NetBound
+	// (max over banks) still sees it; at one shard this is exactly
+	// AddNet.
+	n.Clocks.AddNetBank(0, cl.params.NetThreadPerMsgNs)
 	if dest == from {
 		n.LocalOps.Inc()
 	} else {
@@ -587,6 +596,7 @@ func (cl *Cluster) Stats() rt.Stats {
 		BypassMsgs:    cur.bypassMsgs,
 		PerBank:       make([]rt.BankCount, cl.shards),
 	}
+	st.PGAS = rt.PGASStats{Signals: cur.signals, Waits: cur.waits}
 	for i := range cl.resv {
 		for b := range cl.resv[i] {
 			ctr := &cl.resv[i][b]

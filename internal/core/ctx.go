@@ -41,9 +41,26 @@ func (c *ctx) allActive() []bool {
 	return c.allOn[:c.g.Size]
 }
 
+// mask applies the rt.Ctx lane-mask convention: nil means all lanes,
+// anything else must be exactly WG-sized (typed *MaskError otherwise).
+func (c *ctx) mask(verb string, active []bool) []bool {
+	if active == nil {
+		return c.allActive()
+	}
+	CheckMask(verb, active, c.g.Size)
+	return active
+}
+
 // offload performs one WG-granularity enqueue of the active lanes'
-// messages. destOf must be cheap and pure.
+// messages under a single command word. destOf must be cheap and pure.
 func (c *ctx) offload(cmd uint64, destOf func(lane int) int, a, b []uint64, active []bool) {
+	c.offloadCmds(func(int) uint64 { return cmd }, destOf, a, b, active)
+}
+
+// offloadCmds is offload with a per-lane command word (PUT_SIGNAL
+// carries the lane's signal cell in its command; everything else is
+// uniform). cmdOf, like destOf, must be cheap and pure.
+func (c *ctx) offloadCmds(cmdOf func(lane int) uint64, destOf func(lane int) int, a, b []uint64, active []bool) {
 	g := c.g
 	offs, count := g.PrefixSumMask(active)
 	if count == 0 {
@@ -61,7 +78,7 @@ func (c *ctx) offload(cmd uint64, destOf func(lane int) int, a, b []uint64, acti
 	g.VectorMasked(wire.SlotRows, active, func(l int) {
 		m := offs[l]
 		d := destOf(l)
-		rowCmd[m] = cmd
+		rowCmd[m] = cmdOf(l)
 		rowDest[m] = uint64(d)
 		rowA[m] = a[l]
 		rowB[m] = b[l]
@@ -82,9 +99,7 @@ func (c *ctx) offload(cmd uint64, destOf func(lane int) int, a, b []uint64, acti
 // built with LocalAtomicsDirect, in which case local increments execute
 // as concurrent GPU read-modify-writes (the design the paper rejected).
 func (c *ctx) Inc(arr *pgas.Array, idx, delta []uint64, active []bool) {
-	if active == nil {
-		active = c.allActive()
-	}
+	active = c.mask("Inc", active)
 	cmd := wire.PackCmd(wire.OpInc, 0, arr.ID())
 	if !c.n.cl.cfg.LocalAtomicsDirect {
 		c.offload(cmd, func(l int) int { return arr.Owner(idx[l]) }, idx, delta, active)
@@ -123,9 +138,7 @@ func (c *ctx) Inc(arr *pgas.Array, idx, delta []uint64, active []bool) {
 // Put implements rt.Ctx: local PUTs execute directly as GPU stores;
 // remote PUTs are offloaded (§7.1).
 func (c *ctx) Put(arr *pgas.Array, idx, val []uint64, active []bool) {
-	if active == nil {
-		active = c.allActive()
-	}
+	active = c.mask("Put", active)
 	g := c.g
 	if len(c.remote) < g.Size {
 		c.remote = make([]bool, g.Size)
@@ -163,9 +176,7 @@ func (c *ctx) Put(arr *pgas.Array, idx, val []uint64, active []bool) {
 // AM implements rt.Ctx: active messages are atomics and always travel
 // through the destination's network thread (§6).
 func (c *ctx) AM(h uint8, dest []int, a, b []uint64, active []bool) {
-	if active == nil {
-		active = c.allActive()
-	}
+	active = c.mask("AM", active)
 	cmd := wire.PackCmd(wire.OpAM, h, 0)
 	c.offload(cmd, func(l int) int { return dest[l] }, a, b, active)
 }

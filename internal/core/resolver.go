@@ -69,6 +69,7 @@ type bankCounters struct {
 	pkts atomic.Int64
 	msgs atomic.Int64
 	ams  atomic.Int64
+	sigs atomic.Int64
 }
 
 // failDecode records the first decode failure; later ones lose the race
@@ -129,6 +130,7 @@ func (cl *Cluster) resolve(n *Node, bank int, inbox <-chan fabric.Packet) {
 	ctr := &cl.resv[n.ID][bank]
 	for pkt := range inbox {
 		amExtra := 0
+		sigExtra := 0
 		apply := func(cmd, a, v uint64) {
 			op, h, arr := wire.UnpackCmd(cmd)
 			switch op {
@@ -139,6 +141,15 @@ func (cl *Cluster) resolve(n *Node, bank int, inbox <-chan fabric.Packet) {
 			case wire.OpAM:
 				amExtra++
 				cl.handlers[h](n.ID, a, v)
+			case wire.OpPutSignal:
+				// Store then increment under this bank's lock: the
+				// signal's owner equals the data's owner (enforced at the
+				// verb), so a waiter that loads the incremented signal is
+				// guaranteed to load the stored data.
+				dArr, sArr, sIdx := wire.UnpackSigCmd(cmd)
+				cl.space.Array(dArr).Store(a, v)
+				cl.space.Array(sArr).Add(uint64(sIdx), 1)
+				sigExtra++
 			default:
 				panic(fmt.Sprintf("core: bad op %v in packet", op))
 			}
@@ -153,7 +164,7 @@ func (cl *Cluster) resolve(n *Node, bank int, inbox <-chan fabric.Packet) {
 			// members.
 			err = wire.DecodeRouted(pkt.Buf, func(cmd, a, v uint64, dest int) {
 				if dest == n.ID {
-					bm := &cl.bankMu[n.ID][fabric.BankOf(a, cl.shards)]
+					bm := &cl.bankMu[n.ID][fabric.BankOfRecord(cmd, a, cl.shards)]
 					bm.Lock()
 					apply(cmd, a, v)
 					bm.Unlock()
@@ -178,13 +189,18 @@ func (cl *Cluster) resolve(n *Node, bank int, inbox <-chan fabric.Packet) {
 		n.Clocks.AddNetBank(bank, p.NetThreadPerPacketNs+
 			float64(pkt.Msgs)*p.NetThreadPerMsgNs+
 			float64(len(pkt.Buf))*p.NetThreadPerByteNs+
-			float64(amExtra)*p.NetThreadAMExtraNs)
+			float64(amExtra)*p.NetThreadAMExtraNs+
+			float64(sigExtra)*p.NetThreadSignalExtraNs)
 		n.Clocks.CountNetMsgs(pkt.Msgs - relayed)
 		ctr.pkts.Add(1)
 		ctr.msgs.Add(int64(pkt.Msgs - relayed))
 		ctr.ams.Add(int64(amExtra))
+		ctr.sigs.Add(int64(sigExtra))
 		if obs.Enabled() {
 			obs.Emit(obs.KResolve, n.ID, int64(bank), int64(pkt.Msgs), "")
+			if sigExtra > 0 {
+				obs.Emit(obs.KSignal, n.ID, int64(bank), int64(sigExtra), "")
+			}
 		}
 		cl.fab.Done(pkt)
 	}
@@ -203,6 +219,7 @@ func (cl *Cluster) applyLocal(pkt fabric.Packet) {
 	p := cl.params
 	id := n.ID
 	amExtra := 0
+	sigExtra := 0
 	if cl.shards == 1 {
 		mu := &cl.bankMu[id][0]
 		mu.Lock()
@@ -216,6 +233,11 @@ func (cl *Cluster) applyLocal(pkt fabric.Packet) {
 			case wire.OpAM:
 				amExtra++
 				cl.handlers[h](id, a, v)
+			case wire.OpPutSignal:
+				dArr, sArr, sIdx := wire.UnpackSigCmd(cmd)
+				cl.space.Array(dArr).Store(a, v)
+				cl.space.Array(sArr).Add(uint64(sIdx), 1)
+				sigExtra++
 			default:
 				panic(fmt.Sprintf("core: bad op %v in packet", op))
 			}
@@ -228,14 +250,15 @@ func (cl *Cluster) applyLocal(pkt fabric.Packet) {
 		n.Clocks.AddNet(p.NetThreadPerPacketNs +
 			float64(pkt.Msgs)*p.NetThreadPerMsgNs +
 			float64(len(pkt.Buf))*p.NetThreadPerByteNs +
-			float64(amExtra)*p.NetThreadAMExtraNs)
+			float64(amExtra)*p.NetThreadAMExtraNs +
+			float64(sigExtra)*p.NetThreadSignalExtraNs)
 	} else {
 		// Apply each record under its bank's lock, batching consecutive
 		// same-bank runs so a sorted stream pays one handoff.
-		var msgs, ams [fabric.MaxResolverBanks]int
+		var msgs, ams, sigs [fabric.MaxResolverBanks]int
 		cur := -1
 		err := wire.Decode(pkt.Buf, func(cmd, a, v uint64) {
-			b := fabric.BankOf(a, cl.shards)
+			b := fabric.BankOfRecord(cmd, a, cl.shards)
 			if b != cur {
 				if cur >= 0 {
 					cl.bankMu[id][cur].Unlock()
@@ -253,6 +276,11 @@ func (cl *Cluster) applyLocal(pkt fabric.Packet) {
 			case wire.OpAM:
 				ams[b]++
 				cl.handlers[h](id, a, v)
+			case wire.OpPutSignal:
+				dArr, sArr, sIdx := wire.UnpackSigCmd(cmd)
+				cl.space.Array(dArr).Store(a, v)
+				cl.space.Array(sArr).Add(uint64(sIdx), 1)
+				sigs[b]++
 			default:
 				panic(fmt.Sprintf("core: bad op %v in packet", op))
 			}
@@ -269,10 +297,12 @@ func (cl *Cluster) applyLocal(pkt fabric.Packet) {
 				continue
 			}
 			amExtra += ams[b]
+			sigExtra += sigs[b]
 			n.Clocks.AddNetBank(b, p.NetThreadPerPacketNs+
 				float64(msgs[b])*p.NetThreadPerMsgNs+
 				float64(msgs[b]*wire.MsgWireBytes)*p.NetThreadPerByteNs+
-				float64(ams[b])*p.NetThreadAMExtraNs)
+				float64(ams[b])*p.NetThreadAMExtraNs+
+				float64(sigs[b])*p.NetThreadSignalExtraNs)
 		}
 	}
 	n.Clocks.CountNetMsgs(pkt.Msgs)
@@ -280,7 +310,11 @@ func (cl *Cluster) applyLocal(pkt fabric.Packet) {
 	bp.pkts.Add(1)
 	bp.msgs.Add(int64(pkt.Msgs))
 	bp.ams.Add(int64(amExtra))
+	bp.sigs.Add(int64(sigExtra))
 	if obs.Enabled() {
 		obs.Emit(obs.KResolveBypass, id, int64(pkt.Msgs), int64(amExtra), "")
+		if sigExtra > 0 {
+			obs.Emit(obs.KSignal, id, -1, int64(sigExtra), "")
+		}
 	}
 }

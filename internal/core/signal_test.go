@@ -1,0 +1,314 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"gravel/internal/rt"
+)
+
+// runSignalOrdering drives the PUT_SIGNAL ordering property on a
+// 2-node cluster: node 0's lanes each signalled-put a distinct data
+// cell of node 1's symmetric bank, all sharing one arrival counter,
+// while node 1's scanner work-group repeatedly waits for rising
+// thresholds and checks the invariant that makes signalled puts
+// useful — the number of visible data cells is never below the
+// observed signal count (signal implies data). Returns the number of
+// invariant violations observed.
+func runSignalOrdering(t *testing.T, shards int) int64 {
+	t.Helper()
+	cl := New(Config{Nodes: 2, ResolverShards: shards})
+	defer cl.Close()
+
+	const cells = 256
+	data := cl.Space().SymAlloc(cells)
+	sig := cl.Space().SymAlloc(1)
+	var violations int64
+
+	cl.Step("putsig", []int{cells, 1}, 0, func(c rt.Ctx) {
+		g := c.Group()
+		if c.Node() == 0 {
+			idx := make([]uint64, g.Size)
+			val := make([]uint64, g.Size)
+			si := make([]uint64, g.Size)
+			g.Vector(func(l int) {
+				idx[l] = data.SymIndex(1, g.GlobalID(l))
+				val[l] = uint64(g.GlobalID(l)) + 1
+				si[l] = sig.SymIndex(1, 0)
+			})
+			c.PutSignal(data, idx, val, sig, si, nil)
+			return
+		}
+		// Node 1: the scanner. At each threshold, load the counter
+		// first, then count populated cells — the resolver applies the
+		// store before the increment under the same bank lock, so every
+		// increment the load observed must have its data visible.
+		mask := make([]bool, g.Size)
+		si := make([]uint64, g.Size)
+		until := make([]uint64, g.Size)
+		mask[0] = true
+		si[0] = sig.SymIndex(1, 0)
+		for thr := 32; thr <= cells; thr += 32 {
+			until[0] = uint64(thr)
+			c.WaitUntil(sig, si, until, mask)
+			observed := sig.Load(si[0])
+			seen := uint64(0)
+			for i := 0; i < cells; i++ {
+				if data.Load(data.SymIndex(1, i)) != 0 {
+					seen++
+				}
+			}
+			if seen < observed {
+				atomic.AddInt64(&violations, 1)
+			}
+		}
+	})
+
+	// At quiescence every put has landed exactly once.
+	if got := sig.Load(sig.SymIndex(1, 0)); got != cells {
+		t.Errorf("shards=%d: arrival counter = %d, want %d", shards, got, cells)
+	}
+	for i := 0; i < cells; i++ {
+		if got := data.Load(data.SymIndex(1, i)); got != uint64(i)+1 {
+			t.Errorf("shards=%d: data cell %d = %d, want %d", shards, i, got, i+1)
+			break
+		}
+	}
+	st := cl.Stats()
+	if st.PGAS.Signals != cells {
+		t.Errorf("shards=%d: PGAS.Signals = %d, want %d", shards, st.PGAS.Signals, cells)
+	}
+	if st.PGAS.Waits != cells/32 {
+		t.Errorf("shards=%d: PGAS.Waits = %d, want %d", shards, st.PGAS.Waits, cells/32)
+	}
+	return atomic.LoadInt64(&violations)
+}
+
+// TestPutSignalOrderingSharded: the signal-implies-data guarantee must
+// hold with the serial network thread and with banked receive-side
+// resolution — the signal and its data resolve under the same bank
+// lock, so sharding cannot split them.
+func TestPutSignalOrderingSharded(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		if v := runSignalOrdering(t, shards); v != 0 {
+			t.Errorf("shards=%d: %d signal-before-data violations", shards, v)
+		}
+	}
+}
+
+// TestWaitUntilDoesNotTripQuiescence: a work-group parked in WaitUntil
+// must not wedge its launch or let the step terminate early — later
+// work-groups of the same node keep executing (Park spawns replacement
+// workers), remote delivery keeps progressing, and Step returns only
+// after the waiter was released by the real signal count.
+func TestWaitUntilDoesNotTripQuiescence(t *testing.T) {
+	cl := New(Config{Nodes: 2, WGSize: 64})
+	defer cl.Close()
+
+	const senders = 192 // node 0 work-items, one signalled put each
+	sig := cl.Space().SymAlloc(1)
+	scratch := cl.Space().Alloc(64)
+	var released atomic.Int64
+
+	// Node 1's grid: WG 0 (work-items 0..63) parks on the counter;
+	// seven more WGs of unrelated local work must still be scheduled
+	// and complete while it is parked.
+	cl.Step("wait", []int{senders, 8 * 64}, 0, func(c rt.Ctx) {
+		g := c.Group()
+		if c.Node() == 0 {
+			idx := make([]uint64, g.Size)
+			val := make([]uint64, g.Size)
+			si := make([]uint64, g.Size)
+			g.Vector(func(l int) {
+				idx[l] = 63 // scratch cell 63 is owned by node 1, like the counter
+				val[l] = 1
+				si[l] = sig.SymIndex(1, 0)
+			})
+			c.PutSignal(scratch, idx, val, sig, si, nil)
+			return
+		}
+		if g.ID == 0 {
+			mask := make([]bool, g.Size)
+			si := make([]uint64, g.Size)
+			until := make([]uint64, g.Size)
+			mask[0] = true
+			si[0] = sig.SymIndex(1, 0)
+			until[0] = senders
+			c.WaitUntil(sig, si, until, mask)
+			if sig.Load(si[0]) >= senders {
+				released.Add(1)
+			}
+			return
+		}
+		// Unrelated local work from the later WGs.
+		idx := make([]uint64, g.Size)
+		one := make([]uint64, g.Size)
+		g.Vector(func(l int) {
+			idx[l] = uint64(l % 32) // low half: owned by node 0 (remote)
+			one[l] = 1
+		})
+		c.Inc(scratch, idx, one, nil)
+	})
+
+	if released.Load() != 1 {
+		t.Fatal("waiter was not released by the signal count")
+	}
+	if got := sig.Load(sig.SymIndex(1, 0)); got != senders {
+		t.Fatalf("arrival counter = %d, want %d", got, senders)
+	}
+	if got := cl.Stats().PGAS.Waits; got != 1 {
+		t.Fatalf("PGAS.Waits = %d, want 1", got)
+	}
+}
+
+// TestWaitUntilDeterministicTime: the wait charges a fixed virtual-time
+// cost, not wall-clock spin time, so repeated runs of a park-heavy
+// step must agree on virtual time exactly.
+func TestWaitUntilDeterministicTime(t *testing.T) {
+	run := func() float64 {
+		cl := New(Config{Nodes: 2, WGSize: 64})
+		defer cl.Close()
+		data := cl.Space().SymAlloc(64)
+		sig := cl.Space().SymAlloc(1)
+		cl.Step("ws", []int{64, 64}, 0, func(c rt.Ctx) {
+			g := c.Group()
+			if c.Node() == 0 {
+				idx := make([]uint64, g.Size)
+				val := make([]uint64, g.Size)
+				si := make([]uint64, g.Size)
+				g.Vector(func(l int) {
+					idx[l] = data.SymIndex(1, l)
+					val[l] = uint64(l) + 1
+					si[l] = sig.SymIndex(1, 0)
+				})
+				c.PutSignal(data, idx, val, sig, si, nil)
+				return
+			}
+			mask := make([]bool, g.Size)
+			si := make([]uint64, g.Size)
+			until := make([]uint64, g.Size)
+			mask[0] = true
+			si[0] = sig.SymIndex(1, 0)
+			until[0] = 64
+			c.WaitUntil(sig, si, until, mask)
+		})
+		return cl.VirtualTimeNs()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("park-heavy step virtual time nondeterministic: %v vs %v", a, b)
+	}
+	if a <= 0 {
+		t.Fatalf("virtual time %v", a)
+	}
+}
+
+// kernelPanic runs a single-work-item kernel and returns the value it
+// panicked with (nil if none); the recover happens inside the kernel so
+// the launch worker survives.
+func kernelPanic(cl *Cluster, body func(c rt.Ctx)) (r any) {
+	cl.Step("panic", []int{1, 0}, 0, func(c rt.Ctx) {
+		defer func() { r = recover() }()
+		body(c)
+	})
+	return r
+}
+
+// TestPutSignalCoOwnershipPanics: a signal cell owned by a different
+// node than its data cell is a protocol violation and must panic with
+// the typed *SignalError naming both cells.
+func TestPutSignalCoOwnershipPanics(t *testing.T) {
+	cl := New(Config{Nodes: 2, WGSize: 64})
+	defer cl.Close()
+	data := cl.Space().SymAlloc(4)
+	sig := cl.Space().SymAlloc(1)
+
+	r := kernelPanic(cl, func(c rt.Ctx) {
+		g := c.Group()
+		mask := make([]bool, g.Size)
+		idx := make([]uint64, g.Size)
+		val := make([]uint64, g.Size)
+		si := make([]uint64, g.Size)
+		mask[0] = true
+		idx[0] = data.SymIndex(1, 0) // data on node 1...
+		si[0] = sig.SymIndex(0, 0)   // ...signal on node 0
+		c.PutSignal(data, idx, val, sig, si, mask)
+	})
+	e, ok := r.(*SignalError)
+	if !ok {
+		t.Fatalf("panic = %v (%T), want *SignalError", r, r)
+	}
+	if e.Verb != "PutSignal" || e.DataOwner != 1 || e.SigOwner != 0 {
+		t.Fatalf("wrong error coordinates: %+v", e)
+	}
+}
+
+// TestWaitUntilRemoteCellPanics: waits must address local cells (that
+// is where signals are delivered); a remote cell is a *SignalError.
+func TestWaitUntilRemoteCellPanics(t *testing.T) {
+	cl := New(Config{Nodes: 2, WGSize: 64})
+	defer cl.Close()
+	sig := cl.Space().SymAlloc(1)
+
+	r := kernelPanic(cl, func(c rt.Ctx) { // runs on node 0
+		g := c.Group()
+		mask := make([]bool, g.Size)
+		si := make([]uint64, g.Size)
+		until := make([]uint64, g.Size)
+		mask[0] = true
+		si[0] = sig.SymIndex(1, 0) // node 1's cell
+		c.WaitUntil(sig, si, until, mask)
+	})
+	e, ok := r.(*SignalError)
+	if !ok {
+		t.Fatalf("panic = %v (%T), want *SignalError", r, r)
+	}
+	if e.Verb != "WaitUntil" || e.Node != 0 || e.SigOwner != 1 {
+		t.Fatalf("wrong error coordinates: %+v", e)
+	}
+}
+
+// TestSignalVerbMaskErrors: the new verbs share the runtime's one mask
+// convention — nil means all lanes, anything else must be WG-sized and
+// violations are a typed *MaskError naming the verb.
+func TestSignalVerbMaskErrors(t *testing.T) {
+	cl := New(Config{Nodes: 2, WGSize: 64})
+	defer cl.Close()
+	data := cl.Space().SymAlloc(4)
+	sig := cl.Space().SymAlloc(1)
+
+	for _, tc := range []struct {
+		verb string
+		body func(c rt.Ctx, short []bool)
+	}{
+		{"PutSignal", func(c rt.Ctx, short []bool) {
+			n := c.Group().Size
+			c.PutSignal(data, make([]uint64, n), make([]uint64, n), sig, make([]uint64, n), short)
+		}},
+		{"WaitUntil", func(c rt.Ctx, short []bool) {
+			n := c.Group().Size
+			c.WaitUntil(sig, make([]uint64, n), make([]uint64, n), short)
+		}},
+	} {
+		r := kernelPanic(cl, func(c rt.Ctx) { tc.body(c, make([]bool, 3)) })
+		e, ok := r.(*MaskError)
+		if !ok {
+			t.Fatalf("%s: panic = %v (%T), want *MaskError", tc.verb, r, r)
+		}
+		// kernelPanic launches a single work-item, so the WG is 1 lane.
+		if e.Verb != tc.verb || e.Got != 3 || e.Want != 1 {
+			t.Fatalf("%s: wrong error coordinates: %+v", tc.verb, e)
+		}
+	}
+
+	// An all-false mask is valid and a no-op: WaitUntil returns without
+	// parking or charging a wait.
+	before := cl.Stats().PGAS.Waits
+	cl.Step("noop", []int{1, 0}, 0, func(c rt.Ctx) {
+		g := c.Group()
+		c.WaitUntil(sig, make([]uint64, g.Size), make([]uint64, g.Size), make([]bool, g.Size))
+	})
+	if got := cl.Stats().PGAS.Waits; got != before {
+		t.Fatalf("no-active-lane WaitUntil charged a wait (%d -> %d)", before, got)
+	}
+}

@@ -10,18 +10,34 @@ import (
 // even node-local atomics — on one serial network thread per node; a
 // banked fabric splits that stream by destination address so the
 // runtime can run one resolver goroutine per bank. The bank of a
-// record is a pure function of its address (BankOf), so two messages
-// touching the same word always resolve on the same bank and per-word
-// ordering survives the fan-out.
+// record is a pure function of the record (BankOfRecord): data records
+// bank by destination address, so two messages touching the same word
+// always resolve on the same bank and per-word ordering survives the
+// fan-out; active messages all resolve on bank 0, so handler execution
+// stays serialized per node.
 
 // MaxResolverBanks bounds the bank count: the demux scatter uses a
 // fixed-size scratch table so the receive hot path stays off the heap.
 const MaxResolverBanks = 64
 
-// BankOf maps a PGAS address (or AM argument 0) to a resolver bank.
-// banks must be a power of two; the low bits are used so that
-// neighbouring addresses spread across banks.
+// BankOf maps a PGAS address to a resolver bank. banks must be a power
+// of two; the low bits are used so that neighbouring addresses spread
+// across banks.
 func BankOf(a uint64, banks int) int { return int(a & uint64(banks-1)) }
+
+// BankOfRecord maps one wire record to its resolver bank. Data records
+// (puts, atomics, signalled puts) bank by destination address; active
+// messages always resolve on bank 0. AM handlers are host callbacks
+// with arbitrary shared state whose contract is serialized per-node
+// execution (the paper's network thread), and an AM's argument 0 is an
+// opaque payload, not an address — banking on it would both break the
+// contract and scatter unrelated handler calls.
+func BankOfRecord(cmd, a uint64, banks int) int {
+	if wire.Op(cmd&0xff) == wire.OpAM {
+		return 0
+	}
+	return BankOf(a, banks)
+}
 
 // Banked is implemented by fabrics that deliver each node's traffic
 // into per-bank inboxes. Fabric.Inbox(node) remains valid and is bank
@@ -57,8 +73,9 @@ func ScatterBanks(buf []byte, banks int, emit func(bank int, buf []byte, msgs in
 	var out [MaxResolverBanks][]byte
 	var msgs [MaxResolverBanks]int
 	for off := 0; off < len(buf); off += wire.MsgWireBytes {
+		cmd := binary.LittleEndian.Uint64(buf[off : off+8])
 		a := binary.LittleEndian.Uint64(buf[off+8 : off+16])
-		b := BankOf(a, banks)
+		b := BankOfRecord(cmd, a, banks)
 		if out[b] == nil {
 			out[b] = wire.GetBuf(len(buf))
 		}

@@ -130,15 +130,16 @@ type App struct {
 	Run func(sys rt.System, p Params) Result
 	// Shard executes only one node's share — the per-process entry
 	// point of a multi-process run. Apps that coordinate between
-	// supersteps (sssp, color, kmeans) reduce through coll; the rest
-	// ignore it. Shard Check values sum to the full-run Check.
-	Shard func(sys rt.System, node int, p Params, coll rt.Collective) Result
+	// supersteps (sssp, color, kmeans, bfs-dir, histogram) go through
+	// coll (nil = single process, see the rt.AllReduce helpers); the
+	// rest ignore it. Shard Check values sum to the full-run Check.
+	Shard func(sys rt.System, node int, p Params, coll rt.Collectives) Result
 	// Elastic, when non-nil, is the checkpoint-aware variant of Shard:
 	// it restores from ck.Resume, saves through ck.Save at step
 	// barriers, and otherwise behaves exactly like Shard (a zero
 	// CkptRun makes them identical). Elastic runs must be bit-identical
 	// to undisturbed runs.
-	Elastic func(sys rt.System, node int, p Params, coll rt.Collective, ck CkptRun) Result
+	Elastic func(sys rt.System, node int, p Params, coll rt.Collectives, ck CkptRun) Result
 	// Reshardable marks an Elastic app whose checkpoints restore
 	// correctly under a *different* node count than the one that saved
 	// them (its payloads are keyed by global index and its per-shard

@@ -17,6 +17,7 @@ func TestRegistryNames(t *testing.T) {
 		"gups", "gups-mod", "pagerank",
 		"pagerank-1", "pagerank-2", "sssp-1", "sssp-2",
 		"color-1", "color-2", "kmeans", "mer", "mer-full",
+		"bfs-dir", "histogram",
 	}
 	got := harness.AppNames()
 	if len(got) != len(want) {

@@ -90,6 +90,7 @@ type coalCtx struct {
 	rem   []bool
 	aBuf  []uint64
 	vBuf  []uint64
+	cBuf  []uint64
 }
 
 // Node implements rt.Ctx.
@@ -108,11 +109,23 @@ func (c *coalCtx) ensure() {
 		c.rem = make([]bool, c.g.Size)
 		c.aBuf = make([]uint64, c.g.Size)
 		c.vBuf = make([]uint64, c.g.Size)
+		c.cBuf = make([]uint64, c.g.Size)
 		c.allOn = make([]bool, c.g.Size)
 		for i := range c.allOn {
 			c.allOn[i] = true
 		}
 	}
+}
+
+// maskOf applies the rt.Ctx lane-mask convention (nil = all lanes,
+// else exactly WG-sized), funneling violations through core.CheckMask.
+func (c *coalCtx) maskOf(verb string, active []bool) []bool {
+	c.ensure()
+	if active == nil {
+		return c.allOn[:c.g.Size]
+	}
+	core.CheckMask(verb, active, c.g.Size)
+	return active
 }
 
 // offload counting-sorts the WG's messages by destination (Figure 4c
@@ -180,22 +193,76 @@ func (c *coalCtx) offload(cmd uint64, destOf func(lane int) int, a, v []uint64, 
 	}
 }
 
+// offloadCmds is offload with a per-lane command word (PUT_SIGNAL
+// carries the lane's signal cell in its command).
+func (c *coalCtx) offloadCmds(cmdOf func(lane int) uint64, destOf func(lane int) int, a, v []uint64, active []bool) {
+	g := c.g
+	c.ensure()
+	nodes := c.co.Nodes()
+	p := c.co.Params()
+
+	any := false
+	local, rem := 0, 0
+	g.VectorMasked(1, active, func(l int) {
+		c.dests[l] = destOf(l)
+		any = true
+		if c.dests[l] == c.n.ID {
+			local++
+		} else {
+			rem++
+		}
+	})
+	if !any {
+		return
+	}
+	c.n.LocalOps.Add(int64(local))
+	c.n.RemoteOps.Add(int64(rem))
+
+	g.ChargeInstr(6)
+	g.Barrier()
+	g.Barrier()
+
+	for d := 0; d < nodes; d++ {
+		count := 0
+		for l := 0; l < g.Size; l++ {
+			if active[l] && c.dests[l] == d {
+				c.cBuf[count] = cmdOf(l)
+				c.aBuf[count] = a[l]
+				c.vBuf[count] = v[l]
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		g.ChargeAtomics(1)
+		g.ChargeInstr(2)
+		g.ChargeMessages(count)
+		if c.co.gpuWide {
+			c.co.sb[c.n.ID].appendListCmds(d, c.cBuf, c.aBuf, c.vBuf, count)
+			continue
+		}
+		// Per-WG synchronous send — already eager, signals included.
+		b := wire.NewBuilder(d, count*wire.MsgWireBytes)
+		for m := 0; m < count; m++ {
+			b.Append(c.cBuf[m], c.aBuf[m], c.vBuf[m])
+		}
+		buf, msgs := b.Take()
+		c.co.Fabric().Send(c.n.ID, d, buf, msgs)
+		g.ChargeCycles(c.n.GPU.NsToCycles(p.AlphaNs / 2))
+	}
+}
+
 // Inc implements rt.Ctx.
 func (c *coalCtx) Inc(arr *pgas.Array, idx, delta []uint64, active []bool) {
-	c.ensure()
-	if active == nil {
-		active = c.allOn[:c.g.Size]
-	}
+	active = c.maskOf("Inc", active)
 	cmd := wire.PackCmd(wire.OpInc, 0, arr.ID())
 	c.offload(cmd, func(l int) int { return arr.Owner(idx[l]) }, idx, delta, active)
 }
 
 // Put implements rt.Ctx: local PUTs store directly, as in Gravel.
 func (c *coalCtx) Put(arr *pgas.Array, idx, val []uint64, active []bool) {
-	c.ensure()
-	if active == nil {
-		active = c.allOn[:c.g.Size]
-	}
+	active = c.maskOf("Put", active)
 	g := c.g
 	me := c.n.ID
 	local := 0
@@ -222,12 +289,32 @@ func (c *coalCtx) Put(arr *pgas.Array, idx, val []uint64, active []bool) {
 
 // AM implements rt.Ctx.
 func (c *coalCtx) AM(h uint8, dest []int, a, b []uint64, active []bool) {
-	c.ensure()
-	if active == nil {
-		active = c.allOn[:c.g.Size]
-	}
+	active = c.maskOf("AM", active)
 	cmd := wire.PackCmd(wire.OpAM, h, 0)
 	c.offload(cmd, func(l int) int { return dest[l] }, a, b, active)
+}
+
+// PutSignal implements rt.Ctx: one ordered PUT_SIGNAL command per
+// lane, resolved at the data cell's owner. Without GPU-wide
+// aggregation the per-WG synchronous send is already eager; with it,
+// the staging queue flushes per signal (sendBuffers.appendListCmds).
+func (c *coalCtx) PutSignal(arr *pgas.Array, idx, val []uint64, sig *pgas.Array, sigIdx []uint64, active []bool) {
+	active = c.maskOf("PutSignal", active)
+	core.CheckSignalPairs(c.n.ID, arr, idx, sig, sigIdx, active)
+	dataID, sigID := arr.ID(), sig.ID()
+	c.offloadCmds(func(l int) uint64 {
+		return wire.PackSigCmd(dataID, sigID, uint32(sigIdx[l]))
+	}, func(l int) int { return arr.Owner(idx[l]) }, idx, val, active)
+}
+
+// WaitUntil implements rt.Ctx.
+func (c *coalCtx) WaitUntil(sig *pgas.Array, sigIdx, until []uint64, active []bool) {
+	active = c.maskOf("WaitUntil", active)
+	var progress func()
+	if c.co.gpuWide {
+		progress = c.co.sb[c.n.ID].flushAll
+	}
+	core.WaitUntilOn(c.co.Params(), c.n, c.g, sig, sigIdx, until, active, progress)
 }
 
 var (

@@ -99,7 +99,7 @@ func (cp *Coprocessor) Step(name string, grid []int, scratchPerWG int, k rt.Kern
 				}
 				n.Clocks.AddHost(p.KernelLaunchNs)
 				ns := n.GPU.LaunchAt(sz, start, wgSize, scratchPerWG, func(grp *simt.Group) {
-					k(&copCtx{n: n, g: grp, sb: sb, nodes: cp.Nodes()})
+					k(&copCtx{n: n, g: grp, sb: sb, nodes: cp.Nodes(), p: p})
 				})
 				// GPU starvation: a chunk below the full-throughput
 				// width leaves the device idle while queues round-trip.
@@ -139,6 +139,7 @@ type copCtx struct {
 	g     *simt.Group
 	sb    *sendBuffers
 	nodes int
+	p     *timemodel.Params
 
 	allOn  []bool
 	mask   []bool
@@ -146,6 +147,7 @@ type copCtx struct {
 	remote []bool
 	aBuf   []uint64
 	vBuf   []uint64
+	cBuf   []uint64
 }
 
 // Node implements rt.Ctx.
@@ -164,11 +166,23 @@ func (c *copCtx) ensure() {
 		c.remote = make([]bool, c.g.Size)
 		c.aBuf = make([]uint64, c.g.Size)
 		c.vBuf = make([]uint64, c.g.Size)
+		c.cBuf = make([]uint64, c.g.Size)
 		c.allOn = make([]bool, c.g.Size)
 		for i := range c.allOn {
 			c.allOn[i] = true
 		}
 	}
+}
+
+// maskOf applies the rt.Ctx lane-mask convention (nil = all lanes,
+// else exactly WG-sized), funneling violations through core.CheckMask.
+func (c *copCtx) maskOf(verb string, active []bool) []bool {
+	c.ensure()
+	if active == nil {
+		return c.allOn[:c.g.Size]
+	}
+	core.CheckMask(verb, active, c.g.Size)
+	return active
 }
 
 // offload groups the active lanes' messages by destination and appends
@@ -218,22 +232,62 @@ func (c *copCtx) offload(cmd uint64, destOf func(lane int) int, a, v []uint64, a
 	}
 }
 
+// offloadCmds is offload with a per-lane command word (PUT_SIGNAL
+// carries the lane's signal cell in its command).
+func (c *copCtx) offloadCmds(cmdOf func(lane int) uint64, destOf func(lane int) int, a, v []uint64, active []bool) {
+	g := c.g
+	c.ensure()
+	any := false
+	local, rem := 0, 0
+	g.VectorMasked(1, active, func(l int) {
+		c.dests[l] = destOf(l)
+		any = true
+		if c.dests[l] == c.n.ID {
+			local++
+		} else {
+			rem++
+		}
+	})
+	if !any {
+		return
+	}
+	c.n.LocalOps.Add(int64(local))
+	c.n.RemoteOps.Add(int64(rem))
+	for d := 0; d < c.nodes; d++ {
+		count := 0
+		for l := 0; l < g.Size; l++ {
+			if active[l] && c.dests[l] == d {
+				c.mask[l] = true
+				c.cBuf[count] = cmdOf(l)
+				c.aBuf[count] = a[l]
+				c.vBuf[count] = v[l]
+				count++
+			} else {
+				c.mask[l] = false
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		_, _ = g.PrefixSumMask(c.mask)
+		g.ChargeAtomics(1)
+		g.VectorMasked(wire.SlotRows, c.mask, func(int) {})
+		g.ChargeMemDivergence(count)
+		g.ChargeMessages(count)
+		c.sb.appendListCmds(d, c.cBuf, c.aBuf, c.vBuf, count)
+	}
+}
+
 // Inc implements rt.Ctx.
 func (c *copCtx) Inc(arr *pgas.Array, idx, delta []uint64, active []bool) {
-	c.ensure()
-	if active == nil {
-		active = c.allOn[:c.g.Size]
-	}
+	active = c.maskOf("Inc", active)
 	cmd := wire.PackCmd(wire.OpInc, 0, arr.ID())
 	c.offload(cmd, func(l int) int { return arr.Owner(idx[l]) }, idx, delta, active)
 }
 
 // Put implements rt.Ctx: local PUTs store directly, as in Gravel.
 func (c *copCtx) Put(arr *pgas.Array, idx, val []uint64, active []bool) {
-	c.ensure()
-	if active == nil {
-		active = c.allOn[:c.g.Size]
-	}
+	active = c.maskOf("Put", active)
 	g := c.g
 	me := c.n.ID
 	local := 0
@@ -261,12 +315,30 @@ func (c *copCtx) Put(arr *pgas.Array, idx, val []uint64, active []bool) {
 
 // AM implements rt.Ctx.
 func (c *copCtx) AM(h uint8, dest []int, a, b []uint64, active []bool) {
-	c.ensure()
-	if active == nil {
-		active = c.allOn[:c.g.Size]
-	}
+	active = c.maskOf("AM", active)
 	cmd := wire.PackCmd(wire.OpAM, h, 0)
 	c.offload(cmd, func(l int) int { return dest[l] }, a, b, active)
+}
+
+// PutSignal implements rt.Ctx: like Gravel's, the data put and signal
+// increment travel as one PUT_SIGNAL command resolved at the data
+// cell's owner; the staging queue is flushed eagerly per signal (see
+// sendBuffers.appendListCmds).
+func (c *copCtx) PutSignal(arr *pgas.Array, idx, val []uint64, sig *pgas.Array, sigIdx []uint64, active []bool) {
+	active = c.maskOf("PutSignal", active)
+	core.CheckSignalPairs(c.n.ID, arr, idx, sig, sigIdx, active)
+	dataID, sigID := arr.ID(), sig.ID()
+	c.offloadCmds(func(l int) uint64 {
+		return wire.PackSigCmd(dataID, sigID, uint32(sigIdx[l]))
+	}, func(l int) int { return arr.Owner(idx[l]) }, idx, val, active)
+}
+
+// WaitUntil implements rt.Ctx. The spin's progress hook flushes this
+// node's staged queues so messages the waiter's chunk already produced
+// keep moving while it blocks.
+func (c *copCtx) WaitUntil(sig *pgas.Array, sigIdx, until []uint64, active []bool) {
+	active = c.maskOf("WaitUntil", active)
+	core.WaitUntilOn(c.p, c.n, c.g, sig, sigIdx, until, active, c.sb.flushAll)
 }
 
 var (

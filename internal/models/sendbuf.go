@@ -53,6 +53,33 @@ func (s *sendBuffers) appendList(dest int, cmd uint64, a, v []uint64, count int)
 	}
 }
 
+// appendListCmds is appendList with a per-record command word
+// (PUT_SIGNAL carries the lane's signal cell in its command). Signal
+// records flush their queue eagerly: a remote waiter spins on the
+// signal until it arrives, and the coprocessor/coalesced staging
+// buffers would otherwise hold it to the next chunk or step boundary —
+// which the waiter's spin prevents from ever coming. One flush per
+// signal keeps flush counts deterministic.
+func (s *sendBuffers) appendListCmds(dest int, cmds, a, v []uint64, count int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.b[dest]
+	for m := 0; m < count; m++ {
+		if b.Full() {
+			s.overflows++
+			s.flushLocked(dest)
+		}
+		b.Append(cmds[m], a[m], v[m])
+		if wire.Op(cmds[m]&0xff) == wire.OpPutSignal {
+			s.flushLocked(dest)
+		}
+	}
+	if s.chargeAgg {
+		s.node.Clocks.AddAgg(s.p.AggPerSlotNs + float64(count)*s.p.AggPerMsgNs)
+		s.node.Clocks.CountAggSlot(count)
+	}
+}
+
 func (s *sendBuffers) flushLocked(dest int) {
 	b := s.b[dest]
 	if b.Empty() {

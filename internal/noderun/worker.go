@@ -131,7 +131,9 @@ func RunWorker(cfg WorkerConfig) (res WorkerResult, err error) {
 	}
 
 	// The shard's superstep collectives (frontier emptiness, k-means
-	// accumulators) ride the coordinator's keyed reduction.
+	// accumulators, team reductions) ride the coordinator's keyed
+	// reduction through the transport's Collectives surface.
+	coll := tcp.Collectives()
 	var shard harness.Result
 	resharded := false
 	if spec.Elastic && a.Elastic != nil {
@@ -150,12 +152,12 @@ func RunWorker(cfg WorkerConfig) (res WorkerResult, err error) {
 			resharded = rp.Nodes != spec.Nodes
 			ck.Resume = &harness.Checkpoint{Step: rp.Step, Nodes: rp.Nodes, Shards: rp.Shards}
 		}
-		shard = a.Elastic(sys, cfg.Node, spec.Params, tcp.Reduce, ck)
+		shard = a.Elastic(sys, cfg.Node, spec.Params, coll, ck)
 		if shard.Err != nil {
 			return res, shard.Err
 		}
 	} else {
-		shard = a.Shard(sys, cfg.Node, spec.Params, tcp.Reduce)
+		shard = a.Shard(sys, cfg.Node, spec.Params, coll)
 	}
 
 	total, err := tcp.Reduce(spec.App+":sum", shard.Check)

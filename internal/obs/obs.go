@@ -86,6 +86,16 @@ const (
 	// the sending goroutine (the from == to fast path): A = messages
 	// applied, B = active messages among them.
 	KResolveBypass
+	// KWait is one WaitUntil verb call by a work-group: A = work-group
+	// ID, B = active lanes waited on.
+	KWait
+	// KSignal is a batch of PUT_SIGNAL resolutions: A = resolver bank
+	// (-1 on the bypass path), B = signals applied.
+	KSignal
+	// KCollective is one host collective (tag = "allreduce:<op>",
+	// "broadcast" or "barrier"): A = team size (0 = world),
+	// B = contributed value.
+	KCollective
 )
 
 var kindNames = [...]string{
@@ -107,6 +117,9 @@ var kindNames = [...]string{
 	KRecover:         "recover",
 	KResolve:         "resolve",
 	KResolveBypass:   "resolve-bypass",
+	KWait:            "wait",
+	KSignal:          "signal",
+	KCollective:      "collective",
 }
 
 // String returns the JSONL name of the kind.

@@ -15,11 +15,71 @@ import (
 	"sync/atomic"
 )
 
+// AllocError reports an invalid allocation request. Alloc, AllocRanges
+// and SymAlloc panic with it (a bad size is a programming error, like a
+// bad gravel.Config field), mirroring Config.Validate's *ConfigError
+// funnel: callers that recover see one typed value with the offending
+// parameters instead of a raw string.
+type AllocError struct {
+	// Kind names the allocator ("Alloc", "AllocRanges", "SymAlloc").
+	Kind string
+	// Detail describes the invalid request.
+	Detail string
+}
+
+func (e *AllocError) Error() string {
+	return fmt.Sprintf("pgas: %s: %s", e.Kind, e.Detail)
+}
+
+// RangeError reports an out-of-range index on a specific array. Owner
+// and the atomic cell accessors panic with it, so the diagnostic carries
+// which array was misaddressed, not just the bad index.
+type RangeError struct {
+	// Array is the misaddressed array's ID.
+	Array uint16
+	// Index is the out-of-range global index.
+	Index uint64
+	// Len is the array's global length.
+	Len int
+}
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("pgas: array %d: index %d out of range [0,%d)", e.Array, e.Index, e.Len)
+}
+
 // Space is one cluster-wide address space.
 type Space struct {
 	nodes  int
 	mu     sync.Mutex
 	arrays []*Array
+	// sig is the running allocation-order signature: a chained FNV-1a
+	// hash over every allocation's (kind, shape). Two processes of a
+	// distributed run perform the same allocation sequence iff their
+	// signatures match — which is what makes symmetric array IDs and
+	// offsets valid cluster-wide (see SymAlloc / AllocSig).
+	sig uint64
+}
+
+// fnvOffset/fnvPrime are the FNV-1a constants used for the allocation
+// signature chain.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func (s *Space) mixSig(vs ...uint64) {
+	h := s.sig
+	if h == 0 {
+		h = fnvOffset
+	}
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime
+			v >>= 8
+		}
+	}
+	s.sig = h
 }
 
 // NewSpace creates an address space spanning the given number of nodes.
@@ -42,6 +102,7 @@ type Array struct {
 	space  *Space
 	len    int
 	part   int
+	sym    bool  // allocated by SymAlloc: every node owns exactly part cells
 	bounds []int // nil for block partition; else len nodes+1, ascending
 	local  [][]uint64
 }
@@ -49,19 +110,45 @@ type Array struct {
 // Alloc creates a distributed array of n elements, zero-initialized.
 func (s *Space) Alloc(n int) *Array {
 	if n <= 0 {
-		panic("pgas: non-positive array length")
+		panic(&AllocError{Kind: "Alloc", Detail: fmt.Sprintf("non-positive array length %d", n)})
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.arrays) > math.MaxUint16 {
-		panic("pgas: too many arrays")
-	}
 	part := (n + s.nodes - 1) / s.nodes
+	a := s.allocLocked(n, part, false)
+	s.mixSig(1, uint64(n))
+	return a
+}
+
+// SymAlloc creates a symmetric-heap array: every node owns exactly
+// perNode cells, and — because array IDs are assigned in allocation
+// order — the same (array ID, offset) pair names the same remote cell
+// on every process of a distributed run, provided every process
+// performs the same allocation sequence (verify with AllocSig). Global
+// index node*perNode + off addresses node's cell off; see SymIndex.
+func (s *Space) SymAlloc(perNode int) *Array {
+	if perNode <= 0 {
+		panic(&AllocError{Kind: "SymAlloc", Detail: fmt.Sprintf("non-positive per-node length %d", perNode)})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.allocLocked(perNode*s.nodes, perNode, true)
+	s.mixSig(3, uint64(perNode))
+	return a
+}
+
+// allocLocked builds a block-partitioned array of n cells with stride
+// part; s.mu must be held.
+func (s *Space) allocLocked(n, part int, sym bool) *Array {
+	if len(s.arrays) > math.MaxUint16 {
+		panic(&AllocError{Kind: "Alloc", Detail: "too many arrays"})
+	}
 	a := &Array{
 		id:    uint16(len(s.arrays)),
 		space: s,
 		len:   n,
 		part:  part,
+		sym:   sym,
 		local: make([][]uint64, s.nodes),
 	}
 	for node := 0; node < s.nodes; node++ {
@@ -79,29 +166,44 @@ func (s *Space) Alloc(n int) *Array {
 	return a
 }
 
+// AllocSig returns the space's allocation-order signature: a hash
+// chained over every allocation performed so far, in order. Distributed
+// runs compare signatures across processes (rt.VerifySymmetric) to
+// reject permuted allocation orders deterministically — two spaces with
+// the same signature assign the same ID, shape and owner map to every
+// array, so symmetric IDs and offsets agree cluster-wide.
+func (s *Space) AllocSig() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sig == 0 {
+		return fnvOffset // empty space: stable nonzero signature
+	}
+	return s.sig
+}
+
 // AllocRanges creates a distributed array where node i owns global
 // indexes [bounds[i], bounds[i+1]). bounds must have Nodes()+1 ascending
 // entries starting at 0; bounds[Nodes()] is the array length.
 func (s *Space) AllocRanges(bounds []int) *Array {
 	if len(bounds) != s.nodes+1 {
-		panic(fmt.Sprintf("pgas: AllocRanges got %d bounds for %d nodes", len(bounds), s.nodes))
+		panic(&AllocError{Kind: "AllocRanges", Detail: fmt.Sprintf("got %d bounds for %d nodes", len(bounds), s.nodes)})
 	}
 	if bounds[0] != 0 {
-		panic("pgas: bounds must start at 0")
+		panic(&AllocError{Kind: "AllocRanges", Detail: "bounds must start at 0"})
 	}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] < bounds[i-1] {
-			panic("pgas: bounds must be ascending")
+			panic(&AllocError{Kind: "AllocRanges", Detail: fmt.Sprintf("bounds must be ascending (bounds[%d]=%d < bounds[%d]=%d)", i, bounds[i], i-1, bounds[i-1])})
 		}
 	}
 	n := bounds[s.nodes]
 	if n <= 0 {
-		panic("pgas: non-positive array length")
+		panic(&AllocError{Kind: "AllocRanges", Detail: fmt.Sprintf("non-positive array length %d", n)})
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.arrays) > math.MaxUint16 {
-		panic("pgas: too many arrays")
+		panic(&AllocError{Kind: "AllocRanges", Detail: "too many arrays"})
 	}
 	a := &Array{
 		id:     uint16(len(s.arrays)),
@@ -114,6 +216,10 @@ func (s *Space) AllocRanges(bounds []int) *Array {
 		a.local[node] = make([]uint64, bounds[node+1]-bounds[node])
 	}
 	s.arrays = append(s.arrays, a)
+	s.mixSig(2, uint64(len(bounds)))
+	for _, b := range bounds {
+		s.mixSig(uint64(b))
+	}
 	return a
 }
 
@@ -138,11 +244,36 @@ func (a *Array) Len() int { return a.len }
 // bounds slice.
 func (a *Array) PartSize() int { return a.part }
 
+// Sym reports whether the array came from SymAlloc.
+func (a *Array) Sym() bool { return a.sym }
+
+// PerNode returns a symmetric array's per-node cell count (0 for
+// non-symmetric arrays).
+func (a *Array) PerNode() int {
+	if !a.sym {
+		return 0
+	}
+	return a.part
+}
+
+// SymIndex returns the global index of symmetric cell off on node —
+// the address every process uses to name that node's copy. The array
+// must be symmetric and off within [0, PerNode()).
+func (a *Array) SymIndex(node int, off int) uint64 {
+	if !a.sym {
+		panic(&AllocError{Kind: "SymIndex", Detail: fmt.Sprintf("array %d is not symmetric", a.id)})
+	}
+	if off < 0 || off >= a.part {
+		panic(&RangeError{Array: a.id, Index: uint64(off), Len: a.part})
+	}
+	return uint64(node*a.part + off)
+}
+
 // Owner returns the node owning global index idx.
 func (a *Array) Owner(idx uint64) int {
 	i := int(idx)
-	if i >= a.len {
-		panic(fmt.Sprintf("pgas: index %d out of range [0,%d)", idx, a.len))
+	if i < 0 || i >= a.len {
+		panic(&RangeError{Array: a.id, Index: idx, Len: a.len})
 	}
 	if a.bounds == nil {
 		return i / a.part

@@ -1,0 +1,169 @@
+package pgas
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// symOp is one allocation for the signature property tests: kind 0 is
+// Alloc(n), kind 1 is SymAlloc(n), kind 2 is AllocRanges over n split
+// points.
+type symOp struct {
+	kind int
+	n    int
+}
+
+func (op symOp) apply(s *Space) *Array {
+	switch op.kind {
+	case 1:
+		return s.SymAlloc(op.n)
+	case 2:
+		bounds := make([]int, s.Nodes()+1)
+		for i := 1; i <= s.Nodes(); i++ {
+			bounds[i] = bounds[i-1] + op.n + i
+		}
+		return s.AllocRanges(bounds)
+	default:
+		return s.Alloc(op.n)
+	}
+}
+
+// TestSymAllocShape: every node owns exactly perNode cells and SymIndex
+// addresses land on the named owner.
+func TestSymAllocShape(t *testing.T) {
+	s := NewSpace(5)
+	a := s.SymAlloc(7)
+	if !a.Sym() || a.PerNode() != 7 || a.Len() != 35 {
+		t.Fatalf("SymAlloc(7) over 5 nodes: sym=%v perNode=%d len=%d", a.Sym(), a.PerNode(), a.Len())
+	}
+	for node := 0; node < 5; node++ {
+		if got := len(a.Local(node)); got != 7 {
+			t.Fatalf("node %d owns %d cells, want 7", node, got)
+		}
+		for off := 0; off < 7; off++ {
+			idx := a.SymIndex(node, off)
+			if owner := a.Owner(idx); owner != node {
+				t.Fatalf("SymIndex(%d,%d)=%d owned by %d", node, off, idx, owner)
+			}
+		}
+	}
+	// A ragged Alloc is not symmetric and must say so.
+	b := s.Alloc(12)
+	if b.Sym() || b.PerNode() != 0 {
+		t.Fatalf("Alloc(12) reports sym=%v perNode=%d", b.Sym(), b.PerNode())
+	}
+}
+
+// TestSymIndexErrors: SymIndex panics with the package's typed errors
+// on a non-symmetric array and on an out-of-range offset.
+func TestSymIndexErrors(t *testing.T) {
+	s := NewSpace(2)
+	plain := s.Alloc(8)
+	sym := s.SymAlloc(4)
+
+	func() {
+		defer func() {
+			if _, ok := recover().(*AllocError); !ok {
+				t.Error("SymIndex on non-symmetric array did not panic with *AllocError")
+			}
+		}()
+		plain.SymIndex(0, 0)
+	}()
+	func() {
+		defer func() {
+			if _, ok := recover().(*RangeError); !ok {
+				t.Error("SymIndex out-of-range offset did not panic with *RangeError")
+			}
+		}()
+		sym.SymIndex(1, 4)
+	}()
+}
+
+// TestAllocSigAgreement: two spaces performing the same allocation
+// sequence end with the same signature and assign the same ID and
+// owner map to every array — the property that makes symmetric IDs
+// valid cluster-wide.
+func TestAllocSigAgreement(t *testing.T) {
+	ops := []symOp{{0, 100}, {1, 8}, {2, 3}, {1, 1}, {0, 17}}
+	a, b := NewSpace(4), NewSpace(4)
+	for _, op := range ops {
+		x, y := op.apply(a), op.apply(b)
+		if x.ID() != y.ID() || x.Len() != y.Len() || x.Sym() != y.Sym() {
+			t.Fatalf("same sequence diverged: id %d/%d len %d/%d", x.ID(), y.ID(), x.Len(), y.Len())
+		}
+	}
+	if a.AllocSig() != b.AllocSig() {
+		t.Fatalf("same allocation sequence, different signatures: %016x vs %016x", a.AllocSig(), b.AllocSig())
+	}
+}
+
+// TestAllocSigEmptyStable: an empty space has a stable nonzero
+// signature (so "no allocations yet" still verifies symmetric).
+func TestAllocSigEmptyStable(t *testing.T) {
+	if s := NewSpace(3).AllocSig(); s == 0 || s != NewSpace(3).AllocSig() {
+		t.Fatalf("empty-space signature unstable or zero: %016x", s)
+	}
+}
+
+// TestQuickAllocSigDetectsPermutation is the symmetric-heap property
+// test: for a random allocation sequence, replaying it verbatim on a
+// second space reproduces the signature, while swapping any two
+// distinct allocations changes it — which is exactly what lets
+// rt.VerifySymmetric reject a permuted allocation order
+// deterministically instead of letting nodes silently address each
+// other's wrong arrays.
+func TestQuickAllocSigDetectsPermutation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%6 + 2 // 2..7 allocations
+		ops := make([]symOp, n)
+		for i := range ops {
+			ops[i] = symOp{kind: rng.Intn(3), n: rng.Intn(40) + 1}
+		}
+
+		build := func(seq []symOp) uint64 {
+			s := NewSpace(3)
+			for _, op := range seq {
+				op.apply(s)
+			}
+			return s.AllocSig()
+		}
+
+		want := build(ops)
+		if build(ops) != want { // replay agrees
+			return false
+		}
+
+		// Swap two random positions; if the swapped ops differ, the
+		// signature must differ (order is part of the contract).
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j || ops[i] == ops[j] {
+			return true
+		}
+		perm := append([]symOp(nil), ops...)
+		perm[i], perm[j] = perm[j], perm[i]
+		return build(perm) != want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocSigShapeSensitivity: the signature distinguishes same-kind
+// allocations of different shapes and different kinds of the same
+// shape.
+func TestAllocSigShapeSensitivity(t *testing.T) {
+	sig := func(f func(*Space)) uint64 {
+		s := NewSpace(2)
+		f(s)
+		return s.AllocSig()
+	}
+	a := sig(func(s *Space) { s.Alloc(8) })
+	b := sig(func(s *Space) { s.Alloc(9) })
+	c := sig(func(s *Space) { s.SymAlloc(8) })
+	d := sig(func(s *Space) { s.SymAlloc(4) })
+	if a == b || a == c || c == d {
+		t.Fatalf("signature collisions: Alloc8=%x Alloc9=%x Sym8=%x Sym4=%x", a, b, c, d)
+	}
+}

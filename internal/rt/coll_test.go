@@ -1,0 +1,158 @@
+package rt_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gravel/internal/rt"
+)
+
+func TestReduceOpSemantics(t *testing.T) {
+	for _, tc := range []struct {
+		op       rt.ReduceOp
+		name     string
+		identity uint64
+		a, b     uint64
+		want     uint64
+	}{
+		{rt.OpSum, "sum", 0, 3, 4, 7},
+		{rt.OpMin, "min", math.MaxUint64, 3, 4, 3},
+		{rt.OpMax, "max", 0, 3, 4, 4},
+	} {
+		if tc.op.String() != tc.name {
+			t.Errorf("%v.String() = %q, want %q", tc.op, tc.op.String(), tc.name)
+		}
+		if tc.op.Identity() != tc.identity {
+			t.Errorf("%s identity = %d, want %d", tc.name, tc.op.Identity(), tc.identity)
+		}
+		if got := tc.op.Combine(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s.Combine(%d,%d) = %d, want %d", tc.name, tc.a, tc.b, got, tc.want)
+		}
+		// The identity must be absorbed from either side.
+		if tc.op.Combine(tc.identity, tc.a) != tc.a || tc.op.Combine(tc.a, tc.identity) != tc.a {
+			t.Errorf("%s identity not neutral", tc.name)
+		}
+	}
+}
+
+func TestTeamSemantics(t *testing.T) {
+	w := rt.WorldTeam
+	if !w.World() || w.Tag() != "" || w.Size(5) != 5 || !w.Contains(4) || w.Rank(3) != 3 {
+		t.Fatalf("world team misbehaves: tag=%q size=%d", w.Tag(), w.Size(5))
+	}
+	if m := w.Members(3); len(m) != 3 || m[0] != 0 || m[2] != 2 {
+		t.Fatalf("world members = %v", m)
+	}
+
+	// Members are sorted regardless of construction order, and the tag
+	// is canonical.
+	tm := rt.TeamOf(4, 1, 2)
+	if tm.World() {
+		t.Fatal("explicit team reports world")
+	}
+	if m := tm.Members(8); len(m) != 3 || m[0] != 1 || m[1] != 2 || m[2] != 4 {
+		t.Fatalf("members = %v, want [1 2 4]", m)
+	}
+	if tm.Tag() != "@t1.2.4" || tm.Tag() != rt.TeamOf(2, 4, 1).Tag() {
+		t.Fatalf("tag = %q, want canonical @t1.2.4", tm.Tag())
+	}
+	if tm.Size(8) != 3 || !tm.Contains(2) || tm.Contains(3) {
+		t.Fatal("membership wrong")
+	}
+	if tm.Rank(1) != 0 || tm.Rank(4) != 2 || tm.Rank(0) != -1 {
+		t.Fatalf("ranks: %d %d %d", tm.Rank(1), tm.Rank(4), tm.Rank(0))
+	}
+
+	for name, f := range map[string]func(){
+		"empty":     func() { rt.TeamOf() },
+		"duplicate": func() { rt.TeamOf(1, 1) },
+		"negative":  func() { rt.TeamOf(-1) },
+	} {
+		func() {
+			defer func() {
+				if _, ok := recover().(*rt.CollectiveError); !ok {
+					t.Errorf("TeamOf %s did not panic with *CollectiveError", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestNilCollectivesIdentity: the package helpers treat a nil
+// Collectives as the single-process identity — the local value already
+// is the global fold.
+func TestNilCollectivesIdentity(t *testing.T) {
+	if v, err := rt.AllReduce(nil, "k", rt.WorldTeam, rt.OpMin, 9); v != 9 || err != nil {
+		t.Fatalf("nil AllReduce = %d, %v", v, err)
+	}
+	if v, err := rt.Broadcast(nil, "k", rt.WorldTeam, 0, 5); v != 5 || err != nil {
+		t.Fatalf("nil Broadcast = %d, %v", v, err)
+	}
+	if err := rt.Barrier(nil, "k", rt.WorldTeam); err != nil {
+		t.Fatalf("nil Barrier = %v", err)
+	}
+}
+
+// TestLegacyCollectiveAdapter pins the migration contract: a bare
+// sum-reduce func adapted through Collective.Collectives must produce
+// exactly the legacy key/value exchange for what the old type could
+// express, and typed errors for what it could not.
+func TestLegacyCollectiveAdapter(t *testing.T) {
+	type call struct {
+		key string
+		val uint64
+	}
+	var calls []call
+	legacy := rt.Collective(func(key string, val uint64) (uint64, error) {
+		calls = append(calls, call{key, val})
+		return val + 100, nil
+	})
+	c := legacy.Collectives()
+
+	// World-team sum: same key, same value, bit-for-bit the old wire
+	// exchange.
+	v, err := c.AllReduce("sssp:front:3", rt.WorldTeam, rt.OpSum, 7)
+	if err != nil || v != 107 {
+		t.Fatalf("world sum = %d, %v", v, err)
+	}
+	if len(calls) != 1 || calls[0] != (call{"sssp:front:3", 7}) {
+		t.Fatalf("legacy func saw %v", calls)
+	}
+
+	// Barrier uses the transport's derived-key encoding.
+	if err := c.Barrier("step9", rt.WorldTeam); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+	if calls[1] != (call{"barrier:step9", 0}) {
+		t.Fatalf("barrier exchanged %v", calls[1])
+	}
+
+	// Everything a bare sum func cannot express is a typed error, not a
+	// silent wrong answer.
+	var ce *rt.CollectiveError
+	if _, err := c.AllReduce("k", rt.WorldTeam, rt.OpMin, 1); !errors.As(err, &ce) {
+		t.Fatalf("min via legacy adapter: err = %v, want *CollectiveError", err)
+	}
+	if _, err := c.AllReduce("k", rt.TeamOf(0, 1), rt.OpSum, 1); !errors.As(err, &ce) {
+		t.Fatalf("team via legacy adapter: err = %v, want *CollectiveError", err)
+	}
+	if _, err := c.Broadcast("k", rt.WorldTeam, 0, 1); !errors.As(err, &ce) {
+		t.Fatalf("broadcast via legacy adapter: err = %v, want *CollectiveError", err)
+	}
+	if err := c.Barrier("k", rt.TeamOf(0, 1)); !errors.As(err, &ce) {
+		t.Fatalf("team barrier via legacy adapter: err = %v, want *CollectiveError", err)
+	}
+	if len(calls) != 2 {
+		t.Fatalf("unsupported ops reached the legacy func: %v", calls)
+	}
+
+	// Deprecated entry points keep their nil-identity conventions.
+	if v, err := rt.Collective(nil).Reduce("k", 4); v != 4 || err != nil {
+		t.Fatalf("nil Collective.Reduce = %d, %v", v, err)
+	}
+	if rt.Collective(nil).Collectives() != nil {
+		t.Fatal("nil Collective converted to non-nil Collectives")
+	}
+}

@@ -1,0 +1,155 @@
+package rt
+
+import (
+	"fmt"
+
+	"gravel/internal/pgas"
+)
+
+// DeviceColl is a device-side (in-kernel) collective over a node team,
+// built entirely from the PutSignal/WaitUntil verbs: every member puts
+// its contribution into each member's symmetric slot with a signalled
+// put, waits until its own arrival counter shows the whole team has
+// delivered, and folds the slots locally. No host round trip — the
+// collective completes inside the kernel, on the fabric.
+//
+// State is double-buffered by round parity: round r uses slot bank
+// r%2, and the cumulative arrival counter for that parity must reach
+// (r/2+1)*size before the fold. A member is safe to overwrite a parity
+// bank because reaching round r+2 proves every member completed round
+// r+1, which in turn proves every member has folded (read) the round-r
+// bank.
+//
+// Discipline: exactly one work-group per member node may call into a
+// DeviceColl per round, every member must make the same sequence of
+// calls, and — as with all waits — signals a round depends on must not
+// be produced by later work-groups of the same grid (launch the
+// calling WG per node, e.g. a one-WG grid or WG 0 only).
+type DeviceColl struct {
+	team     Team
+	vals     *pgas.Array // 2*size symmetric slots per member (parity banks)
+	arrivals *pgas.Array // 2 cumulative counters per member (one per parity)
+	size     int
+	members  []int
+	rounds   []int // per-node round counter (one calling WG per node)
+
+	scratch []*dcScratch // per-node lane buffers (one calling WG per node)
+}
+
+// dcScratch is one node's lane-sized verb argument buffers, reused
+// across rounds so steady-state collectives do not allocate.
+type dcScratch struct {
+	idx, v, sig, until []uint64
+	mask               []bool
+}
+
+// NewDeviceColl allocates the collective's symmetric state on sp for a
+// cluster of the given node count. Like every symmetric allocation it
+// must happen in the same program order on every process of a
+// distributed run (verify with VerifySymmetric). All team members —
+// and only they — may call the collective's methods.
+func NewDeviceColl(sp *pgas.Space, nodes int, team Team) *DeviceColl {
+	members := team.Members(nodes)
+	size := len(members)
+	return &DeviceColl{
+		team:     team,
+		vals:     sp.SymAlloc(2 * size),
+		arrivals: sp.SymAlloc(2),
+		size:     size,
+		members:  members,
+		rounds:   make([]int, nodes),
+		scratch:  make([]*dcScratch, nodes),
+	}
+}
+
+// Team returns the node team the collective spans.
+func (dc *DeviceColl) Team() Team { return dc.team }
+
+func (dc *DeviceColl) scratchFor(node, wgSize int) *dcScratch {
+	s := dc.scratch[node]
+	if s == nil || len(s.mask) < wgSize {
+		s = &dcScratch{
+			idx:   make([]uint64, wgSize),
+			v:     make([]uint64, wgSize),
+			sig:   make([]uint64, wgSize),
+			until: make([]uint64, wgSize),
+			mask:  make([]bool, wgSize),
+		}
+		dc.scratch[node] = s
+	}
+	return s
+}
+
+// AllReduce folds every member's val under op and returns the result,
+// entirely on the device. Lanes fan the signalled puts out across the
+// team (chunked when the team outnumbers the work-group).
+func (dc *DeviceColl) AllReduce(c Ctx, op ReduceOp, val uint64) uint64 {
+	me := c.Node()
+	if dc.team.Rank(me) < 0 {
+		panic(&CollectiveError{Op: "device-allreduce",
+			Detail: fmt.Sprintf("node %d is not a member of team %s", me, dc.team.Tag())})
+	}
+	g := c.Group()
+	s := dc.scratchFor(me, g.Size)
+	rank := dc.team.Rank(me)
+	r := dc.rounds[me]
+	dc.rounds[me] = r + 1
+	q := r % 2
+
+	// Signalled put of this member's contribution into every member's
+	// parity-q slot for our rank; the signal increments the peer's
+	// parity-q arrival counter, co-owned by SymAlloc construction.
+	for base := 0; base < dc.size; base += g.Size {
+		n := dc.size - base
+		if n > g.Size {
+			n = g.Size
+		}
+		for l := 0; l < g.Size; l++ {
+			s.mask[l] = l < n
+			if l >= n {
+				continue
+			}
+			peer := dc.members[base+l]
+			s.idx[l] = dc.vals.SymIndex(peer, q*dc.size+rank)
+			s.v[l] = val
+			s.sig[l] = dc.arrivals.SymIndex(peer, q)
+		}
+		c.PutSignal(dc.vals, s.idx, s.v, dc.arrivals, s.sig, s.mask)
+	}
+
+	// Wait until every member of every parity-q round so far — this one
+	// included — has delivered: the counter is cumulative, so round r
+	// needs (r/2+1)*size signals.
+	for l := 0; l < g.Size; l++ {
+		s.mask[l] = l == 0
+	}
+	s.sig[0] = dc.arrivals.SymIndex(me, q)
+	s.until[0] = uint64(r/2+1) * uint64(dc.size)
+	c.WaitUntil(dc.arrivals, s.sig, s.until, s.mask)
+
+	// Fold the local parity-q bank in rank order (deterministic for
+	// non-commutative floating folds layered above; moot for uint64).
+	acc := op.Identity()
+	for j := 0; j < dc.size; j++ {
+		acc = op.Combine(acc, dc.vals.Load(dc.vals.SymIndex(me, q*dc.size+j)))
+	}
+	return acc
+}
+
+// Broadcast returns root's val to every member (val is ignored on
+// non-root members). root is a node ID and must be a member.
+func (dc *DeviceColl) Broadcast(c Ctx, root int, val uint64) uint64 {
+	if dc.team.Rank(root) < 0 {
+		panic(&CollectiveError{Op: "device-broadcast",
+			Detail: fmt.Sprintf("root %d is not a member of team %s", root, dc.team.Tag())})
+	}
+	if c.Node() != root {
+		val = 0
+	}
+	return dc.AllReduce(c, OpSum, val)
+}
+
+// Barrier returns once every member has entered it (a sum of zeros).
+func (dc *DeviceColl) Barrier(c Ctx) {
+	dc.AllReduce(c, OpSum, 0)
+}

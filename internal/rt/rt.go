@@ -9,6 +9,8 @@
 package rt
 
 import (
+	"fmt"
+
 	"gravel/internal/pgas"
 	"gravel/internal/simt"
 	"gravel/internal/timemodel"
@@ -21,8 +23,16 @@ import (
 type AMHandler func(node int, a, b uint64)
 
 // Ctx is the per-work-group view a kernel gets of the networking model.
-// The slice arguments of Inc/Put/AM are indexed by lane; exactly the
-// lanes with active[lane] participate (diverged WG-level semantics, §5).
+//
+// Every verb follows one lane-mask convention: slice arguments are
+// indexed by lane, and exactly the lanes with active[lane] true
+// participate (diverged WG-level semantics, §5). A nil active mask
+// means "all lanes participate"; a non-nil mask must be exactly
+// Group().Size entries long — implementations funnel violations through
+// a single typed *core.MaskError panic rather than per-verb ad-hoc
+// checks. Lane-indexed value slices (idx, val, delta, a, b, dest,
+// sigIdx) need only cover the active lanes but are conventionally
+// WG-sized.
 type Ctx interface {
 	// Node returns the node executing this work-group.
 	Node() int
@@ -41,6 +51,29 @@ type Ctx interface {
 	// AM invokes handler h at dest[l] with arguments (a[l], b[l]) for
 	// each active lane.
 	AM(h uint8, dest []int, a, b []uint64, active []bool)
+
+	// PutSignal stores val[l] to arr[idx[l]] and then atomically adds 1
+	// to sig[sigIdx[l]], as one ordered wire command resolved at the
+	// owner of arr[idx[l]] (NVSHMEM-style signalled put): any observer
+	// that sees the signal increment also sees the data store. The
+	// signal cell must be owned by the same node as the data cell
+	// (co-locate them with pgas.Space.SymAlloc), and sigIdx must be
+	// below wire.MaxSigIdx. PutSignal transmits eagerly — the staged
+	// per-destination queue is flushed — so a remote waiter is never
+	// left spinning on a signal parked in an aggregation buffer.
+	PutSignal(arr *pgas.Array, idx, val []uint64, sig *pgas.Array, sigIdx []uint64, active []bool)
+	// WaitUntil blocks the work-group until sig[sigIdx[l]] >= until[l]
+	// for every active lane. Every addressed cell must be local to the
+	// executing node (signals are delivered to the waiter's symmetric
+	// cell; see PutSignal). The wait parks cooperatively: other
+	// work-groups — including ones not yet scheduled — keep executing,
+	// message delivery keeps progressing, and quiescence detection does
+	// not observe a false idle, so a waiting WG cannot deadlock
+	// termination detection. Signals a wait depends on must not be
+	// issued by later work-groups of the same node's grid. The wait is
+	// charged a fixed virtual-time cost per call (deterministic, unlike
+	// wall-clock spin time).
+	WaitUntil(sig *pgas.Array, sigIdx, until []uint64, active []bool)
 }
 
 // Kernel is GPU code launched across a grid of work-items; it is invoked
@@ -49,21 +82,74 @@ type Kernel func(c Ctx)
 
 // Collective is a cluster-wide sum reduction available to host code
 // between steps: every participating process contributes val under the
-// same key (keys must be issued in the same order everywhere — the
-// deterministic app structure guarantees this) and receives the global
-// sum. Shard-mode application entry points use it for termination
-// detection and cross-shard accumulator exchange. In a single-process
-// run there is nothing to reduce across, so a nil Collective means
-// "identity": the local value already is the global value.
+// same key and receives the global sum.
+//
+// Deprecated: Collective is the single-op precursor of the Collectives
+// interface, which adds min/max reductions, broadcast, barrier and node
+// teams. Use Collectives (and the AllReduce/Broadcast/Barrier package
+// helpers, which treat a nil Collectives as the single-process
+// identity); Collective.Collectives converts, bit-for-bit compatible
+// for the world-team sum reductions this type could express.
 type Collective func(key string, val uint64) (uint64, error)
 
 // Reduce applies the collective, treating nil as the identity
 // reduction of a single-process run.
+//
+// Deprecated: see Collective.
 func (c Collective) Reduce(key string, val uint64) (uint64, error) {
 	if c == nil {
 		return val, nil
 	}
 	return c(key, val)
+}
+
+// Collectives converts the bare sum-reduce func into the Collectives
+// interface: world-team sum reductions call the func with the same key
+// and value (bit-for-bit the old wire exchange), Barrier and Broadcast
+// use the same derived-key encodings as the transport implementation,
+// and min/max or team-scoped operations — which a bare sum func cannot
+// express — report a typed error. A nil Collective converts to a nil
+// Collectives (the single-process identity).
+//
+// Deprecated: producers should hand out a real Collectives (e.g.
+// transport.TCP.Collectives); this adapter exists so legacy holders of
+// a Collective keep working during migration, mirroring the NetStats
+// compatibility adapter.
+func (c Collective) Collectives() Collectives {
+	if c == nil {
+		return nil
+	}
+	return legacyCollectives{c}
+}
+
+// legacyCollectives adapts a bare sum-reduce func; see
+// Collective.Collectives.
+type legacyCollectives struct {
+	fn Collective
+}
+
+func (l legacyCollectives) AllReduce(key string, t Team, op ReduceOp, val uint64) (uint64, error) {
+	if !t.World() {
+		return 0, &CollectiveError{Op: "allreduce", Key: key, Detail: "team reductions need a full Collectives implementation"}
+	}
+	if op != OpSum {
+		return 0, &CollectiveError{Op: "allreduce", Key: key, Detail: fmt.Sprintf("%v reduction needs a full Collectives implementation", op)}
+	}
+	return l.fn(key, val)
+}
+
+func (l legacyCollectives) Broadcast(key string, t Team, root int, val uint64) (uint64, error) {
+	// A bare sum func is not node-bound, so it cannot tell whether the
+	// caller is the root; broadcast needs a real implementation.
+	return 0, &CollectiveError{Op: "broadcast", Key: key, Detail: "broadcast needs a full Collectives implementation"}
+}
+
+func (l legacyCollectives) Barrier(key string, t Team) error {
+	if !t.World() {
+		return &CollectiveError{Op: "barrier", Key: key, Detail: "team barriers need a full Collectives implementation"}
+	}
+	_, err := l.fn("barrier:"+key, 0)
+	return err
 }
 
 // NetStats summarizes a system's communication behaviour (Table 5).

@@ -31,6 +31,7 @@ type Stats struct {
 	Resolver  ResolverStats
 	Transport TransportStats
 	Faults    FaultStats
+	PGAS      PGASStats
 
 	// Steps holds one delta record per recorded phase (kernel step),
 	// in launch order.
@@ -106,6 +107,16 @@ type BankCount struct {
 	Packets, Msgs, AMs int64
 }
 
+// PGASStats counts the symmetric-heap verb traffic: signalled puts and
+// device-side waits. Both are zero for apps using only put/inc/AM.
+type PGASStats struct {
+	// Signals counts PUT_SIGNAL messages resolved, summing the resolver
+	// banks and the node-local bypass path.
+	Signals int64
+	// Waits counts WaitUntil verb calls issued by work-groups.
+	Waits int64
+}
+
 // TransportStats describes the wire.
 type TransportStats struct {
 	// WirePackets and WireBytes count aggregated per-node queues that
@@ -169,6 +180,9 @@ type StepStats struct {
 	// the cumulative ResolverStats fields.
 	ResolvedPackets, ResolvedMsgs, ResolvedAMs int64
 	BypassPackets, BypassMsgs                  int64
+
+	// Signals and Waits mirror the cumulative PGASStats fields.
+	Signals, Waits int64
 }
 
 // NetStats converts the snapshot to the deprecated flat form. Values

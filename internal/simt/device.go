@@ -203,6 +203,44 @@ func (d *Device) Launch(grid, wgSize, scratchPerWG int, kernel func(g *Group)) f
 	return d.LaunchAt(grid, 0, wgSize, scratchPerWG, kernel)
 }
 
+// launchState is the worker pool of one LaunchAt call: workers pull
+// work-group indexes from next until the grid is exhausted. It is
+// shared with the Groups it runs so Group.Park can spawn a replacement
+// worker when a WG blocks on a condition that only not-yet-scheduled
+// WGs (or background message delivery) can satisfy.
+type launchState struct {
+	d            *Device
+	grid, base   int
+	wgSize       int
+	numWGs       int
+	kernel       func(g *Group)
+	next         atomic.Int64
+	wg           sync.WaitGroup
+	launchCycles *atomic.Int64
+}
+
+// runWorker is one worker goroutine's WG pull loop; ls.wg must have
+// been incremented for it before it starts.
+func (ls *launchState) runWorker() {
+	defer ls.wg.Done()
+	g := newGroup(ls.d, ls.wgSize)
+	g.ls = ls
+	for {
+		i := int(ls.next.Add(1)) - 1
+		if i >= ls.numWGs {
+			return
+		}
+		size := ls.wgSize
+		if rem := ls.grid - i*ls.wgSize; rem < size {
+			size = rem
+		}
+		g.reset(i, ls.base+i*ls.wgSize, size)
+		ls.kernel(g)
+		ls.launchCycles.Add(g.cycles)
+		g.flushCounters()
+	}
+}
+
 // LaunchAt is Launch with the global work-item IDs offset by base; the
 // coprocessor model uses it to run a grid in chunks (§3.1).
 func (d *Device) LaunchAt(grid, base, wgSize, scratchPerWG int, kernel func(g *Group)) float64 {
@@ -225,30 +263,20 @@ func (d *Device) LaunchAt(grid, base, wgSize, scratchPerWG int, kernel func(g *G
 
 	var launchCycles atomic.Int64
 	if numWGs > 0 {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				g := newGroup(d, wgSize)
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= numWGs {
-						return
-					}
-					size := wgSize
-					if rem := grid - i*wgSize; rem < size {
-						size = rem
-					}
-					g.reset(i, base+i*wgSize, size)
-					kernel(g)
-					launchCycles.Add(g.cycles)
-					g.flushCounters()
-				}
-			}()
+		ls := &launchState{
+			d:            d,
+			grid:         grid,
+			base:         base,
+			wgSize:       wgSize,
+			numWGs:       numWGs,
+			kernel:       kernel,
+			launchCycles: &launchCycles,
 		}
-		wg.Wait()
+		ls.wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go ls.runWorker()
+		}
+		ls.wg.Wait()
 	}
 
 	d.Counters.WGLaunches.Add(int64(numWGs))

@@ -1,6 +1,9 @@
 package simt
 
-import "sync/atomic"
+import (
+	"runtime"
+	"sync/atomic"
+)
 
 // Group is one work-group executing a kernel. All lane-level state lives
 // in slices indexed by lane ID; lanes advance in lockstep through the
@@ -27,6 +30,10 @@ type Group struct {
 
 	// scratch buffers reused across operations
 	offs []int
+
+	// ls is the launch this group is running under (nil for groups
+	// constructed outside a launch, e.g. in tests); see Park.
+	ls *launchState
 }
 
 // ActiveLaneCount returns the number of active lanes in the current
@@ -148,6 +155,34 @@ func (g *Group) VectorMasked(n int, active []bool, f func(lane int)) {
 	}
 	if partial {
 		g.divergedOps += int64(g.WFs())
+	}
+}
+
+// Park blocks the calling work-group until cond reports true, while
+// keeping the rest of the launch making progress: if the grid still has
+// unscheduled work-groups, a replacement worker is spawned to run them,
+// so a WG waiting on a condition satisfied by an earlier-indexed but
+// not-yet-scheduled WG of the same grid (or by background message
+// delivery) cannot wedge the launch, no matter how small the worker
+// pool. The wait itself is cooperative (runtime.Gosched) and charges no
+// cycles — wall-clock spin time is nondeterministic, so callers charge
+// a fixed virtual-time cost instead (timemodel.Params.WaitUntilNs).
+// progress, if non-nil, is invoked on every spin iteration so the
+// caller can drive model-specific forward progress (e.g. flushing its
+// own staged send buffers).
+func (g *Group) Park(cond func() bool, progress func()) {
+	if cond() {
+		return
+	}
+	if ls := g.ls; ls != nil && int(ls.next.Load()) < ls.numWGs {
+		ls.wg.Add(1)
+		go ls.runWorker()
+	}
+	for !cond() {
+		if progress != nil {
+			progress()
+		}
+		runtime.Gosched()
 	}
 }
 

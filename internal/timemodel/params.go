@@ -81,6 +81,20 @@ type Params struct {
 	// NetThreadAMExtraNs is the additional cost of dispatching an active
 	// message handler.
 	NetThreadAMExtraNs float64
+	// NetThreadSignalExtraNs is the additional cost of resolving the
+	// signal-word increment of a PUT_SIGNAL (the data store is already
+	// covered by NetThreadPerMsgNs).
+	NetThreadSignalExtraNs float64
+
+	// --- Device waits (PGAS verbs) ---
+
+	// WaitUntilNs is the fixed virtual-time cost charged for one
+	// WaitUntil verb call. The wall-clock time a waiting work-group
+	// spins is scheduler-dependent and therefore nondeterministic, so
+	// the model charges this deterministic constant instead — the cost
+	// of issuing the monitored load loop, not of the latency being
+	// waited out (which other clocks already account for).
+	WaitUntilNs float64
 
 	// --- Wire (Table 3: 56 Gb/s InfiniBand) ---
 
@@ -141,6 +155,9 @@ func Default() *Params {
 		NetThreadPerByteNs:   0.04,
 		NetThreadPerPacketNs: 2000,
 		NetThreadAMExtraNs:   10,
+
+		NetThreadSignalExtraNs: 6,
+		WaitUntilNs:            120,
 
 		AlphaNs:        3000,
 		BetaBytesPerNs: 7.0,

@@ -114,6 +114,8 @@ type quietReport struct {
 
 type reduceState struct {
 	vals      map[int]uint64
+	op        string // "" (sum), "min", or "max" — fixed by the first contributor
+	count     int    // contributions required (0 = every node)
 	total     uint64
 	done      bool
 	collected map[int]bool // nodes that have received the total
@@ -131,6 +133,8 @@ type coordMsg struct {
 	Idle    bool     `json:"idle,omitempty"`
 	Key     string   `json:"key,omitempty"`
 	Val     uint64   `json:"val,omitempty"`
+	ROp     string   `json:"rop,omitempty"`   // reduction operator ("" = sum, "min", "max")
+	Count   int      `json:"count,omitempty"` // contributions required (0 = every node)
 	Step    uint64   `json:"step,omitempty"`    // checkpoint step ("ckpt"/"restore")
 	Data    []byte   `json:"data,omitempty"`    // checkpoint shard payload
 	Suspect int64    `json:"suspect,omitempty"` // joiner's suspect timeout, ns
@@ -327,7 +331,7 @@ func (c *Coordinator) dispatch(req *coordMsg) *coordMsg {
 		q := c.quietEvalLocked(req.Node, quietReport{sent: req.Sent, applied: req.Applied, idle: req.Idle})
 		return c.annotateLocked(&coordMsg{OK: true, Quiet: q, Down: c.downLocked()})
 	case "reduce":
-		total, ready := c.reduceLocked(req.Node, req.Key, req.Val)
+		total, ready := c.reduceLocked(req.Node, req.Key, req.Val, req.ROp, req.Count)
 		return c.annotateLocked(&coordMsg{OK: true, Ready: ready, Total: total, Down: c.downLocked()})
 	case "barrier":
 		rel := c.barrierLocked(req.Node, req.Key, quietReport{sent: req.Sent, applied: req.Applied, idle: req.Idle})
@@ -510,23 +514,41 @@ func (c *Coordinator) barrierLocked(node int, key string, r quietReport) bool {
 	return true
 }
 
-// reduceLocked folds val into the named reduction; once every worker
-// has contributed it reports ready with the sum. Workers poll (their
-// contribution is idempotent), so the handler never blocks. Keys must
-// be unique per collective (tag them with a step or phase counter).
-// The entry is deleted once every node has collected the total, so
-// per-step collectives do not leak coordinator memory.
-func (c *Coordinator) reduceLocked(node int, key string, val uint64) (uint64, bool) {
+// reduceLocked folds val into the named reduction; once enough workers
+// have contributed it reports ready with the combined value. Workers
+// poll (their contribution is idempotent), so the handler never blocks.
+// Keys must be unique per collective (tag them with a step or phase
+// counter; team collectives additionally carry the team tag). The first
+// contributor fixes the key's operator ("" = sum, "min", "max") and
+// required contribution count (0 = every node of the epoch); the fold
+// happens once, at completion, so min/max need no streaming identity.
+// The entry is deleted once every contributor has collected the result,
+// so per-step collectives do not leak coordinator memory.
+func (c *Coordinator) reduceLocked(node int, key string, val uint64, rop string, count int) (uint64, bool) {
 	st := c.reduces[key]
 	if st == nil {
-		st = &reduceState{vals: make(map[int]uint64), collected: make(map[int]bool)}
+		if count <= 0 || count > c.nodes {
+			count = c.nodes
+		}
+		st = &reduceState{vals: make(map[int]uint64), op: rop, count: count, collected: make(map[int]bool)}
 		c.reduces[key] = st
 	}
 	if !st.done {
 		st.vals[node] = val
-		if len(st.vals) == c.nodes {
+		if len(st.vals) == st.count {
+			first := true
 			for _, v := range st.vals {
-				st.total += v
+				switch {
+				case first:
+					st.total = v
+					first = false
+				case st.op == "min" && v < st.total:
+					st.total = v
+				case st.op == "max" && v > st.total:
+					st.total = v
+				case st.op != "min" && st.op != "max":
+					st.total += v
+				}
 			}
 			st.vals = nil
 			st.done = true
@@ -536,7 +558,7 @@ func (c *Coordinator) reduceLocked(node int, key string, val uint64) (uint64, bo
 		return 0, false
 	}
 	st.collected[node] = true
-	if len(st.collected) == c.nodes {
+	if len(st.collected) == st.count {
 		delete(c.reduces, key)
 	}
 	return st.total, true
@@ -702,10 +724,13 @@ func (c *coordClient) quiet(node int, sent, applied int64, idle bool, suspect ti
 	return resp.Quiet, nil
 }
 
-// reduce contributes val and polls until every worker has contributed.
-func (c *coordClient) reduce(node int, key string, val uint64, suspect time.Duration) (uint64, error) {
+// reduce contributes val and polls until every required worker has
+// contributed. rop and count extend the wire message only when set
+// (omitempty), so plain sum-over-all-nodes reductions are byte-for-byte
+// what pre-collective clients sent.
+func (c *coordClient) reduce(node int, key string, val uint64, rop string, count int, suspect time.Duration) (uint64, error) {
 	for {
-		resp, err := c.call(&coordMsg{Op: "reduce", Node: node, Key: key, Val: val})
+		resp, err := c.call(&coordMsg{Op: "reduce", Node: node, Key: key, Val: val, ROp: rop, Count: count})
 		if err != nil {
 			return 0, err
 		}

@@ -44,7 +44,7 @@ func TestCoordinatorReclaimsCollectiveState(t *testing.T) {
 	reduce := func(node int, key string, val uint64) (uint64, bool) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		return c.reduceLocked(node, key, val)
+		return c.reduceLocked(node, key, val, "", 0)
 	}
 	if _, ready := reduce(0, "sum:1", 1); ready {
 		t.Fatal("reduce ready with one node missing")

@@ -619,7 +619,7 @@ func (t *TCP) Reduce(key string, val uint64) (uint64, error) {
 	if err := t.Err(); err != nil {
 		return 0, err
 	}
-	total, err := t.coord.reduce(t.self, key, val, t.suspect)
+	total, err := t.coord.reduce(t.self, key, val, "", 0, t.suspect)
 	if err != nil {
 		t.fail(err)
 		return 0, err

@@ -23,6 +23,13 @@ const (
 	// OpAM invokes a registered active-message handler at the
 	// destination.
 	OpAM
+	// OpPutSignal stores a value into the PGAS and then atomically
+	// increments a signal word co-located at the same destination, as
+	// one ordered wire command (NVSHMEM-style signalled put). The
+	// signal array and cell travel packed in the command word's high
+	// bits (PackSigCmd); a waiter that observes the incremented signal
+	// is guaranteed to observe the data store.
+	OpPutSignal
 )
 
 // String implements fmt.Stringer.
@@ -34,6 +41,8 @@ func (o Op) String() string {
 		return "INC"
 	case OpAM:
 		return "AM"
+	case OpPutSignal:
+		return "PUT_SIGNAL"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -62,6 +71,30 @@ func PackCmd(op Op, handler uint8, arr uint16) uint64 {
 // UnpackCmd splits a RowCmd word.
 func UnpackCmd(w uint64) (op Op, handler uint8, arr uint16) {
 	return Op(w), uint8(w >> 8), uint16(w >> 16)
+}
+
+// MaxSigIdx bounds the signal-cell index a PUT_SIGNAL can address: the
+// index shares the command word with the op, data-array and signal-array
+// IDs, leaving 24 bits. Signal arrays are small flag/counter regions, so
+// 16M cells is far beyond any realistic use.
+const MaxSigIdx = 1 << 24
+
+// PackSigCmd builds the RowCmd word of a PUT_SIGNAL: the data array in
+// the usual position, the signal array in bits 32-47, and the signal
+// cell index split across the handler byte (low 8 bits) and bits 48-63.
+// The record's a/b words stay free for the data index and value, so a
+// signalled put is a normal 24-byte wire record.
+func PackSigCmd(dataArr, sigArr uint16, sigIdx uint32) uint64 {
+	if sigIdx >= MaxSigIdx {
+		panic(fmt.Sprintf("wire: signal index %d exceeds %d", sigIdx, MaxSigIdx))
+	}
+	return uint64(OpPutSignal) | uint64(sigIdx&0xff)<<8 | uint64(dataArr)<<16 |
+		uint64(sigArr)<<32 | uint64(sigIdx>>8)<<48
+}
+
+// UnpackSigCmd splits a PUT_SIGNAL RowCmd word.
+func UnpackSigCmd(w uint64) (dataArr, sigArr uint16, sigIdx uint32) {
+	return uint16(w >> 16), uint16(w >> 32), uint32(w>>8)&0xff | uint32(w>>48)<<8
 }
 
 // MsgWireBytes is the encoded size of one message inside a per-node
@@ -168,7 +201,7 @@ func CheckBuf(buf []byte, routed bool, nodes int) error {
 	for off := 0; off < len(buf); off += rec {
 		op, _, _ := UnpackCmd(binary.LittleEndian.Uint64(buf[off : off+8]))
 		switch op {
-		case OpPut, OpInc, OpAM:
+		case OpPut, OpInc, OpAM, OpPutSignal:
 		default:
 			return fmt.Errorf("wire: record at offset %d has unknown op %d", off, uint8(op))
 		}
