@@ -6,7 +6,9 @@
 //	gravel-bench -exp=all [-json=results.json] [-cpuprofile=cpu.pprof]
 //
 // Experiments: table2, table5, fig6, fig8, fig12, fig13, fig14, fig15,
-// sec82, hier, ablations, resolver, pgas, all.
+// sec82, hier, ablations, resolver, pgas, aggstrategy, all. An unknown
+// -exp name fails with the list of valid names, mirroring the app
+// registry's unknown-app error.
 //
 // With -json, every experiment's table is also written to the given
 // path as machine-readable JSON, with per-experiment wall time and
@@ -73,7 +75,7 @@ func headline(t *bench.Table) (metric string, value float64) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table2, table5, fig6, fig8, fig12, fig13, fig14, fig15, sec82, hier, ablations, resolver, pgas, all)")
+	exp := flag.String("exp", "all", "experiment to run (table2, table5, fig6, fig8, fig12, fig13, fig14, fig15, sec82, hier, ablations, resolver, pgas, aggstrategy, all)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = default reduced inputs)")
 	format := flag.String("format", "table", "output format: table or csv")
 	version := flag.Bool("version", false, "print the build-info string and exit")
@@ -97,6 +99,42 @@ func main() {
 		GoVersion:     runtime.Version(),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		Scale:         *scale,
+	}
+
+	// exps is the experiment registry, in presentation order. The -exp
+	// flag is validated against it before anything runs, so a typo fails
+	// loudly with the list of valid names instead of silently printing
+	// nothing.
+	exps := []struct {
+		name string
+		f    func() *bench.Table
+	}{
+		{"fig6", func() *bench.Table { return bench.Fig6() }},
+		{"fig8", func() *bench.Table { return bench.Fig8() }},
+		{"table2", func() *bench.Table { return bench.Table2() }},
+		{"table5", func() *bench.Table { return bench.Table5(*scale, nil) }},
+		{"fig12", func() *bench.Table { return bench.Fig12(*scale, nil) }},
+		{"fig13", func() *bench.Table { return bench.Fig13(*scale, nil) }},
+		{"fig14", func() *bench.Table { return bench.Fig14(*scale, nil) }},
+		{"fig15", func() *bench.Table { return bench.Fig15(*scale, nil) }},
+		{"sec82", func() *bench.Table { return bench.Sec82(*scale, nil) }},
+		{"hier", func() *bench.Table { return bench.Hier(*scale, nil) }},
+		{"ablations", func() *bench.Table { return bench.Ablations(*scale, nil) }},
+		{"resolver", func() *bench.Table { return bench.Resolver(*scale, nil, common.ResolverShards) }},
+		{"pgas", func() *bench.Table { return bench.PGAS(*scale, nil) }},
+		{"aggstrategy", func() *bench.Table { return bench.AggStrategy(*scale, nil) }},
+	}
+	if *exp != "all" {
+		known := false
+		names := make([]string, len(exps))
+		for i, e := range exps {
+			names[i] = e.name
+			known = known || e.name == *exp
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "gravel-bench: unknown experiment %q (have %s, all)\n", *exp, strings.Join(names, ", "))
+			os.Exit(1)
+		}
 	}
 
 	run := func(name string, f func() *bench.Table) {
@@ -132,19 +170,9 @@ func main() {
 		fmt.Printf("  [%s ran in %v]\n", name, elapsed.Round(time.Millisecond))
 	}
 
-	run("fig6", func() *bench.Table { return bench.Fig6() })
-	run("fig8", func() *bench.Table { return bench.Fig8() })
-	run("table2", func() *bench.Table { return bench.Table2() })
-	run("table5", func() *bench.Table { return bench.Table5(*scale, nil) })
-	run("fig12", func() *bench.Table { return bench.Fig12(*scale, nil) })
-	run("fig13", func() *bench.Table { return bench.Fig13(*scale, nil) })
-	run("fig14", func() *bench.Table { return bench.Fig14(*scale, nil) })
-	run("fig15", func() *bench.Table { return bench.Fig15(*scale, nil) })
-	run("sec82", func() *bench.Table { return bench.Sec82(*scale, nil) })
-	run("hier", func() *bench.Table { return bench.Hier(*scale, nil) })
-	run("ablations", func() *bench.Table { return bench.Ablations(*scale, nil) })
-	run("resolver", func() *bench.Table { return bench.Resolver(*scale, nil, common.ResolverShards) })
-	run("pgas", func() *bench.Table { return bench.PGAS(*scale, nil) })
+	for _, e := range exps {
+		run(e.name, e.f)
+	}
 
 	if *jsonPath != "" {
 		out, err := json.MarshalIndent(&rep, "", "  ")

@@ -233,3 +233,79 @@ func TestTCPClusterCoprocessorMatchesSingle(t *testing.T) {
 		t.Fatalf("coprocessor TCP cluster check = %d (reduced %d), single-process = %d", sum, totals[0], want.Check)
 	}
 }
+
+// TestTCPClusterArchiveMatchesSingle pins the archive aggregation
+// strategy end to end: the gravel-archive model as a 3-node TCP cluster
+// must reduce to the single-process checksum bit-for-bit, at one
+// resolver shard and at four — the WF-aggregated appends, segment
+// seals, fused bulk packets, and signal-liveness staging must all be
+// invisible to the application on a real socket fabric.
+func TestTCPClusterArchiveMatchesSingle(t *testing.T) {
+	const n = 3
+	a := harness.MustApp("gups")
+	p := harness.Params{Scale: 0.02}
+
+	ref := gravel.New(gravel.Config{Model: gravel.ModelGravelArchive, Nodes: n})
+	want := a.Run(ref, p)
+	ref.Close()
+	if want.Err != nil {
+		t.Fatalf("single-process run failed: %v", want.Err)
+	}
+
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			coord := transport.NewCoordinator(n)
+			go coord.Serve(ln)
+			defer ln.Close()
+
+			locals := make([]uint64, n)
+			totals := make([]uint64, n)
+			errs := make([]error, n)
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					sys := gravel.New(gravel.Config{
+						Model:          gravel.ModelGravelArchive,
+						Nodes:          n,
+						Transport:      "tcp",
+						ResolverShards: shards,
+						TransportOpts: gravel.TransportOptions{
+							Self:  i,
+							Coord: ln.Addr().String(),
+						},
+					})
+					defer sys.Close()
+					tcp := sys.(interface{ Fabric() core.Fabric }).Fabric().(*transport.TCP)
+					shard := a.Shard(sys, i, p, tcp.Collectives())
+					if shard.Err != nil {
+						errs[i] = shard.Err
+						return
+					}
+					locals[i] = shard.Check
+					totals[i], errs[i] = tcp.Reduce("gups:sum", shard.Check)
+				}(i)
+			}
+			wg.Wait()
+
+			var sum uint64
+			for i := 0; i < n; i++ {
+				if errs[i] != nil {
+					t.Fatalf("node %d: %v", i, errs[i])
+				}
+				if totals[i] != totals[0] {
+					t.Fatalf("nodes disagree on the reduced check: %d vs %d", totals[i], totals[0])
+				}
+				sum += locals[i]
+			}
+			if sum != want.Check || totals[0] != want.Check {
+				t.Fatalf("gravel-archive TCP cluster check = %d (reduced %d), single-process = %d", sum, totals[0], want.Check)
+			}
+		})
+	}
+}

@@ -285,6 +285,7 @@ func NewChecked(cfg Config) (System, error) {
 // the Figure 13 CPU-only baseline.
 const (
 	ModelGravel         = "gravel"
+	ModelGravelArchive  = "gravel-archive"
 	ModelCoprocessor    = "coprocessor"
 	ModelCoprocessorBuf = "coprocessor+buf"
 	ModelMsgPerLane     = "msg-per-lane"

@@ -1,0 +1,402 @@
+package agg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gravel/internal/fabric"
+	"gravel/internal/obs"
+	"gravel/internal/queue"
+	"gravel/internal/stats"
+	"gravel/internal/timemodel"
+	"gravel/internal/wire"
+)
+
+// Archive is the grape-style aggregation strategy (libgrape-lite's GPU
+// MessageManager, ROADMAP item 2): instead of drain threads repacking
+// producer/consumer queue slots into fixed-capacity builders, the
+// device appends directly into per-destination growable archives at
+// wavefront granularity (one leader reservation for the WF's active
+// mask — see simt.Group.WFAggregate), and sealed archive segments are
+// bulk-handed to the fabric.
+//
+// An archive grows by chaining segments: when the open segment fills it
+// is sealed and a new one opens at double the capacity, up to the
+// per-node queue bound — so lightly-used destinations stay small while
+// hot ones converge on full-size packets without per-message repack
+// work. With fuse enabled (the grape default), a destination's sealed
+// segments merge into one contiguous packet at flush time; without it,
+// each segment becomes its own packet.
+//
+// Flush discipline mirrors the ticket strategy's §3.4 rules: a
+// destination whose staged bytes reach the per-node queue bound flushes
+// immediately (counted as a full flush), stragglers go out on the
+// end-of-step timeout flush, and a PUT_SIGNAL stages its destination's
+// whole archive at once so a remote waiter cannot spin on a signal
+// parked in a half-filled buffer. Appends and flush decisions only
+// stage; transmission always happens on the pump goroutine or a host
+// thread, so network threads staging follow-ups can never deadlock
+// against receiver backpressure.
+type Archive struct {
+	node   int
+	params *timemodel.Params
+	q      *queue.Gravel
+	fab    fabric.Fabric
+	clock  *timemodel.Clocks
+	fuse   bool
+
+	maxBytes int // per-destination staged-byte bound (flush when reached)
+
+	dests []*destArchive
+
+	mu    sync.Mutex // guards ready/spare; never held across Send
+	ready []readyPkt
+	spare []readyPkt
+
+	inFlight atomic.Int64 // drain attempts in progress (quiescence)
+
+	flushFull    stats.Counter
+	flushTimeout stats.Counter
+
+	// repackFn drains producer/consumer queue slots staged by host
+	// paths that do not know the strategy (plain core contexts); the
+	// archive model's device path bypasses the queue entirely.
+	repackFn func(payload []uint64, rows, cols, count int)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// seg is one sealed archive segment: an encoded run of wire records.
+type seg struct {
+	buf  []byte
+	msgs int
+}
+
+// destArchive is one destination's growable archive. Its mutex orders
+// strictly before Archive.mu (stageLocked acquires the latter while
+// holding the former; nothing acquires them in the other order).
+type destArchive struct {
+	mu     sync.Mutex
+	dest   int
+	segCap int // next segment's byte capacity; doubles up to maxBytes
+	open   []byte
+	openMs int
+	sealed []seg
+	bytes  int // staged bytes, open + sealed
+	msgs   int
+}
+
+// NewArchive builds the archive strategy for one node. Initial
+// per-destination segment capacity is scaled by cluster size (an even
+// split of the per-node queue budget, floor 1 kB), so small clusters
+// open big segments and large ones start small and grow on demand.
+func NewArchive(node int, params *timemodel.Params, q *queue.Gravel, fab fabric.Fabric, clock *timemodel.Clocks, fuse bool) *Archive {
+	n := fab.Nodes()
+	initCap := params.PerNodeQueueBytes / n
+	if initCap < 1<<10 {
+		initCap = 1 << 10
+	}
+	if initCap > params.PerNodeQueueBytes {
+		initCap = params.PerNodeQueueBytes
+	}
+	ar := &Archive{
+		node:     node,
+		params:   params,
+		q:        q,
+		fab:      fab,
+		clock:    clock,
+		fuse:     fuse,
+		maxBytes: params.PerNodeQueueBytes,
+		dests:    make([]*destArchive, n),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for d := 0; d < n; d++ {
+		ar.dests[d] = &destArchive{dest: d, segCap: initCap}
+	}
+	ar.repackFn = ar.repack
+	return ar
+}
+
+// Fused reports whether same-destination segments merge at flush time.
+func (ar *Archive) Fused() bool { return ar.fuse }
+
+// Name implements Strategy.
+func (ar *Archive) Name() string { return "archive" }
+
+// GroupSize implements Strategy: archives are flat (hierarchical
+// aggregation is a ticket-strategy feature).
+func (ar *Archive) GroupSize() int { return 0 }
+
+// Start implements Strategy: one background goroutine drains the
+// producer/consumer queue safety net and pumps staged packets.
+func (ar *Archive) Start() {
+	go func() {
+		defer close(ar.done)
+		ar.run()
+	}()
+}
+
+// Stop implements Strategy.
+func (ar *Archive) Stop() {
+	close(ar.stop)
+	<-ar.done
+}
+
+func (ar *Archive) run() {
+	idlePollNs := 40.0 // cost of one empty poll, same as the ticket strategy
+	for {
+		worked := ar.drainSome(64)
+		if ar.pump() {
+			worked = true
+		}
+		if !worked {
+			ar.clock.AddAggIdle(idlePollNs)
+			select {
+			case <-ar.stop:
+				for ar.drainSome(64) {
+				}
+				ar.pump()
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// drainSome consumes up to max producer/consumer queue slots; the
+// archive model's device path appends directly, so this is a safety net
+// for host paths that enqueue through the queue.
+func (ar *Archive) drainSome(max int) bool {
+	ar.inFlight.Add(1)
+	defer ar.inFlight.Add(-1)
+	any := false
+	for i := 0; i < max; i++ {
+		if !ar.q.TryConsume(ar.repackFn) {
+			break
+		}
+		any = true
+	}
+	return any
+}
+
+// repack moves one queue slot's messages into the archives, charged
+// like the ticket strategy's repack so queue-staged traffic costs the
+// same under either strategy.
+func (ar *Archive) repack(payload []uint64, rows, cols, count int) {
+	ar.clock.AddAgg(ar.params.AggPerSlotNs + float64(count)*ar.params.AggPerMsgNs)
+	ar.clock.CountAggSlot(count)
+	cmdRow := payload[wire.RowCmd*cols:]
+	destRow := payload[wire.RowDest*cols:]
+	aRow := payload[wire.RowA*cols:]
+	bRow := payload[wire.RowB*cols:]
+	for m := 0; m < count; m++ {
+		ar.append(int(destRow[m]), cmdRow[m], aRow[m], bRow[m])
+	}
+}
+
+// Busy implements Strategy.
+func (ar *Archive) Busy() bool { return ar.inFlight.Load() != 0 }
+
+// AppendDirect implements Strategy: host-context staging (AM handler
+// follow-ups). It stages only — the pump goroutine transmits.
+func (ar *Archive) AppendDirect(dest int, cmd, av, vv uint64, chargeNs float64) {
+	ar.clock.AddAgg(chargeNs)
+	ar.append(dest, cmd, av, vv)
+}
+
+// append stages one record, sealing/staging per the flush discipline.
+func (ar *Archive) append(dest int, cmd, av, vv uint64) {
+	da := ar.dests[dest]
+	da.mu.Lock()
+	ar.appendLocked(da, cmd, av, vv)
+	if wire.Op(cmd&0xff) == wire.OpPutSignal || da.bytes >= ar.maxBytes {
+		ar.stageLocked(da, false)
+	}
+	da.mu.Unlock()
+}
+
+// AppendWF stages the given lanes' records for a single destination in
+// one warp-aggregated reservation (the device-side ballot/prefix and
+// leader atomic are charged by simt.Group.WFAggregate; the archive
+// itself does no per-message CPU repack work — that is the strategy's
+// whole point). cmdOf must be cheap and pure. Stages only.
+func (ar *Archive) AppendWF(dest int, lanes []int, cmdOf func(lane int) uint64, a, v []uint64) {
+	da := ar.dests[dest]
+	da.mu.Lock()
+	sig := false
+	for _, l := range lanes {
+		cmd := cmdOf(l)
+		ar.appendLocked(da, cmd, a[l], v[l])
+		if wire.Op(cmd&0xff) == wire.OpPutSignal {
+			sig = true
+		}
+	}
+	if sig || da.bytes >= ar.maxBytes {
+		ar.stageLocked(da, false)
+	}
+	da.mu.Unlock()
+}
+
+// appendLocked writes one record into da's open segment, sealing and
+// growing when it fills; da.mu must be held.
+func (ar *Archive) appendLocked(da *destArchive, cmd, av, vv uint64) {
+	if da.open == nil {
+		da.open = wire.GetBuf(da.segCap)
+	} else if len(da.open)+wire.MsgWireBytes > da.segCap {
+		ar.sealLocked(da)
+		da.open = wire.GetBuf(da.segCap)
+	}
+	da.open = wire.AppendRecord(da.open, cmd, av, vv)
+	da.openMs++
+	da.bytes += wire.MsgWireBytes
+	da.msgs++
+}
+
+// sealLocked closes da's open segment onto the sealed chain and doubles
+// the next segment's capacity (up to the per-node bound); da.mu must be
+// held. The open segment must be non-empty.
+func (ar *Archive) sealLocked(da *destArchive) {
+	da.sealed = append(da.sealed, seg{buf: da.open, msgs: da.openMs})
+	if obs.Enabled() {
+		obs.Emit(obs.KAggArchive, ar.node, int64(len(da.open)), int64(da.openMs), "")
+	}
+	da.open = nil
+	da.openMs = 0
+	if da.segCap < ar.maxBytes {
+		da.segCap *= 2
+		if da.segCap > ar.maxBytes {
+			da.segCap = ar.maxBytes
+		}
+	}
+}
+
+// stageLocked seals da's open segment and moves the whole archive to
+// the ready list (fused into one contiguous packet per destination, or
+// one packet per segment). da.mu must be held; it acquires Archive.mu.
+func (ar *Archive) stageLocked(da *destArchive, timeout bool) {
+	if da.open != nil && da.openMs > 0 {
+		ar.sealLocked(da)
+	}
+	if len(da.sealed) == 0 {
+		return
+	}
+	var pkts []readyPkt
+	if ar.fuse && len(da.sealed) > 1 {
+		merged := wire.GetBuf(da.bytes)
+		msgs := 0
+		for _, s := range da.sealed {
+			merged = append(merged, s.buf...)
+			msgs += s.msgs
+			wire.PutBuf(s.buf)
+		}
+		pkts = []readyPkt{{dest: da.dest, buf: merged, msgs: msgs}}
+	} else {
+		pkts = make([]readyPkt, len(da.sealed))
+		for i, s := range da.sealed {
+			pkts[i] = readyPkt{dest: da.dest, buf: s.buf, msgs: s.msgs}
+		}
+	}
+	da.sealed = da.sealed[:0]
+	da.bytes = 0
+	da.msgs = 0
+	for _, p := range pkts {
+		ar.recordFlush(len(p.buf), p.msgs, timeout)
+	}
+	ar.mu.Lock()
+	ar.ready = append(ar.ready, pkts...)
+	ar.mu.Unlock()
+}
+
+// recordFlush mirrors the ticket strategy's flush accounting: one
+// AggPerFlushNs charge and a reason-attributed counter + trace event
+// per packet handed to the wire.
+func (ar *Archive) recordFlush(bytes, msgs int, timeout bool) {
+	ar.clock.AddAgg(ar.params.AggPerFlushNs)
+	if timeout {
+		ar.flushTimeout.Inc()
+	} else {
+		ar.flushFull.Inc()
+	}
+	if obs.Enabled() {
+		k := obs.KAggFlushFull
+		if timeout {
+			k = obs.KAggFlushTimeout
+		}
+		obs.Emit(k, ar.node, int64(bytes), int64(msgs), "")
+	}
+}
+
+// FlushCounts implements Strategy.
+func (ar *Archive) FlushCounts() (full, timeout int64) {
+	return ar.flushFull.Load(), ar.flushTimeout.Load()
+}
+
+// pump transmits every staged packet; host/aggregator threads only.
+func (ar *Archive) pump() bool {
+	ar.inFlight.Add(1)
+	defer ar.inFlight.Add(-1)
+	any := false
+	for {
+		ar.mu.Lock()
+		if len(ar.ready) == 0 {
+			ar.mu.Unlock()
+			return any
+		}
+		batch := ar.ready
+		ar.ready = ar.spare[:0]
+		ar.spare = nil
+		ar.mu.Unlock()
+		for i := range batch {
+			pkt := &batch[i]
+			ar.fab.Send(ar.node, pkt.dest, pkt.buf, pkt.msgs)
+			batch[i] = readyPkt{} // the fabric owns the buffer now
+		}
+		ar.mu.Lock()
+		if ar.spare == nil {
+			ar.spare = batch[:0]
+		}
+		ar.mu.Unlock()
+		any = true
+	}
+}
+
+// Flush implements Strategy: the end-of-step timeout flush. It drains
+// the queue safety net on the caller's thread, stages every archive in
+// destination order, and transmits.
+func (ar *Archive) Flush() {
+	for ar.q.TryConsume(ar.repackFn) {
+	}
+	for _, da := range ar.dests {
+		da.mu.Lock()
+		ar.stageLocked(da, true)
+		da.mu.Unlock()
+	}
+	ar.pump()
+}
+
+// Pending implements Strategy.
+func (ar *Archive) Pending() bool {
+	ar.mu.Lock()
+	pending := len(ar.ready) > 0
+	ar.mu.Unlock()
+	if pending {
+		return true
+	}
+	for _, da := range ar.dests {
+		da.mu.Lock()
+		if da.msgs > 0 {
+			pending = true
+		}
+		da.mu.Unlock()
+		if pending {
+			return true
+		}
+	}
+	return false
+}
+
+var _ Strategy = (*Archive)(nil)

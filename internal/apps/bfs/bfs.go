@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"gravel/internal/ckpt"
 	"gravel/internal/graph"
 	"gravel/internal/pgas"
 	"gravel/internal/rt"
@@ -76,6 +77,35 @@ func RunShard(sys rt.System, cfg Config, node int, coll rt.Collectives) Result {
 	return run(sys, cfg, node, coll)
 }
 
+// ElasticOpts configures a checkpoint-aware shard run (RunElastic).
+type ElasticOpts struct {
+	// Resume holds every shard's payload from the restore point, in
+	// shard order. Nil means a cold start. Frontier and level payloads
+	// are keyed by the saving epoch's block partition, so a restore
+	// point is only valid at the node count that saved it.
+	Resume [][]byte
+	// Every is the checkpoint cadence in level rounds (<= 0 = every
+	// round).
+	Every int
+	// Save, when non-nil, persists this shard's payload at a level-round
+	// boundary: the round's quiescent barrier has passed and the
+	// frontiers have been swapped, so the union of all shards' payloads
+	// is a consistent cut of the traversal.
+	Save func(round uint64, data []byte) error
+}
+
+// RunElastic executes the given node's shard with checkpoint/restore:
+// each shard saves its owned level range plus its next frontier after a
+// round's frontier swap, and a restored run resumes at the saved round.
+// The bottom-up arrival counters are NOT part of the payload — a fresh
+// epoch's cumulative counters restart at zero, and the level-tagged
+// replica arrays make zeroed replicas indistinguishable from
+// never-broadcast ones. Final results are bit-identical to an
+// undisturbed RunShard of the same Config.
+func RunElastic(sys rt.System, cfg Config, only int, coll rt.Collectives, opt ElasticOpts) (Result, error) {
+	return runElastic(sys, cfg, only, coll, opt)
+}
+
 // state is the per-run frontier state shared between the visit handler
 // (network threads) and the host loop; each node's handler only touches
 // its own entry and the host only reads between rounds.
@@ -85,6 +115,15 @@ type state struct {
 }
 
 func run(sys rt.System, cfg Config, only int, coll rt.Collectives) Result {
+	r, err := runElastic(sys, cfg, only, coll, ElasticOpts{})
+	if err != nil {
+		// Impossible without a resume payload or a Save hook.
+		panic(err)
+	}
+	return r
+}
+
+func runElastic(sys rt.System, cfg Config, only int, coll rt.Collectives, opt ElasticOpts) (Result, error) {
 	g := cfg.G
 	nodes := sys.Nodes()
 	part := (g.N + nodes - 1) / nodes
@@ -129,9 +168,36 @@ func run(sys rt.System, cfg Config, only int, coll rt.Collectives) Result {
 	frontier[src/part] = []uint32{uint32(src)}
 
 	dense := int(float64(g.N) * cfg.denseFrac())
-	t0 := sys.VirtualTimeNs()
 	levels, bottomUps := 0, 0
-	cumSignals := uint64(0) // signals every node has been promised so far
+	elastic := opt.Save != nil || len(opt.Resume) > 0
+	if elastic && only < 0 {
+		return Result{}, fmt.Errorf("bfs: elastic runs are per-shard (full runs have nothing to restore)")
+	}
+	if len(opt.Resume) > 0 {
+		fr, lvl, bu, err := decodeShard(level, only, opt.Resume)
+		if err != nil {
+			return Result{}, err
+		}
+		levels, bottomUps = lvl, bu
+		for i := range frontier {
+			frontier[i] = nil
+		}
+		frontier[only] = fr
+	}
+	if elastic {
+		// Zero-work sync step: its barrier guarantees every worker has
+		// allocated (and restored) before any worker's first visit AM
+		// can arrive — a fast peer's wire writes would otherwise race a
+		// slow peer's allocation or restore.
+		sys.Step("bfs-start-sync", make([]int, nodes), 0, func(rt.Ctx) {})
+	}
+	every := opt.Every
+	if every <= 0 {
+		every = 1
+	}
+
+	t0 := sys.VirtualTimeNs()
+	cumSignals := uint64(0) // signals every node has been promised THIS EPOCH
 	for {
 		local := 0
 		for i := range frontier {
@@ -171,6 +237,20 @@ func run(sys rt.System, cfg Config, only int, coll rt.Collectives) Result {
 			st.next[i] = nil
 			clear(st.pending[i])
 		}
+
+		// Round boundary: the step barrier above proved quiescence, so
+		// levels and frontiers form a consistent cut. The round count is
+		// globally agreed (it is driven by the all-reduced frontier
+		// size), so every shard saves the same rounds.
+		if opt.Save != nil && levels%every == 0 {
+			if err := opt.Save(uint64(levels), encodeShard(level, only, levels, bottomUps, frontier[only])); err != nil {
+				return Result{}, err
+			}
+			// Quiet save window: no worker may start the next round
+			// (whose visit AMs land in peers' level ranges) until every
+			// worker has encoded its payload.
+			sys.Step("bfs-ckpt-sync", make([]int, nodes), 0, func(rt.Ctx) {})
+		}
 	}
 	ns := sys.VirtualTimeNs() - t0
 
@@ -205,7 +285,55 @@ func run(sys rt.System, cfg Config, only int, coll rt.Collectives) Result {
 		BottomUp: bottomUps,
 		LevelSum: sum,
 		Checksum: h.Sum64(),
+	}, nil
+}
+
+// encodeShard builds node's checkpoint payload: the completed round and
+// bottom-up counts, the owned level range and its values, and the
+// node's next frontier.
+func encodeShard(level *pgas.Array, node, levels, bottomUps int, frontier []uint32) []byte {
+	lo, hi := level.LocalRange(node)
+	p := ckpt.EncodeU64s(
+		[]uint64{uint64(levels), uint64(bottomUps), uint64(lo), uint64(hi - lo), uint64(len(frontier))},
+		(hi-lo)+len(frontier))
+	for _, v := range level.Local(node) {
+		p = ckpt.AppendU64(p, v)
 	}
+	for _, u := range frontier {
+		p = ckpt.AppendU64(p, uint64(u))
+	}
+	return p
+}
+
+// decodeShard replays the node's own payload into its level range and
+// returns the saved frontier and round counts. Only the owned range is
+// restored: visit AMs route to the vertex owner, so each shard's
+// replica holds exactly its own range's discoveries. Same node count
+// only — shard `node` must cover exactly this node's range.
+func decodeShard(level *pgas.Array, node int, shards [][]byte) ([]uint32, int, int, error) {
+	if node >= len(shards) {
+		return nil, 0, 0, fmt.Errorf("bfs: restore has %d shards, node %d needs its own", len(shards), node)
+	}
+	w, err := ckpt.DecodeU64s(shards[node])
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("bfs: shard %d: %w", node, err)
+	}
+	if len(w) < 5 || uint64(len(w)-5) != w[3]+w[4] {
+		return nil, 0, 0, fmt.Errorf("bfs: shard %d: malformed payload (%d words, counts %d+%d)", node, len(w), w[3], w[4])
+	}
+	lo, hi := level.LocalRange(node)
+	if int(w[2]) != lo || int(w[3]) != hi-lo {
+		return nil, 0, 0, fmt.Errorf("bfs: shard %d saved range [%d,+%d), own range is [%d,+%d) — node count changed?",
+			node, w[2], w[3], lo, hi-lo)
+	}
+	for j, v := range w[5 : 5+int(w[3])] {
+		level.Store(uint64(lo+j), v)
+	}
+	frontier := make([]uint32, w[4])
+	for j, v := range w[5+int(w[3]):] {
+		frontier[j] = uint32(v)
+	}
+	return frontier, int(w[0]), int(w[1]), nil
 }
 
 // runTopDown relaxes the frontier's out-edges with active messages —

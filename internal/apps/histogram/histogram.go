@@ -14,7 +14,9 @@ package histogram
 import (
 	"fmt"
 
+	"gravel/internal/ckpt"
 	"gravel/internal/graph"
+	"gravel/internal/pgas"
 	"gravel/internal/rt"
 )
 
@@ -54,6 +56,32 @@ func RunShard(sys rt.System, cfg Config, node int, coll rt.Collectives) Result {
 	return run(sys, cfg, node, coll)
 }
 
+// ElasticOpts configures a checkpoint-aware shard run (RunElastic).
+type ElasticOpts struct {
+	// Resume holds every shard's payload from the restore point. Nil
+	// means a cold start. Payloads are keyed by the saving epoch's
+	// bucket partition, so a restore point is only valid at the node
+	// count that saved it.
+	Resume [][]byte
+	// Every is accepted for CkptRun symmetry but unused: the histogram
+	// has exactly one cut, after the counting phase.
+	Every int
+	// Save, when non-nil, persists this shard's payload at the single
+	// checkpoint — the quiescent barrier after "hist-count", when every
+	// increment has been applied and the summary phase has not started.
+	Save func(step uint64, data []byte) error
+}
+
+// RunElastic executes the given node's shard with checkpoint/restore.
+// The app's only mutable distributed state is the bucket table, fully
+// built by phase one, so the single cut saves each shard's owned bucket
+// range; a restored run skips the counting phase and goes straight to
+// the collective summaries (whose symmetric scratch restarts cleanly in
+// a fresh epoch). Results are bit-identical to an undisturbed RunShard.
+func RunElastic(sys rt.System, cfg Config, only int, coll rt.Collectives, opt ElasticOpts) (Result, error) {
+	return runElastic(sys, cfg, only, coll, opt)
+}
+
 // bucketOf is the deterministic sample stream: sample s of node n.
 func bucketOf(cfg Config, node, s int) uint64 {
 	return graph.Hash64(cfg.Seed ^ uint64(node)<<40 ^ uint64(s)) % uint64(cfg.Buckets)
@@ -79,6 +107,15 @@ func teams(nodes int) (low, high rt.Team) {
 }
 
 func run(sys rt.System, cfg Config, only int, coll rt.Collectives) Result {
+	r, err := runElastic(sys, cfg, only, coll, ElasticOpts{})
+	if err != nil {
+		// Impossible without a resume payload or a Save hook.
+		panic(err)
+	}
+	return r
+}
+
+func runElastic(sys rt.System, cfg Config, only int, coll rt.Collectives, opt ElasticOpts) (Result, error) {
 	nodes := sys.Nodes()
 
 	counts := sys.Space().Alloc(cfg.Buckets)
@@ -86,6 +123,24 @@ func run(sys rt.System, cfg Config, only int, coll rt.Collectives) Result {
 	dc := rt.NewDeviceColl(sys.Space(), nodes, rt.WorldTeam)
 	if err := rt.VerifySymmetric(coll, sys.Space(), "hist"); err != nil {
 		panic(err)
+	}
+
+	elastic := opt.Save != nil || len(opt.Resume) > 0
+	if elastic && only < 0 {
+		return Result{}, fmt.Errorf("histogram: elastic runs are per-shard (full runs have nothing to restore)")
+	}
+	restored := false
+	if len(opt.Resume) > 0 {
+		if err := restoreCounts(counts, only, opt.Resume); err != nil {
+			return Result{}, err
+		}
+		restored = true
+	}
+	if elastic {
+		// Zero-work sync step: its barrier guarantees every worker has
+		// allocated (and restored) before any worker's first increment
+		// or collective signal can arrive.
+		sys.Step("hist-start-sync", make([]int, nodes), 0, func(rt.Ctx) {})
 	}
 
 	grid := make([]int, nodes)
@@ -98,18 +153,30 @@ func run(sys rt.System, cfg Config, only int, coll rt.Collectives) Result {
 
 	t0 := sys.VirtualTimeNs()
 
-	// Phase 1: fine-grain remote increments into the bucket table.
-	sys.Step("hist-count", grid, 0, func(c rt.Ctx) {
-		wg := c.Group()
-		me := c.Node()
-		idx := make([]uint64, wg.Size)
-		one := make([]uint64, wg.Size)
-		wg.VectorN(3, func(l int) {
-			idx[l] = bucketOf(cfg, me, wg.GlobalID(l))
-			one[l] = 1
+	// Phase 1: fine-grain remote increments into the bucket table. A
+	// restored run's table was rebuilt from the cut; re-counting would
+	// double every bucket.
+	if !restored {
+		sys.Step("hist-count", grid, 0, func(c rt.Ctx) {
+			wg := c.Group()
+			me := c.Node()
+			idx := make([]uint64, wg.Size)
+			one := make([]uint64, wg.Size)
+			wg.VectorN(3, func(l int) {
+				idx[l] = bucketOf(cfg, me, wg.GlobalID(l))
+				one[l] = 1
+			})
+			c.Inc(counts, idx, one, nil)
 		})
-		c.Inc(counts, idx, one, nil)
-	})
+		if opt.Save != nil {
+			if err := opt.Save(1, encodeCounts(counts, only)); err != nil {
+				return Result{}, err
+			}
+			// Quiet save window: no worker may enter the summary phase
+			// until every worker has encoded its payload.
+			sys.Step("hist-ckpt-sync", make([]int, nodes), 0, func(rt.Ctx) {})
+		}
+	}
 
 	// Phase 2: device collectives — one work-group per node. Each node
 	// folds its owned bucket range locally, then the team barrier and
@@ -230,7 +297,45 @@ func run(sys rt.System, cfg Config, only int, coll rt.Collectives) Result {
 	} else if res.MinBucket > res.MaxBucket {
 		res.Err = fmt.Errorf("histogram: device min %d > max %d", res.MinBucket, res.MaxBucket)
 	}
-	return res
+	return res, nil
+}
+
+// encodeCounts builds node's checkpoint payload: the cut step, the
+// owned bucket range, and its counts.
+func encodeCounts(counts *pgas.Array, node int) []byte {
+	lo, hi := counts.LocalRange(node)
+	p := ckpt.EncodeU64s([]uint64{1, uint64(lo), uint64(hi - lo)}, hi-lo)
+	for _, v := range counts.Local(node) {
+		p = ckpt.AppendU64(p, v)
+	}
+	return p
+}
+
+// restoreCounts replays the node's own saved bucket range. Remote
+// increments route to the bucket owner, so each shard's replica holds
+// exactly its owned range's counts. Same node count only.
+func restoreCounts(counts *pgas.Array, node int, shards [][]byte) error {
+	if node >= len(shards) {
+		return fmt.Errorf("histogram: restore has %d shards, node %d needs its own", len(shards), node)
+	}
+	w, err := ckpt.DecodeU64s(shards[node])
+	if err != nil {
+		return fmt.Errorf("histogram: shard %d: %w", node, err)
+	}
+	if len(w) < 3 || uint64(len(w)-3) != w[2] {
+		return fmt.Errorf("histogram: shard %d: malformed payload (%d words, count %d)", node, len(w), w[2])
+	}
+	lo, hi := counts.LocalRange(node)
+	if int(w[1]) != lo || int(w[2]) != hi-lo {
+		return fmt.Errorf("histogram: shard %d saved range [%d,+%d), own range is [%d,+%d) — node count changed?",
+			node, w[1], w[2], lo, hi-lo)
+	}
+	for j, v := range w[3:] {
+		if v != 0 {
+			counts.Store(uint64(lo+j), v)
+		}
+	}
+	return nil
 }
 
 // mix decorrelates checksum contributions (splitmix-style finalizer).

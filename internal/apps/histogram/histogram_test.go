@@ -1,0 +1,55 @@
+package histogram_test
+
+import (
+	"testing"
+
+	"gravel/internal/apps/histogram"
+	"gravel/internal/models"
+)
+
+// TestElasticRestoreBitIdentical pins the single-cut checkpoint: a run
+// saving after the counting phase, and a fresh run resumed from that
+// cut (which must skip the counting phase entirely), both reproduce the
+// undisturbed run's results bit for bit.
+func TestElasticRestoreBitIdentical(t *testing.T) {
+	cfg := histogram.Config{SamplesPerNode: 5000, Buckets: 512, Seed: 9}
+
+	refSys := models.New("gravel", 1, nil)
+	ref := histogram.RunShard(refSys, cfg, 0, nil)
+	refSys.Close()
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+
+	var cut []byte
+	saves := 0
+	saveSys := models.New("gravel", 1, nil)
+	r, err := histogram.RunElastic(saveSys, cfg, 0, nil, histogram.ElasticOpts{
+		Save: func(step uint64, data []byte) error {
+			saves++
+			cut = append([]byte(nil), data...)
+			return nil
+		},
+	})
+	saveSys.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saves != 1 {
+		t.Fatalf("saved %d cuts, want exactly 1", saves)
+	}
+	if r.Err != nil || r.Check != ref.Check {
+		t.Fatalf("saving run diverged from plain run: %+v vs %+v", r, ref)
+	}
+
+	sys := models.New("gravel", 1, nil)
+	got, err := histogram.RunElastic(sys, cfg, 0, nil, histogram.ElasticOpts{Resume: [][]byte{cut}})
+	sys.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Err != nil || got.Check != ref.Check || got.Samples != ref.Samples ||
+		got.MinBucket != ref.MinBucket || got.MaxBucket != ref.MaxBucket {
+		t.Fatalf("resumed run diverged: %+v vs %+v", got, ref)
+	}
+}

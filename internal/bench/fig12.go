@@ -9,37 +9,44 @@ import (
 // Fig12NodeCounts are the cluster sizes of Figure 12.
 var Fig12NodeCounts = []int{1, 2, 4, 8}
 
+// Fig12Models are the send-path aggregation strategies the scalability
+// sweep covers: the paper's system and the archive-aggregation rival.
+var Fig12Models = []string{"gravel", "gravel-archive"}
+
 // Fig12 reproduces Figure 12 (Gravel's scalability): speedup of each
 // workload at 1/2/4/8 nodes relative to one node, plus the geometric
-// mean. The paper reports a 5.3x average speedup at eight nodes.
+// mean, for both aggregation strategies. The paper reports a 5.3x
+// average speedup at eight nodes.
 func Fig12(scale float64, params *timemodel.Params) *Table {
 	t := &Table{
 		Title:  "Figure 12: Gravel's scalability (speedup vs 1 node)",
-		Header: append([]string{"workload"}, nodeHeaders()...),
+		Header: append([]string{"workload", "strategy"}, nodeHeaders()...),
 	}
 	wls := Workloads(scale)
-	speedups := make(map[int][]float64) // nodes -> per-workload speedups
-	for _, wl := range wls {
-		base := 0.0
-		row := []string{wl.Name}
-		for _, n := range Fig12NodeCounts {
-			sys := models.Gravel(n, cloneParams(params))
-			ns := wl.Run(sys)
-			sys.Close()
-			if n == 1 {
-				base = ns
+	for _, model := range Fig12Models {
+		speedups := make(map[int][]float64) // nodes -> per-workload speedups
+		for _, wl := range wls {
+			base := 0.0
+			row := []string{wl.Name, model}
+			for _, n := range Fig12NodeCounts {
+				sys := models.New(model, n, cloneParams(params))
+				ns := wl.Run(sys)
+				sys.Close()
+				if n == 1 {
+					base = ns
+				}
+				sp := base / ns
+				speedups[n] = append(speedups[n], sp)
+				row = append(row, F(sp))
 			}
-			sp := base / ns
-			speedups[n] = append(speedups[n], sp)
-			row = append(row, F(sp))
+			t.AddRow(row...)
 		}
-		t.AddRow(row...)
+		geo := []string{"geo. mean", model}
+		for _, n := range Fig12NodeCounts {
+			geo = append(geo, F(stats.GeoMean(speedups[n])))
+		}
+		t.AddRow(geo...)
 	}
-	geo := []string{"geo. mean"}
-	for _, n := range Fig12NodeCounts {
-		geo = append(geo, F(stats.GeoMean(speedups[n])))
-	}
-	t.AddRow(geo...)
 	t.Note("paper: geo. mean 5.3x at 8 nodes; GUPS/kmeans/mer near-linear, SSSP-1 worst")
 	return t
 }

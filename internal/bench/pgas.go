@@ -107,39 +107,45 @@ func PGAS(scale float64, params *timemodel.Params) *Table {
 	transfer("put+flag bulk", false, bulk, 4)
 
 	// Device all-reduce: one work-group per member, `rounds` back-to-back
-	// sum rounds; ns/elem is the per-round latency here.
+	// sum rounds; ns/elem is the per-round latency here. Both schedules
+	// sweep the same team sizes: the linear fan-out's O(n²) messages make
+	// its per-round cost climb with the team, while recursive doubling's
+	// log-depth exchange flattens the curve.
 	const rounds = 8
-	for _, nodes := range []int{2, 4, 8} {
-		sys := models.NewSystem("gravel", models.Config{Nodes: nodes, Params: cloneParams(params)})
-		dc := rt.NewDeviceColl(sys.Space(), nodes, rt.WorldTeam)
-		out := sys.Space().SymAlloc(1)
-		grid := make([]int, nodes)
-		for i := range grid {
-			grid[i] = 1
-		}
-		t0 := sys.VirtualTimeNs()
-		sys.Step("allreduce", grid, 0, func(c rt.Ctx) {
-			acc := uint64(0)
-			for r := 0; r < rounds; r++ {
-				acc += dc.AllReduce(c, rt.OpSum, uint64(c.Node())+1)
+	for _, sched := range []rt.DCSchedule{rt.DCLinear, rt.DCRecDouble} {
+		for _, nodes := range []int{2, 4, 8} {
+			sys := models.NewSystem("gravel", models.Config{Nodes: nodes, Params: cloneParams(params)})
+			dc := rt.NewDeviceCollSched(sys.Space(), nodes, rt.WorldTeam, sched)
+			out := sys.Space().SymAlloc(1)
+			grid := make([]int, nodes)
+			for i := range grid {
+				grid[i] = 1
 			}
-			out.Store(out.SymIndex(c.Node(), 0), acc)
-		})
-		ns := sys.VirtualTimeNs() - t0
-		st := sys.NetStats()
-		want := uint64(rounds) * uint64(nodes) * uint64(nodes+1) / 2
-		if out.Load(out.SymIndex(0, 0)) != want {
-			panic("bench: device all-reduce folded wrong")
+			t0 := sys.VirtualTimeNs()
+			sys.Step("allreduce", grid, 0, func(c rt.Ctx) {
+				acc := uint64(0)
+				for r := 0; r < rounds; r++ {
+					acc += dc.AllReduce(c, rt.OpSum, uint64(c.Node())+1)
+				}
+				out.Store(out.SymIndex(c.Node(), 0), acc)
+			})
+			ns := sys.VirtualTimeNs() - t0
+			st := sys.NetStats()
+			want := uint64(rounds) * uint64(nodes) * uint64(nodes+1) / 2
+			if out.Load(out.SymIndex(0, 0)) != want {
+				panic("bench: device all-reduce folded wrong")
+			}
+			sys.Close()
+			t.AddRow("allreduce "+sched.String()+" nodes="+itoa(nodes),
+				F(ns/1e6),
+				itoa(int(st.WirePackets)),
+				F(float64(st.WireBytes)/1024),
+				F(ns/rounds))
 		}
-		sys.Close()
-		t.AddRow("allreduce nodes="+itoa(nodes),
-			F(ns/1e6),
-			itoa(int(st.WirePackets)),
-			F(float64(st.WireBytes)/1024),
-			F(ns/rounds))
 	}
 
 	t.Note("put_signal carries data+signal in one ordered wire record; put+flag pays two records per element")
 	t.Note("allreduce rows: ns/elem column is ns per all-reduce round (one WG per member, rt.DeviceColl)")
+	t.Note("linear all-reduce sends O(n^2) signalled puts per round; recursive doubling sends n*log2(n), flattening the latency curve")
 	return t
 }

@@ -60,6 +60,18 @@ type Config struct {
 	DivMode simt.DivergenceMode
 	// AggMode selects Gravel aggregation or per-message sends.
 	AggMode AggMode
+	// AggStrategy selects the send-path aggregation strategy: "" or
+	// AggTicket (the paper's sharded ticket-slot builders), or
+	// AggArchive (grape-style per-destination growable archives,
+	// appended by the device at WF granularity — see agg.Archive).
+	// The archive strategy is flat and always combines, so it rejects
+	// GroupSize > 1 and AggPerMessage.
+	AggStrategy string
+	// ArchiveFuse, with AggStrategy == AggArchive, merges a
+	// destination's sealed archive segments into one contiguous packet
+	// at flush time (the grape default); without it each segment ships
+	// as its own packet.
+	ArchiveFuse bool
 	// Arch overrides the device architecture (nil = the paper's GPU);
 	// used by the Figure 13 CPU-only baseline.
 	Arch *simt.Arch
@@ -90,6 +102,16 @@ type Config struct {
 	TransportOpts fabric.Options
 }
 
+// Send-path aggregation strategy names (Config.AggStrategy).
+const (
+	// AggTicket is the paper's aggregator: drain threads repack queue
+	// slots into fixed-capacity per-destination builders.
+	AggTicket = "ticket"
+	// AggArchive is the grape-style rival: per-destination growable
+	// archives with WF-aggregated device appends and bulk handoff.
+	AggArchive = "archive"
+)
+
 // Fabric is the interconnect interface the runtime depends on; concrete
 // transports live in internal/fabric ("chan") and internal/transport
 // ("loopback", "tcp").
@@ -100,7 +122,7 @@ type Node struct {
 	ID     int
 	GPU    *simt.Device
 	PCQ    *queue.Gravel
-	Agg    *agg.Aggregator
+	Agg    agg.Strategy
 	Clocks *timemodel.Clocks
 
 	// LocalOps / RemoteOps count fine-grain accesses by locality
@@ -212,6 +234,19 @@ func New(cfg Config) *Cluster {
 	if cfg.Name == "" {
 		cfg.Name = "gravel"
 	}
+	switch cfg.AggStrategy {
+	case "", AggTicket, AggArchive:
+	default:
+		panic(fmt.Sprintf("core: unknown AggStrategy %q (have %q, %q)", cfg.AggStrategy, AggTicket, AggArchive))
+	}
+	if cfg.AggStrategy == AggArchive {
+		if cfg.GroupSize > 1 {
+			panic("core: the archive aggregation strategy is flat (GroupSize > 1 requires the ticket strategy)")
+		}
+		if cfg.AggMode == AggPerMessage {
+			panic("core: the archive aggregation strategy always combines (AggPerMessage requires the ticket strategy)")
+		}
+	}
 	shards := cfg.ResolverShards
 	if shards == 0 {
 		shards = 1
@@ -269,7 +304,11 @@ func New(cfg Config) *Cluster {
 		n.GPU.Clock = n.Clocks
 		n.PCQ = queue.NewGravel(numSlots, wire.SlotRows, cfg.WGSize)
 		n.PCQ.Owner = i
-		n.Agg = agg.NewHierarchical(i, p, n.PCQ, cl.fab, n.Clocks, cfg.AggMode == AggPerMessage, cfg.GroupSize)
+		if cfg.AggStrategy == AggArchive {
+			n.Agg = agg.NewArchive(i, p, n.PCQ, cl.fab, n.Clocks, cfg.ArchiveFuse)
+		} else {
+			n.Agg = agg.NewHierarchical(i, p, n.PCQ, cl.fab, n.Clocks, cfg.AggMode == AggPerMessage, cfg.GroupSize)
+		}
 		cl.nodes[i] = n
 	}
 
@@ -573,7 +612,12 @@ func (cl *Cluster) Stats() rt.Stats {
 	if threads < 1 {
 		threads = 1
 	}
-	st.Agg = rt.AggStats{BusyNs: cur.aggBusy, IdleNs: cur.aggIdle, Threads: threads}
+	st.Agg = rt.AggStats{
+		Strategy: cl.nodes[0].Agg.Name(),
+		BusyNs:   cur.aggBusy,
+		IdleNs:   cur.aggIdle,
+		Threads:  threads,
+	}
 	// Busy fraction of the aggregator cores over the run's virtual time
 	// (the paper's §8.1 metric: 65% of the core's time is polling),
 	// weighted by drain capacity: busy time accrues on every drain

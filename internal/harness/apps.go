@@ -426,6 +426,18 @@ func init() {
 			g := randomInput(p)
 			return bfsResult(bfs.RunShard(sys, bfs.Config{G: g}, node, coll), g)
 		},
+		Elastic: func(sys rt.System, node int, p Params, coll rt.Collectives, ck CkptRun) Result {
+			g := randomInput(p)
+			r, err := bfs.RunElastic(sys, bfs.Config{G: g}, node, coll, bfs.ElasticOpts{
+				Resume: resumeShards(ck),
+				Every:  ck.Every,
+				Save:   ck.Save,
+			})
+			if err != nil {
+				return Result{Summary: "elastic shard failed", Err: err}
+			}
+			return bfsResult(r, g)
+		},
 		VerifyTotal: func(total uint64, p Params, nodes int) error {
 			want := bfs.ReferenceSum(randomInput(p), 0)
 			if total != want {
@@ -449,6 +461,22 @@ func init() {
 		},
 		Shard: func(sys rt.System, node int, p Params, coll rt.Collectives) Result {
 			r := histogram.RunShard(sys, p.histogramConfig(sys.Nodes()), node, coll)
+			return Result{
+				Summary: fmt.Sprintf("shard samples=%d bucketMin=%d bucketMax=%d", r.Samples, r.MinBucket, r.MaxBucket),
+				Ns:      r.Ns,
+				Check:   r.Check,
+				Err:     r.Err,
+			}
+		},
+		Elastic: func(sys rt.System, node int, p Params, coll rt.Collectives, ck CkptRun) Result {
+			r, err := histogram.RunElastic(sys, p.histogramConfig(sys.Nodes()), node, coll, histogram.ElasticOpts{
+				Resume: resumeShards(ck),
+				Every:  ck.Every,
+				Save:   ck.Save,
+			})
+			if err != nil {
+				return Result{Summary: "elastic shard failed", Err: err}
+			}
 			return Result{
 				Summary: fmt.Sprintf("shard samples=%d bucketMin=%d bucketMax=%d", r.Samples, r.MinBucket, r.MaxBucket),
 				Ns:      r.Ns,

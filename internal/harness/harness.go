@@ -223,6 +223,7 @@ var modelDesc = map[string]string{
 	"coalesced":       "§3.3 per-WG counting sort + synchronous coalesced sends (GPUnet style)",
 	"coalesced+agg":   "coalesced APIs + Gravel-style GPU-wide aggregation",
 	"gravel":          "the paper's system: WG-granularity offload + CPU aggregation",
+	"gravel-archive":  "gravel with grape-style per-destination archive aggregation (WF appends, fused bulk handoff)",
 	"cpu-only":        "Figure 13 CPU baseline: 4 host threads, Grappa/UPC-style aggregation",
 }
 

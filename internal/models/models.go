@@ -102,6 +102,7 @@ func Names() []string {
 		"coalesced",
 		"coalesced+agg",
 		"gravel",
+		"gravel-archive",
 	}
 }
 
@@ -125,6 +126,8 @@ func NewSystem(name string, cfg Config) rt.System {
 	switch name {
 	case "gravel":
 		return core.New(cfg.coreConfig("gravel"))
+	case "gravel-archive":
+		return NewArchive(cfg)
 	case "msg-per-lane":
 		c := cfg.coreConfig("msg-per-lane")
 		c.AggMode = core.AggPerMessage

@@ -165,7 +165,7 @@ func TestElasticRescaleScaleOut(t *testing.T) {
 // are bit-identical to the plain shard path when nothing goes wrong,
 // for every app that has one.
 func TestElasticUndisturbedMatchesPlain(t *testing.T) {
-	for _, app := range []string{"gups", "pagerank", "kmeans"} {
+	for _, app := range []string{"gups", "pagerank", "kmeans", "bfs-dir", "histogram"} {
 		app := app
 		t.Run(app, func(t *testing.T) {
 			s := elasticSpec(app, 2)

@@ -96,6 +96,10 @@ const (
 	// "broadcast" or "barrier"): A = team size (0 = world),
 	// B = contributed value.
 	KCollective
+	// KAggArchive is one archive-strategy segment sealed onto a
+	// destination's chain (the grape-style aggregator): A = segment
+	// bytes, B = segment messages.
+	KAggArchive
 )
 
 var kindNames = [...]string{
@@ -120,6 +124,7 @@ var kindNames = [...]string{
 	KWait:            "wait",
 	KSignal:          "signal",
 	KCollective:      "collective",
+	KAggArchive:      "agg-archive",
 }
 
 // String returns the JSONL name of the kind.

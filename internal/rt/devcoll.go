@@ -27,13 +27,41 @@ import (
 // calling WG per node, e.g. a one-WG grid or WG 0 only).
 type DeviceColl struct {
 	team     Team
-	vals     *pgas.Array // 2*size symmetric slots per member (parity banks)
-	arrivals *pgas.Array // 2 cumulative counters per member (one per parity)
+	vals     *pgas.Array // linear: 2*size slots; rec-double: 2*stages slots
+	arrivals *pgas.Array // linear: 2 counters; rec-double: 2*stages counters
 	size     int
 	members  []int
 	rounds   []int // per-node round counter (one calling WG per node)
 
+	sched  DCSchedule
+	stages int // log2(size) when sched is DCRecDouble
+
 	scratch []*dcScratch // per-node lane buffers (one calling WG per node)
+}
+
+// DCSchedule selects the communication schedule a DeviceColl's
+// all-reduce uses. Both schedules produce bit-identical results for the
+// uint64 reduce ops (all commutative and associative); they differ only
+// in message count and critical-path depth.
+type DCSchedule int
+
+const (
+	// DCLinear is the all-to-all fan-out: every member signals every
+	// member each round — O(size²) wire messages, one wait deep. The
+	// default, and the only schedule for non-power-of-two teams.
+	DCLinear DCSchedule = iota
+	// DCRecDouble is recursive doubling: log2(size) exchange stages of
+	// one signalled put each — O(size·log size) messages, log-depth.
+	// Requires a power-of-two team size; NewDeviceCollSched falls back
+	// to DCLinear otherwise.
+	DCRecDouble
+)
+
+func (s DCSchedule) String() string {
+	if s == DCRecDouble {
+		return "recdouble"
+	}
+	return "linear"
 }
 
 // dcScratch is one node's lane-sized verb argument buffers, reused
@@ -49,21 +77,48 @@ type dcScratch struct {
 // distributed run (verify with VerifySymmetric). All team members —
 // and only they — may call the collective's methods.
 func NewDeviceColl(sp *pgas.Space, nodes int, team Team) *DeviceColl {
+	return NewDeviceCollSched(sp, nodes, team, DCLinear)
+}
+
+// NewDeviceCollSched is NewDeviceColl with an explicit communication
+// schedule. DCRecDouble needs a power-of-two team of at least two
+// members; anything else silently gets DCLinear (same results, so the
+// fallback only costs messages). Symmetric allocation sizes depend on
+// the effective schedule, so — as always — every process of a
+// distributed run must construct with the same arguments.
+func NewDeviceCollSched(sp *pgas.Space, nodes int, team Team, sched DCSchedule) *DeviceColl {
 	members := team.Members(nodes)
 	size := len(members)
-	return &DeviceColl{
-		team:     team,
-		vals:     sp.SymAlloc(2 * size),
-		arrivals: sp.SymAlloc(2),
-		size:     size,
-		members:  members,
-		rounds:   make([]int, nodes),
-		scratch:  make([]*dcScratch, nodes),
+	if sched == DCRecDouble && (size < 2 || size&(size-1) != 0) {
+		sched = DCLinear
 	}
+	dc := &DeviceColl{
+		team:    team,
+		size:    size,
+		members: members,
+		sched:   sched,
+		rounds:  make([]int, nodes),
+		scratch: make([]*dcScratch, nodes),
+	}
+	if sched == DCRecDouble {
+		for 1<<dc.stages < size {
+			dc.stages++
+		}
+		dc.vals = sp.SymAlloc(2 * dc.stages)
+		dc.arrivals = sp.SymAlloc(2 * dc.stages)
+	} else {
+		dc.vals = sp.SymAlloc(2 * size)
+		dc.arrivals = sp.SymAlloc(2)
+	}
+	return dc
 }
 
 // Team returns the node team the collective spans.
 func (dc *DeviceColl) Team() Team { return dc.team }
+
+// Schedule returns the effective communication schedule (after any
+// non-power-of-two fallback).
+func (dc *DeviceColl) Schedule() DCSchedule { return dc.sched }
 
 func (dc *DeviceColl) scratchFor(node, wgSize int) *dcScratch {
 	s := dc.scratch[node]
@@ -88,6 +143,9 @@ func (dc *DeviceColl) AllReduce(c Ctx, op ReduceOp, val uint64) uint64 {
 	if dc.team.Rank(me) < 0 {
 		panic(&CollectiveError{Op: "device-allreduce",
 			Detail: fmt.Sprintf("node %d is not a member of team %s", me, dc.team.Tag())})
+	}
+	if dc.sched == DCRecDouble {
+		return dc.allReduceRecDouble(c, op, val)
 	}
 	g := c.Group()
 	s := dc.scratchFor(me, g.Size)
@@ -132,6 +190,47 @@ func (dc *DeviceColl) AllReduce(c Ctx, op ReduceOp, val uint64) uint64 {
 	acc := op.Identity()
 	for j := 0; j < dc.size; j++ {
 		acc = op.Combine(acc, dc.vals.Load(dc.vals.SymIndex(me, q*dc.size+j)))
+	}
+	return acc
+}
+
+// allReduceRecDouble is the DCRecDouble schedule: log2(size) exchange
+// stages, each a single signalled put to the rank differing in bit t
+// followed by a wait on this member's own (parity, stage) counter. The
+// counters are cumulative — each same-parity round adds exactly one
+// signal per stage — so round r waits for r/2+1. Overwrite safety is
+// transitive: the butterfly spans the whole team, so a partner cannot
+// complete round r+1 (let alone write round r+2's value into my
+// (parity, stage) slot) until every member — me included — has returned
+// from round r and therefore folded that slot.
+func (dc *DeviceColl) allReduceRecDouble(c Ctx, op ReduceOp, val uint64) uint64 {
+	me := c.Node()
+	g := c.Group()
+	s := dc.scratchFor(me, g.Size)
+	rank := dc.team.Rank(me)
+	r := dc.rounds[me]
+	dc.rounds[me] = r + 1
+	q := r % 2
+	need := uint64(r/2 + 1)
+
+	for l := 0; l < g.Size; l++ {
+		s.mask[l] = l == 0
+	}
+	acc := op.Combine(op.Identity(), val)
+	for t := 0; t < dc.stages; t++ {
+		peer := dc.members[rank^(1<<t)]
+		slot := q*dc.stages + t
+
+		s.idx[0] = dc.vals.SymIndex(peer, slot)
+		s.v[0] = acc
+		s.sig[0] = dc.arrivals.SymIndex(peer, slot)
+		c.PutSignal(dc.vals, s.idx, s.v, dc.arrivals, s.sig, s.mask)
+
+		s.sig[0] = dc.arrivals.SymIndex(me, slot)
+		s.until[0] = need
+		c.WaitUntil(dc.arrivals, s.sig, s.until, s.mask)
+
+		acc = op.Combine(acc, dc.vals.Load(dc.vals.SymIndex(me, slot)))
 	}
 	return acc
 }

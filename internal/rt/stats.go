@@ -61,6 +61,10 @@ func (q QueueStats) RemoteFrac() float64 {
 // AggStats describes the aggregator: the CPU threads repacking queue
 // slots into per-node queues.
 type AggStats struct {
+	// Strategy names the send-path aggregation strategy in effect:
+	// "ticket" (the paper's fixed-slot ticket-queue builders) or
+	// "archive" (grape-style per-destination growable archives).
+	Strategy string
 	// BusyNs and IdleNs split the aggregator cores' virtual time into
 	// useful work and polling (§8.1), summed across nodes and threads.
 	BusyNs, IdleNs float64

@@ -29,7 +29,8 @@ type Group struct {
 	activeLanes int
 
 	// scratch buffers reused across operations
-	offs []int
+	offs    []int
+	wfLanes []int // WFAggregate's per-destination lane list
 
 	// ls is the launch this group is running under (nil for groups
 	// constructed outside a launch, e.g. in tests); see Park.

@@ -1,0 +1,76 @@
+package simt
+
+// WFAggregate performs a warp-aggregated offload (grape's AddBytesWarp
+// pattern): for each wavefront, the active lanes ballot, a per-
+// destination leader reserves space for the whole mask with one atomic,
+// and every lane copies its record at its lane offset. f is invoked
+// once per (wavefront, distinct destination) with the destination and
+// the participating lanes in lane order; the slice is reused across
+// invocations and must not be retained.
+//
+// Time model, per active wavefront:
+//
+//   - 5 vector instructions on that WF alone: 2 for the ballot +
+//     intra-WF prefix sum that elects leaders and assigns lane offsets,
+//     3 for each lane's 24-byte record copy into the reserved span.
+//   - 1 global atomic per distinct destination (the leader's
+//     reservation), charged via ChargeAtomics — so a skewed destination
+//     distribution costs fewer reservations than a uniform one, which
+//     is exactly the effect the aggstrategy experiment measures.
+//   - a divergence event when the WF is partially active, as with
+//     VectorMasked.
+//
+// destOf must be cheap and pure (it is evaluated more than once per
+// lane while grouping).
+func (g *Group) WFAggregate(active []bool, destOf func(lane int) int, f func(dest int, lanes []int)) {
+	w := g.dev.Arch.WFWidth
+	if cap(g.wfLanes) < w {
+		g.wfLanes = make([]int, 0, w)
+	}
+	for base := 0; base < g.Size; base += w {
+		end := base + w
+		if end > g.Size {
+			end = g.Size
+		}
+		count := 0
+		for l := base; l < end; l++ {
+			if active[l] {
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		g.chargeVectorWFs(5, 1)
+		if count < end-base {
+			g.divergedOps++
+		}
+		// Group the WF's lanes by destination in first-seen lane order
+		// (the leader is the first active lane per destination). The
+		// O(width²) scan stands in for the ballot loop a real GPU runs.
+		for l := base; l < end; l++ {
+			if !active[l] {
+				continue
+			}
+			d := destOf(l)
+			leader := true
+			for p := base; p < l; p++ {
+				if active[p] && destOf(p) == d {
+					leader = false
+					break
+				}
+			}
+			if !leader {
+				continue
+			}
+			lanes := g.wfLanes[:0]
+			for p := l; p < end; p++ {
+				if active[p] && destOf(p) == d {
+					lanes = append(lanes, p)
+				}
+			}
+			g.ChargeAtomics(1)
+			f(d, lanes)
+		}
+	}
+}

@@ -247,6 +247,19 @@ func (b *Builder) Append(cmd, a, v uint64) {
 	b.msgs++
 }
 
+// AppendRecord appends one encoded direct-queue message record to buf
+// and returns the extended slice. It is the raw encoding behind
+// Builder.Append for callers that manage their own buffers (the archive
+// aggregation strategy grows per-destination segments instead of using
+// fixed-capacity builders); the caller is responsible for capacity.
+func AppendRecord(buf []byte, cmd, a, v uint64) []byte {
+	var rec [MsgWireBytes]byte
+	binary.LittleEndian.PutUint64(rec[0:8], cmd)
+	binary.LittleEndian.PutUint64(rec[8:16], a)
+	binary.LittleEndian.PutUint64(rec[16:24], v)
+	return append(buf, rec[:]...)
+}
+
 // Take returns the current buffer and message count and resets the
 // builder with a fresh buffer from the packet pool. The returned slice
 // is owned by the caller; handing it to a fabric transfers ownership to
